@@ -1,0 +1,344 @@
+// Benchmarks, one per paper table/figure plus the extension studies
+// (DESIGN.md §4 maps each to its experiment driver). Macro benchmarks
+// report the wall time of a full experiment run and domain metrics via
+// ReportMetric; micro benchmarks cover the hardware-critical paths
+// (sorting keys, comparator-tree selection, router cycle rate).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/mesh"
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/sched"
+	"repro/internal/timing"
+)
+
+// BenchmarkE1WormholeBaseline regenerates the Section 5.2 latency model
+// (paper: 30 + b cycles; Table E1 in EXPERIMENTS.md).
+func BenchmarkE1WormholeBaseline(b *testing.B) {
+	sizes := []int{16, 64, 256, 1024}
+	var overhead int64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE1(router.DefaultConfig(), sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Linear {
+			b.Fatal("latency not linear")
+		}
+		overhead = res.Overhead
+	}
+	b.ReportMetric(float64(overhead), "overhead-cycles")
+}
+
+// BenchmarkFig7MixedTraffic regenerates the Figure 7 service-share
+// experiment and reports the achieved link utilization.
+func BenchmarkFig7MixedTraffic(b *testing.B) {
+	var util float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(experiments.DefaultFig7())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Misses != 0 {
+			b.Fatalf("misses: %d", res.Misses)
+		}
+		var tc float64
+		for _, v := range res.TCTotal {
+			tc += v
+		}
+		util = (tc + res.BETotal) / float64(res.Cfg.Cycles)
+	}
+	b.ReportMetric(util*100, "link-util-%")
+}
+
+// BenchmarkFig6SortKeys measures the Figure 4 key computation — the
+// logic at the base of every comparator-tree leaf.
+func BenchmarkFig6SortKeys(b *testing.B) {
+	w := timing.MustWheel(8)
+	var sink timing.Key
+	for i := 0; i < b.N; i++ {
+		t := w.Wrap(timing.Slot(i))
+		l := w.Add(t, uint32(i)%40)
+		k, _, _ := w.SortKey(l, w.Add(l, 20), t)
+		sink ^= k
+	}
+	_ = sink
+}
+
+// BenchmarkFig6Rollover regenerates the rollover soak (Figure 6).
+func BenchmarkFig6Rollover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Misses != 0 {
+			b.Fatal("rollover misses")
+		}
+	}
+}
+
+// BenchmarkT1ServiceOrder exercises the Table 1 three-queue decision for
+// one output port with a mixed population of on-time and early packets.
+func BenchmarkT1ServiceOrder(b *testing.B) {
+	w := timing.MustWheel(8)
+	tree := sched.NewEDFTree(256, w)
+	for i := 0; i < 256; i++ {
+		off := int64(i%60) - 30
+		leaf := sched.Leaf{
+			L:    w.Wrap(timing.Slot(1000 + off)),
+			Dl:   w.Wrap(timing.Slot(1000 + off + 25)),
+			Mask: sched.PortMask(1 << (i % 5)),
+		}
+		if err := tree.Install(i, leaf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	now := w.Wrap(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Select(i%5, now, 8)
+	}
+}
+
+// BenchmarkT3ControlInterface measures the Table 3 staged-write
+// programming path.
+func BenchmarkT3ControlInterface(b *testing.B) {
+	r := router.MustNew("bench", router.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.SetConnection(uint8(i), uint8(i+1), 10, 1<<router.PortLocal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT4SchedulerThroughput measures full-occupancy selection on
+// the paper's 256-leaf shared tree (the chip does one selection per
+// ~50 ns pipeline beat).
+func BenchmarkT4SchedulerThroughput(b *testing.B) {
+	w := timing.MustWheel(8)
+	for _, kind := range []struct {
+		name string
+		s    sched.Scheduler
+	}{
+		{"linear-scan", sched.NewEDFTree(256, w)},
+		{"tournament", sched.NewTournament(256, w)},
+	} {
+		for i := 0; i < 256; i++ {
+			leaf := sched.Leaf{
+				L:    w.Wrap(timing.Slot(i % 90)),
+				Dl:   w.Wrap(timing.Slot(i%90 + 30)),
+				Mask: sched.PortMask(1 << (i % 5)),
+			}
+			if err := kind.s.Install(i, leaf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(kind.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kind.s.Select(i%5, timing.Stamp(i), 8)
+			}
+		})
+	}
+}
+
+// BenchmarkX1HorizonSweep regenerates the horizon trade-off study.
+func BenchmarkX1HorizonSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHorizon([]uint32{0, 16, 48}, 20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Misses != 0 {
+			b.Fatal("misses in sweep")
+		}
+	}
+}
+
+// BenchmarkX2BaselineComparison regenerates the architecture
+// comparison and reports the FIFO tight-stream miss rate.
+func BenchmarkX2BaselineComparison(b *testing.B) {
+	var fifoMiss float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCompare(30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, name := range res.Disciplines {
+			if name == "FIFO output-queued" {
+				fifoMiss = res.TightMiss[j]
+			}
+		}
+	}
+	b.ReportMetric(fifoMiss*100, "fifo-tight-miss-%")
+}
+
+// BenchmarkX3VirtualCutThrough regenerates the Section 7 extension
+// study and reports the latency saving.
+func BenchmarkX3VirtualCutThrough(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunVCT(3, 30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = res.Saving
+	}
+	b.ReportMetric(saving, "saving-cycles")
+}
+
+// BenchmarkX4Multicast regenerates the fan-out study.
+func BenchmarkX4Multicast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMulticast([]int{2, 4}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Misses != 0 || res.SlotLeaks != 0 {
+			b.Fatal("multicast misses or leaks")
+		}
+	}
+}
+
+// BenchmarkX5Admissibility regenerates the buffer-policy study.
+func BenchmarkX5Admissibility(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAdmit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = float64(res.Asymmetric[1] - res.Asymmetric[0])
+	}
+	b.ReportMetric(gap, "shared-minus-partitioned")
+}
+
+// BenchmarkX6ApproximateScheduling regenerates the Section 7
+// reduced-complexity study and reports where misses begin.
+func BenchmarkX6ApproximateScheduling(b *testing.B) {
+	var missAt4 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunApprox([]uint{0, 4}, 30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TightMiss[0] != 0 {
+			b.Fatal("exact EDF missed")
+		}
+		missAt4 = res.TightMiss[1]
+	}
+	b.ReportMetric(missAt4*100, "tight-miss-%@16-slot-buckets")
+}
+
+// BenchmarkX7LoadSweep regenerates the network load sweep and reports
+// the best-effort latency blow-up factor between light and heavy load.
+func BenchmarkX7LoadSweep(b *testing.B) {
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLoadSweep([]float64{0.05, 0.6}, 30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range res.TCMisses {
+			if m != 0 {
+				b.Fatal("reserved class missed under load")
+			}
+		}
+		if res.BEMean[0] > 0 {
+			factor = res.BEMean[1] / res.BEMean[0]
+		}
+	}
+	b.ReportMetric(factor, "be-latency-blowup")
+}
+
+// BenchmarkX8ClockSkew regenerates the §4.1 skew-tolerance study.
+func BenchmarkX8ClockSkew(b *testing.B) {
+	var missesBeyond int64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSkew([]int64{0, 400}, 30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Misses[0] != 0 {
+			b.Fatal("aligned clocks missed")
+		}
+		missesBeyond = res.Misses[1]
+	}
+	b.ReportMetric(float64(missesBeyond), "misses@20-slot-skew")
+}
+
+// BenchmarkX9Failover regenerates the link-failure timeline.
+func BenchmarkX9Failover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFailover(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.RerouteOK || res.Delivered[2] != 4 {
+			b.Fatal("failover did not recover")
+		}
+	}
+}
+
+// BenchmarkX10RingTopology regenerates the topology-independence study.
+func BenchmarkX10RingTopology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRing(8, 8, 30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Misses != 0 {
+			b.Fatal("ring missed deadlines")
+		}
+	}
+}
+
+// BenchmarkX11LeafSharing regenerates the §5.1 area/throughput study.
+func BenchmarkX11LeafSharing(b *testing.B) {
+	var missAt32 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSharing([]int{1, 32}, 30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TightMiss[0] != 0 {
+			b.Fatal("factor-1 chip missed")
+		}
+		missAt32 = res.TightMiss[1]
+	}
+	b.ReportMetric(missAt32*100, "tight-miss-%@32-sharing")
+}
+
+// BenchmarkRouterCycleRate measures the simulator itself: cycles per
+// second for a loaded 4×4 mesh, the figure that bounds every experiment
+// above.
+func BenchmarkRouterCycleRate(b *testing.B) {
+	net := mesh.MustNew(4, 4, router.DefaultConfig())
+	// Keep traffic flowing: each corner floods best-effort packets at
+	// the opposite corner.
+	pairs := [][2]mesh.Coord{
+		{{X: 0, Y: 0}, {X: 3, Y: 3}},
+		{{X: 3, Y: 3}, {X: 0, Y: 0}},
+		{{X: 3, Y: 0}, {X: 0, Y: 3}},
+		{{X: 0, Y: 3}, {X: 3, Y: 0}},
+	}
+	for _, p := range pairs {
+		for i := 0; i < 50; i++ {
+			xo, yo := mesh.BEOffsets(p[0], p[1])
+			frame, err := packet.NewBE(xo, yo, make([]byte, 200))
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.Router(p[0]).InjectBE(frame)
+		}
+	}
+	b.ResetTimer()
+	net.Run(int64(b.N))
+	b.StopTimer()
+	b.ReportMetric(float64(16), "routers")
+}

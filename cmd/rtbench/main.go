@@ -1,0 +1,240 @@
+// Command rtbench regenerates every table and figure of the paper's
+// evaluation, plus the extension studies catalogued in DESIGN.md §4.
+//
+// Usage:
+//
+//	rtbench                 # run everything
+//	rtbench -exp fig7       # one experiment
+//	rtbench -exp e1 -chart  # include ASCII charts where available
+//
+// Experiments: e1, fig6, fig7, chip, horizon, compare, vct, multicast,
+// admit, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/router"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|ring|sharing|all)")
+	cycles := flag.Int64("cycles", 0, "override simulated cycles where applicable (0 = experiment default)")
+	chart := flag.Bool("chart", false, "render ASCII charts where available")
+	flag.Parse()
+
+	runners := map[string]func() error{
+		"e1":        func() error { return runE1() },
+		"fig6":      func() error { return runFig6() },
+		"fig7":      func() error { return runFig7(*cycles, *chart) },
+		"chip":      func() error { return runChip() },
+		"horizon":   func() error { return runHorizon(*cycles) },
+		"compare":   func() error { return runCompare(*cycles) },
+		"vct":       func() error { return runVCT(*cycles) },
+		"multicast": func() error { return runMulticast() },
+		"admit":     func() error { return runAdmit() },
+		"approx":    func() error { return runApprox(*cycles) },
+		"load":      func() error { return runLoad(*cycles) },
+		"skew":      func() error { return runSkew(*cycles) },
+		"failover":  func() error { return runFailover() },
+		"ring":      func() error { return runRing(*cycles) },
+		"sharing":   func() error { return runSharing(*cycles) },
+	}
+	order := []string{"e1", "fig7", "fig6", "chip", "horizon", "compare", "approx", "vct", "multicast", "admit", "load", "skew", "failover", "ring", "sharing"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := runners[name](); err != nil {
+				fatal(name, err)
+			}
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rtbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fatal(*exp, err)
+	}
+}
+
+func fatal(name string, err error) {
+	fmt.Fprintf(os.Stderr, "rtbench: %s: %v\n", name, err)
+	os.Exit(1)
+}
+
+func runE1() error {
+	res, err := experiments.RunE1(router.DefaultConfig(), []int{16, 32, 64, 128, 256, 512, 1024})
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runFig7(cycles int64, chart bool) error {
+	cfg := experiments.DefaultFig7()
+	if cycles > 0 {
+		cfg.Cycles = cycles
+	}
+	res, err := experiments.RunFig7(cfg)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	if chart {
+		fmt.Println(res.Chart())
+	}
+	return nil
+}
+
+func runFig6() error {
+	res, err := experiments.RunFig6(4)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runChip() error {
+	res := experiments.RunChip()
+	res.Table().Fprint(os.Stdout)
+	res.SharedTable().Fprint(os.Stdout)
+	res.ClockTable().Fprint(os.Stdout)
+	return nil
+}
+
+func runHorizon(cycles int64) error {
+	if cycles <= 0 {
+		cycles = 60000
+	}
+	res, err := experiments.RunHorizon([]uint32{0, 2, 4, 8, 16, 32, 48}, cycles)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runCompare(cycles int64) error {
+	if cycles <= 0 {
+		cycles = 200000
+	}
+	res, err := experiments.RunCompare(cycles)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runVCT(cycles int64) error {
+	if cycles <= 0 {
+		cycles = 100000
+	}
+	res, err := experiments.RunVCT(3, cycles)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	load, err := experiments.RunVCTLoad([]int{0, 1, 2, 4, 6}, cycles)
+	if err != nil {
+		return err
+	}
+	load.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runMulticast() error {
+	res, err := experiments.RunMulticast([]int{1, 2, 4, 8}, 10)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runApprox(cycles int64) error {
+	if cycles <= 0 {
+		cycles = 120000
+	}
+	res, err := experiments.RunApprox([]uint{0, 1, 2, 3, 4, 5}, cycles)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runLoad(cycles int64) error {
+	if cycles <= 0 {
+		cycles = 60000
+	}
+	res, err := experiments.RunLoadSweep([]float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8}, cycles)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runSkew(cycles int64) error {
+	if cycles <= 0 {
+		cycles = 60000
+	}
+	res, err := experiments.RunSkew([]int64{-400, -160, -40, 0, 40, 100, 160, 240, 400}, cycles)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runFailover() error {
+	res, err := experiments.RunFailover(8)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runRing(cycles int64) error {
+	if cycles <= 0 {
+		cycles = 100000
+	}
+	res, err := experiments.RunRing(8, 8, cycles)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runSharing(cycles int64) error {
+	if cycles <= 0 {
+		cycles = 120000
+	}
+	res, err := experiments.RunSharing([]int{1, 2, 4, 8, 16, 32}, cycles)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runAdmit() error {
+	res, err := experiments.RunAdmit()
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+// TestRunnersSmoke executes every experiment runner with reduced cycle
+// budgets, so CLI wiring cannot rot silently. Output goes to the test
+// log; only errors fail.
+func TestRunnersSmoke(t *testing.T) {
+	cases := map[string]func() error{
+		"e1":        runE1,
+		"fig6":      runFig6,
+		"chip":      runChip,
+		"fig7":      func() error { return runFig7(4000, false) },
+		"horizon":   func() error { return runHorizon(20000) },
+		"compare":   func() error { return runCompare(20000) },
+		"approx":    func() error { return runApprox(20000) },
+		"vct":       func() error { return runVCT(20000) },
+		"multicast": runMulticast,
+		"admit":     runAdmit,
+		"load":      func() error { return runLoad(15000) },
+		"skew":      func() error { return runSkew(20000) },
+		"failover":  runFailover,
+		"ring":      func() error { return runRing(20000) },
+		"sharing":   func() error { return runSharing(20000) },
+	}
+	for name, run := range cases {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			if err := run(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,228 @@
+// Command rtsim runs a configurable mixed-traffic scenario on a mesh of
+// real-time routers and prints a network-wide summary: the
+// network-simulator companion the paper lists as ongoing work (ref 30).
+//
+// Example:
+//
+//	rtsim -mesh 4x4 -channels 12 -imin 16 -deadline 96 -berate 0.3 -cycles 200000
+//
+// opens 12 randomly placed real-time channels (Imin 16 slots, end-to-end
+// bound 96 slots), runs uniform best-effort background traffic at 0.3
+// bytes/cycle per node, simulates 200k cycles and reports latency and
+// miss statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/rtc"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		meshDim   = flag.String("mesh", "4x4", "mesh dimensions WxH")
+		channels  = flag.Int("channels", 8, "real-time channels to open at random placements")
+		imin      = flag.Int64("imin", 16, "channel Imin in slots")
+		deadline  = flag.Int64("deadline", 96, "channel end-to-end bound in slots")
+		smax      = flag.Int("smax", 18, "channel message size in bytes")
+		beRate    = flag.Float64("berate", 0.2, "best-effort bytes/cycle injected per node (0 disables)")
+		beSize    = flag.Int("besize", 64, "best-effort payload bytes")
+		cycles    = flag.Int64("cycles", 100000, "cycles to simulate")
+		seed      = flag.Int64("seed", 1, "workload placement seed")
+		horizon   = flag.Uint("horizon", 8, "horizon parameter programmed on all ports (slots)")
+		window    = flag.Int64("window", 8, "source regulator window (slots)")
+		scheduler = flag.String("sched", "edf", "link scheduler: edf|fifo|static")
+		vct       = flag.Bool("vct", false, "enable virtual cut-through for time-constrained traffic")
+		shared    = flag.Bool("shared", false, "use shared-pool buffer accounting instead of partitioned")
+		traceN    = flag.Int("trace", 0, "dump the last N network events after the run (0 disables)")
+		scenPath  = flag.String("scenario", "", "run a JSON scenario file instead of the flag-driven workload")
+		links     = flag.Bool("links", false, "print the per-link utilization table after the run")
+	)
+	flag.Parse()
+
+	if *scenPath != "" {
+		runScenario(*scenPath)
+		return
+	}
+
+	w, h, err := parseMesh(*meshDim)
+	if err != nil {
+		fail(err)
+	}
+	cfg := router.DefaultConfig()
+	cfg.VCT = *vct
+	switch *scheduler {
+	case "edf":
+	case "fifo":
+		cfg.Scheduler = router.SchedFIFO
+	case "static":
+		cfg.Scheduler = router.SchedStaticPriority
+	default:
+		fail(fmt.Errorf("unknown scheduler %q", *scheduler))
+	}
+	policy := admission.Partitioned
+	if *shared {
+		policy = admission.SharedPool
+	}
+	sys, err := core.NewMesh(w, h, core.Options{Router: cfg}.WithAdmission(admission.Config{
+		Policy:       policy,
+		SourceWindow: *window,
+		Horizon:      uint32(*horizon),
+	}))
+	if err != nil {
+		fail(err)
+	}
+
+	var ring *trace.Ring
+	if *traceN > 0 {
+		ring = trace.NewRing(*traceN)
+		for _, c := range sys.Net.Coords() {
+			trace.AttachRouter(ring, sys.Router(c))
+			obs := trace.NewDeliveryObserver(ring, c)
+			sys.Sink(c).OnTC = obs.TC
+			sys.Sink(c).OnBE = obs.BE
+		}
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	spec := rtc.Spec{Imin: *imin, Smax: *smax, D: *deadline}
+	opened := 0
+	for try := 0; try < *channels*10 && opened < *channels; try++ {
+		src := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+		dst := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+		if src == dst {
+			continue
+		}
+		ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, spec)
+		if err != nil {
+			continue
+		}
+		app, err := traffic.NewTCApp(fmt.Sprintf("tc%d", opened), ch.Paced(), spec, traffic.Periodic, *smax)
+		if err != nil {
+			fail(err)
+		}
+		sys.Net.Kernel.Register(app)
+		opened++
+	}
+	fmt.Printf("opened %d/%d real-time channels (Imin=%d slots, D=%d slots, Smax=%dB)\n",
+		opened, *channels, *imin, *deadline, *smax)
+
+	if *beRate > 0 {
+		for i, c := range sys.Net.Coords() {
+			app, err := traffic.NewBEApp(fmt.Sprintf("be%s", c), sys.Net, c,
+				traffic.UniformDst(sys.Net, c), traffic.FixedSize(*beSize), *beRate, *seed+int64(i))
+			if err != nil {
+				fail(err)
+			}
+			sys.Net.Kernel.Register(app)
+		}
+		fmt.Printf("best-effort background: %.2f bytes/cycle/node, %dB payloads, uniform destinations\n",
+			*beRate, *beSize)
+	}
+
+	sys.Run(*cycles)
+	printSummary(sys, *cycles)
+	if *links {
+		printLinkTable(sys, *cycles)
+	}
+	if ring != nil {
+		fmt.Printf("\nlast %d of %d network events:\n", len(ring.Events()), ring.Total())
+		ring.Dump(os.Stdout)
+	}
+}
+
+// runScenario plays a declarative workload file (see scenarios/ and the
+// scenario package).
+func runScenario(path string) {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		fail(err)
+	}
+	res, sys, err := sc.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("scenario %s: %dx%d mesh, %d channels opened", path, sc.Mesh.W, sc.Mesh.H, res.Opened)
+	if len(res.Rejected) > 0 {
+		fmt.Printf(" (%d rejected)", len(res.Rejected))
+	}
+	fmt.Println()
+	for _, r := range res.Rejected {
+		fmt.Println("  rejected:", r)
+	}
+	if res.Failures > 0 {
+		fmt.Printf("link failures played: %d; channels rerouted: %d\n", res.Failures, res.Rerouted)
+	}
+	printSummary(sys, res.Cycles)
+}
+
+func parseMesh(s string) (int, int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("rtsim: mesh must be WxH, got %q", s)
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(parts[0], "%d", &w); err != nil {
+		return 0, 0, fmt.Errorf("rtsim: bad mesh width %q", parts[0])
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &h); err != nil {
+		return 0, 0, fmt.Errorf("rtsim: bad mesh height %q", parts[1])
+	}
+	return w, h, nil
+}
+
+// printLinkTable reports per-link traffic: the PP-MESS-SIM style
+// breakdown of where the bytes went.
+func printLinkTable(sys *core.System, cycles int64) {
+	fmt.Println("\nper-link traffic (bytes and utilization):")
+	fmt.Printf("  %-8s %-6s %12s %12s %8s\n", "router", "port", "TC bytes", "BE bytes", "util%")
+	for _, c := range sys.Net.Coords() {
+		st := sys.Router(c).Stats
+		for p := 0; p < router.NumLinks; p++ {
+			tc := st.TCTransmitted[p] * packet.TCBytes
+			be := st.BEBytes[p]
+			if tc == 0 && be == 0 {
+				continue
+			}
+			util := float64(tc+be) / float64(cycles) * 100
+			fmt.Printf("  %-8s %-6s %12d %12d %7.1f%%\n", c, router.PortName(p), tc, be, util)
+		}
+	}
+}
+
+func printSummary(sys *core.System, cycles int64) {
+	sum := sys.Summarize()
+	fmt.Printf("\nsimulated %d cycles (%d slots)\n", cycles, cycles/packet.TCBytes)
+	fmt.Printf("time-constrained: %d delivered, %d deadline misses, %d drops\n",
+		sum.TCDelivered, sum.TCMisses, sum.TCDrops)
+	if sum.TCLatency.N() > 0 {
+		fmt.Printf("  latency cycles: mean=%.0f p50=%.0f p99=%.0f max=%.0f (n=%d)\n",
+			sum.TCLatency.Mean(), sum.TCLatency.Quantile(0.5),
+			sum.TCLatency.Quantile(0.99), sum.TCLatency.Max(), sum.TCLatency.N())
+	}
+	fmt.Printf("best-effort: %d delivered\n", sum.BEDelivered)
+	if sum.BELatency.N() > 0 {
+		fmt.Printf("  latency cycles: mean=%.0f p50=%.0f p99=%.0f max=%.0f (n=%d)\n",
+			sum.BELatency.Mean(), sum.BELatency.Quantile(0.5),
+			sum.BELatency.Quantile(0.99), sum.BELatency.Max(), sum.BELatency.N())
+	}
+	fmt.Printf("peak scheduler occupancy: %d packets; cut-throughs: %d; memory-bus load: %.2f chunks/cycle/router\n",
+		sum.SchedulerPeak, sum.CutThroughs, sum.BusUtilization)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rtsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseMesh(t *testing.T) {
+	good := map[string][2]int{
+		"4x4":  {4, 4},
+		"2X3":  {2, 3},
+		"10x1": {10, 1},
+	}
+	for in, want := range good {
+		w, h, err := parseMesh(in)
+		if err != nil {
+			t.Errorf("parseMesh(%q): %v", in, err)
+			continue
+		}
+		if w != want[0] || h != want[1] {
+			t.Errorf("parseMesh(%q) = %d,%d, want %d,%d", in, w, h, want[0], want[1])
+		}
+	}
+	for _, in := range []string{"4", "4x", "x4", "axb", "4x4x4", ""} {
+		if _, _, err := parseMesh(in); err == nil {
+			t.Errorf("parseMesh(%q): want error", in)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Failover demonstrates the resilience story behind multi-hop
+// topologies: a control channel keeps its deadlines, survives a link
+// failure through re-establishment on the disjoint dimension order, and
+// resumes guaranteed service — while the failure window is fully
+// accounted rather than silently lossy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/rtc"
+)
+
+func main() {
+	sys, err := core.NewMesh(3, 3, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 2, Y: 2}
+	spec := rtc.Spec{Imin: 8, Smax: 18, D: 80}
+	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	phase := func(name string, n int) int64 {
+		before := sys.Sink(dst).TCCount
+		for i := 0; i < n; i++ {
+			if err := ch.Send([]byte(fmt.Sprintf("cmd %d", i))); err != nil {
+				log.Fatal(err)
+			}
+			sys.Run(spec.Imin * packet.TCBytes)
+		}
+		sys.Run(spec.D * packet.TCBytes)
+		got := sys.Sink(dst).TCCount - before
+		fmt.Printf("%-34s delivered %d/%d\n", name, got, n)
+		return got
+	}
+
+	phase("healthy (XY route):", 6)
+
+	fmt.Println("\n*** link (0,0)→(1,0) fails ***")
+	if err := sys.FailLink(src, router.PortXPlus); err != nil {
+		log.Fatal(err)
+	}
+	phase("failed, awaiting re-establishment:", 3)
+
+	if err := ch.Reroute(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("*** channel re-admitted on the disjoint YX route ***")
+	got := phase("recovered (YX route):", 6)
+
+	sum := sys.Summarize()
+	fmt.Printf("\ndeadline misses end to end: %d; blackholed packets accounted as drops: %d\n",
+		sum.TCMisses, sum.TCDrops)
+	if got != 6 || sum.TCMisses != 0 {
+		log.Fatal("failover demo failed")
+	}
+	fmt.Println("ok: guarantees resumed after the failure")
+}

@@ -1,0 +1,617 @@
+// Package admission implements connection establishment for real-time
+// channels (Sections 2 and 4.1 of the paper): route selection (including
+// multicast trees), decomposition of the end-to-end delay bound into
+// per-hop bounds, the per-link schedulability test, buffer reservation
+// against the routers' shared packet memories, and programming of the
+// router connection tables through their control interfaces.
+//
+// The paper deliberately relegates this machinery to protocol software —
+// it is computationally intensive but not time-critical — and that is
+// exactly where it lives here: the Controller runs outside the
+// cycle-accurate simulation and only touches the chips through the same
+// control writes a host processor would issue.
+package admission
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mesh"
+	"repro/internal/router"
+	"repro/internal/rtc"
+	"repro/internal/sched"
+)
+
+// BufferPolicy selects how a router's shared packet memory is accounted
+// during reservation (Section 3.4).
+type BufferPolicy int
+
+const (
+	// Partitioned divides the memory evenly among the five output
+	// ports; a connection's reservation must fit its ports' partitions.
+	// This keeps any one link from starving the others' admissibility.
+	Partitioned BufferPolicy = iota
+	// SharedPool draws all reservations from one pool, maximizing
+	// admissibility for asymmetric loads at the cost of fairness.
+	SharedPool
+)
+
+func (p BufferPolicy) String() string {
+	if p == Partitioned {
+		return "partitioned"
+	}
+	return "shared"
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	// Policy is the packet-memory accounting mode.
+	Policy BufferPolicy
+	// SourceWindow is how many slots ahead of ℓ0 the source regulator
+	// may inject; it plays the role of h+d of a hop "before" the source
+	// router in the buffer bound.
+	SourceWindow int64
+	// Horizon is the horizon parameter programmed on every output port.
+	Horizon uint32
+}
+
+// DefaultConfig returns partitioned buffers, a modest source window and
+// a zero horizon (the paper's conservative baseline).
+func DefaultConfig() Config {
+	return Config{Policy: Partitioned, SourceWindow: 8}
+}
+
+// Controller owns the reservation state of one mesh and admits or
+// rejects real-time channels against it.
+type Controller struct {
+	net    *mesh.Network
+	cfg    Config
+	links  map[linkKey]*linkState
+	nodes  map[mesh.Coord]*nodeState
+	chans  map[int]*Channel
+	failed map[linkKey]bool
+	seq    int
+}
+
+// portInject is the pseudo-port of a node's time-constrained injection
+// link: one byte per cycle shared by every channel sourced there, EDF-
+// ordered by the source regulator, and therefore subject to the same
+// schedulability test as the mesh links.
+const portInject = -1
+
+type linkKey struct {
+	node mesh.Coord
+	port int
+}
+
+func (k linkKey) String() string {
+	if k.port == portInject {
+		return fmt.Sprintf("%s→inject", k.node)
+	}
+	return fmt.Sprintf("%s→%s", k.node, router.PortName(k.port))
+}
+
+// task is one connection's demand on a link: C slots every T slots with
+// relative deadline D.
+type task struct {
+	C, T, D int64
+	chanID  int
+}
+
+type linkState struct {
+	tasks []task
+}
+
+type nodeState struct {
+	usedIDs     map[uint8]bool
+	portBuffers [router.NumPorts]int
+	total       int
+}
+
+// New creates a controller for the given network and programs the
+// configured horizon on every router port.
+func New(net *mesh.Network, cfg Config) (*Controller, error) {
+	if cfg.SourceWindow < 0 {
+		return nil, fmt.Errorf("admission: negative source window")
+	}
+	c := &Controller{
+		net:    net,
+		cfg:    cfg,
+		links:  make(map[linkKey]*linkState),
+		nodes:  make(map[mesh.Coord]*nodeState),
+		chans:  make(map[int]*Channel),
+		failed: make(map[linkKey]bool),
+	}
+	for _, coord := range net.Coords() {
+		r := net.Router(coord)
+		if !r.Wheel().ValidDelay(int64(cfg.Horizon)) {
+			return nil, fmt.Errorf("admission: horizon %d exceeds half clock range", cfg.Horizon)
+		}
+		if err := r.SetHorizon(sched.AllPortsMask(router.NumPorts), uint8(cfg.Horizon)); err != nil {
+			return nil, err
+		}
+		c.nodes[coord] = &nodeState{usedIDs: make(map[uint8]bool)}
+	}
+	return c, nil
+}
+
+// Channel is an admitted real-time channel.
+type Channel struct {
+	ID      int
+	Src     mesh.Coord
+	Dsts    []mesh.Coord
+	Spec    rtc.Spec
+	SrcConn uint8   // connection id to stamp on injected packets
+	DstConn []uint8 // delivery id at each destination, parallel to Dsts
+	LocalD  int64   // uniform per-router delay bound d
+
+	hops []hopRef
+}
+
+type hopRef struct {
+	node    mesh.Coord
+	inConn  uint8
+	outConn uint8
+	mask    sched.PortMask
+	buffers int
+}
+
+// treeNode is one router in the multicast route tree.
+type treeNode struct {
+	coord mesh.Coord
+	mask  sched.PortMask // output ports used (links and/or local)
+	depth int            // routers from the source (source = 0)
+}
+
+// routeFn produces a port sequence from src to dst.
+type routeFn func(src, dst mesh.Coord) []int
+
+// buildTree merges the routes to every destination into one tree using
+// the given routing order. It returns nodes in breadth-first order.
+func (c *Controller) buildTree(src mesh.Coord, dsts []mesh.Coord, route routeFn) ([]*treeNode, int, error) {
+	if !c.net.Contains(src) {
+		return nil, 0, fmt.Errorf("admission: source %s outside mesh", src)
+	}
+	byCoord := make(map[mesh.Coord]*treeNode)
+	get := func(at mesh.Coord, depth int) *treeNode {
+		n, ok := byCoord[at]
+		if !ok {
+			n = &treeNode{coord: at, depth: depth}
+			byCoord[at] = n
+		}
+		return n
+	}
+	maxSegs := 0
+	seen := make(map[mesh.Coord]bool)
+	for _, dst := range dsts {
+		if !c.net.Contains(dst) {
+			return nil, 0, fmt.Errorf("admission: destination %s outside mesh", dst)
+		}
+		if seen[dst] {
+			return nil, 0, fmt.Errorf("admission: duplicate destination %s", dst)
+		}
+		seen[dst] = true
+		ports := route(src, dst)
+		if len(ports) > maxSegs {
+			maxSegs = len(ports)
+		}
+		at := src
+		for i, port := range ports {
+			n := get(at, i)
+			if n.depth != i {
+				// Single-order merges always agree on depth; a mismatch
+				// would mean two routes visit one router at different
+				// distances, impossible within one dimension order.
+				return nil, 0, fmt.Errorf("admission: internal: inconsistent tree depth at %s", at)
+			}
+			n.mask |= 1 << port
+			at = at.Add(port)
+		}
+	}
+	nodes := make([]*treeNode, 0, len(byCoord))
+	for _, n := range byCoord {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].depth != nodes[j].depth {
+			return nodes[i].depth < nodes[j].depth
+		}
+		a, b := nodes[i].coord, nodes[j].coord
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	return nodes, maxSegs, nil
+}
+
+// Admit establishes a real-time channel from src to one or more
+// destinations, or explains why it cannot. Route selection follows the
+// paper's §3.3: the XY dimension order is tried first; for unicast
+// channels the disjoint YX order serves as fallback when the XY path
+// lacks resources or crosses failed links. On success the routers along
+// the route(s) are programmed and resources are debited; the returned
+// Channel carries the connection id the source must stamp.
+func (c *Controller) Admit(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec) (*Channel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dsts) == 0 {
+		return nil, fmt.Errorf("admission: no destinations")
+	}
+	ch, errXY := c.admitVia(src, dsts, spec, mesh.XYRoute)
+	if errXY == nil {
+		return ch, nil
+	}
+	if len(dsts) == 1 && src.X != dsts[0].X && src.Y != dsts[0].Y {
+		if ch, errYX := c.admitVia(src, dsts, spec, mesh.YXRoute); errYX == nil {
+			return ch, nil
+		}
+	}
+	return nil, errXY
+}
+
+// admitVia attempts admission along one routing order.
+func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, route routeFn) (*Channel, error) {
+	nodes, maxSegs, err := c.buildTree(src, dsts, route)
+	if err != nil {
+		return nil, err
+	}
+	wheel := c.net.Router(src).Wheel()
+	// The hardware uses one d per router shared by all branches; use the
+	// deepest path to size it, so every branch meets its bound.
+	ds, err := rtc.Decompose(spec, maxSegs, wheel)
+	if err != nil {
+		return nil, err
+	}
+	d := ds[len(ds)-1] // uniform (the most conservative of the split)
+	if d < 1 {
+		return nil, fmt.Errorf("admission: empty delay budget")
+	}
+	// Rollover constraints (Section 4.3): what the downstream hop can
+	// see early is window+d at the source, h+d elsewhere.
+	if !wheel.ValidDelay(c.cfg.SourceWindow + d) {
+		return nil, fmt.Errorf("admission: source window %d + d %d exceeds half clock range",
+			c.cfg.SourceWindow, d)
+	}
+	if !wheel.ValidDelay(int64(c.cfg.Horizon) + d) {
+		return nil, fmt.Errorf("admission: horizon %d + d %d exceeds half clock range",
+			c.cfg.Horizon, d)
+	}
+
+	// Phase 1: check every resource without mutating anything.
+	newTask := task{C: spec.MessageSlots(), T: spec.Imin, D: d, chanID: c.seq}
+	if !c.linkFeasible(linkKey{src, portInject}, newTask) {
+		return nil, fmt.Errorf("admission: injection port at %s fails the schedulability test", src)
+	}
+	buffers := make(map[mesh.Coord]int, len(nodes))
+	for _, n := range nodes {
+		for p := 0; p < router.NumPorts; p++ {
+			if !n.mask.Has(p) {
+				continue
+			}
+			key := linkKey{n.coord, p}
+			if !c.linkFeasible(key, newTask) {
+				return nil, fmt.Errorf("admission: link %s fails the schedulability test", key)
+			}
+		}
+		prev := int64(c.cfg.Horizon) + d
+		if n.depth == 0 {
+			prev = c.cfg.SourceWindow
+		}
+		need := rtc.BufferBound(prev, d, spec)
+		buffers[n.coord] = need
+		if err := c.buffersAvailable(n, need); err != nil {
+			return nil, err
+		}
+	}
+	ids, err := c.assignIDs(nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: commit — debit resources and program the chips.
+	ch := &Channel{
+		ID:     c.seq,
+		Src:    src,
+		Dsts:   append([]mesh.Coord(nil), dsts...),
+		Spec:   spec,
+		LocalD: d,
+	}
+	c.seq++
+	for _, n := range nodes {
+		in, out := ids[n.coord].in, ids[n.coord].out
+		if err := c.net.Router(n.coord).SetConnection(in, out, uint8(d), n.mask); err != nil {
+			return nil, fmt.Errorf("admission: programming %s: %w", n.coord, err)
+		}
+		ns := c.nodes[n.coord]
+		ns.usedIDs[in] = true
+		if n.mask.Has(router.PortLocal) {
+			ns.usedIDs[out] = true
+		}
+		need := buffers[n.coord]
+		ns.total += need
+		for p := 0; p < router.NumPorts; p++ {
+			if n.mask.Has(p) {
+				ns.portBuffers[p] += need
+				ls := c.link(linkKey{n.coord, p})
+				ls.tasks = append(ls.tasks, newTask)
+			}
+		}
+		ch.hops = append(ch.hops, hopRef{node: n.coord, inConn: in, outConn: out, mask: n.mask, buffers: need})
+	}
+	inj := c.link(linkKey{src, portInject})
+	inj.tasks = append(inj.tasks, newTask)
+	ch.SrcConn = ids[src].in
+	for _, dst := range dsts {
+		ch.DstConn = append(ch.DstConn, ids[dst].out)
+	}
+	c.chans[ch.ID] = ch
+	return ch, nil
+}
+
+// Teardown releases an admitted channel's resources and invalidates its
+// table entries.
+func (c *Controller) Teardown(ch *Channel) error {
+	if _, ok := c.chans[ch.ID]; !ok {
+		return fmt.Errorf("admission: channel %d not active", ch.ID)
+	}
+	delete(c.chans, ch.ID)
+	inj := c.link(linkKey{ch.Src, portInject})
+	for i := range inj.tasks {
+		if inj.tasks[i].chanID == ch.ID {
+			inj.tasks = append(inj.tasks[:i], inj.tasks[i+1:]...)
+			break
+		}
+	}
+	for _, h := range ch.hops {
+		if err := c.net.Router(h.node).ClearConnection(h.inConn); err != nil {
+			return err
+		}
+		ns := c.nodes[h.node]
+		delete(ns.usedIDs, h.inConn)
+		if h.mask.Has(router.PortLocal) {
+			delete(ns.usedIDs, h.outConn)
+		}
+		ns.total -= h.buffers
+		for p := 0; p < router.NumPorts; p++ {
+			if h.mask.Has(p) {
+				ns.portBuffers[p] -= h.buffers
+				key := linkKey{h.node, p}
+				ls := c.link(key)
+				for i := range ls.tasks {
+					if ls.tasks[i].chanID == ch.ID {
+						ls.tasks = append(ls.tasks[:i], ls.tasks[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Active returns the number of admitted channels.
+func (c *Controller) Active() int { return len(c.chans) }
+
+func (c *Controller) link(k linkKey) *linkState {
+	ls, ok := c.links[k]
+	if !ok {
+		ls = &linkState{}
+		c.links[k] = ls
+	}
+	return ls
+}
+
+// linkFeasible runs the EDF schedulability test for the link with the
+// candidate task added; failed links are never feasible.
+func (c *Controller) linkFeasible(k linkKey, cand task) bool {
+	if c.failed[k] {
+		return false
+	}
+	ls := c.link(k)
+	tasks := make([]task, 0, len(ls.tasks)+1)
+	tasks = append(tasks, ls.tasks...)
+	tasks = append(tasks, cand)
+	return edfFeasible(tasks)
+}
+
+// buffersAvailable checks the packet-memory reservation at one router.
+func (c *Controller) buffersAvailable(n *treeNode, need int) error {
+	ns := c.nodes[n.coord]
+	r := c.net.Router(n.coord)
+	slots := r.Config().Slots
+	switch c.cfg.Policy {
+	case SharedPool:
+		if ns.total+need > slots {
+			return fmt.Errorf("admission: %s out of packet buffers (%d used + %d needed > %d)",
+				n.coord, ns.total, need, slots)
+		}
+	default:
+		per := slots / router.NumPorts
+		for p := 0; p < router.NumPorts; p++ {
+			if n.mask.Has(p) && ns.portBuffers[p]+need > per {
+				return fmt.Errorf("admission: %s port %s partition full (%d used + %d needed > %d)",
+					n.coord, router.PortName(p), ns.portBuffers[p], need, per)
+			}
+		}
+	}
+	return nil
+}
+
+type idPair struct{ in, out uint8 }
+
+// assignIDs picks the connection identifiers along the tree: a router's
+// outgoing id must be free as an incoming id at every child router it
+// forwards to, because the hardware rewrites one id per entry regardless
+// of fan-out. The destination routers' outgoing ids become the local
+// delivery ids.
+func (c *Controller) assignIDs(nodes []*treeNode) (map[mesh.Coord]idPair, error) {
+	byCoord := make(map[mesh.Coord]*treeNode, len(nodes))
+	for _, n := range nodes {
+		byCoord[n.coord] = n
+	}
+	ids := make(map[mesh.Coord]idPair, len(nodes))
+	// Tentatively claimed incoming ids per coordinate during this
+	// assignment (so two children of one parent don't collide with each
+	// other before commit).
+	claimed := make(map[mesh.Coord]map[uint8]bool)
+	claim := func(at mesh.Coord) map[uint8]bool {
+		m, ok := claimed[at]
+		if !ok {
+			m = make(map[uint8]bool)
+			claimed[at] = m
+		}
+		return m
+	}
+	freeAt := func(at mesh.Coord, id uint8) bool {
+		return !c.nodes[at].usedIDs[id] && !claim(at)[id]
+	}
+	conns := c.net.Router(nodes[0].coord).Config().Conns
+	for i, n := range nodes {
+		// Incoming id: for the source (depth 0) pick any free id; for
+		// others it was fixed by the parent via claimed[].
+		var in uint8
+		if i == 0 {
+			found := false
+			for v := 0; v < conns; v++ {
+				if freeAt(n.coord, uint8(v)) {
+					in = uint8(v)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("admission: %s out of connection identifiers", n.coord)
+			}
+			claim(n.coord)[in] = true
+		} else {
+			pair, ok := ids[n.coord]
+			if !ok {
+				return nil, fmt.Errorf("admission: internal: child %s visited before parent", n.coord)
+			}
+			in = pair.in
+		}
+		// Outgoing id: the hardware rewrites one id per entry, so it must
+		// be free as an incoming id at every child router — and, when the
+		// local bit is set, free at this node too, because the processor
+		// receives it as the delivery identifier and must be able to tell
+		// connections apart.
+		children := make([]mesh.Coord, 0, 4)
+		for p := 0; p < router.NumLinks; p++ {
+			if n.mask.Has(p) {
+				children = append(children, n.coord.Add(p))
+			}
+		}
+		local := n.mask.Has(router.PortLocal)
+		var out uint8
+		found := false
+		for v := 0; v < conns; v++ {
+			if local && !freeAt(n.coord, uint8(v)) {
+				continue
+			}
+			ok := true
+			for _, ch := range children {
+				if !freeAt(ch, uint8(v)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = uint8(v)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("admission: no common free id across children of %s", n.coord)
+		}
+		if local {
+			claim(n.coord)[out] = true
+		}
+		for _, chd := range children {
+			claim(chd)[out] = true
+			ids[chd] = idPair{in: out}
+		}
+		ids[n.coord] = idPair{in: in, out: out}
+	}
+	return ids, nil
+}
+
+// MarkFailed records a bidirectional link failure so no future channel
+// routes across it (pair with mesh.Network.FailLink, which cuts the
+// wires). Channels already using the link keep their reservations until
+// rerouted or torn down.
+func (c *Controller) MarkFailed(from mesh.Coord, port int) error {
+	if port < 0 || port >= router.NumLinks {
+		return fmt.Errorf("admission: port %s is not a link", router.PortName(port))
+	}
+	to := from.Add(port)
+	if !c.net.Contains(from) || !c.net.Contains(to) {
+		return fmt.Errorf("admission: no link %s→%s", from, router.PortName(port))
+	}
+	c.failed[linkKey{from, port}] = true
+	back := map[int]int{
+		router.PortXPlus:  router.PortXMinus,
+		router.PortXMinus: router.PortXPlus,
+		router.PortYPlus:  router.PortYMinus,
+		router.PortYMinus: router.PortYPlus,
+	}[port]
+	c.failed[linkKey{to, back}] = true
+	return nil
+}
+
+// Hops returns the number of routers on the channel's deepest branch —
+// under single-dimension-order routing, the Manhattan distance to the
+// farthest destination plus the source router itself.
+func (ch *Channel) Hops() int {
+	max := 0
+	for _, d := range ch.Dsts {
+		h := abs(d.X-ch.Src.X) + abs(d.Y-ch.Src.Y) + 1
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Bound returns the analytic end-to-end delay bound actually reserved:
+// LocalD slots at each traversed router along the deepest branch. It is
+// at most the requested Spec.D (decomposition rounds down).
+func (ch *Channel) Bound() int64 {
+	return ch.LocalD * int64(ch.Hops())
+}
+
+// Uses reports whether the channel's route crosses the given directed
+// link.
+func (ch *Channel) Uses(node mesh.Coord, port int) bool {
+	for _, h := range ch.hops {
+		if h.node == node && h.mask.Has(port) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reroute re-establishes a channel after a failure: its reservations are
+// released and admission re-runs, taking the failed-link set and the
+// freed resources into account. On success the old channel is invalid
+// and the returned one carries fresh connection ids; the caller must
+// re-bind its source regulator.
+func (c *Controller) Reroute(ch *Channel) (*Channel, error) {
+	if err := c.Teardown(ch); err != nil {
+		return nil, err
+	}
+	nch, err := c.Admit(ch.Src, ch.Dsts, ch.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("admission: reroute of channel %d: %w", ch.ID, err)
+	}
+	return nch, nil
+}

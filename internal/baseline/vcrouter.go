@@ -1,0 +1,359 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// VCRouter is the priority-virtual-channel wormhole architecture the
+// paper's Related Work contrasts (references 3, 4, 17): both traffic
+// classes are wormhole-switched and dimension-order routed, but the
+// link carries two virtual channels with strict priority — VC0 for
+// time-critical packets, VC1 for bulk — and flit-level preemption of
+// the low-priority channel. There is no deadline hardware, no logical
+// arrival times and no rate regulation: within a virtual channel,
+// arbitration is round-robin and a packet holds its path head-to-tail.
+//
+// That is exactly the design whose limitation the paper argues: the
+// priority channel protects the *class*, but inside VC0 a tight-
+// deadline packet still queues head-of-line behind whatever bulky
+// "urgent" traffic got there first. Experiment X2 measures the
+// consequence against the deadline-driven router.
+//
+// Wire format: both classes use the best-effort header (offsets +
+// length); the phit VC bit selects the channel (VCTime → VC0). The
+// reverse acknowledgement's two credit bits serve VC0 (TCCredit) and
+// VC1 (BECredit).
+type VCRouter struct {
+	name string
+	in   [router.NumLinks]*router.InLink
+	out  [router.NumLinks]*router.OutLink
+
+	vcs [2]*vcPlane
+
+	nowCycle int64
+
+	Stats VCStats
+}
+
+// VCStats aggregates the model's counters per virtual channel.
+type VCStats struct {
+	Delivered [2]int64
+	Bytes     [2][router.NumPorts]int64
+	Misroutes int64
+	Overruns  int64
+}
+
+// vcPlane is the per-virtual-channel wormhole machinery: one input
+// engine per source and one output binding per port.
+type vcPlane struct {
+	r  *VCRouter
+	id int // 0 = high priority, 1 = low
+
+	inputs  [router.NumPorts]*vcInput
+	outputs [router.NumPorts]*vcOutput
+
+	delivered []router.DeliveredBE
+}
+
+type vcInput struct {
+	plane *vcPlane
+	id    int
+
+	buf      []byte
+	parsed   bool
+	hdr      packet.BEHeader
+	nextHdr  [packet.BEHeaderBytes]byte
+	outPort  int
+	fwdIdx   int
+	bound    bool
+	dropping bool
+	consumed int
+
+	injQ   [][]byte
+	injPos int
+}
+
+type vcOutput struct {
+	plane   *vcPlane
+	port    int
+	curIn   int
+	rr      int
+	credits int
+	rxBuf   []byte
+}
+
+// VCFlitBuf is the per-input, per-VC flit buffer capacity.
+const VCFlitBuf = 10
+
+// NewVCRouter creates a two-VC priority wormhole router.
+func NewVCRouter(name string) *VCRouter {
+	r := &VCRouter{name: name}
+	for v := 0; v < 2; v++ {
+		p := &vcPlane{r: r, id: v}
+		for i := 0; i < router.NumPorts; i++ {
+			p.inputs[i] = &vcInput{plane: p, id: i}
+			p.outputs[i] = &vcOutput{plane: p, port: i, curIn: -1, credits: VCFlitBuf}
+		}
+		r.vcs[v] = p
+	}
+	return r
+}
+
+// Name implements sim.Component.
+func (r *VCRouter) Name() string { return r.name }
+
+// ConnectIn attaches a link receive side to input port p.
+func (r *VCRouter) ConnectIn(p int, l *router.InLink) { r.in[p] = l }
+
+// ConnectOut attaches a link transmit side to output port p.
+func (r *VCRouter) ConnectOut(p int, l *router.OutLink) { r.out[p] = l }
+
+// Inject queues a packet on the given virtual channel (0 = priority).
+// The frame is a best-effort-format packet (see packet.NewBE).
+func (r *VCRouter) Inject(vc int, frame []byte) error {
+	if vc < 0 || vc > 1 {
+		return fmt.Errorf("baseline: virtual channel %d out of range", vc)
+	}
+	if len(frame) < packet.BEHeaderBytes {
+		return fmt.Errorf("baseline: frame of %d bytes below header size", len(frame))
+	}
+	in := r.vcs[vc].inputs[router.PortLocal]
+	in.injQ = append(in.injQ, frame)
+	return nil
+}
+
+// Drain returns and clears deliveries on the given virtual channel.
+func (r *VCRouter) Drain(vc int) []router.DeliveredBE {
+	d := r.vcs[vc].delivered
+	r.vcs[vc].delivered = nil
+	return d
+}
+
+// Tick implements sim.Component.
+func (r *VCRouter) Tick(now sim.Cycle) {
+	r.nowCycle = int64(now)
+	// Output arbitration: strict priority across VCs per physical port,
+	// flit-level preemption of VC1 whenever VC0 can send.
+	for p := 0; p < router.NumPorts; p++ {
+		if p != router.PortLocal && r.out[p] == nil {
+			for v := 0; v < 2; v++ {
+				r.vcs[v].inputs[p].drainDropped()
+			}
+			continue
+		}
+		sent := false
+		for v := 0; v < 2 && !sent; v++ {
+			o := r.vcs[v].outputs[p]
+			if o.canSend() {
+				o.sendByte()
+				sent = true
+			}
+		}
+		for v := 0; v < 2; v++ {
+			r.vcs[v].inputs[p].drainDropped()
+		}
+	}
+	r.sampleInputs()
+	r.driveAcks()
+}
+
+func (r *VCRouter) sampleInputs() {
+	for p := 0; p < router.NumLinks; p++ {
+		if r.in[p] != nil {
+			ph := r.in[p].Phit()
+			if ph.Valid {
+				vc := 1
+				if ph.VC == packet.VCTime {
+					vc = 0
+				}
+				r.vcs[vc].inputs[p].accept(ph.Data)
+			}
+		}
+		if r.out[p] != nil {
+			ack := r.out[p].Ack()
+			if ack.TCCredit {
+				r.vcs[0].outputs[p].credit()
+			}
+			if ack.BECredit {
+				r.vcs[1].outputs[p].credit()
+			}
+		}
+	}
+	for v := 0; v < 2; v++ {
+		r.vcs[v].inputs[router.PortLocal].feedInjection()
+		for i := 0; i < router.NumPorts; i++ {
+			r.vcs[v].inputs[i].parse()
+		}
+	}
+}
+
+func (r *VCRouter) driveAcks() {
+	for p := 0; p < router.NumLinks; p++ {
+		if r.in[p] == nil {
+			continue
+		}
+		var ack packet.Ack
+		if u := r.vcs[0].inputs[p]; u.consumed > 0 {
+			ack.TCCredit = true
+			u.consumed--
+		}
+		if u := r.vcs[1].inputs[p]; u.consumed > 0 {
+			ack.BECredit = true
+			u.consumed--
+		}
+		if ack.TCCredit || ack.BECredit {
+			r.in[p].DriveAck(ack)
+		}
+	}
+}
+
+func (u *vcInput) accept(b byte) {
+	if len(u.buf) >= VCFlitBuf {
+		u.plane.r.Stats.Overruns++
+		return
+	}
+	u.buf = append(u.buf, b)
+}
+
+func (u *vcInput) feedInjection() {
+	if len(u.injQ) == 0 || len(u.buf) >= VCFlitBuf {
+		return
+	}
+	pkt := u.injQ[0]
+	u.buf = append(u.buf, pkt[u.injPos])
+	u.injPos++
+	if u.injPos == len(pkt) {
+		u.injQ = u.injQ[1:]
+		u.injPos = 0
+	}
+}
+
+func (u *vcInput) parse() {
+	if u.parsed || len(u.buf) < packet.BEHeaderBytes {
+		return
+	}
+	u.hdr = packet.DecodeBEHeader(u.buf[:packet.BEHeaderBytes])
+	if u.hdr.Len < packet.BEHeaderBytes {
+		u.hdr.Len = packet.BEHeaderBytes
+	}
+	next := u.hdr
+	switch {
+	case u.hdr.XOff > 0:
+		u.outPort = router.PortXPlus
+		next.XOff--
+	case u.hdr.XOff < 0:
+		u.outPort = router.PortXMinus
+		next.XOff++
+	case u.hdr.YOff > 0:
+		u.outPort = router.PortYPlus
+		next.YOff--
+	case u.hdr.YOff < 0:
+		u.outPort = router.PortYMinus
+		next.YOff++
+	default:
+		u.outPort = router.PortLocal
+	}
+	packet.EncodeBEHeader(next, u.nextHdr[:])
+	u.parsed = true
+	u.fwdIdx = 0
+	if u.outPort != router.PortLocal && u.plane.r.out[u.outPort] == nil {
+		u.dropping = true
+		u.plane.r.Stats.Misroutes++
+	}
+}
+
+func (u *vcInput) hasByte() bool { return u.parsed && len(u.buf) > 0 }
+
+func (u *vcInput) pop() (b byte, head, tail bool) {
+	b = u.buf[0]
+	if u.fwdIdx < packet.BEHeaderBytes {
+		b = u.nextHdr[u.fwdIdx]
+	}
+	u.buf = u.buf[1:]
+	u.consumed++
+	head = u.fwdIdx == 0
+	u.fwdIdx++
+	tail = u.fwdIdx == int(u.hdr.Len)
+	if tail {
+		u.parsed = false
+		u.bound = false
+		u.dropping = false
+	}
+	return b, head, tail
+}
+
+func (u *vcInput) drainDropped() {
+	if u.dropping && len(u.buf) > 0 {
+		u.pop()
+	}
+}
+
+func (o *vcOutput) credit() {
+	if o.credits < VCFlitBuf {
+		o.credits++
+	}
+}
+
+func (o *vcOutput) bind() {
+	if o.curIn >= 0 {
+		return
+	}
+	n := router.NumPorts
+	for i := 0; i < n; i++ {
+		idx := (o.rr + i) % n
+		u := o.plane.inputs[idx]
+		if u.parsed && !u.bound && !u.dropping && u.outPort == o.port {
+			u.bound = true
+			o.curIn = idx
+			o.rr = idx + 1
+			return
+		}
+	}
+}
+
+func (o *vcOutput) canSend() bool {
+	o.bind()
+	if o.curIn < 0 {
+		return false
+	}
+	if o.port != router.PortLocal && o.credits <= 0 {
+		return false
+	}
+	return o.plane.inputs[o.curIn].hasByte()
+}
+
+func (o *vcOutput) sendByte() {
+	u := o.plane.inputs[o.curIn]
+	by, head, tail := u.pop()
+	r := o.plane.r
+	r.Stats.Bytes[o.plane.id][o.port]++
+	if o.port == router.PortLocal {
+		o.rxBuf = append(o.rxBuf, by)
+		if tail {
+			payload := make([]byte, 0, len(o.rxBuf))
+			if len(o.rxBuf) > packet.BEHeaderBytes {
+				payload = append(payload, o.rxBuf[packet.BEHeaderBytes:]...)
+			}
+			o.plane.delivered = append(o.plane.delivered, router.DeliveredBE{
+				Payload: payload, Cycle: r.nowCycle,
+			})
+			r.Stats.Delivered[o.plane.id]++
+			o.rxBuf = o.rxBuf[:0]
+			o.curIn = -1
+		}
+		return
+	}
+	o.credits--
+	vcBit := packet.VCBest
+	if o.plane.id == 0 {
+		vcBit = packet.VCTime
+	}
+	r.out[o.port].Drive(packet.Phit{Valid: true, VC: vcBit, Data: by, Head: head, Tail: tail})
+	if tail {
+		o.curIn = -1
+	}
+}

@@ -1,0 +1,290 @@
+// Package core is the top-level facade of the real-time router library:
+// it assembles a mesh of router chips, the per-node protocol software
+// (source regulators and delivery sinks), and the admission controller
+// into one System that applications drive with a few calls:
+//
+//	sys, _ := core.NewMesh(4, 4, core.Options{})
+//	ch, _ := sys.OpenChannel(src, []mesh.Coord{dst}, rtc.Spec{
+//	    Imin: 8, Smax: 18, D: 64,
+//	})
+//	ch.Send([]byte("periodic command"))
+//	sys.Run(10_000)
+//
+// Everything underneath is the cycle-accurate model: OpenChannel runs
+// the admission tests and programs the chips through their control
+// interfaces; Send hands the message to the source's rate regulator;
+// delivery statistics come back through per-node sinks.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/admission"
+	"repro/internal/mesh"
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/rtc"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/traffic"
+)
+
+// Options configures a System.
+type Options struct {
+	// Router overrides the chip configuration; zero value means the
+	// paper's DefaultConfig.
+	Router router.Config
+	// Admission overrides the controller configuration; zero value
+	// means admission.DefaultConfig.
+	Admission admission.Config
+	// admissionSet marks Admission as explicitly provided.
+	admissionSet bool
+}
+
+// WithAdmission returns o with the admission configuration set.
+func (o Options) WithAdmission(a admission.Config) Options {
+	o.Admission = a
+	o.admissionSet = true
+	return o
+}
+
+// System is a running real-time network: mesh, per-node protocol
+// software, and the admission controller.
+type System struct {
+	Net  *mesh.Network
+	Adm  *admission.Controller
+	cfg  router.Config
+	pcrs map[mesh.Coord]*rtc.Pacer
+	snks map[mesh.Coord]*traffic.Sink
+}
+
+// NewMesh builds a W×H system.
+func NewMesh(w, h int, opts Options) (*System, error) {
+	rcfg := opts.Router
+	if rcfg.Slots == 0 { // zero value: use the paper's configuration
+		rcfg = router.DefaultConfig()
+	}
+	acfg := opts.Admission
+	if !opts.admissionSet && acfg == (admission.Config{}) {
+		acfg = admission.DefaultConfig()
+	}
+	net, err := mesh.New(w, h, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Net:  net,
+		cfg:  rcfg,
+		pcrs: make(map[mesh.Coord]*rtc.Pacer),
+		snks: make(map[mesh.Coord]*traffic.Sink),
+	}
+	// Pacers must tick before their routers so releases land the same
+	// cycle; the mesh registered routers already, and the kernel runs
+	// components in registration order, so pacer injections become
+	// visible at the next cycle — one cycle of processor-interface
+	// latency, which is fine. Sinks drain after the routers.
+	for _, c := range net.Coords() {
+		p, err := rtc.NewPacer(fmt.Sprintf("pacer%s", c), net.Router(c), acfg.SourceWindow)
+		if err != nil {
+			return nil, err
+		}
+		net.Kernel.Register(p)
+		sys.pcrs[c] = p
+		s := traffic.NewSink(fmt.Sprintf("sink%s", c), net.Router(c))
+		net.Kernel.Register(s)
+		sys.snks[c] = s
+	}
+	adm, err := admission.New(net, acfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.Adm = adm
+	return sys, nil
+}
+
+// MustNewMesh is NewMesh for known-good parameters.
+func MustNewMesh(w, h int, opts Options) *System {
+	s, err := NewMesh(w, h, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Channel is an open real-time channel bound to its source regulator.
+type Channel struct {
+	sys   *System
+	adm   *admission.Channel
+	paced *rtc.PacedChannel
+}
+
+// OpenChannel admits and programs a real-time channel from src to the
+// destinations (one for unicast, several for multicast).
+func (s *System) OpenChannel(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec) (*Channel, error) {
+	ac, err := s.Adm.Admit(src, dsts, spec)
+	if err != nil {
+		return nil, err
+	}
+	paced, err := s.pcrs[src].Channel(ac.SrcConn, spec, ac.LocalD)
+	if err != nil {
+		// Admission succeeded but the regulator rejected the spec: roll
+		// back so resources are not leaked.
+		_ = s.Adm.Teardown(ac)
+		return nil, err
+	}
+	return &Channel{sys: s, adm: ac, paced: paced}, nil
+}
+
+// Send submits one message on the channel at the current time.
+func (c *Channel) Send(payload []byte) error {
+	nowSlot := timing.CyclesToSlot(c.sys.Net.Now(), packet.TCBytes)
+	return c.paced.Submit(nowSlot, payload)
+}
+
+// Submit implements traffic.Sender against the channel's *current*
+// regulator handle, so generators keep working across Reroute.
+func (c *Channel) Submit(now timing.Slot, payload []byte) error {
+	return c.paced.Submit(now, payload)
+}
+
+// Pending implements traffic.Sender.
+func (c *Channel) Pending() int { return c.paced.Pending() }
+
+// Paced exposes the source regulator handle (for traffic generators).
+func (c *Channel) Paced() *rtc.PacedChannel { return c.paced }
+
+// Admitted exposes the admission record (ids, per-hop delay).
+func (c *Channel) Admitted() *admission.Channel { return c.adm }
+
+// Spec returns the channel's traffic contract.
+func (c *Channel) Spec() rtc.Spec { return c.adm.Spec }
+
+// Close tears the channel down and releases its reservations; queued
+// but uninjected messages are dropped.
+func (c *Channel) Close() error {
+	c.sys.pcrs[c.adm.Src].Remove(c.paced)
+	return c.sys.Adm.Teardown(c.adm)
+}
+
+// FailLink severs a bidirectional mesh link and records the failure
+// with the admission controller, so new channels route around it.
+// Channels currently crossing the link keep flowing into the dead port
+// (their packets drain and count as drops) until Reroute moves them.
+func (s *System) FailLink(from mesh.Coord, port int) error {
+	if err := s.Net.FailLink(from, port); err != nil {
+		return err
+	}
+	return s.Adm.MarkFailed(from, port)
+}
+
+// Reroute re-establishes the channel around failures and congestion:
+// reservations are released and re-admitted (the disjoint YX order
+// serves as fallback), and the source regulator is re-bound to the new
+// connection id. Messages already queued in the old regulator are
+// dropped, as after any connection re-establishment.
+func (c *Channel) Reroute() error {
+	c.sys.pcrs[c.adm.Src].Remove(c.paced)
+	nadm, err := c.sys.Adm.Reroute(c.adm)
+	if err != nil {
+		return err
+	}
+	paced, err := c.sys.pcrs[nadm.Src].Channel(nadm.SrcConn, nadm.Spec, nadm.LocalD)
+	if err != nil {
+		_ = c.sys.Adm.Teardown(nadm)
+		return err
+	}
+	c.adm = nadm
+	c.paced = paced
+	return nil
+}
+
+// SendBestEffort injects one best-effort packet from src to dst.
+func (s *System) SendBestEffort(src, dst mesh.Coord, payload []byte) error {
+	r := s.Net.Router(src)
+	if r == nil {
+		return fmt.Errorf("core: source %s outside mesh", src)
+	}
+	if !s.Net.Contains(dst) {
+		return fmt.Errorf("core: destination %s outside mesh", dst)
+	}
+	xo, yo := mesh.BEOffsets(src, dst)
+	frame, err := packet.NewBE(xo, yo, payload)
+	if err != nil {
+		return err
+	}
+	r.InjectBE(frame)
+	return nil
+}
+
+// Run advances the network by the given number of cycles.
+func (s *System) Run(cycles int64) { s.Net.Run(cycles) }
+
+// RunUntil steps until pred holds or the cycle budget runs out.
+func (s *System) RunUntil(pred func() bool, budget int64) bool {
+	return s.Net.Kernel.RunUntil(pred, budget)
+}
+
+// Now returns the current cycle.
+func (s *System) Now() int64 { return s.Net.Now() }
+
+// Sink returns the delivery sink of a node (latency statistics and
+// delivery observers).
+func (s *System) Sink(c mesh.Coord) *traffic.Sink { return s.snks[c] }
+
+// Pacer returns the source regulator of a node.
+func (s *System) Pacer(c mesh.Coord) *rtc.Pacer { return s.pcrs[c] }
+
+// Router returns the chip at a node.
+func (s *System) Router(c mesh.Coord) *router.Router { return s.Net.Router(c) }
+
+// Summary aggregates network-wide counters.
+type Summary struct {
+	TCDelivered    int64
+	TCMisses       int64
+	TCDrops        int64
+	BEDelivered    int64
+	TCLatency      stats.Hist
+	BELatency      stats.Hist
+	SchedulerPeak  int
+	CutThroughs    int64
+	StageReplaced  int64
+	BusUtilization float64 // granted chunks per cycle, network-wide mean
+}
+
+// ResetStats zeroes every router's hardware counters and every sink's
+// latency statistics, the warmup idiom: run the network to steady
+// state, reset, then measure.
+func (s *System) ResetStats() {
+	for _, c := range s.Net.Coords() {
+		s.Net.Router(c).ResetStats()
+		s.snks[c].Reset()
+	}
+}
+
+// Summarize collects a network-wide summary.
+func (s *System) Summarize() Summary {
+	var sum Summary
+	cycles := s.Net.Now()
+	var grants int64
+	for _, c := range s.Net.Coords() {
+		r := s.Net.Router(c)
+		st := r.Stats
+		sum.TCDelivered += st.TCDelivered
+		sum.TCMisses += st.TCDeadlineMisses
+		sum.TCDrops += st.TCDropsNoSlot + st.TCDropsNoRoute + st.TCDropsStaging + st.TCDeadPortDrops
+		sum.BEDelivered += st.BEDelivered
+		sum.CutThroughs += st.TCCutThroughs
+		sum.StageReplaced += st.TCStageReplaced
+		grants += st.BusGrants
+		if occ := r.Scheduler().Occupancy(); occ > sum.SchedulerPeak {
+			sum.SchedulerPeak = occ
+		}
+		snk := s.snks[c]
+		snk.TCLatency.CopyInto(&sum.TCLatency)
+		snk.BELatency.CopyInto(&sum.BELatency)
+	}
+	if cycles > 0 && len(s.Net.Coords()) > 0 {
+		sum.BusUtilization = float64(grants) / float64(cycles) / float64(len(s.Net.Coords()))
+	}
+	return sum
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/mesh"
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/rtc"
+)
+
+func TestOpenChannelAndSend(t *testing.T) {
+	sys := MustNewMesh(4, 4, Options{})
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 3, Y: 2}
+	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, rtc.Spec{Imin: 8, Smax: 18, D: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	if err := ch.Send([]byte("hello real-time world")); err == nil {
+		t.Fatal("oversize message accepted")
+	}
+	if err := ch.Send([]byte("cmd")); err != nil {
+		t.Fatal(err)
+	}
+	ok := sys.RunUntil(func() bool { return sys.Sink(dst).TCCount > 0 }, 100000)
+	if !ok {
+		t.Fatalf("message not delivered; summary %+v", sys.Summarize())
+	}
+	sum := sys.Summarize()
+	if sum.TCMisses != 0 || sum.TCDrops != 0 {
+		t.Errorf("misses=%d drops=%d", sum.TCMisses, sum.TCDrops)
+	}
+}
+
+func TestChannelDeliversWithinBound(t *testing.T) {
+	sys := MustNewMesh(3, 3, Options{})
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 2, Y: 2}
+	spec := rtc.Spec{Imin: 6, Smax: 18, D: 50}
+	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 20 periodic messages.
+	for i := 0; i < 20; i++ {
+		if err := ch.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(spec.Imin * packet.TCBytes)
+	}
+	sys.Run(spec.D * packet.TCBytes * 2)
+	if got := sys.Sink(dst).TCCount; got != 20 {
+		t.Fatalf("delivered %d/20", got)
+	}
+	if m := sys.Summarize().TCMisses; m != 0 {
+		t.Errorf("deadline misses: %d", m)
+	}
+}
+
+func TestMulticastChannel(t *testing.T) {
+	sys := MustNewMesh(4, 4, Options{})
+	src := mesh.Coord{X: 1, Y: 1}
+	dsts := []mesh.Coord{{X: 3, Y: 1}, {X: 1, Y: 3}, {X: 3, Y: 3}}
+	ch, err := sys.OpenChannel(src, dsts, rtc.Spec{Imin: 10, Smax: 18, D: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send([]byte("to all")); err != nil {
+		t.Fatal(err)
+	}
+	ok := sys.RunUntil(func() bool {
+		for _, d := range dsts {
+			if sys.Sink(d).TCCount == 0 {
+				return false
+			}
+		}
+		return true
+	}, 200000)
+	if !ok {
+		t.Fatal("multicast incomplete")
+	}
+}
+
+func TestBestEffortSend(t *testing.T) {
+	sys := MustNewMesh(3, 3, Options{})
+	src, dst := mesh.Coord{X: 2, Y: 0}, mesh.Coord{X: 0, Y: 2}
+	if err := sys.SendBestEffort(src, dst, []byte("bulk data transfer")); err != nil {
+		t.Fatal(err)
+	}
+	ok := sys.RunUntil(func() bool { return sys.Sink(dst).BECount > 0 }, 50000)
+	if !ok {
+		t.Fatal("best-effort packet lost")
+	}
+	if err := sys.SendBestEffort(mesh.Coord{X: 9, Y: 9}, dst, nil); err == nil {
+		t.Error("source outside mesh accepted")
+	}
+	if err := sys.SendBestEffort(src, mesh.Coord{X: 9, Y: 9}, nil); err == nil {
+		t.Error("destination outside mesh accepted")
+	}
+}
+
+func TestChannelCloseReleases(t *testing.T) {
+	sys := MustNewMesh(2, 1, Options{})
+	spec := rtc.Spec{Imin: 4, Smax: 18, D: 8}
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
+	var open []*Channel
+	for {
+		ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, spec)
+		if err != nil {
+			break
+		}
+		open = append(open, ch)
+	}
+	if len(open) == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if err := open[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.OpenChannel(src, []mesh.Coord{dst}, spec); err != nil {
+		t.Errorf("re-open after close failed: %v", err)
+	}
+}
+
+func TestOptionsOverride(t *testing.T) {
+	rcfg := router.DefaultConfig()
+	rcfg.VCT = true
+	opts := Options{Router: rcfg}.WithAdmission(admission.Config{
+		Policy:       admission.SharedPool,
+		SourceWindow: 4,
+		Horizon:      16,
+	})
+	sys, err := NewMesh(2, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Router(mesh.Coord{X: 0, Y: 0})
+	if !r.Config().VCT {
+		t.Error("router override lost")
+	}
+	if r.Horizon(router.PortXPlus) != 16 {
+		t.Errorf("horizon = %d, want 16 (programmed by admission)", r.Horizon(router.PortXPlus))
+	}
+	if sys.Pacer(mesh.Coord{X: 0, Y: 0}).Window() != 4 {
+		t.Error("source window override lost")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sys := MustNewMesh(2, 1, Options{})
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
+	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, rtc.Spec{Imin: 8, Smax: 18, D: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ch.Send(make([]byte, 18)); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(8 * packet.TCBytes)
+	}
+	sys.Run(2000)
+	sum := sys.Summarize()
+	if sum.TCDelivered != 5 {
+		t.Errorf("TCDelivered = %d, want 5", sum.TCDelivered)
+	}
+	if sum.BusUtilization <= 0 {
+		t.Error("bus utilization not measured")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	sys := MustNewMesh(2, 1, Options{})
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
+	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, rtc.Spec{Imin: 8, Smax: 18, D: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send(make([]byte, 18)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2000)
+	if sys.Summarize().TCDelivered == 0 {
+		t.Fatal("warmup traffic not delivered")
+	}
+	sys.ResetStats()
+	sum := sys.Summarize()
+	if sum.TCDelivered != 0 || sum.TCLatency.N() != 0 || sum.BusUtilization != 0 {
+		t.Errorf("stats not reset: %+v", sum)
+	}
+	// Measurement continues cleanly after the reset.
+	if err := ch.Send(make([]byte, 18)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2000)
+	if got := sys.Summarize().TCDelivered; got != 1 {
+		t.Errorf("post-reset delivered = %d, want 1", got)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/rtc"
+	"repro/internal/traffic"
+)
+
+// TestDeterministicReplay: the simulator is fully deterministic — two
+// identically configured runs produce identical summaries, cycle for
+// cycle. Reproducibility is what makes the EXPERIMENTS.md numbers
+// checkable.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int64, int64, float64, float64) {
+		sys := MustNewMesh(3, 3, Options{})
+		spec := rtc.Spec{Imin: 8, Smax: 18, D: 70}
+		for i, rt := range [][2]mesh.Coord{
+			{{X: 0, Y: 0}, {X: 2, Y: 2}},
+			{{X: 2, Y: 0}, {X: 0, Y: 2}},
+			{{X: 1, Y: 1}, {X: 2, Y: 1}},
+		} {
+			ch, err := sys.OpenChannel(rt[0], []mesh.Coord{rt[1]}, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			app, err := traffic.NewTCApp("tc", ch.Paced(), spec, traffic.Periodic, 18)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Net.Kernel.Register(app)
+			be, err := traffic.NewBEApp("be", sys.Net, rt[0],
+				traffic.UniformDst(sys.Net, rt[0]), traffic.UniformSize(20, 200), 0.4, int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Net.Kernel.Register(be)
+		}
+		sys.Run(25000)
+		sum := sys.Summarize()
+		return sum.TCDelivered, sum.BEDelivered, sum.TCLatency.Mean(), sum.BELatency.Mean()
+	}
+	tc1, be1, tl1, bl1 := run()
+	tc2, be2, tl2, bl2 := run()
+	if tc1 != tc2 || be1 != be2 || tl1 != tl2 || bl1 != bl2 {
+		t.Errorf("replay diverged: (%d,%d,%v,%v) vs (%d,%d,%v,%v)",
+			tc1, be1, tl1, bl1, tc2, be2, tl2, bl2)
+	}
+	if tc1 == 0 || be1 == 0 {
+		t.Error("degenerate run")
+	}
+}

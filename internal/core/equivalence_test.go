@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/router"
+	"repro/internal/rtc"
+	"repro/internal/traffic"
+)
+
+// TestTournamentDrivesChipIdentically runs the same randomized workload
+// with the linear-scan EDF model and with the structural comparator
+// tree (the gate-level Figure 5 mirror) driving every router, and
+// requires bit-identical outcomes. This is the strongest form of the
+// sched-package equivalence property: the hardware-shaped reduction
+// makes exactly the decisions the behavioural model makes, inside the
+// full chip, under contention, multicast and best-effort interference.
+func TestTournamentDrivesChipIdentically(t *testing.T) {
+	run := func(kind router.SchedulerKind) (int64, int64, float64, int64) {
+		cfg := router.DefaultConfig()
+		cfg.Scheduler = kind
+		sys, err := NewMesh(3, 3, Options{Router: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 12; i++ {
+			src := mesh.Coord{X: rng.Intn(3), Y: rng.Intn(3)}
+			dst := mesh.Coord{X: rng.Intn(3), Y: rng.Intn(3)}
+			if src == dst {
+				continue
+			}
+			spec := rtc.Spec{Imin: int64(6 + rng.Intn(20)), Smax: 18, D: 90}
+			ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, spec)
+			if err != nil {
+				continue
+			}
+			app, err := traffic.NewTCApp(fmt.Sprintf("tc%d", i), ch.Paced(), spec, traffic.Periodic, 18)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Net.Kernel.Register(app)
+		}
+		for i, c := range sys.Net.Coords() {
+			app, err := traffic.NewBEApp(fmt.Sprintf("be%d", i), sys.Net, c,
+				traffic.UniformDst(sys.Net, c), traffic.UniformSize(20, 150), 0.25, int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Net.Kernel.Register(app)
+		}
+		sys.Run(25000)
+		sum := sys.Summarize()
+		return sum.TCDelivered, sum.BEDelivered, sum.TCLatency.Mean(), sum.TCMisses
+	}
+	tc1, be1, lat1, m1 := run(router.SchedEDF)
+	tc2, be2, lat2, m2 := run(router.SchedTournament)
+	if tc1 != tc2 || be1 != be2 || lat1 != lat2 || m1 != m2 {
+		t.Errorf("scan vs tournament diverged: (%d,%d,%v,%d) vs (%d,%d,%v,%d)",
+			tc1, be1, lat1, m1, tc2, be2, lat2, m2)
+	}
+	if tc1 == 0 {
+		t.Error("degenerate workload")
+	}
+	if m1 != 0 {
+		t.Errorf("admitted workload missed %d deadlines", m1)
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"repro/internal/admission"
+	"repro/internal/mesh"
+	"repro/internal/router"
+	"repro/internal/rtc"
+)
+
+// AdmitResult is the X5 study of Section 3.4's buffer-accounting
+// trade-off: the physically shared packet memory can be logically
+// partitioned per outgoing link (protecting each link's admissibility) or
+// treated as one pool (maximizing admissibility under asymmetric load).
+// The study counts admitted channels under both policies for a
+// symmetric workload (sources spread over the mesh) and an asymmetric
+// one (every channel leaving one corner).
+type AdmitResult struct {
+	Policies   []string
+	Symmetric  []int
+	Asymmetric []int
+}
+
+// RunAdmit counts admissible channels under both policies and loads.
+func RunAdmit() (*AdmitResult, error) {
+	res := &AdmitResult{}
+	for _, pol := range []admission.BufferPolicy{admission.Partitioned, admission.SharedPool} {
+		cfgA := admission.Config{Policy: pol, SourceWindow: 60}
+		// Asymmetric: all channels from (0,0), alternating destinations
+		// along +x so the corner router's +x partition is the pressured
+		// resource.
+		asym, err := countAdmitted(cfgA, func(i int) (mesh.Coord, mesh.Coord) {
+			return mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1 + i%3, Y: 0}
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Symmetric: sources and destinations spread around the mesh.
+		sym, err := countAdmitted(cfgA, func(i int) (mesh.Coord, mesh.Coord) {
+			src := mesh.Coord{X: i % 4, Y: (i / 4) % 4}
+			dst := mesh.Coord{X: (i + 2) % 4, Y: (i/4 + 2) % 4}
+			return src, dst
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Policies = append(res.Policies, pol.String())
+		res.Symmetric = append(res.Symmetric, sym)
+		res.Asymmetric = append(res.Asymmetric, asym)
+	}
+	return res, nil
+}
+
+func countAdmitted(cfg admission.Config, pick func(i int) (mesh.Coord, mesh.Coord)) (int, error) {
+	net, err := mesh.New(4, 4, router.DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	ctl, err := admission.New(net, cfg)
+	if err != nil {
+		return 0, err
+	}
+	spec := rtc.Spec{Imin: 24, Smax: 18, D: 96}
+	admitted := 0
+	rejected := 0
+	for i := 0; i < 2000 && rejected < 64; i++ {
+		src, dst := pick(i)
+		if src == dst {
+			continue
+		}
+		if _, err := ctl.Admit(src, []mesh.Coord{dst}, spec); err != nil {
+			rejected++
+			continue
+		}
+		admitted++
+	}
+	return admitted, nil
+}
+
+// Table renders the study.
+func (r *AdmitResult) Table() *Table {
+	t := &Table{
+		Title:  "X5 — channel admissibility: partitioned vs. shared packet memory (4x4 mesh)",
+		Header: []string{"buffer policy", "symmetric load", "asymmetric load (one corner)"},
+	}
+	for i, p := range r.Policies {
+		t.AddRow(p, di(r.Symmetric[i]), di(r.Asymmetric[i]))
+	}
+	t.AddNote("shared accounting admits more channels when load concentrates on few links;")
+	t.AddNote("partitioning preserves admissibility headroom on every link (paper §3.4)")
+	return t
+}

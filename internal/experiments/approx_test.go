@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+// TestRunApprox checks the graceful-degradation shape of the Section 7
+// extension: exact EDF (shift 0) misses nothing; quantization is
+// monotone-ish in the tight stream's p99 and must not break the loose
+// class, whose slack dwarfs every bucket size tested.
+func TestRunApprox(t *testing.T) {
+	res, err := RunApprox([]uint{0, 2, 4}, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TightMiss[0] != 0 {
+		t.Errorf("exact EDF (shift 0) tight miss rate %.3f, want 0", res.TightMiss[0])
+	}
+	if res.KeyBits[0] != 9 || res.KeyBits[2] != 5 {
+		t.Errorf("key widths %v, want 9..5", res.KeyBits)
+	}
+	for i := range res.Shifts {
+		if res.LooseMiss[i] != 0 {
+			t.Errorf("shift %d: loose class misses %.3f; buckets cannot threaten 16-slot slack",
+				res.Shifts[i], res.LooseMiss[i])
+		}
+	}
+	// The tight stream's tail latency must not improve as precision
+	// drops.
+	if res.TightP99[2] < res.TightP99[0] {
+		t.Errorf("p99 improved with coarser keys: %v", res.TightP99)
+	}
+	if _, err := RunApprox(nil, 40000); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := RunApprox([]uint{9}, 40000); err == nil {
+		t.Error("shift consuming the whole key accepted")
+	}
+}
+
+// TestRunLoadSweep checks the class-separation shape: best-effort
+// latency grows with offered load while the reserved class never
+// misses.
+func TestRunLoadSweep(t *testing.T) {
+	res, err := RunLoadSweep([]float64{0.05, 0.5}, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range res.TCMisses {
+		if m != 0 {
+			t.Errorf("rate %.2f: %d time-constrained misses", res.Rates[i], m)
+		}
+	}
+	if res.BEMean[1] <= res.BEMean[0] {
+		t.Errorf("best-effort latency did not grow with load: %v", res.BEMean)
+	}
+	if res.BEDeliv[0] == 0 || res.BEDeliv[1] == 0 {
+		t.Error("best-effort starved")
+	}
+	if res.Channels == 0 {
+		t.Error("no reserved channels opened")
+	}
+	if _, err := RunLoadSweep(nil, 30000); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+	"repro/internal/packet"
+	"repro/internal/router"
+)
+
+// E1Result is the outcome of the Section 5.2 baseline experiment: the
+// end-to-end latency of a b-byte best-effort wormhole packet through the
+// single-chip loopback configuration (injection → +x → −x → +y → −y →
+// reception). The paper reports latency = 30 + b cycles; the claim under
+// reproduction is the *shape* — strictly linear in b with a small
+// per-path constant.
+type E1Result struct {
+	Sizes     []int
+	Latencies []int64
+	Overhead  int64 // latency − b, identical across sizes when linear
+	Linear    bool
+}
+
+// RunE1 measures wormhole latency for each packet size (total bytes,
+// header included).
+func RunE1(cfg router.Config, sizes []int) (*E1Result, error) {
+	res := &E1Result{Sizes: sizes}
+	for _, b := range sizes {
+		if b < packet.BEHeaderBytes+1 {
+			return nil, fmt.Errorf("experiments: size %d below header size", b)
+		}
+		l, err := mesh.NewLoopback(cfg)
+		if err != nil {
+			return nil, err
+		}
+		frame, err := packet.NewBE(1, 1, make([]byte, b-packet.BEHeaderBytes))
+		if err != nil {
+			return nil, err
+		}
+		l.R.InjectBE(frame)
+		if !l.Kernel.RunUntil(func() bool { return l.R.Stats.BEDelivered > 0 }, 1<<20) {
+			return nil, fmt.Errorf("experiments: %d-byte packet not delivered", b)
+		}
+		res.Latencies = append(res.Latencies, l.R.DrainBE()[0].Cycle)
+	}
+	res.Linear = true
+	if len(sizes) > 0 {
+		res.Overhead = res.Latencies[0] - int64(sizes[0])
+		for i := range sizes {
+			if res.Latencies[i]-int64(sizes[i]) != res.Overhead {
+				res.Linear = false
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the experiment next to the paper's reported model.
+func (r *E1Result) Table() *Table {
+	t := &Table{
+		Title:  "E1 — best-effort wormhole baseline (paper §5.2: latency = 30 + b cycles)",
+		Header: []string{"bytes b", "latency (cycles)", "latency − b", "paper (30+b)"},
+	}
+	for i, b := range r.Sizes {
+		t.AddRow(di(b), d(r.Latencies[i]), d(r.Latencies[i]-int64(b)), di(30+b))
+	}
+	if r.Linear {
+		t.AddNote("measured model: latency = %d + b cycles (paper: 30 + b); linear shape reproduced", r.Overhead)
+	} else {
+		t.AddNote("WARNING: latency is not linear in b — wormhole pipelining broken")
+	}
+	return t
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/router"
+)
+
+func TestRunE1LinearShape(t *testing.T) {
+	res, err := RunE1(router.DefaultConfig(), []int{16, 32, 64, 128, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linear {
+		t.Fatalf("latency not linear: %+v", res)
+	}
+	// Same regime as the paper's 30-cycle constant.
+	if res.Overhead < 10 || res.Overhead > 60 {
+		t.Errorf("overhead %d cycles out of the paper's regime", res.Overhead)
+	}
+	var buf bytes.Buffer
+	res.Table().Fprint(&buf)
+	if !strings.Contains(buf.String(), "linear shape reproduced") {
+		t.Error("table missing linearity note")
+	}
+}
+
+func TestRunE1Errors(t *testing.T) {
+	if _, err := RunE1(router.DefaultConfig(), []int{2}); err == nil {
+		t.Error("sub-header size accepted")
+	}
+	bad := router.DefaultConfig()
+	bad.Slots = 0
+	if _, err := RunE1(bad, []int{16}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestRunFig7Proportionality is the headline qualitative claim of
+// Figure 7: each backlogged connection receives bandwidth in proportion
+// to its reservation (1/Imin), every deadline is met, and best-effort
+// traffic absorbs all remaining link capacity.
+func TestRunFig7Proportionality(t *testing.T) {
+	res, err := RunFig7(DefaultFig7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Errorf("deadline misses: %d", res.Misses)
+	}
+	for i := range res.Cfg.Imins {
+		ratio := res.TCTotal[i] / res.Expected[i]
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("connection %d served %.0f bytes, expected %.0f (ratio %.2f)",
+				i, res.TCTotal[i], res.Expected[i], ratio)
+		}
+	}
+	// Consecutive connections differ by 2× in Imin: service halves.
+	for i := 0; i+1 < len(res.TCTotal); i++ {
+		r := res.TCTotal[i] / res.TCTotal[i+1]
+		if r < 1.7 || r > 2.3 {
+			t.Errorf("service ratio conn%d/conn%d = %.2f, want ≈2", i, i+1, r)
+		}
+	}
+	// Best-effort must soak up most of the leftover bandwidth: total
+	// link utilization above 90%.
+	var tc float64
+	for _, v := range res.TCTotal {
+		tc += v
+	}
+	util := (tc + res.BETotal) / float64(res.Cfg.Cycles)
+	if util < 0.9 {
+		t.Errorf("link utilization %.2f; best-effort not consuming excess bandwidth", util)
+	}
+	if res.BETotal < tc {
+		t.Errorf("best-effort (%.0f) below TC total (%.0f); with 44%% reservation BE should dominate",
+			res.BETotal, tc)
+	}
+	if chart := res.Chart(); !strings.Contains(chart, "best-effort") {
+		t.Error("chart missing legend")
+	}
+}
+
+func TestRunFig7Validation(t *testing.T) {
+	if _, err := RunFig7(Fig7Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bbb"}}
+	tb.AddRow("1", "2")
+	tb.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T ==", "a  bbb", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestRunSkew checks the §4.1 shape: skew inside the per-hop slack is
+// harmless (latency shifts, zero misses); positive skew at or beyond
+// the d=8-slot bound produces misses.
+func TestRunSkew(t *testing.T) {
+	res, err := RunSkew([]int64{-80, 0, 40, 300}, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within-slack points: no misses.
+	for i, sk := range res.SkewCycles {
+		if sk <= 40 && res.Misses[i] != 0 {
+			t.Errorf("skew %d cycles: %d misses inside the slack", sk, res.Misses[i])
+		}
+		if res.Delivered[i] == 0 {
+			t.Errorf("skew %d cycles: nothing delivered", sk)
+		}
+	}
+	// B's clock behind (negative skew): packets look early longer →
+	// higher latency than the aligned case.
+	if !(res.MeanLat[0] > res.MeanLat[1]) {
+		t.Errorf("negative skew did not raise latency: %v", res.MeanLat)
+	}
+	// Far beyond the slack (300 cycles = 15 slots > d=8): misses.
+	last := len(res.SkewCycles) - 1
+	if res.Misses[last] == 0 {
+		t.Error("skew beyond the per-hop bound produced no misses; the §4.1 constraint is not binding")
+	}
+	if _, err := RunSkew(nil, 100); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := RunSkew([]int64{1 << 20}, 100); err == nil {
+		t.Error("skew beyond validation bound accepted")
+	}
+}

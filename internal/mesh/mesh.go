@@ -1,0 +1,253 @@
+// Package mesh assembles real-time routers into networks: the 2-D square
+// mesh of Figure 1, and the single-chip loopback configuration used by
+// the paper's first experiment. It also provides the coordinate algebra
+// shared by dimension-ordered routing and the admission controller.
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// Coord addresses a node in the mesh.
+type Coord struct {
+	X, Y int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Add returns c displaced by one hop through the given output port.
+func (c Coord) Add(port int) Coord {
+	switch port {
+	case router.PortXPlus:
+		return Coord{c.X + 1, c.Y}
+	case router.PortXMinus:
+		return Coord{c.X - 1, c.Y}
+	case router.PortYPlus:
+		return Coord{c.X, c.Y + 1}
+	case router.PortYMinus:
+		return Coord{c.X, c.Y - 1}
+	default:
+		return c
+	}
+}
+
+// Network is a set of wired routers driven by one simulation kernel.
+type Network struct {
+	Kernel  *sim.Kernel
+	W, H    int
+	routers map[Coord]*router.Router
+	order   []Coord // deterministic iteration order
+}
+
+// New builds a W×H mesh of routers with the given configuration,
+// bidirectionally wiring every adjacent pair. Router names are their
+// coordinates.
+func New(w, h int, cfg router.Config) (*Network, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("mesh: dimensions %dx%d invalid", w, h)
+	}
+	if w > 120 || h > 120 {
+		return nil, fmt.Errorf("mesh: dimensions %dx%d exceed the signed-byte offset range", w, h)
+	}
+	n := &Network{
+		Kernel:  sim.NewKernel(),
+		W:       w,
+		H:       h,
+		routers: make(map[Coord]*router.Router, w*h),
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := Coord{x, y}
+			r, err := router.New(c.String(), cfg)
+			if err != nil {
+				return nil, err
+			}
+			n.routers[c] = r
+			n.order = append(n.order, c)
+			n.Kernel.Register(r)
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := Coord{x, y}
+			if x+1 < w {
+				n.wire(c, Coord{x + 1, y}, router.PortXPlus, router.PortXMinus)
+			}
+			if y+1 < h {
+				n.wire(c, Coord{x, y + 1}, router.PortYPlus, router.PortYMinus)
+			}
+		}
+	}
+	return n, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(w, h int, cfg router.Config) *Network {
+	n, err := New(w, h, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// wire connects a and b bidirectionally: a's outPort to b, b's
+// reverse port back to a.
+func (n *Network) wire(a, b Coord, aPort, bPort int) {
+	fw := router.NewChannel(n.Kernel)
+	n.routers[a].ConnectOut(aPort, fw.Out())
+	n.routers[b].ConnectIn(bPort, fw.In())
+	bw := router.NewChannel(n.Kernel)
+	n.routers[b].ConnectOut(bPort, bw.Out())
+	n.routers[a].ConnectIn(aPort, bw.In())
+}
+
+// Router returns the router at c, or nil if out of range.
+func (n *Network) Router(c Coord) *router.Router { return n.routers[c] }
+
+// Contains reports whether c lies in the mesh.
+func (n *Network) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < n.W && c.Y >= 0 && c.Y < n.H
+}
+
+// Coords returns all node coordinates in row-major order.
+func (n *Network) Coords() []Coord { return n.order }
+
+// Run advances the whole network by the given number of cycles.
+func (n *Network) Run(cycles int64) { n.Kernel.Run(cycles) }
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return int64(n.Kernel.Now()) }
+
+// XYRoute returns the dimension-ordered port sequence from src to dst:
+// all x hops, then all y hops — the route best-effort packets take and
+// the default route for real-time channels.
+func XYRoute(src, dst Coord) []int {
+	var ports []int
+	for x := src.X; x < dst.X; x++ {
+		ports = append(ports, router.PortXPlus)
+	}
+	for x := src.X; x > dst.X; x-- {
+		ports = append(ports, router.PortXMinus)
+	}
+	for y := src.Y; y < dst.Y; y++ {
+		ports = append(ports, router.PortYPlus)
+	}
+	for y := src.Y; y > dst.Y; y-- {
+		ports = append(ports, router.PortYMinus)
+	}
+	return append(ports, router.PortLocal)
+}
+
+// YXRoute returns the alternate dimension order — all y hops, then all
+// x hops. The admission controller uses it as the disjoint fallback
+// route when the XY path lacks resources or has failed links (§3.3:
+// "the chosen route depends on the resources available at various nodes
+// and links in the network").
+func YXRoute(src, dst Coord) []int {
+	var ports []int
+	for y := src.Y; y < dst.Y; y++ {
+		ports = append(ports, router.PortYPlus)
+	}
+	for y := src.Y; y > dst.Y; y-- {
+		ports = append(ports, router.PortYMinus)
+	}
+	for x := src.X; x < dst.X; x++ {
+		ports = append(ports, router.PortXPlus)
+	}
+	for x := src.X; x > dst.X; x-- {
+		ports = append(ports, router.PortXMinus)
+	}
+	return append(ports, router.PortLocal)
+}
+
+// BEOffsets returns the header offsets that dimension-order a
+// best-effort packet from src to dst.
+func BEOffsets(src, dst Coord) (x, y int) {
+	return dst.X - src.X, dst.Y - src.Y
+}
+
+// reversePort maps each link direction to its opposite.
+func reversePort(p int) int {
+	switch p {
+	case router.PortXPlus:
+		return router.PortXMinus
+	case router.PortXMinus:
+		return router.PortXPlus
+	case router.PortYPlus:
+		return router.PortYMinus
+	case router.PortYMinus:
+		return router.PortYPlus
+	default:
+		return p
+	}
+}
+
+// FailLink severs the bidirectional link leaving `from` through `port`:
+// both routers lose the wire, in both directions. In-flight
+// time-constrained packets scheduled onto the dead port drain at the
+// router (counted as TCDeadPortDrops); best-effort packets toward it
+// drop as misroutes. The admission controller must be told separately
+// (Controller.MarkFailed) so new channels route around.
+func (n *Network) FailLink(from Coord, port int) error {
+	if port < 0 || port >= router.NumLinks {
+		return fmt.Errorf("mesh: FailLink port %d is not a link", port)
+	}
+	to := from.Add(port)
+	if !n.Contains(from) || !n.Contains(to) {
+		return fmt.Errorf("mesh: no link %s→%s", from, router.PortName(port))
+	}
+	n.routers[from].ConnectOut(port, nil)
+	n.routers[from].ConnectIn(port, nil)
+	rp := reversePort(port)
+	n.routers[to].ConnectOut(rp, nil)
+	n.routers[to].ConnectIn(rp, nil)
+	return nil
+}
+
+// TotalStats sums a statistic across all routers.
+func (n *Network) TotalStats(f func(*router.Stats) int64) int64 {
+	var total int64
+	for _, c := range n.order {
+		s := n.routers[c].Stats
+		total += f(&s)
+	}
+	return total
+}
+
+// Loopback is the paper's first-experiment configuration: one router
+// whose +x output feeds its own −x input and whose +y output feeds its
+// own −y input. A packet injected with offsets (1,1) crosses the chip
+// three times — injection→+x, −x→+y, −y→reception — the multi-hop path
+// of Section 5.2.
+type Loopback struct {
+	Kernel *sim.Kernel
+	R      *router.Router
+}
+
+// NewLoopback builds the loopback configuration.
+func NewLoopback(cfg router.Config) (*Loopback, error) {
+	k := sim.NewKernel()
+	r, err := router.New("loop", cfg)
+	if err != nil {
+		return nil, err
+	}
+	k.Register(r)
+	router.Loopback(k, r, router.PortXPlus, router.PortXMinus)
+	router.Loopback(k, r, router.PortYPlus, router.PortYMinus)
+	return &Loopback{Kernel: k, R: r}, nil
+}
+
+// MustNewLoopback is NewLoopback for known-good configurations.
+func MustNewLoopback(cfg router.Config) *Loopback {
+	l, err := NewLoopback(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Run advances the loopback rig.
+func (l *Loopback) Run(cycles int64) { l.Kernel.Run(cycles) }

@@ -1,0 +1,282 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/router"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, router.DefaultConfig()); err == nil {
+		t.Error("0-width mesh accepted")
+	}
+	if _, err := New(3, 0, router.DefaultConfig()); err == nil {
+		t.Error("0-height mesh accepted")
+	}
+	if _, err := New(200, 1, router.DefaultConfig()); err == nil {
+		t.Error("mesh beyond offset range accepted")
+	}
+	bad := router.DefaultConfig()
+	bad.Slots = 0
+	if _, err := New(2, 2, bad); err == nil {
+		t.Error("invalid router config accepted")
+	}
+}
+
+func TestMeshStructure(t *testing.T) {
+	n := MustNew(4, 4, router.DefaultConfig())
+	if len(n.Coords()) != 16 {
+		t.Fatalf("got %d nodes, want 16", len(n.Coords()))
+	}
+	if n.Router(Coord{3, 3}) == nil || n.Router(Coord{0, 0}) == nil {
+		t.Fatal("corner routers missing")
+	}
+	if n.Router(Coord{4, 0}) != nil {
+		t.Error("out-of-range lookup returned a router")
+	}
+	if !n.Contains(Coord{3, 3}) || n.Contains(Coord{4, 3}) || n.Contains(Coord{-1, 0}) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestCoordAdd(t *testing.T) {
+	c := Coord{2, 2}
+	cases := map[int]Coord{
+		router.PortXPlus:  {3, 2},
+		router.PortXMinus: {1, 2},
+		router.PortYPlus:  {2, 3},
+		router.PortYMinus: {2, 1},
+		router.PortLocal:  {2, 2},
+	}
+	for port, want := range cases {
+		if got := c.Add(port); got != want {
+			t.Errorf("Add(%s) = %v, want %v", router.PortName(port), got, want)
+		}
+	}
+}
+
+func TestXYRoute(t *testing.T) {
+	route := XYRoute(Coord{0, 0}, Coord{2, 1})
+	want := []int{router.PortXPlus, router.PortXPlus, router.PortYPlus, router.PortLocal}
+	if len(route) != len(want) {
+		t.Fatalf("route %v, want %v", route, want)
+	}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("route %v, want %v", route, want)
+		}
+	}
+	// Walking the route from src must land on dst then stay.
+	at := Coord{0, 0}
+	for _, p := range route {
+		at = at.Add(p)
+	}
+	if at != (Coord{2, 1}) {
+		t.Errorf("route walks to %v", at)
+	}
+	// Negative directions.
+	route = XYRoute(Coord{3, 3}, Coord{1, 2})
+	at = Coord{3, 3}
+	for _, p := range route {
+		at = at.Add(p)
+	}
+	if at != (Coord{1, 2}) {
+		t.Errorf("negative route walks to %v", at)
+	}
+	// Self route is just local delivery.
+	if r := XYRoute(Coord{1, 1}, Coord{1, 1}); len(r) != 1 || r[0] != router.PortLocal {
+		t.Errorf("self route = %v", r)
+	}
+}
+
+func TestBEOffsets(t *testing.T) {
+	x, y := BEOffsets(Coord{1, 2}, Coord{3, 0})
+	if x != 2 || y != -2 {
+		t.Errorf("offsets = %d,%d, want 2,-2", x, y)
+	}
+}
+
+// TestBEAcrossMesh sends a best-effort packet corner to corner of a 4×4
+// mesh, the dimension-ordered shaded path of Figure 1.
+func TestBEAcrossMesh(t *testing.T) {
+	n := MustNew(4, 4, router.DefaultConfig())
+	src, dst := Coord{0, 3}, Coord{3, 0}
+	xo, yo := BEOffsets(src, dst)
+	frame, err := packet.NewBE(xo, yo, []byte("corner to corner"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Router(src).InjectBE(frame)
+	ok := n.Kernel.RunUntil(func() bool {
+		return n.Router(dst).Stats.BEDelivered > 0
+	}, 50000)
+	if !ok {
+		t.Fatal("packet lost in mesh")
+	}
+	got := n.Router(dst).DrainBE()
+	if string(got[0].Payload) != "corner to corner" {
+		t.Errorf("payload %q", got[0].Payload)
+	}
+	// Dimension order: all x traffic happens in row y=3.
+	if n.Router(Coord{1, 3}).Stats.BEBytes[router.PortXPlus] == 0 {
+		t.Error("packet did not route x-first")
+	}
+	if n.Router(Coord{0, 2}).Stats.BEBytes[router.PortYMinus] != 0 {
+		t.Error("packet took a y-first path")
+	}
+}
+
+// TestTCAcrossMesh programs a three-hop real-time channel through the
+// mesh and checks end-to-end delivery within the accumulated deadline.
+func TestTCAcrossMesh(t *testing.T) {
+	n := MustNew(3, 3, router.DefaultConfig())
+	src, dst := Coord{0, 0}, Coord{2, 1}
+	route := XYRoute(src, dst)
+	// Program per-hop entries: conn id 5 everywhere, d=6 slots per hop.
+	at := src
+	for _, port := range route {
+		if err := n.Router(at).SetConnection(5, 5, 6, 1<<port); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(port)
+	}
+	n.Router(src).InjectTC(packet.TCPacket{Conn: 5, Stamp: 0})
+	ok := n.Kernel.RunUntil(func() bool {
+		return n.Router(dst).Stats.TCDelivered > 0
+	}, 100000)
+	if !ok {
+		t.Fatal("time-constrained packet lost in mesh")
+	}
+	d := n.Router(dst).DrainTC()[0]
+	// Four hops (3 links + reception) at d=6: end-to-end deadline is
+	// slot 24 = cycle 480, plus the 20-cycle reception completing.
+	if d.Cycle > 500 {
+		t.Errorf("delivered at cycle %d, after the composed deadline", d.Cycle)
+	}
+	if misses := n.TotalStats(func(s *router.Stats) int64 { return s.TCDeadlineMisses }); misses != 0 {
+		t.Errorf("deadline misses in mesh: %d", misses)
+	}
+}
+
+// TestLoopbackExperimentWiring reproduces the Section 5.2 wormhole path:
+// injection → +x → (loop) → −x in → +y → (loop) → −y in → reception.
+func TestLoopbackExperimentWiring(t *testing.T) {
+	l := MustNewLoopback(router.DefaultConfig())
+	frame, err := packet.NewBE(1, 1, []byte{0xEE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.R.InjectBE(frame)
+	ok := l.Kernel.RunUntil(func() bool { return l.R.Stats.BEDelivered > 0 }, 5000)
+	if !ok {
+		t.Fatalf("loopback packet not delivered: %+v", l.R.Stats)
+	}
+	if l.R.Stats.BEBytes[router.PortXPlus] == 0 || l.R.Stats.BEBytes[router.PortYPlus] == 0 {
+		t.Error("packet did not traverse both loopback links")
+	}
+	if got := l.R.DrainBE(); got[0].Payload[0] != 0xEE {
+		t.Error("payload corrupted around the loop")
+	}
+}
+
+// TestLoopbackLatencyShape verifies the paper's headline result shape:
+// end-to-end latency of a b-byte wormhole packet is overhead + b cycles.
+func TestLoopbackLatencyShape(t *testing.T) {
+	lat := func(b int) int64 {
+		l := MustNewLoopback(router.DefaultConfig())
+		payload := make([]byte, b-packet.BEHeaderBytes)
+		frame, err := packet.NewBE(1, 1, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.R.InjectBE(frame)
+		if !l.Kernel.RunUntil(func() bool { return l.R.Stats.BEDelivered > 0 }, 200000) {
+			t.Fatalf("%d-byte packet not delivered", b)
+		}
+		return l.R.DrainBE()[0].Cycle
+	}
+	l16, l32, l64, l128 := lat(16), lat(32), lat(64), lat(128)
+	// Perfectly linear: constant difference per byte.
+	if l32-l16 != 16 || l64-l32 != 32 || l128-l64 != 64 {
+		t.Errorf("latency not linear in b: %d %d %d %d", l16, l32, l64, l128)
+	}
+	overhead := l16 - 16
+	// The paper reports 30+b for its circuit; our pipeline model lands in
+	// the same few-cycles-per-hop regime.
+	if overhead < 10 || overhead > 60 {
+		t.Errorf("per-path overhead %d cycles implausible (paper: 30)", overhead)
+	}
+	t.Logf("loopback wormhole latency = %d + b cycles (paper: 30 + b)", overhead)
+}
+
+func TestTotalStats(t *testing.T) {
+	n := MustNew(2, 2, router.DefaultConfig())
+	frame, _ := packet.NewBE(0, 0, []byte("x"))
+	n.Router(Coord{0, 0}).InjectBE(frame)
+	n.Run(200)
+	if got := n.TotalStats(func(s *router.Stats) int64 { return s.BEDelivered }); got != 1 {
+		t.Errorf("TotalStats BEDelivered = %d, want 1", got)
+	}
+}
+
+// TestDegenerateMeshShapes exercises 1-wide and 1-tall meshes, where
+// most routers have unwired ports.
+func TestDegenerateMeshShapes(t *testing.T) {
+	for _, dims := range [][2]int{{4, 1}, {1, 4}, {1, 1}, {8, 2}} {
+		n := MustNew(dims[0], dims[1], router.DefaultConfig())
+		src := Coord{0, 0}
+		dst := Coord{dims[0] - 1, dims[1] - 1}
+		if src == dst {
+			continue
+		}
+		xo, yo := BEOffsets(src, dst)
+		frame, err := packet.NewBE(xo, yo, []byte("shape"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Router(src).InjectBE(frame)
+		ok := n.Kernel.RunUntil(func() bool {
+			return n.Router(dst).Stats.BEDelivered > 0
+		}, 50000)
+		if !ok {
+			t.Errorf("%dx%d: packet lost", dims[0], dims[1])
+		}
+	}
+}
+
+// TestLargeMeshSoak runs an 8x8 mesh with cross traffic — the "larger
+// network configurations" the paper defers to its simulator companion.
+func TestLargeMeshSoak(t *testing.T) {
+	n := MustNew(8, 8, router.DefaultConfig())
+	// Every edge node sends best-effort to its mirror.
+	sent := 0
+	for i := 0; i < 8; i++ {
+		pairs := [][2]Coord{
+			{{i, 0}, {7 - i, 7}},
+			{{0, i}, {7, 7 - i}},
+		}
+		for _, p := range pairs {
+			xo, yo := BEOffsets(p[0], p[1])
+			frame, err := packet.NewBE(xo, yo, make([]byte, 120))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Router(p[0]).InjectBE(frame)
+			sent++
+		}
+	}
+	ok := n.Kernel.RunUntil(func() bool {
+		return n.TotalStats(func(s *router.Stats) int64 { return s.BEDelivered }) >= int64(sent)
+	}, 300000)
+	if !ok {
+		got := n.TotalStats(func(s *router.Stats) int64 { return s.BEDelivered })
+		t.Fatalf("delivered %d/%d across the 8x8 mesh", got, sent)
+	}
+	if over := n.TotalStats(func(s *router.Stats) int64 { return s.BEBufferOverruns }); over != 0 {
+		t.Errorf("flit buffer overruns: %d", over)
+	}
+	if mis := n.TotalStats(func(s *router.Stats) int64 { return s.BEMisroutes }); mis != 0 {
+		t.Errorf("misroutes: %d", mis)
+	}
+}

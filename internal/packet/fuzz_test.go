@@ -1,0 +1,40 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBEHeaderRoundTrip exercises header encode/decode over arbitrary
+// bytes: decoding any 4 bytes and re-encoding must reproduce them, and
+// NewBE output must always decode to its own inputs.
+func FuzzBEHeaderRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 4})
+	f.Add([]byte{0xFF, 0x80, 0x12, 0x34})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < BEHeaderBytes {
+			return
+		}
+		h := DecodeBEHeader(raw)
+		var out [BEHeaderBytes]byte
+		EncodeBEHeader(h, out[:])
+		if !bytes.Equal(out[:], raw[:BEHeaderBytes]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", out, raw[:BEHeaderBytes])
+		}
+	})
+}
+
+// FuzzTCRoundTrip: any 20 bytes decode and re-encode identically.
+func FuzzTCRoundTrip(f *testing.F) {
+	f.Add(make([]byte, TCBytes))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < TCBytes {
+			return
+		}
+		var frame [TCBytes]byte
+		copy(frame[:], raw)
+		if EncodeTC(DecodeTC(frame)) != frame {
+			t.Fatal("TC frame round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTCRoundTrip(t *testing.T) {
+	p := TCPacket{Conn: 42, Stamp: 200}
+	for i := range p.Payload {
+		p.Payload[i] = byte(i * 3)
+	}
+	got := DecodeTC(EncodeTC(p))
+	if got != p {
+		t.Fatalf("round trip: got %+v, want %+v", got, p)
+	}
+}
+
+func TestTCRoundTripQuick(t *testing.T) {
+	prop := func(conn, stamp uint8, payload [TCPayloadBytes]byte) bool {
+		p := TCPacket{Conn: conn, Stamp: stamp, Payload: payload}
+		return DecodeTC(EncodeTC(p)) == p
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCLayout(t *testing.T) {
+	p := TCPacket{Conn: 7, Stamp: 9}
+	b := EncodeTC(p)
+	if b[0] != 7 || b[1] != 9 {
+		t.Errorf("header bytes = %d,%d, want 7,9 (Figure 3a layout)", b[0], b[1])
+	}
+	if len(b) != 20 {
+		t.Errorf("TC packet is %d bytes, want 20", len(b))
+	}
+}
+
+func TestBEHeaderRoundTrip(t *testing.T) {
+	h := BEHeader{XOff: -3, YOff: 2, Len: 517}
+	var buf [BEHeaderBytes]byte
+	EncodeBEHeader(h, buf[:])
+	if got := DecodeBEHeader(buf[:]); got != h {
+		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+func TestBEHeaderRoundTripQuick(t *testing.T) {
+	prop := func(x, y int8, l uint16) bool {
+		h := BEHeader{XOff: x, YOff: y, Len: l}
+		var buf [BEHeaderBytes]byte
+		EncodeBEHeader(h, buf[:])
+		return DecodeBEHeader(buf[:]) == h
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewBE(t *testing.T) {
+	payload := []byte("hello mesh")
+	b, err := NewBE(2, -1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := DecodeBEHeader(b)
+	if h.XOff != 2 || h.YOff != -1 {
+		t.Errorf("offsets = %d,%d, want 2,-1", h.XOff, h.YOff)
+	}
+	if int(h.Len) != len(b) {
+		t.Errorf("length field %d != frame length %d", h.Len, len(b))
+	}
+	if !bytes.Equal(b[BEHeaderBytes:], payload) {
+		t.Error("payload corrupted")
+	}
+}
+
+func TestNewBEErrors(t *testing.T) {
+	if _, err := NewBE(200, 0, nil); err == nil {
+		t.Error("offset out of range: want error")
+	}
+	if _, err := NewBE(0, -200, nil); err == nil {
+		t.Error("offset out of range: want error")
+	}
+	if _, err := NewBE(0, 0, make([]byte, BEMaxBytes)); err == nil {
+		t.Error("oversized packet: want error")
+	}
+}
+
+func TestFrame(t *testing.T) {
+	data := []byte{1, 2, 3}
+	ph := Frame(VCBest, data)
+	if len(ph) != 3 {
+		t.Fatalf("got %d phits, want 3", len(ph))
+	}
+	if !ph[0].Head || ph[0].Tail {
+		t.Error("first phit: want Head, not Tail")
+	}
+	if ph[1].Head || ph[1].Tail {
+		t.Error("middle phit: want neither marker")
+	}
+	if !ph[2].Tail || ph[2].Head {
+		t.Error("last phit: want Tail, not Head")
+	}
+	for i, p := range ph {
+		if !p.Valid || p.VC != VCBest || p.Data != data[i] {
+			t.Errorf("phit %d = %+v", i, p)
+		}
+	}
+}
+
+func TestFrameSingleByte(t *testing.T) {
+	ph := Frame(VCTime, []byte{9})
+	if len(ph) != 1 || !ph[0].Head || !ph[0].Tail {
+		t.Fatalf("single-byte frame: %+v", ph)
+	}
+}
+
+func TestVCString(t *testing.T) {
+	if VCTime.String() != "TC" || VCBest.String() != "BE" {
+		t.Error("VC String() labels wrong")
+	}
+	if VC(9).String() != "VC(9)" {
+		t.Errorf("unknown VC: %s", VC(9))
+	}
+}
+
+func TestEncodeBEHeaderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst did not panic")
+		}
+	}()
+	EncodeBEHeader(BEHeader{}, make([]byte, 2))
+}
+
+func TestDecodeBEHeaderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short src did not panic")
+		}
+	}()
+	DecodeBEHeader(make([]byte, 3))
+}

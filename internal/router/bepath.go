@@ -1,0 +1,247 @@
+package router
+
+import (
+	"repro/internal/packet"
+)
+
+// beInput is the best-effort wormhole receive engine of one input source:
+// a small flit buffer (10 bytes in the paper), header capture for
+// dimension-ordered routing, and a single output binding held from header
+// to tail (wormhole packets do not interleave within a virtual channel).
+// Arriving best-effort flits are covered by the credits this router
+// granted upstream; every flit consumed from the buffer returns one
+// credit on the reverse acknowledgement wire.
+type beInput struct {
+	r  *Router
+	id int // 0..3 mesh links, 4 injection
+
+	buf []byte // flit buffer (raw bytes as received, header included)
+
+	// current packet parse/forward state
+	parsed   bool
+	hdr      packet.BEHeader
+	nextHdr  [packet.BEHeaderBytes]byte
+	outPort  int
+	fwdIdx   int // bytes of the current packet already forwarded
+	bound    bool
+	dropping bool // misrouted packet being consumed and discarded
+
+	// readyAt gates the head flit: byte synchronization and chunk
+	// accumulation for the internal bus cost BEHeadDelay cycles per hop.
+	readyAt int64
+
+	// consumed counts flits removed from the buffer this cycle; each one
+	// returns a credit upstream (mesh links only).
+	consumed int
+
+	// injection source (id 4 only): queued packets stream into the flit
+	// buffer at link rate.
+	injQ   [][]byte
+	injPos int
+}
+
+// acceptByte receives one best-effort flit from the wire.
+func (u *beInput) acceptByte(b byte) {
+	if len(u.buf) >= u.r.cfg.FlitBufBytes {
+		// Credits make this unreachable from a correct upstream; count it
+		// as a protocol violation rather than silently growing the buffer.
+		u.r.Stats.BEBufferOverruns++
+		return
+	}
+	u.buf = append(u.buf, b)
+}
+
+// feedInjection streams one byte of the oldest queued packet into the
+// flit buffer, modelling the injection port crossing at link rate.
+func (u *beInput) feedInjection() {
+	if len(u.injQ) == 0 || len(u.buf) >= u.r.cfg.FlitBufBytes {
+		return
+	}
+	pkt := u.injQ[0]
+	u.buf = append(u.buf, pkt[u.injPos])
+	u.injPos++
+	if u.injPos == len(pkt) {
+		u.injQ = u.injQ[1:]
+		u.injPos = 0
+	}
+}
+
+// parse decodes the routing header once its four bytes are buffered and
+// computes the output port and the rewritten next-hop header.
+func (u *beInput) parse() {
+	if u.parsed || len(u.buf) < packet.BEHeaderBytes {
+		return
+	}
+	u.hdr = packet.DecodeBEHeader(u.buf[:packet.BEHeaderBytes])
+	if u.hdr.Len < packet.BEHeaderBytes {
+		// Malformed length; consume just the header and move on.
+		u.r.Stats.BEMalformed++
+		u.hdr.Len = packet.BEHeaderBytes
+	}
+	next := u.hdr
+	switch {
+	case u.hdr.XOff > 0:
+		u.outPort = PortXPlus
+		next.XOff--
+	case u.hdr.XOff < 0:
+		u.outPort = PortXMinus
+		next.XOff++
+	case u.hdr.YOff > 0:
+		u.outPort = PortYPlus
+		next.YOff--
+	case u.hdr.YOff < 0:
+		u.outPort = PortYMinus
+		next.YOff++
+	default:
+		u.outPort = PortLocal
+	}
+	packet.EncodeBEHeader(next, u.nextHdr[:])
+	u.parsed = true
+	u.fwdIdx = 0
+	u.readyAt = u.r.nowCycle + int64(u.r.cfg.BEHeadDelay)
+	if u.outPort != PortLocal && u.r.out[u.outPort] == nil {
+		// No neighbour in that direction: a routing error (dimension
+		// order keeps in-mesh destinations on existing links). Consume
+		// and discard the packet.
+		u.dropping = true
+		u.r.Stats.BEMisroutes++
+	}
+}
+
+// hasByte reports whether the engine can supply a byte to its output.
+func (u *beInput) hasByte() bool {
+	return u.parsed && len(u.buf) > 0 && u.r.nowCycle >= u.readyAt
+}
+
+// pop removes the next byte of the current packet, substituting the
+// rewritten header for the first four bytes, and reports head/tail.
+func (u *beInput) pop() (b byte, head, tail bool) {
+	b = u.buf[0]
+	if u.fwdIdx < packet.BEHeaderBytes {
+		b = u.nextHdr[u.fwdIdx]
+	}
+	u.buf = u.buf[1:]
+	u.consumed++
+	head = u.fwdIdx == 0
+	u.fwdIdx++
+	tail = u.fwdIdx == int(u.hdr.Len)
+	if tail {
+		u.parsed = false
+		u.bound = false
+		u.dropping = false
+	}
+	return b, head, tail
+}
+
+// drainDropped consumes one byte per cycle of a misrouted packet.
+func (u *beInput) drainDropped() {
+	if !u.dropping || len(u.buf) == 0 {
+		return
+	}
+	u.pop()
+}
+
+// truncate abandons a packet whose tail can never arrive (its upstream
+// link failed mid-worm): the fragment is discarded and any output
+// binding released so other traffic can use the port.
+func (u *beInput) truncate() {
+	if !u.parsed {
+		u.buf = u.buf[:0]
+		return
+	}
+	for q := 0; q < NumPorts; q++ {
+		if o := u.r.beOut[q]; o.curIn == u.id {
+			o.curIn = -1
+		}
+	}
+	u.buf = u.buf[:0]
+	u.parsed = false
+	u.bound = false
+	u.dropping = false
+	u.r.Stats.BETruncated++
+}
+
+// beOutput arbitrates the best-effort virtual channel of one output
+// port: round-robin over the input engines, binding held for a whole
+// packet, gated by downstream flit credits.
+type beOutput struct {
+	r    *Router
+	port int
+
+	curIn   int // bound input engine, or -1
+	rr      int
+	credits int // downstream flit-buffer credits (mesh links only)
+
+	// local reception assembly (PortLocal only)
+	rxBuf []byte
+}
+
+// bind picks a waiting input if none is bound, scanning round-robin.
+func (b *beOutput) bind() {
+	if b.curIn >= 0 {
+		return
+	}
+	n := len(b.r.beIn)
+	for i := 0; i < n; i++ {
+		idx := (b.rr + i) % n
+		u := b.r.beIn[idx]
+		if u.parsed && !u.bound && !u.dropping && u.outPort == b.port {
+			u.bound = true
+			b.curIn = idx
+			b.rr = idx + 1
+			return
+		}
+	}
+}
+
+// canSend reports whether a best-effort flit could go out this cycle.
+func (b *beOutput) canSend() bool {
+	b.bind()
+	if b.curIn < 0 {
+		return false
+	}
+	if b.port != PortLocal && b.credits <= 0 {
+		return false
+	}
+	return b.r.beIn[b.curIn].hasByte()
+}
+
+// sendByte forwards one flit from the bound input. The caller has
+// checked canSend.
+func (b *beOutput) sendByte() {
+	u := b.r.beIn[b.curIn]
+	by, head, tail := u.pop()
+	b.r.Stats.BEBytes[b.port]++
+	if b.r.OnBETransmit != nil {
+		b.r.OnBETransmit(b.port, b.r.nowCycle)
+	}
+	if b.port == PortLocal {
+		b.rxBuf = append(b.rxBuf, by)
+		if tail {
+			b.deliverLocal()
+			b.curIn = -1
+		}
+		return
+	}
+	b.credits--
+	b.r.out[b.port].Drive(packet.Phit{
+		Valid: true, VC: packet.VCBest, Data: by, Head: head, Tail: tail,
+	})
+	if tail {
+		b.curIn = -1
+		b.r.Stats.BEPacketsSent[b.port]++
+	}
+}
+
+func (b *beOutput) deliverLocal() {
+	payload := make([]byte, 0, len(b.rxBuf))
+	if len(b.rxBuf) > packet.BEHeaderBytes {
+		payload = append(payload, b.rxBuf[packet.BEHeaderBytes:]...)
+	}
+	b.r.beDelivered = append(b.r.beDelivered, DeliveredBE{
+		Payload: payload,
+		Cycle:   b.r.nowCycle,
+	})
+	b.r.Stats.BEDelivered++
+	b.rxBuf = b.rxBuf[:0]
+}

@@ -1,0 +1,55 @@
+package router
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Channel is one unidirectional physical link: a phit wire forward and an
+// acknowledgement wire back, each with one cycle of latency. A mesh wires
+// two Channels (one per direction) between each pair of neighbours.
+type Channel struct {
+	data *sim.Reg[packet.Phit]
+	ack  *sim.Reg[packet.Ack]
+}
+
+// NewChannel creates a channel and registers its wires with the kernel.
+func NewChannel(k *sim.Kernel) *Channel {
+	c := &Channel{data: sim.NewReg[packet.Phit](), ack: sim.NewReg[packet.Ack]()}
+	k.AddLatch(c.data)
+	k.AddLatch(c.ack)
+	return c
+}
+
+// Out returns the sending end of the channel.
+func (c *Channel) Out() *OutLink { return &OutLink{c} }
+
+// In returns the receiving end of the channel.
+func (c *Channel) In() *InLink { return &InLink{c} }
+
+// OutLink is the transmit side of a channel: drive phits, read acks.
+type OutLink struct{ ch *Channel }
+
+// Drive places a phit on the wire for the next cycle.
+func (o *OutLink) Drive(p packet.Phit) { o.ch.data.Write(p) }
+
+// Ack returns the acknowledgement latched from the receiver.
+func (o *OutLink) Ack() packet.Ack { return o.ch.ack.Read() }
+
+// InLink is the receive side of a channel: read phits, drive acks.
+type InLink struct{ ch *Channel }
+
+// Phit returns the phit latched on the wire this cycle.
+func (i *InLink) Phit() packet.Phit { return i.ch.data.Read() }
+
+// DriveAck returns a flit credit to the sender for the next cycle.
+func (i *InLink) DriveAck(a packet.Ack) { i.ch.ack.Write(a) }
+
+// Loopback wires an output port of a router directly to one of its own
+// input ports through a normal one-cycle channel, reproducing the
+// single-chip multi-hop configuration of the paper's first experiment.
+func Loopback(k *sim.Kernel, r *Router, outPort, inPort int) {
+	ch := NewChannel(k)
+	r.ConnectOut(outPort, ch.Out())
+	r.ConnectIn(inPort, ch.In())
+}

@@ -1,0 +1,91 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// packetMemory models the shared single-ported SRAM that stores
+// time-constrained packets awaiting the output links (Section 3.4). The
+// memory is chunked — the paper's part is 10 bytes wide with a 20 ns
+// access time, one chunk per cycle — and allocation uses an idle-address
+// FIFO, as in the shared-memory switches the paper cites.
+type packetMemory struct {
+	data [][packet.TCBytes]byte
+	idle []int // FIFO of free slot addresses
+}
+
+func newPacketMemory(slots int) *packetMemory {
+	m := &packetMemory{data: make([][packet.TCBytes]byte, slots)}
+	m.idle = make([]int, slots)
+	for i := range m.idle {
+		m.idle[i] = i
+	}
+	return m
+}
+
+// alloc pops a free slot from the idle-address FIFO.
+func (m *packetMemory) alloc() (int, bool) {
+	if len(m.idle) == 0 {
+		return -1, false
+	}
+	s := m.idle[0]
+	m.idle = m.idle[1:]
+	return s, true
+}
+
+// free returns a slot to the idle-address pool.
+func (m *packetMemory) free(slot int) {
+	if slot < 0 || slot >= len(m.data) {
+		panic(fmt.Sprintf("router: freeing invalid memory slot %d", slot))
+	}
+	m.idle = append(m.idle, slot)
+}
+
+func (m *packetMemory) freeSlots() int { return len(m.idle) }
+
+// writeChunk stores chunk i (chunkBytes wide) of a packet into slot.
+func (m *packetMemory) writeChunk(slot, chunk, chunkBytes int, src []byte) {
+	off := chunk * chunkBytes
+	copy(m.data[slot][off:off+chunkBytes], src)
+}
+
+// readChunk loads chunk i of slot into dst.
+func (m *packetMemory) readChunk(slot, chunk, chunkBytes int, dst []byte) {
+	off := chunk * chunkBytes
+	copy(dst, m.data[slot][off:off+chunkBytes])
+}
+
+// busClient is a port engine that may need a memory access this cycle.
+// The bus polls clients in round-robin order and grants one chunk
+// transfer per cycle (demand-driven arbitration, Section 3.4).
+type busClient interface {
+	wantsBus() bool
+	busGrant()
+}
+
+// memBus is the internal bus to the shared packet memory: exactly one
+// chunk transfer per cycle among all requesting engines.
+type memBus struct {
+	clients []busClient
+	rr      int
+	// grants counts chunk transfers, a utilization statistic.
+	grants int64
+}
+
+func (b *memBus) attach(c busClient) { b.clients = append(b.clients, c) }
+
+// tick grants at most one client, starting the scan after last grantee.
+func (b *memBus) tick() {
+	n := len(b.clients)
+	for i := 0; i < n; i++ {
+		idx := (b.rr + i) % n
+		if b.clients[idx].wantsBus() {
+			b.clients[idx].busGrant()
+			b.rr = idx + 1
+			b.grants++
+			return
+		}
+	}
+}

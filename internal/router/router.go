@@ -1,0 +1,514 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// DeliveredTC is a time-constrained packet handed to the local processor
+// by the reception port.
+type DeliveredTC struct {
+	Conn    uint8 // connection identifier programmed for local delivery
+	Stamp   uint8 // local deadline stamp carried in the header
+	Payload [packet.TCPayloadBytes]byte
+	Cycle   int64
+}
+
+// DeliveredBE is a best-effort packet handed to the local processor.
+type DeliveredBE struct {
+	Payload []byte
+	Cycle   int64
+}
+
+// TCTransmitEvent describes one time-constrained packet transmission,
+// reported through Router.OnTCTransmit for per-connection accounting
+// (Figure 7 style service curves).
+type TCTransmitEvent struct {
+	Router  string
+	Port    int
+	InConn  uint8
+	OutConn uint8
+	Class   sched.Class
+	Cycle   int64
+	Missed  bool
+	Wait    int64 // cycles from leaf install to transmission start
+}
+
+// Stats aggregates the router's hardware counters.
+type Stats struct {
+	TCArrived        int64 // packets written into the shared memory
+	TCTransmitted    [NumPorts]int64
+	TCDelivered      int64
+	TCDeadlineMisses int64
+	TCCutThroughs    int64
+	TCStageReplaced  int64
+	TCDropsNoSlot    int64 // idle-address FIFO empty (reservation violated)
+	TCDropsNoRoute   int64 // no valid connection-table entry
+	TCDropsStaging   int64 // input staging overrun
+	TCDeadPortDrops  int64 // packet routed to an unwired link
+
+	BEBytes          [NumPorts]int64
+	BEPacketsSent    [NumPorts]int64
+	BEDelivered      int64
+	BEMisroutes      int64
+	BEMalformed      int64
+	BEBufferOverruns int64
+	BETruncated      int64 // fragments abandoned after a link failure
+
+	BusGrants int64
+}
+
+// Router is one real-time router chip. It implements sim.Component; wire
+// its mesh links with ConnectIn/ConnectOut (or the mesh package) before
+// running the kernel.
+type Router struct {
+	cfg   Config
+	name  string
+	wheel timing.Wheel
+
+	in  [NumLinks]*InLink
+	out [NumLinks]*OutLink
+
+	table    []ConnEntry
+	ctl      controlIface
+	horizons [NumPorts]uint32
+
+	mem    *packetMemory
+	schedq sched.Scheduler
+	bus    memBus
+
+	tcIn  [NumPorts]*tcInput
+	tcOut [NumPorts]*tcOutput
+	beIn  [NumPorts]*beInput
+	beOut [NumPorts]*beOutput
+
+	tcInjectQ   [][packet.TCBytes]byte
+	tcDelivered []DeliveredTC
+	beDelivered []DeliveredBE
+
+	schedCountdown int
+	schedRR        int
+	nowCycle       int64
+
+	// Stats exposes the hardware counters; read-only for callers.
+	Stats Stats
+	// OnTCTransmit, if set, is invoked at the start of every
+	// time-constrained packet transmission.
+	OnTCTransmit func(TCTransmitEvent)
+	// OnBETransmit, if set, is invoked for every best-effort flit sent.
+	OnBETransmit func(port int, cycle int64)
+}
+
+// New constructs a router with the given configuration. The name appears
+// in traces and panics (conventionally the mesh coordinate).
+func New(name string, cfg Config) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:      cfg,
+		name:     name,
+		wheel:    mustWheel(cfg.ClockBits),
+		table:    make([]ConnEntry, cfg.Conns),
+		mem:      newPacketMemory(cfg.Slots),
+		schedq:   cfg.newScheduler(),
+		horizons: cfg.Horizons,
+	}
+	for i := 0; i < NumPorts; i++ {
+		r.tcIn[i] = &tcInput{r: r, id: i}
+		r.tcOut[i] = &tcOutput{r: r, port: i}
+		r.beIn[i] = &beInput{r: r, id: i}
+		r.beOut[i] = &beOutput{r: r, port: i, curIn: -1, credits: cfg.FlitBufBytes}
+	}
+	// Bus polling order mirrors the chip's ten port engines: five
+	// receive engines then five transmit engines.
+	for i := 0; i < NumPorts; i++ {
+		r.bus.attach(r.tcIn[i])
+	}
+	for i := 0; i < NumPorts; i++ {
+		r.bus.attach(r.tcOut[i])
+	}
+	return r, nil
+}
+
+func mustWheel(bits uint) timing.Wheel {
+	w, err := timing.NewWheel(bits)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(name string, cfg Config) *Router {
+	r, err := New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name implements sim.Component.
+func (r *Router) Name() string { return r.name }
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// Wheel returns the router's slot-clock wheel.
+func (r *Router) Wheel() timing.Wheel { return r.wheel }
+
+// Scheduler exposes the link scheduler for inspection in tests.
+func (r *Router) Scheduler() sched.Scheduler { return r.schedq }
+
+// FreeSlots returns the current idle-address FIFO depth.
+func (r *Router) FreeSlots() int { return r.mem.freeSlots() }
+
+// PortState summarizes one output port's pipeline for diagnostics.
+type PortState struct {
+	TxActive  bool
+	Staged    bool
+	Fetching  bool
+	CandValid bool
+	Cutting   bool
+	CutIdx    int
+}
+
+// OutputState reports the transmit pipeline state of a port.
+func (r *Router) OutputState(p int) PortState {
+	o := r.tcOut[p]
+	return PortState{
+		TxActive:  o.txActive,
+		Staged:    o.staged,
+		Fetching:  o.fetching,
+		CandValid: o.candValid,
+		Cutting:   o.cutIn != nil,
+		CutIdx:    o.cutIdx,
+	}
+}
+
+// ResetStats zeroes the hardware counters — the standard simulator
+// warmup idiom: run to steady state, reset, then measure.
+func (r *Router) ResetStats() {
+	r.Stats = Stats{}
+	r.bus.grants = 0
+}
+
+// ConnectIn attaches the receive side of a mesh link to input port p.
+func (r *Router) ConnectIn(p int, l *InLink) {
+	if p < 0 || p >= NumLinks {
+		panic(fmt.Sprintf("router %s: ConnectIn(%d) out of link range", r.name, p))
+	}
+	r.in[p] = l
+}
+
+// ConnectOut attaches the transmit side of a mesh link to output port p.
+func (r *Router) ConnectOut(p int, l *OutLink) {
+	if p < 0 || p >= NumLinks {
+		panic(fmt.Sprintf("router %s: ConnectOut(%d) out of link range", r.name, p))
+	}
+	r.out[p] = l
+}
+
+// InjectTC queues one time-constrained packet at the injection port. The
+// header stamp must carry the connection's logical arrival time ℓ0(m) on
+// the network slot clock.
+func (r *Router) InjectTC(p packet.TCPacket) {
+	r.tcInjectQ = append(r.tcInjectQ, packet.EncodeTC(p))
+}
+
+// InjectBE queues one encoded best-effort packet (see packet.NewBE) at
+// the injection port.
+func (r *Router) InjectBE(frame []byte) {
+	if len(frame) < packet.BEHeaderBytes {
+		panic(fmt.Sprintf("router %s: InjectBE frame of %d bytes", r.name, len(frame)))
+	}
+	r.beIn[PortLocal].injQ = append(r.beIn[PortLocal].injQ, frame)
+}
+
+// TCInjectBacklog returns the number of packets queued at the
+// time-constrained injection port.
+func (r *Router) TCInjectBacklog() int {
+	n := len(r.tcInjectQ)
+	if r.tcIn[PortLocal].injCount > 0 {
+		n++
+	}
+	return n
+}
+
+// DrainTC returns and clears the packets delivered to the local
+// processor since the last call.
+func (r *Router) DrainTC() []DeliveredTC {
+	d := r.tcDelivered
+	r.tcDelivered = nil
+	return d
+}
+
+// DrainBE returns and clears the best-effort deliveries.
+func (r *Router) DrainBE() []DeliveredBE {
+	d := r.beDelivered
+	r.beDelivered = nil
+	return d
+}
+
+// slotNow maps a cycle to this router's wrapped slot clock — global
+// time plus the configured skew. The clock ticks once per packet
+// transmission time (Section 4.2).
+func (r *Router) slotNow(now int64) timing.Stamp {
+	local := now + r.cfg.SkewCycles
+	if local < 0 {
+		local = 0
+	}
+	return r.wheel.Wrap(timing.CyclesToSlot(local, packet.TCBytes))
+}
+
+// SlotNow exposes the current slot stamp for traffic sources, which need
+// the same clock the routers use (the bounded-skew assumption of
+// Section 4.1: here skew is exactly zero).
+func (r *Router) SlotNow(now int64) timing.Stamp { return r.slotNow(now) }
+
+// Tick implements sim.Component. Phase order inside the chip:
+//
+//  1. output arbitration drives this cycle's phits from last cycle's
+//     state (giving each hop its pipeline latency),
+//  2. a comparator-tree beat refreshes one port's candidate,
+//  3. fetch/write launches and one memory-bus chunk transfer,
+//  4. inputs sample the link wires, and
+//  5. acknowledgements return flit credits upstream.
+func (r *Router) Tick(now sim.Cycle) {
+	r.nowCycle = int64(now)
+	nowSlot := r.slotNow(int64(now))
+
+	for p := 0; p < NumPorts; p++ {
+		r.arbitrate(p, nowSlot)
+	}
+
+	r.schedCountdown--
+	if r.schedCountdown <= 0 {
+		// Leaf sharing (§5.1) serializes each module's packets through
+		// one comparator: selections come LeafSharing times slower.
+		r.schedCountdown = r.cfg.SchedPeriod * r.cfg.LeafSharing
+		r.schedBeat(nowSlot)
+	}
+
+	for p := 0; p < NumPorts; p++ {
+		r.tcIn[p].launchWrite()
+		r.tcOut[p].launchFetch()
+	}
+	r.bus.tick()
+	r.Stats.BusGrants = r.bus.grants
+
+	r.sampleInputs()
+
+	for p := 0; p < NumLinks; p++ {
+		if r.in[p] == nil {
+			continue
+		}
+		u := r.beIn[p]
+		if u.consumed > 0 {
+			r.in[p].DriveAck(packet.Ack{BECredit: true})
+			u.consumed--
+		}
+	}
+}
+
+// schedBeat runs one comparator-tree selection for the next port in
+// round-robin order, modelling the shared, pipelined tree's throughput
+// of one result per SchedPeriod cycles.
+func (r *Router) schedBeat(nowSlot timing.Stamp) {
+	for i := 0; i < NumPorts; i++ {
+		p := (r.schedRR + i) % NumPorts
+		o := r.tcOut[p]
+		if o.cutIn != nil || o.fetching || (o.txActive && o.staged) {
+			continue
+		}
+		r.schedRR = p + 1
+		o.schedule(nowSlot)
+		return
+	}
+}
+
+// arbitrate resolves one output port for one cycle: continue an active
+// time-constrained burst; else start an on-time packet; else send a
+// best-effort flit; else start an early packet within the horizon
+// (Table 1 service order with byte-level preemption of best-effort
+// traffic).
+func (r *Router) arbitrate(p int, nowSlot timing.Stamp) {
+	o := r.tcOut[p]
+	if p != PortLocal && r.out[p] == nil {
+		r.drainDeadPort(o)
+		r.beIn[p].drainDropped()
+		return
+	}
+	r.beIn[p].drainDropped()
+
+	if o.txActive {
+		r.emitTC(o)
+		return
+	}
+	if o.cutIn != nil && o.cutIdx > 0 {
+		r.emitCut(o)
+		return
+	}
+
+	class := sched.ClassNone
+	if o.staged {
+		class = o.stagedClass(nowSlot)
+	}
+	cutClass := sched.ClassNone
+	if o.cutIn != nil {
+		cutClass = o.cutClass
+		if cutClass == sched.ClassEarly && r.wheel.OnTime(o.cutLeaf.L, nowSlot) {
+			cutClass = sched.ClassOnTime
+			o.cutClass = cutClass
+		}
+	}
+	be := r.beOut[p]
+
+	switch {
+	case class == sched.ClassOnTime:
+		o.startTx(nowSlot, class)
+		r.emitTC(o)
+	case cutClass == sched.ClassOnTime:
+		r.emitCut(o)
+	case be.canSend():
+		be.sendByte()
+	case class == sched.ClassEarly:
+		o.startTx(nowSlot, class)
+		r.emitTC(o)
+	case cutClass == sched.ClassEarly:
+		r.emitCut(o)
+	}
+}
+
+// drainDeadPort discards time-constrained packets scheduled to a port
+// with no attached link (a misconfiguration admission prevents).
+func (r *Router) drainDeadPort(o *tcOutput) {
+	if !o.staged {
+		return
+	}
+	empty, err := r.schedq.ClearPort(o.sSlot, o.port)
+	if err == nil && empty {
+		r.mem.free(o.sSlot)
+	}
+	o.staged = false
+	r.Stats.TCDeadPortDrops++
+}
+
+// emitTC sends the next byte of the active transmission.
+func (r *Router) emitTC(o *tcOutput) {
+	b, head, tail := o.emitByte()
+	if o.port == PortLocal {
+		o.rxBuf[o.txIdx-1] = b
+		if tail {
+			r.deliverLocalTC(o.rxBuf)
+		}
+		return
+	}
+	r.out[o.port].Drive(packet.Phit{Valid: true, VC: packet.VCTime, Data: b, Head: head, Tail: tail})
+}
+
+// emitCut sends the next byte of a virtual cut-through stream; header
+// bytes come rewritten, payload bytes from the input's skew FIFO.
+func (r *Router) emitCut(o *tcOutput) {
+	var b byte
+	if o.cutIdx < packet.TCHeaderBytes {
+		b = o.cutHdr[o.cutIdx]
+	} else {
+		u := o.cutIn
+		if len(u.cutFIFO) == 0 {
+			return // bubble: arrival stream has not caught up
+		}
+		b = u.cutFIFO[0]
+		u.cutFIFO = u.cutFIFO[1:]
+	}
+	head := o.cutIdx == 0
+	if head {
+		r.Stats.TCTransmitted[o.port]++
+		if r.OnTCTransmit != nil {
+			r.OnTCTransmit(TCTransmitEvent{
+				Router: r.name, Port: o.port,
+				InConn: o.cutLeaf.InConn, OutConn: o.cutLeaf.OutConn,
+				Class: o.cutClass, Cycle: r.nowCycle,
+			})
+		}
+	}
+	tail := o.cutIdx == packet.TCBytes-1
+	if o.port == PortLocal {
+		o.rxBuf[o.cutIdx] = b
+		o.cutIdx++
+		if tail {
+			r.deliverLocalTC(o.rxBuf)
+			o.cutIn = nil
+		}
+		return
+	}
+	o.cutIdx++
+	r.out[o.port].Drive(packet.Phit{Valid: true, VC: packet.VCTime, Data: b, Head: head, Tail: tail})
+	if tail {
+		o.cutIn = nil
+	}
+}
+
+func (r *Router) deliverLocalTC(buf [packet.TCBytes]byte) {
+	p := packet.DecodeTC(buf)
+	r.tcDelivered = append(r.tcDelivered, DeliveredTC{
+		Conn: p.Conn, Stamp: p.Stamp, Payload: p.Payload, Cycle: r.nowCycle,
+	})
+	r.Stats.TCDelivered++
+}
+
+// sampleInputs reads the link wires and injection queues.
+func (r *Router) sampleInputs() {
+	for p := 0; p < NumLinks; p++ {
+		if r.in[p] == nil {
+			// A failed upstream link can never complete an in-progress
+			// packet: flush the fragment so it releases its output.
+			if u := r.beIn[p]; u.parsed || len(u.buf) > 0 {
+				u.truncate()
+			}
+		}
+		if r.in[p] != nil {
+			ph := r.in[p].Phit()
+			if ph.Valid {
+				switch ph.VC {
+				case packet.VCTime:
+					r.tcIn[p].acceptByte(ph.Data, r.nowCycle)
+				case packet.VCBest:
+					r.beIn[p].acceptByte(ph.Data)
+				}
+			}
+		}
+		if r.out[p] != nil && r.out[p].Ack().BECredit {
+			be := r.beOut[p]
+			if be.credits < r.cfg.FlitBufBytes {
+				be.credits++
+			}
+		}
+	}
+	r.feedTCInjection()
+	r.beIn[PortLocal].feedInjection()
+	for p := 0; p < NumPorts; p++ {
+		r.beIn[p].parse()
+	}
+}
+
+// feedTCInjection streams queued time-constrained packets across the
+// injection port at one byte per cycle.
+func (r *Router) feedTCInjection() {
+	u := r.tcIn[PortLocal]
+	if u.injCount == 0 {
+		if len(r.tcInjectQ) == 0 {
+			return
+		}
+		u.injPkt = r.tcInjectQ[0]
+		r.tcInjectQ = r.tcInjectQ[1:]
+		u.injCount = packet.TCBytes
+	}
+	idx := packet.TCBytes - u.injCount
+	u.acceptByte(u.injPkt[idx], r.nowCycle)
+	u.injCount--
+}

@@ -1,0 +1,216 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// TestTCSaturatedLinkThroughput checks the paper's §4.2 claim that the
+// router "overlaps communication scheduling with packet transmission to
+// maximize utilization of the network links": a connection reserving
+// the full link (Imin = 1 slot) must sustain one packet per slot with
+// no pipeline bubbles and no deadline misses.
+func TestTCSaturatedLinkThroughput(t *testing.T) {
+	r := newPairRig(t, DefaultConfig())
+	if err := r.a.SetConnection(1, 2, 2, maskOf(PortXPlus)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.b.SetConnection(2, 7, 2, maskOf(PortLocal)); err != nil {
+		t.Fatal(err)
+	}
+	const messages = 200
+	for i := 0; i < messages; i++ {
+		// One packet per slot, stamped with its own slot as ℓ0.
+		r.a.InjectTC(tcPkt(1, uint8(i), byte(i)))
+	}
+	// messages slots of injection + pipeline/drain margin.
+	r.k.Run(int64(messages)*packet.TCBytes + 2000)
+	if got := r.b.Stats.TCDelivered; got != messages {
+		t.Fatalf("delivered %d/%d at full reservation", got, messages)
+	}
+	if r.a.Stats.TCDeadlineMisses != 0 || r.b.Stats.TCDeadlineMisses != 0 {
+		t.Errorf("misses at sustainable full load: A=%d B=%d",
+			r.a.Stats.TCDeadlineMisses, r.b.Stats.TCDeadlineMisses)
+	}
+	// Throughput check: the link carried one packet per slot — the
+	// last delivery lands within the drain margin of the injection end.
+	d := r.b.DrainTC()
+	last := d[len(d)-1].Cycle
+	if limit := int64(messages)*packet.TCBytes + 200; last > limit {
+		t.Errorf("last delivery at cycle %d; pipeline bubbles pushed past %d", last, limit)
+	}
+	if r.a.FreeSlots() != DefaultConfig().Slots || r.b.FreeSlots() != DefaultConfig().Slots {
+		t.Error("memory slots leaked under saturation")
+	}
+}
+
+// TestBERoundRobinFairness converges two best-effort flows on one link
+// and checks round-robin arbitration interleaves whole packets fairly.
+func TestBERoundRobinFairness(t *testing.T) {
+	// Three routers in a line: A and C both send into B... the pair rig
+	// only has A and B, so use injection + link input at B competing for
+	// B's local port: A→B traffic and B's own injection both target B's
+	// reception port.
+	r := newPairRig(t, DefaultConfig())
+	const n = 12
+	for i := 0; i < n; i++ {
+		fromA, err := packet.NewBE(1, 0, make([]byte, 40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.a.InjectBE(fromA)
+		local, err := packet.NewBE(0, 0, make([]byte, 40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.b.InjectBE(local)
+	}
+	r.k.RunUntil(func() bool { return r.b.Stats.BEDelivered >= 2*n }, 100000)
+	if r.b.Stats.BEDelivered != 2*n {
+		t.Fatalf("delivered %d/%d", r.b.Stats.BEDelivered, 2*n)
+	}
+	// Fairness: neither source finished drastically before the other —
+	// the final quarter of deliveries must include both sources. With
+	// per-packet round-robin they interleave ~1:1; a starved source
+	// would finish entirely after the favoured one. We approximate by
+	// checking total service bytes over the shared port match.
+	if got := r.b.Stats.BEBytes[PortLocal]; got != int64(2*n*44) {
+		t.Errorf("local port carried %d bytes, want %d", got, 2*n*44)
+	}
+}
+
+// TestRandomMixedSoak fuzzes a router pair with random interleavings of
+// time-constrained and best-effort traffic and checks global
+// conservation invariants afterwards: everything injected is delivered
+// or accounted, buffers are reclaimed, flow control never overruns.
+func TestRandomMixedSoak(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.VCT = rng.Intn(2) == 1
+		for p := range cfg.Horizons {
+			cfg.Horizons[p] = uint32(rng.Intn(30))
+		}
+		r := newPairRig(t, cfg)
+		// Generous delay bounds: nothing should miss or drop.
+		if err := r.a.SetConnection(1, 2, 60, maskOf(PortXPlus)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.b.SetConnection(2, 7, 60, maskOf(PortLocal)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.b.SetConnection(3, 4, 60, maskOf(PortXMinus)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.a.SetConnection(4, 8, 60, maskOf(PortLocal)); err != nil {
+			t.Fatal(err)
+		}
+		tcAB, tcBA, beAB, beBA := 0, 0, 0, 0
+		var beBytesAB, beBytesBA int64
+		for i := 0; i < 120; i++ {
+			slot := r.a.SlotNow(int64(r.k.Now()))
+			switch rng.Intn(4) {
+			case 0:
+				r.a.InjectTC(tcPkt(1, packet.StampOf(slot), byte(i)))
+				tcAB++
+			case 1:
+				r.b.InjectTC(tcPkt(3, packet.StampOf(slot), byte(i)))
+				tcBA++
+			case 2:
+				sz := 10 + rng.Intn(200)
+				frame, err := packet.NewBE(1, 0, make([]byte, sz))
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.a.InjectBE(frame)
+				beAB++
+				beBytesAB += int64(len(frame))
+			default:
+				sz := 10 + rng.Intn(200)
+				frame, err := packet.NewBE(-1, 0, make([]byte, sz))
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.b.InjectBE(frame)
+				beBA++
+				beBytesBA += int64(len(frame))
+			}
+			r.k.Run(int64(rng.Intn(60)))
+		}
+		r.k.Run(60 * packet.TCBytes * 3) // drain everything
+		if got := r.b.Stats.TCDelivered; got != int64(tcAB) {
+			t.Errorf("seed %d: B delivered %d TC, want %d", seed, got, tcAB)
+		}
+		if got := r.a.Stats.TCDelivered; got != int64(tcBA) {
+			t.Errorf("seed %d: A delivered %d TC, want %d", seed, got, tcBA)
+		}
+		if got := r.b.Stats.BEDelivered; got != int64(beAB) {
+			t.Errorf("seed %d: B delivered %d BE, want %d", seed, got, beAB)
+		}
+		if got := r.a.Stats.BEDelivered; got != int64(beBA) {
+			t.Errorf("seed %d: A delivered %d BE, want %d", seed, got, beBA)
+		}
+		for _, rt := range []*Router{r.a, r.b} {
+			if rt.Stats.BEBufferOverruns != 0 || rt.Stats.BEMalformed != 0 || rt.Stats.BEMisroutes != 0 {
+				t.Errorf("seed %d: %s flow-control violations: %+v", seed, rt.Name(), rt.Stats)
+			}
+			if rt.Stats.TCDropsNoSlot != 0 || rt.Stats.TCDropsNoRoute != 0 || rt.Stats.TCDropsStaging != 0 {
+				t.Errorf("seed %d: %s dropped TC traffic: %+v", seed, rt.Name(), rt.Stats)
+			}
+			if rt.FreeSlots() != cfg.Slots {
+				t.Errorf("seed %d: %s leaked %d slots", seed, rt.Name(), cfg.Slots-rt.FreeSlots())
+			}
+			if occ := rt.Scheduler().Occupancy(); occ != 0 {
+				t.Errorf("seed %d: %s has %d stuck leaves", seed, rt.Name(), occ)
+			}
+		}
+		// Payload integrity across the BE path: byte counts on the wire
+		// match the frames injected.
+		if got := r.a.Stats.BEBytes[PortXPlus]; got != beBytesAB {
+			t.Errorf("seed %d: A sent %d BE bytes on +x, want %d", seed, got, beBytesAB)
+		}
+	}
+}
+
+// TestTCPayloadIntegrityUnderLoad streams distinct payloads through a
+// congested link and verifies every delivered packet carries exactly
+// what was injected (memory chunking, header rewrite and preemption
+// must never corrupt data).
+func TestTCPayloadIntegrityUnderLoad(t *testing.T) {
+	r := newPairRig(t, DefaultConfig())
+	if err := r.a.SetConnection(1, 2, 50, maskOf(PortXPlus)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.b.SetConnection(2, 7, 50, maskOf(PortLocal)); err != nil {
+		t.Fatal(err)
+	}
+	// Congest with best-effort noise the whole time.
+	noise, err := packet.NewBE(1, 0, make([]byte, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.a.InjectBE(noise)
+	const n = 40
+	for i := 0; i < n; i++ {
+		p := packet.TCPacket{Conn: 1, Stamp: packet.StampOf(r.a.SlotNow(int64(r.k.Now())))}
+		for j := range p.Payload {
+			p.Payload[j] = byte(i*31 + j*7)
+		}
+		r.a.InjectTC(p)
+		r.k.Run(25)
+	}
+	r.k.Run(5000)
+	got := r.b.DrainTC()
+	if len(got) != n {
+		t.Fatalf("delivered %d/%d", len(got), n)
+	}
+	for i, d := range got {
+		for j := range d.Payload {
+			if d.Payload[j] != byte(i*31+j*7) {
+				t.Fatalf("packet %d byte %d corrupted: %#x", i, j, d.Payload[j])
+			}
+		}
+	}
+}

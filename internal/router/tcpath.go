@@ -1,0 +1,355 @@
+package router
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sched"
+	"repro/internal/timing"
+)
+
+// tcInput is the time-constrained receive engine of one input source:
+// the four mesh links plus the injection port. It assembles arriving
+// 20-byte packets in nominal staging space, obtains a memory slot from
+// the idle-address FIFO, writes the packet to the shared memory over the
+// internal bus in chunk-sized transfers, and installs the scheduling
+// leaf from the connection-table entry.
+type tcInput struct {
+	r  *Router
+	id int // input index: 0..3 mesh links, 4 injection
+
+	asm  [packet.TCBytes]byte
+	nAsm int
+	// pending holds fully assembled packets awaiting a memory write. The
+	// paper gives each port "nominal buffer space" to ride out bus
+	// contention; two packets of staging suffices at these bandwidths.
+	pending [][packet.TCBytes]byte
+
+	// write in progress
+	wActive bool
+	wSlot   int
+	wChunk  int
+	wData   [packet.TCBytes]byte
+
+	// injection streaming: the local processor hands over packets which
+	// cross the injection port at link rate, one byte per cycle.
+	injCount int
+	injPkt   [packet.TCBytes]byte
+
+	// virtual cut-through state (Section 7 extension): when cutting, the
+	// remaining bytes of the arriving packet stream straight to the
+	// output port without touching the packet memory. cutFIFO absorbs the
+	// two-byte skew between arrival and the rewritten header going out.
+	cutting bool
+	cutIdx  int
+	cutFIFO []byte
+}
+
+const pendingCap = 2
+
+// acceptByte consumes one time-constrained byte from the wire (or the
+// injection stream).
+func (u *tcInput) acceptByte(b byte, now int64) {
+	if u.cutting {
+		u.cutFIFO = append(u.cutFIFO, b)
+		u.cutIdx++
+		if u.cutIdx == packet.TCBytes {
+			u.cutting = false
+		}
+		return
+	}
+	u.asm[u.nAsm] = b
+	u.nAsm++
+	if u.r.cfg.VCT && u.nAsm == packet.TCHeaderBytes && u.tryCutThrough(now) {
+		return
+	}
+	if u.nAsm == packet.TCBytes {
+		u.nAsm = 0
+		if len(u.pending) >= pendingCap {
+			// Staging overrun: only possible when traffic violates its
+			// reservation badly enough to saturate the memory bus.
+			u.r.Stats.TCDropsStaging++
+			return
+		}
+		u.pending = append(u.pending, u.asm)
+	}
+}
+
+// tryCutThrough attempts the Section 7 virtual cut-through: if the
+// connection's output port is idle and the scheduler holds nothing
+// eligible for it, the arriving packet proceeds directly to the link
+// without visiting the packet memory. Only unicast connections cut
+// through (a multicast fan-out falls back to buffering, which the
+// paper's sketch does not address). It returns true when the cut path is
+// established.
+func (u *tcInput) tryCutThrough(now int64) bool {
+	// The skew FIFO belongs to one cut at a time: a new cut may only
+	// start once the previous cut's consumer has drained every byte
+	// (resetting the FIFO earlier would wedge that output mid-packet).
+	if u.cutting || len(u.cutFIFO) > 0 {
+		return false
+	}
+	hdr := packet.DecodeTC([packet.TCBytes]byte{u.asm[0], u.asm[1]})
+	ent := u.r.table[hdr.Conn]
+	if !ent.Valid || ent.Mask.Count() != 1 {
+		return false
+	}
+	var port int
+	for p := 0; p < NumPorts; p++ {
+		if ent.Mask.Has(p) {
+			port = p
+		}
+	}
+	out := u.r.tcOut[port]
+	if out.txActive || out.staged || out.fetching || out.candValid || out.cutIn != nil {
+		return false
+	}
+	if port != PortLocal && u.r.out[port] == nil {
+		return false
+	}
+	nowSlot := u.r.slotNow(now)
+	if sel := u.r.schedq.Select(port, nowSlot, u.r.horizons[port]); sel.Class != sched.ClassNone {
+		return false
+	}
+	// The arriving packet itself must be serviceable now: on-time, or
+	// early within the port's horizon ("no other packets have smaller
+	// sorting keys", Section 7).
+	l := u.r.wheel.Wrap(timing.Slot(hdr.Stamp))
+	dl := u.r.wheel.Add(l, uint32(ent.Delay))
+	k, early, _ := u.r.wheel.SortKey(l, dl, nowSlot)
+	class := sched.ClassOnTime
+	if early {
+		if !u.r.wheel.WithinHorizon(k, u.r.horizons[port]) {
+			return false
+		}
+		class = sched.ClassEarly
+	}
+	out.cutIn = u
+	out.cutIdx = 0
+	out.cutHdr = [packet.TCHeaderBytes]byte{ent.Out, packet.StampOf(dl)}
+	out.cutLeaf = sched.Leaf{L: l, Dl: dl, OutConn: ent.Out, InConn: hdr.Conn, EnqueueCycle: now}
+	out.cutClass = class
+	u.cutting = true
+	u.cutIdx = packet.TCHeaderBytes
+	u.cutFIFO = u.cutFIFO[:0]
+	u.nAsm = 0
+	u.r.Stats.TCCutThroughs++
+	return true
+}
+
+// launchWrite starts the memory write of the oldest pending packet.
+func (u *tcInput) launchWrite() {
+	if u.wActive || len(u.pending) == 0 {
+		return
+	}
+	slot, ok := u.r.mem.alloc()
+	if !ok {
+		// Reservation guarantees this cannot happen for admitted traffic
+		// (Section 3.4); count and drop for misbehaving workloads.
+		u.r.Stats.TCDropsNoSlot++
+		u.pending = u.pending[1:]
+		return
+	}
+	u.wActive = true
+	u.wSlot = slot
+	u.wChunk = 0
+	u.wData = u.pending[0]
+	u.pending = u.pending[1:]
+}
+
+func (u *tcInput) wantsBus() bool { return u.wActive }
+
+// busGrant writes one chunk; on the last chunk the packet is live in
+// memory and its scheduling leaf is installed.
+func (u *tcInput) busGrant() {
+	cb := u.r.cfg.ChunkBytes
+	u.r.mem.writeChunk(u.wSlot, u.wChunk, cb, u.wData[u.wChunk*cb:])
+	u.wChunk++
+	if u.wChunk*cb < packet.TCBytes {
+		return
+	}
+	u.wActive = false
+	u.finishPacket()
+}
+
+func (u *tcInput) finishPacket() {
+	p := packet.DecodeTC(u.wData)
+	ent := u.r.table[p.Conn]
+	if !ent.Valid {
+		u.r.Stats.TCDropsNoRoute++
+		u.r.mem.free(u.wSlot)
+		return
+	}
+	l := u.r.wheel.Wrap(timing.Slot(p.Stamp))
+	leaf := sched.Leaf{
+		L:            l,
+		Dl:           u.r.wheel.Add(l, uint32(ent.Delay)),
+		Mask:         ent.Mask,
+		OutConn:      ent.Out,
+		InConn:       p.Conn,
+		EnqueueCycle: u.r.nowCycle,
+	}
+	if err := u.r.schedq.Install(u.wSlot, leaf); err != nil {
+		// Internal invariant violation; surface loudly in tests.
+		panic("router " + u.r.name + ": leaf install: " + err.Error())
+	}
+	u.r.Stats.TCArrived++
+}
+
+// tcOutput is the time-constrained transmit engine of one output port.
+// It pipelines candidate selection (via the shared comparator tree),
+// memory fetch, and transmission, so scheduling overlaps transmission as
+// in the chip.
+type tcOutput struct {
+	r    *Router
+	port int
+
+	// candidate awaiting fetch
+	cand      sched.Selection
+	candValid bool
+
+	// fetch in progress
+	fetching bool
+	fChunk   int
+
+	// staged packet, header already rewritten for the next hop
+	staged bool
+	sBuf   [packet.TCBytes]byte
+	sSlot  int
+	sLeaf  sched.Leaf
+
+	// active transmission
+	txActive bool
+	txBuf    [packet.TCBytes]byte
+	txIdx    int
+
+	// virtual cut-through source, when a packet streams directly from an
+	// input engine
+	cutIn    *tcInput
+	cutIdx   int
+	cutHdr   [packet.TCHeaderBytes]byte
+	cutLeaf  sched.Leaf
+	cutClass sched.Class
+
+	// local reception assembly (PortLocal only)
+	rxBuf [packet.TCBytes]byte
+}
+
+// schedule refreshes the port's candidate from the shared tree. A staged
+// packet may be displaced by a better selection until its transmission
+// starts (the hardware's one-packet scheduling slack).
+func (o *tcOutput) schedule(nowSlot timing.Stamp) {
+	if o.cutIn != nil {
+		return // port owned by a cut-through stream
+	}
+	if o.txActive && o.staged {
+		return // next packet already staged
+	}
+	if o.fetching {
+		return // mid-fetch; commit to it
+	}
+	sel := o.r.schedq.Select(o.port, nowSlot, o.r.horizons[o.port])
+	if sel.Class == sched.ClassNone {
+		if !o.staged {
+			o.candValid = false
+		}
+		return
+	}
+	if o.staged {
+		if sel.Slot == o.sSlot {
+			return
+		}
+		// Better packet arrived since staging: discard the prefetch.
+		o.staged = false
+		o.r.Stats.TCStageReplaced++
+	}
+	o.cand = sel
+	o.candValid = true
+}
+
+// launchFetch starts reading the candidate from packet memory.
+func (o *tcOutput) launchFetch() {
+	if !o.candValid || o.fetching || o.staged {
+		return
+	}
+	o.fetching = true
+	o.fChunk = 0
+}
+
+func (o *tcOutput) wantsBus() bool { return o.fetching }
+
+func (o *tcOutput) busGrant() {
+	cb := o.r.cfg.ChunkBytes
+	o.r.mem.readChunk(o.cand.Slot, o.fChunk, cb, o.sBuf[o.fChunk*cb:])
+	o.fChunk++
+	if o.fChunk*cb < packet.TCBytes {
+		return
+	}
+	o.fetching = false
+	o.candValid = false
+	o.staged = true
+	o.sSlot = o.cand.Slot
+	o.sLeaf = o.r.schedq.Leaf(o.sSlot)
+	// Rewrite the header for the next hop: the new connection id and the
+	// local deadline, which the downstream router reads as ℓ(m).
+	o.sBuf[0] = o.sLeaf.OutConn
+	o.sBuf[1] = packet.StampOf(o.sLeaf.Dl)
+}
+
+// stagedClass classifies the staged packet at the current slot time.
+// Early packets promote to on-time automatically as the clock advances.
+func (o *tcOutput) stagedClass(nowSlot timing.Stamp) sched.Class {
+	k, early, _ := o.r.wheel.SortKey(o.sLeaf.L, o.sLeaf.Dl, nowSlot)
+	if !early {
+		return sched.ClassOnTime
+	}
+	if o.r.wheel.WithinHorizon(k, o.r.horizons[o.port]) {
+		return sched.ClassEarly
+	}
+	return sched.ClassNone
+}
+
+// startTx commits the staged packet to the wire: the port's bit in the
+// leaf mask clears, and the memory slot returns to the idle FIFO once
+// every port has transmitted its copy.
+func (o *tcOutput) startTx(nowSlot timing.Stamp, class sched.Class) {
+	empty, err := o.r.schedq.ClearPort(o.sSlot, o.port)
+	if err != nil {
+		panic("router " + o.r.name + ": clear port: " + err.Error())
+	}
+	if empty {
+		o.r.mem.free(o.sSlot)
+	}
+	_, overdue := o.r.wheel.Laxity(o.sLeaf.Dl, nowSlot)
+	if overdue {
+		o.r.Stats.TCDeadlineMisses++
+	}
+	o.r.Stats.TCTransmitted[o.port]++
+	if o.r.OnTCTransmit != nil {
+		o.r.OnTCTransmit(TCTransmitEvent{
+			Router:  o.r.name,
+			Port:    o.port,
+			InConn:  o.sLeaf.InConn,
+			OutConn: o.sLeaf.OutConn,
+			Class:   class,
+			Cycle:   o.r.nowCycle,
+			Missed:  overdue,
+			Wait:    o.r.nowCycle - o.sLeaf.EnqueueCycle,
+		})
+	}
+	o.txBuf = o.sBuf
+	o.txActive = true
+	o.txIdx = 0
+	o.staged = false
+}
+
+// emitByte sends the next byte of the active transmission and reports
+// packet completion.
+func (o *tcOutput) emitByte() (b byte, head, tail bool) {
+	b = o.txBuf[o.txIdx]
+	head = o.txIdx == 0
+	tail = o.txIdx == packet.TCBytes-1
+	o.txIdx++
+	if tail {
+		o.txActive = false
+	}
+	return b, head, tail
+}

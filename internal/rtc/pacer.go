@@ -1,0 +1,175 @@
+package rtc
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Pacer is the source-side rate regulator: the piece of protocol
+// software that holds locally generated messages until they come within
+// a bounded window of their logical arrival times, then hands them to
+// the router's time-constrained injection port.
+//
+// The window plays the role of h(j−1)+d(j−1) for the first hop: it
+// bounds how far ahead of ℓ0 a packet can reach the source router, and
+// therefore both the router buffers the connection must reserve there
+// and the rollover-safety of its header stamps. A window of zero injects
+// only on-time traffic.
+//
+// The injection port is itself a serial resource — one byte per cycle,
+// shared by every channel sourced at the node — so the pacer doubles as
+// its link scheduler: among eligible messages it releases the one with
+// the earliest local deadline ℓ0+d, and only when the port has drained
+// its previous release. The admission controller runs the same
+// schedulability test on the injection port as on any mesh link, with
+// this EDF order making the test sound.
+//
+// Pacer implements sim.Component and must be registered with the kernel
+// before the routers it feeds (see sim package docs on node ordering).
+type Pacer struct {
+	name   string
+	r      *router.Router
+	wheel  timing.Wheel
+	window int64
+	chans  []*PacedChannel
+}
+
+// NewPacer creates a regulator feeding the given router's injection
+// port.
+func NewPacer(name string, r *router.Router, window int64) (*Pacer, error) {
+	if window < 0 {
+		return nil, fmt.Errorf("rtc: negative pacer window %d", window)
+	}
+	if !r.Wheel().ValidDelay(window) {
+		return nil, fmt.Errorf("rtc: pacer window %d exceeds half the clock range", window)
+	}
+	return &Pacer{name: name, r: r, wheel: r.Wheel(), window: window}, nil
+}
+
+// Window returns the regulator window in slots.
+func (p *Pacer) Window() int64 { return p.window }
+
+// queuedMsg is one message awaiting injection.
+type queuedMsg struct {
+	l       timing.Slot
+	packets [][packet.TCPayloadBytes]byte
+}
+
+// PacedChannel is the source-side handle of one real-time channel.
+type PacedChannel struct {
+	conn   uint8
+	spec   Spec
+	localD int64
+	src    *Source
+	queue  []queuedMsg
+
+	closed bool
+
+	// Sent counts messages injected into the network.
+	Sent int64
+	// ContractViolations counts messages submitted beyond the Imin/Bmax
+	// envelope. They are still carried — logical arrival times confine
+	// the damage to this connection — but flagged for the application.
+	ContractViolations int64
+}
+
+// Channel registers a connection on this pacer. The conn identifier
+// must match the entry programmed into the source router's table, and
+// localD its local delay bound d — the pacer orders releases by the
+// resulting deadlines ℓ0+d.
+func (p *Pacer) Channel(conn uint8, spec Spec, localD int64) (*PacedChannel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if localD < 1 {
+		return nil, fmt.Errorf("rtc: local delay bound %d must be positive", localD)
+	}
+	c := &PacedChannel{conn: conn, spec: spec, localD: localD, src: NewSource(spec)}
+	p.chans = append(p.chans, c)
+	return c, nil
+}
+
+// Submit queues one message for transmission at slot now. Messages
+// longer than Smax are rejected; shorter ones are padded to whole
+// packets. Each packet carries the message's logical arrival stamp.
+func (c *PacedChannel) Submit(now timing.Slot, payload []byte) error {
+	if c.closed {
+		return fmt.Errorf("rtc: channel closed")
+	}
+	if len(payload) > c.spec.Smax {
+		return fmt.Errorf("rtc: message of %d bytes exceeds Smax %d", len(payload), c.spec.Smax)
+	}
+	l := c.src.Next(now)
+	if c.src.Backlog(now) > c.spec.Imin*int64(c.spec.Bmax) {
+		c.ContractViolations++
+	}
+	n := c.spec.PacketsPerMessage()
+	msg := queuedMsg{l: l, packets: make([][packet.TCPayloadBytes]byte, n)}
+	for i := 0; i < n; i++ {
+		lo := i * packet.TCPayloadBytes
+		if lo < len(payload) {
+			copy(msg.packets[i][:], payload[lo:])
+		}
+	}
+	c.queue = append(c.queue, msg)
+	return nil
+}
+
+// Pending returns the number of queued (not yet injected) messages.
+func (c *PacedChannel) Pending() int { return len(c.queue) }
+
+// Remove unbinds a channel from the regulator; queued messages are
+// dropped. Used at teardown and re-establishment.
+func (p *Pacer) Remove(ch *PacedChannel) {
+	ch.closed = true
+	for i, c := range p.chans {
+		if c == ch {
+			p.chans = append(p.chans[:i], p.chans[i+1:]...)
+			return
+		}
+	}
+}
+
+// Name implements sim.Component.
+func (p *Pacer) Name() string { return p.name }
+
+// Tick implements sim.Component: when the injection port has drained
+// its previous release, hand it the eligible message (ℓ0 within the
+// window) with the earliest local deadline ℓ0+d.
+func (p *Pacer) Tick(now sim.Cycle) {
+	// Keeping at most one packet queued behind the one crossing the port
+	// leaves no idle cycles while preserving the release order.
+	if p.r.TCInjectBacklog() > 1 {
+		return
+	}
+	nowSlot := timing.CyclesToSlot(int64(now), packet.TCBytes)
+	var best *PacedChannel
+	var bestDl timing.Slot
+	for _, c := range p.chans {
+		if len(c.queue) == 0 {
+			continue
+		}
+		m := c.queue[0]
+		if int64(m.l)-int64(nowSlot) > p.window {
+			continue
+		}
+		dl := m.l + timing.Slot(c.localD)
+		if best == nil || dl < bestDl {
+			best, bestDl = c, dl
+		}
+	}
+	if best == nil {
+		return
+	}
+	m := best.queue[0]
+	stamp := packet.StampOf(p.wheel.Wrap(m.l))
+	for _, body := range m.packets {
+		p.r.InjectTC(packet.TCPacket{Conn: best.conn, Stamp: stamp, Payload: body})
+	}
+	best.queue = best.queue[1:]
+	best.Sent++
+}

@@ -1,0 +1,152 @@
+package rtc
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// TestPacerReleasesInDeadlineOrder: with several channels eligible at
+// once, the regulator must hand the injection port the message with the
+// earliest ℓ0+d, not the first-registered channel — it is the EDF
+// scheduler of the injection link.
+func TestPacerReleasesInDeadlineOrder(t *testing.T) {
+	k := sim.NewKernel()
+	r := router.MustNew("A", router.DefaultConfig())
+	p, err := NewPacer("pacer", r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Register(p)
+	k.Register(r)
+	// Loose channel registered FIRST; tight second. Both route locally.
+	if err := r.SetConnection(1, 11, 40, 1<<router.PortLocal); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetConnection(2, 12, 4, 1<<router.PortLocal); err != nil {
+		t.Fatal(err)
+	}
+	loose, err := p.Channel(1, Spec{Imin: 16, Smax: 18, D: 80}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := p.Channel(2, Spec{Imin: 16, Smax: 18, D: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submit loose first, then tight, both at slot 0 (both immediately
+	// eligible with window 8).
+	if err := loose.Submit(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.Submit(0, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	ok := k.RunUntil(func() bool { return r.Stats.TCDelivered >= 2 }, 5000)
+	if !ok {
+		t.Fatalf("not delivered: %+v", r.Stats)
+	}
+	got := r.DrainTC()
+	if got[0].Conn != 12 {
+		t.Errorf("first delivery conn %d, want 12 (tight, earliest ℓ0+d)", got[0].Conn)
+	}
+	if got[1].Conn != 11 {
+		t.Errorf("second delivery conn %d, want 11", got[1].Conn)
+	}
+}
+
+// TestPacerPortPacing: the regulator must not dump its whole backlog
+// into the router at once — at most one message release outstanding
+// beyond the packet crossing the port.
+func TestPacerPortPacing(t *testing.T) {
+	k := sim.NewKernel()
+	r := router.MustNew("A", router.DefaultConfig())
+	p, err := NewPacer("pacer", r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Register(p)
+	k.Register(r)
+	if err := r.SetConnection(1, 11, 100, 1<<router.PortLocal); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := p.Channel(1, Spec{Imin: 4, Smax: 18, D: 120}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ch.Submit(0, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After a few cycles the router's injection queue must stay small
+	// even though all ten messages are within the window.
+	k.Run(30)
+	if bl := r.TCInjectBacklog(); bl > 2 {
+		t.Errorf("injection backlog %d; pacer must rate-match the port", bl)
+	}
+	k.RunUntil(func() bool { return ch.Sent == 10 }, 20000)
+	if ch.Sent != 10 {
+		t.Errorf("sent %d/10", ch.Sent)
+	}
+	_ = packet.TCBytes
+}
+
+// TestPacerMultiPacketMessageAtomic: a multi-packet message's packets
+// release together (they are one C-slot scheduling unit on the port).
+func TestPacerMultiPacketMessageAtomic(t *testing.T) {
+	k := sim.NewKernel()
+	r := router.MustNew("A", router.DefaultConfig())
+	p, err := NewPacer("pacer", r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Register(p)
+	k.Register(r)
+	if err := r.SetConnection(1, 11, 20, 1<<router.PortLocal); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetConnection(2, 12, 20, 1<<router.PortLocal); err != nil {
+		t.Fatal(err)
+	}
+	big, err := p.Channel(1, Spec{Imin: 8, Smax: 54, D: 40}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := p.Channel(2, Spec{Imin: 8, Smax: 18, D: 40}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Submit(0, make([]byte, 54)); err != nil { // 3 packets
+		t.Fatal(err)
+	}
+	if err := small.Submit(0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(func() bool { return r.Stats.TCDelivered >= 4 }, 10000)
+	got := r.DrainTC()
+	if len(got) != 4 {
+		t.Fatalf("delivered %d packets, want 4", len(got))
+	}
+	// The three big-message packets must be contiguous (same deadline →
+	// whichever won went out whole before the other message).
+	first := got[0].Conn
+	switch first {
+	case 11:
+		for i := 0; i < 3; i++ {
+			if got[i].Conn != 11 {
+				t.Errorf("big message interleaved at position %d: %v", i, got)
+			}
+		}
+	case 12:
+		for i := 1; i < 4; i++ {
+			if got[i].Conn != 11 {
+				t.Errorf("big message interleaved at position %d: %v", i, got)
+			}
+		}
+	default:
+		t.Fatalf("unexpected first conn %d", first)
+	}
+}

@@ -1,0 +1,287 @@
+// Package scenario loads declarative workload descriptions for the
+// rtsim tool: a JSON file names the mesh, the real-time channels with
+// their traffic contracts and generation patterns, the best-effort
+// background flows, and optional link failures on a timeline — the
+// configuration-file front end a network-simulator release needs.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/router"
+	"repro/internal/rtc"
+	"repro/internal/traffic"
+)
+
+// Scenario is the top-level document.
+type Scenario struct {
+	// Mesh dimensions.
+	Mesh struct {
+		W, H int
+	} `json:"mesh"`
+	// Cycles to simulate.
+	Cycles int64 `json:"cycles"`
+	// Seed for best-effort randomness.
+	Seed int64 `json:"seed"`
+
+	// Router tweaks (zero values keep the paper defaults).
+	Router struct {
+		Scheduler   string `json:"scheduler"` // edf|fifo|static|approx
+		ApproxShift uint   `json:"approxShift"`
+		VCT         bool   `json:"vct"`
+	} `json:"router"`
+
+	// Admission configuration.
+	Admission struct {
+		Policy       string `json:"policy"` // partitioned|shared
+		SourceWindow int64  `json:"sourceWindow"`
+		Horizon      uint32 `json:"horizon"`
+	} `json:"admission"`
+
+	Channels   []Channel  `json:"channels"`
+	BestEffort []BEFlow   `json:"bestEffort"`
+	Failures   []LinkFail `json:"failures"`
+}
+
+// Channel describes one real-time channel and its generator.
+type Channel struct {
+	Src     [2]int   `json:"src"`
+	Dsts    [][2]int `json:"dsts"`
+	Imin    int64    `json:"imin"`
+	Smax    int      `json:"smax"`
+	Bmax    int      `json:"bmax"`
+	D       int64    `json:"d"`
+	Pattern string   `json:"pattern"` // periodic|bursty|backlogged
+	Size    int      `json:"size"`    // message payload bytes (default Smax)
+}
+
+// BEFlow describes one best-effort source.
+type BEFlow struct {
+	Src     [2]int  `json:"src"`
+	Dst     *[2]int `json:"dst"` // nil = uniform random destinations
+	Rate    float64 `json:"rate"`
+	SizeMin int     `json:"sizeMin"`
+	SizeMax int     `json:"sizeMax"`
+}
+
+// LinkFail schedules a link failure at a cycle; affected channels are
+// rerouted immediately afterwards.
+type LinkFail struct {
+	At   int64  `json:"at"`
+	From [2]int `json:"from"`
+	Port string `json:"port"` // +x|-x|+y|-y
+}
+
+// Load reads and validates a scenario file.
+func Load(path string) (*Scenario, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(raw)
+}
+
+// Parse decodes and validates scenario JSON.
+func Parse(raw []byte) (*Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+func (sc *Scenario) validate() error {
+	if sc.Mesh.W < 1 || sc.Mesh.H < 1 {
+		return fmt.Errorf("scenario: mesh %dx%d invalid", sc.Mesh.W, sc.Mesh.H)
+	}
+	if sc.Cycles < 1 {
+		return fmt.Errorf("scenario: cycles %d invalid", sc.Cycles)
+	}
+	switch sc.Router.Scheduler {
+	case "", "edf", "fifo", "static", "approx":
+	default:
+		return fmt.Errorf("scenario: unknown scheduler %q", sc.Router.Scheduler)
+	}
+	switch sc.Admission.Policy {
+	case "", "partitioned", "shared":
+	default:
+		return fmt.Errorf("scenario: unknown buffer policy %q", sc.Admission.Policy)
+	}
+	for i, ch := range sc.Channels {
+		if len(ch.Dsts) == 0 {
+			return fmt.Errorf("scenario: channel %d has no destinations", i)
+		}
+		switch ch.Pattern {
+		case "", "periodic", "bursty", "backlogged":
+		default:
+			return fmt.Errorf("scenario: channel %d: unknown pattern %q", i, ch.Pattern)
+		}
+	}
+	for i, f := range sc.Failures {
+		if _, err := parsePort(f.Port); err != nil {
+			return fmt.Errorf("scenario: failure %d: %w", i, err)
+		}
+		if f.At < 0 || f.At >= sc.Cycles {
+			return fmt.Errorf("scenario: failure %d at cycle %d outside the run", i, f.At)
+		}
+	}
+	return nil
+}
+
+func parsePort(s string) (int, error) {
+	switch s {
+	case "+x":
+		return router.PortXPlus, nil
+	case "-x":
+		return router.PortXMinus, nil
+	case "+y":
+		return router.PortYPlus, nil
+	case "-y":
+		return router.PortYMinus, nil
+	default:
+		return 0, fmt.Errorf("unknown port %q", s)
+	}
+}
+
+func coord(a [2]int) mesh.Coord { return mesh.Coord{X: a[0], Y: a[1]} }
+
+// Result summarizes a scenario run.
+type Result struct {
+	Opened   int
+	Rejected []string
+	Rerouted int
+	Summary  core.Summary
+	Cycles   int64
+	Failures int
+}
+
+// Run builds the system, opens every channel, attaches the generators,
+// plays the failure timeline (rerouting affected channels), and returns
+// the summary.
+func (sc *Scenario) Run() (*Result, *core.System, error) {
+	rcfg := router.DefaultConfig()
+	rcfg.VCT = sc.Router.VCT
+	switch sc.Router.Scheduler {
+	case "fifo":
+		rcfg.Scheduler = router.SchedFIFO
+	case "static":
+		rcfg.Scheduler = router.SchedStaticPriority
+	case "approx":
+		rcfg.Scheduler = router.SchedApproxEDF
+		rcfg.ApproxShift = sc.Router.ApproxShift
+	}
+	acfg := admission.DefaultConfig()
+	if sc.Admission.Policy == "shared" {
+		acfg.Policy = admission.SharedPool
+	}
+	if sc.Admission.SourceWindow > 0 {
+		acfg.SourceWindow = sc.Admission.SourceWindow
+	}
+	acfg.Horizon = sc.Admission.Horizon
+
+	sys, err := core.NewMesh(sc.Mesh.W, sc.Mesh.H, core.Options{Router: rcfg}.WithAdmission(acfg))
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{Cycles: sc.Cycles}
+
+	type openChan struct {
+		ch  *core.Channel
+		def Channel
+	}
+	var opened []openChan
+	for i, def := range sc.Channels {
+		spec := rtc.Spec{Imin: def.Imin, Smax: def.Smax, Bmax: def.Bmax, D: def.D}
+		dsts := make([]mesh.Coord, len(def.Dsts))
+		for j, d := range def.Dsts {
+			dsts[j] = coord(d)
+		}
+		ch, err := sys.OpenChannel(coord(def.Src), dsts, spec)
+		if err != nil {
+			res.Rejected = append(res.Rejected, fmt.Sprintf("channel %d: %v", i, err))
+			continue
+		}
+		pattern := traffic.Periodic
+		switch def.Pattern {
+		case "bursty":
+			pattern = traffic.Bursty
+		case "backlogged":
+			pattern = traffic.Backlogged
+		}
+		size := def.Size
+		if size == 0 {
+			size = def.Smax
+		}
+		// Pass the core.Channel facade, not the raw regulator handle, so
+		// the generator keeps flowing after a failure-driven Reroute.
+		app, err := traffic.NewTCApp(fmt.Sprintf("tc%d", i), ch, spec, pattern, size)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: channel %d: %w", i, err)
+		}
+		sys.Net.Kernel.Register(app)
+		opened = append(opened, openChan{ch, def})
+		res.Opened++
+	}
+	for i, f := range sc.BestEffort {
+		var dst traffic.DstPicker
+		if f.Dst != nil {
+			dst = traffic.FixedDst(coord(*f.Dst))
+		} else {
+			dst = traffic.UniformDst(sys.Net, coord(f.Src))
+		}
+		lo, hi := f.SizeMin, f.SizeMax
+		if lo < 1 {
+			lo = traffic.ProbeBytes
+		}
+		if hi < lo {
+			hi = lo
+		}
+		app, err := traffic.NewBEApp(fmt.Sprintf("be%d", i), sys.Net, coord(f.Src),
+			dst, traffic.UniformSize(lo, hi), f.Rate, sc.Seed+int64(i))
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: best-effort %d: %w", i, err)
+		}
+		sys.Net.Kernel.Register(app)
+	}
+
+	fails := append([]LinkFail(nil), sc.Failures...)
+	sort.Slice(fails, func(i, j int) bool { return fails[i].At < fails[j].At })
+	at := int64(0)
+	for _, f := range fails {
+		sys.Run(f.At - at)
+		at = f.At
+		port, _ := parsePort(f.Port)
+		if err := sys.FailLink(coord(f.From), port); err != nil {
+			return nil, nil, fmt.Errorf("scenario: failure at %d: %w", f.At, err)
+		}
+		res.Failures++
+		// A severed link is dead in both directions: reroute channels
+		// crossing it either way.
+		rev := map[int]int{
+			router.PortXPlus:  router.PortXMinus,
+			router.PortXMinus: router.PortXPlus,
+			router.PortYPlus:  router.PortYMinus,
+			router.PortYMinus: router.PortYPlus,
+		}[port]
+		to := coord(f.From).Add(port)
+		for _, oc := range opened {
+			if oc.ch.Admitted().Uses(coord(f.From), port) || oc.ch.Admitted().Uses(to, rev) {
+				if err := oc.ch.Reroute(); err == nil {
+					res.Rerouted++
+				}
+			}
+		}
+	}
+	sys.Run(sc.Cycles - at)
+	res.Summary = sys.Summarize()
+	return res, sys, nil
+}

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleJSON = `{
+  "mesh": {"w": 3, "h": 3},
+  "cycles": 40000,
+  "seed": 7,
+  "admission": {"policy": "partitioned", "sourceWindow": 8, "horizon": 4},
+  "channels": [
+    {"src": [0,0], "dsts": [[2,2]], "imin": 8, "smax": 18, "d": 80, "pattern": "periodic"},
+    {"src": [2,0], "dsts": [[0,2]], "imin": 16, "smax": 36, "d": 96, "pattern": "backlogged"},
+    {"src": [1,1], "dsts": [[0,0],[2,2]], "imin": 24, "smax": 18, "d": 120, "pattern": "bursty", "bmax": 1}
+  ],
+  "bestEffort": [
+    {"src": [0,1], "rate": 0.3, "sizeMin": 20, "sizeMax": 200},
+    {"src": [2,1], "dst": [0,0], "rate": 0.2, "sizeMin": 64, "sizeMax": 64}
+  ],
+  "failures": [
+    {"at": 20000, "from": [0,0], "port": "+x"}
+  ]
+}`
+
+func TestParseValid(t *testing.T) {
+	sc, err := Parse([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mesh.W != 3 || len(sc.Channels) != 3 || len(sc.BestEffort) != 2 || len(sc.Failures) != 1 {
+		t.Errorf("parsed shape wrong: %+v", sc)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		`{`, // malformed
+		`{"mesh":{"w":0,"h":1},"cycles":100}`,
+		`{"mesh":{"w":2,"h":1},"cycles":0}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"router":{"scheduler":"magic"}}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"admission":{"policy":"hoard"}}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"channels":[{"src":[0,0],"dsts":[]}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"channels":[{"src":[0,0],"dsts":[[1,0]],"pattern":"chaotic"}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"sideways"}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":500,"from":[0,0],"port":"+x"}]}`,
+	}
+	for i, b := range bad {
+		if _, err := Parse([]byte(b)); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(sampleJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestRunEndToEnd plays the sample scenario, including the mid-run link
+// failure with automatic reroute, and checks the guarantees held.
+func TestRunEndToEnd(t *testing.T) {
+	sc, err := Parse([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, sys, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opened != 3 {
+		t.Fatalf("opened %d/3 channels (rejections: %v)", res.Opened, res.Rejected)
+	}
+	if res.Failures != 1 {
+		t.Errorf("failures played: %d", res.Failures)
+	}
+	// Both the (0,0)→(2,2) channel (forward direction) and the
+	// (2,0)→(0,2) channel (reverse direction of the same wire) must have
+	// been rerouted.
+	if res.Rerouted != 2 {
+		t.Errorf("rerouted %d channels, want 2 (both directions of the dead link)", res.Rerouted)
+	}
+	if res.Summary.TCMisses != 0 {
+		t.Errorf("deadline misses: %d", res.Summary.TCMisses)
+	}
+	if res.Summary.TCDelivered == 0 || res.Summary.BEDelivered == 0 {
+		t.Error("degenerate run")
+	}
+	if sys == nil {
+		t.Fatal("system not returned")
+	}
+}
+
+func TestRunRejectsInfeasibleChannel(t *testing.T) {
+	sc, err := Parse([]byte(`{
+	  "mesh": {"w": 2, "h": 1}, "cycles": 1000,
+	  "channels": [{"src": [0,0], "dsts": [[1,0]], "imin": 4, "smax": 18, "d": 1}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opened != 0 || len(res.Rejected) != 1 {
+		t.Errorf("infeasible channel not reported: %+v", res)
+	}
+}

@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/timing"
+)
+
+// FIFO is an ablation scheduler: time-constrained packets leave each port
+// in arrival order, with no deadline awareness. It models a conventional
+// output-queued packet switch and is the "what if we drop the comparator
+// tree" baseline for the miss-rate comparisons in EXPERIMENTS.md.
+//
+// Packets are always reported on-time (the hardware has no notion of
+// logical arrival time), so the horizon argument is ignored and early
+// traffic is never held back — one of the two behaviours the real-time
+// design exists to fix (the other being deadline order).
+type FIFO struct {
+	leaves []Leaf
+	queues [NumPorts][]int
+	inUse  int
+}
+
+// NewFIFO returns a FIFO scheduler with the given number of leaf slots.
+func NewFIFO(slots int) *FIFO {
+	if slots <= 0 {
+		panic("sched: slots must be positive")
+	}
+	return &FIFO{leaves: make([]Leaf, slots)}
+}
+
+// Install implements Scheduler.
+func (f *FIFO) Install(slot int, leaf Leaf) error {
+	if slot < 0 || slot >= len(f.leaves) {
+		return fmt.Errorf("sched: slot %d out of range [0,%d)", slot, len(f.leaves))
+	}
+	if f.leaves[slot].InUse {
+		return fmt.Errorf("sched: slot %d already in use", slot)
+	}
+	if leaf.Mask == 0 {
+		return fmt.Errorf("sched: installing leaf with empty port mask")
+	}
+	leaf.InUse = true
+	f.leaves[slot] = leaf
+	f.inUse++
+	for p := 0; p < NumPorts; p++ {
+		if leaf.Mask.Has(p) {
+			f.queues[p] = append(f.queues[p], slot)
+		}
+	}
+	return nil
+}
+
+// Select implements Scheduler: head of the port's FIFO, always on-time.
+func (f *FIFO) Select(port int, _ timing.Stamp, _ uint32) Selection {
+	q := f.queues[port]
+	if len(q) == 0 {
+		return Selection{Slot: -1, Class: ClassNone}
+	}
+	return Selection{Slot: q[0], Class: ClassOnTime}
+}
+
+// ClearPort implements Scheduler.
+func (f *FIFO) ClearPort(slot, port int) (bool, error) {
+	if slot < 0 || slot >= len(f.leaves) {
+		return false, fmt.Errorf("sched: slot %d out of range", slot)
+	}
+	lf := &f.leaves[slot]
+	if !lf.InUse || !lf.Mask.Has(port) {
+		return false, fmt.Errorf("sched: invalid clear of slot %d port %d", slot, port)
+	}
+	q := f.queues[port]
+	if len(q) == 0 || q[0] != slot {
+		return false, fmt.Errorf("sched: FIFO clear of slot %d which is not at head of port %d", slot, port)
+	}
+	f.queues[port] = q[1:]
+	lf.Mask = lf.Mask.Clear(port)
+	if lf.Mask == 0 {
+		*lf = Leaf{}
+		f.inUse--
+		return true, nil
+	}
+	return false, nil
+}
+
+// Leaf implements Scheduler.
+func (f *FIFO) Leaf(slot int) Leaf { return f.leaves[slot] }
+
+// Occupancy implements Scheduler.
+func (f *FIFO) Occupancy() int { return f.inUse }
+
+// Slots implements Scheduler.
+func (f *FIFO) Slots() int { return len(f.leaves) }
+
+// StaticPriority is an ablation scheduler that serves time-constrained
+// packets by a fixed per-connection priority rather than per-packet
+// deadlines — the priority-resolution approach of priority-forwarding
+// routers and priority virtual channels discussed in the paper's Related
+// Work. The connection table's delay field is reused as the priority
+// (smaller = more urgent); packets are always eligible (no logical
+// arrival gating), and FIFO order breaks priority ties.
+type StaticPriority struct {
+	leaves []Leaf
+	prio   []uint8
+	seq    []int64
+	next   int64
+	inUse  int
+}
+
+// NewStaticPriority returns a static-priority scheduler with the given
+// number of leaf slots.
+func NewStaticPriority(slots int) *StaticPriority {
+	if slots <= 0 {
+		panic("sched: slots must be positive")
+	}
+	return &StaticPriority{
+		leaves: make([]Leaf, slots),
+		prio:   make([]uint8, slots),
+		seq:    make([]int64, slots),
+	}
+}
+
+// Install implements Scheduler. The leaf's deadline field carries the
+// static priority: priority = ℓ+d − ℓ = the connection's delay parameter.
+func (s *StaticPriority) Install(slot int, leaf Leaf) error {
+	if slot < 0 || slot >= len(s.leaves) {
+		return fmt.Errorf("sched: slot %d out of range [0,%d)", slot, len(s.leaves))
+	}
+	if s.leaves[slot].InUse {
+		return fmt.Errorf("sched: slot %d already in use", slot)
+	}
+	if leaf.Mask == 0 {
+		return fmt.Errorf("sched: installing leaf with empty port mask")
+	}
+	leaf.InUse = true
+	s.leaves[slot] = leaf
+	s.prio[slot] = uint8(leaf.Dl - leaf.L)
+	s.seq[slot] = s.next
+	s.next++
+	s.inUse++
+	return nil
+}
+
+// Select implements Scheduler: lowest priority value wins, FIFO within a
+// priority level.
+func (s *StaticPriority) Select(port int, _ timing.Stamp, _ uint32) Selection {
+	best := -1
+	for i := range s.leaves {
+		if !s.leaves[i].InUse || !s.leaves[i].Mask.Has(port) {
+			continue
+		}
+		if best < 0 || s.prio[i] < s.prio[best] ||
+			(s.prio[i] == s.prio[best] && s.seq[i] < s.seq[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Selection{Slot: -1, Class: ClassNone}
+	}
+	return Selection{Slot: best, Class: ClassOnTime, Key: timing.Key(s.prio[best])}
+}
+
+// ClearPort implements Scheduler.
+func (s *StaticPriority) ClearPort(slot, port int) (bool, error) {
+	if slot < 0 || slot >= len(s.leaves) {
+		return false, fmt.Errorf("sched: slot %d out of range", slot)
+	}
+	lf := &s.leaves[slot]
+	if !lf.InUse || !lf.Mask.Has(port) {
+		return false, fmt.Errorf("sched: invalid clear of slot %d port %d", slot, port)
+	}
+	lf.Mask = lf.Mask.Clear(port)
+	if lf.Mask == 0 {
+		*lf = Leaf{}
+		s.inUse--
+		return true, nil
+	}
+	return false, nil
+}
+
+// Leaf implements Scheduler.
+func (s *StaticPriority) Leaf(slot int) Leaf { return s.leaves[slot] }
+
+// Occupancy implements Scheduler.
+func (s *StaticPriority) Occupancy() int { return s.inUse }
+
+// Slots implements Scheduler.
+func (s *StaticPriority) Slots() int { return len(s.leaves) }
+
+// Compile-time interface checks.
+var (
+	_ Scheduler = (*EDFTree)(nil)
+	_ Scheduler = (*FIFO)(nil)
+	_ Scheduler = (*StaticPriority)(nil)
+	_ Scheduler = (*Tournament)(nil)
+)

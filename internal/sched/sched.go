@@ -1,0 +1,225 @@
+// Package sched implements the run-time link scheduler of the real-time
+// router (Section 4.2 of the paper).
+//
+// The router does not keep time-constrained packets in sorted order.
+// Instead a single comparator tree, shared by all five output ports,
+// selects the packet with the smallest sorting key on demand. Each leaf of
+// the tree holds the per-packet state installed when the packet arrived:
+// the logical arrival time ℓ(m), the deadline ℓ(m)+d, and a bit mask of
+// the output ports still owed a copy (Figure 5). Leaves correspond 1:1
+// with packet-memory slots: a mask of zero means both the leaf and the
+// memory slot are free.
+//
+// At the base of the tree, keys are normalized against the current slot
+// clock t (Figure 4): on-time packets (ℓ ≤ t) sort by laxity, early
+// packets by time-to-ℓ with the discriminator bit set, ineligible leaves
+// get the all-ones key. At the top of the tree a final check decides
+// whether a winning early packet falls within the link's horizon
+// parameter h and may be sent ahead of its logical arrival time.
+//
+// The package provides three Scheduler implementations behind one
+// interface:
+//
+//   - EDFTree — the paper's design (deadline-driven with horizon).
+//   - FIFO — per-port FIFO order; the "no deadline hardware" baseline.
+//   - StaticPriority — per-connection fixed priority, standing in for
+//     priority-forwarding-style designs in ablations.
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/timing"
+)
+
+// NumPorts is the number of output ports sharing the scheduler: the four
+// mesh links plus the reception port.
+const NumPorts = 5
+
+// PortMask is a bit mask over output ports; bit i set means the packet is
+// still owed to port i (multicast uses several bits).
+type PortMask uint8
+
+// AllPortsMask returns a mask with the low n bits set.
+func AllPortsMask(n int) PortMask { return PortMask(1<<n - 1) }
+
+// Has reports whether port p's bit is set.
+func (m PortMask) Has(p int) bool { return m&(1<<p) != 0 }
+
+// Clear returns m with port p's bit cleared.
+func (m PortMask) Clear(p int) PortMask { return m &^ (1 << p) }
+
+// Count returns the number of set bits.
+func (m PortMask) Count() int { return bits.OnesCount8(uint8(m)) }
+
+// Class is the service class a selection falls in (Table 1).
+type Class int
+
+const (
+	// ClassNone means no packet is eligible for the port.
+	ClassNone Class = iota
+	// ClassOnTime is Queue 1: a packet past its logical arrival time,
+	// served ahead of everything else.
+	ClassOnTime
+	// ClassEarly is Queue 3: a packet ahead of its logical arrival time
+	// but within the link's horizon; served only when no on-time packet
+	// and no best-effort flit awaits.
+	ClassEarly
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassOnTime:
+		return "on-time"
+	case ClassEarly:
+		return "early"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Leaf is the per-packet scheduling state at the base of the comparator
+// tree. The hardware stores only L, Dl, Mask and OutConn; EnqueueCycle is
+// simulator bookkeeping for statistics.
+type Leaf struct {
+	InUse        bool
+	L            timing.Stamp // logical arrival time ℓ(m)
+	Dl           timing.Stamp // local deadline ℓ(m)+d
+	Mask         PortMask
+	OutConn      uint8 // connection identifier for the next hop
+	InConn       uint8 // incoming identifier (simulator bookkeeping)
+	EnqueueCycle int64
+}
+
+// Selection is the result of a scheduling decision for one port.
+type Selection struct {
+	Slot  int
+	Class Class
+	Key   timing.Key
+}
+
+// Scheduler is the interface the router's output ports program and query.
+// Implementations must be deterministic: ties break toward the lowest
+// slot index, as a hardware tree with index tie-breaking would.
+type Scheduler interface {
+	// Install places packet state into the given leaf/memory slot.
+	Install(slot int, leaf Leaf) error
+	// Select returns the best packet for the port at slot-clock t, given
+	// the port's horizon parameter. Class is ClassNone if nothing is
+	// eligible.
+	Select(port int, t timing.Stamp, horizon uint32) Selection
+	// ClearPort marks port's copy of the packet in slot transmitted and
+	// reports whether the leaf (and memory slot) is now free.
+	ClearPort(slot, port int) (empty bool, err error)
+	// Leaf returns a copy of the leaf state for inspection.
+	Leaf(slot int) Leaf
+	// Occupancy returns the number of in-use leaves.
+	Occupancy() int
+	// Slots returns the leaf count.
+	Slots() int
+}
+
+// EDFTree is the paper's scheduler: a comparator tree over all leaves
+// with Figure 4 keys. The software model scans linearly; Tournament (in
+// tree.go) mirrors the hardware structure and is tested equivalent.
+type EDFTree struct {
+	wheel   timing.Wheel
+	leaves  []Leaf
+	inUse   int
+	Overdue int64 // count of selections whose laxity clamped (robustness metric)
+}
+
+// NewEDFTree returns an EDF scheduler with the given number of leaf slots
+// on the given clock wheel.
+func NewEDFTree(slots int, wheel timing.Wheel) *EDFTree {
+	if slots <= 0 {
+		panic("sched: slots must be positive")
+	}
+	return &EDFTree{wheel: wheel, leaves: make([]Leaf, slots)}
+}
+
+// Wheel returns the clock wheel the tree sorts on.
+func (t *EDFTree) Wheel() timing.Wheel { return t.wheel }
+
+// Install implements Scheduler.
+func (t *EDFTree) Install(slot int, leaf Leaf) error {
+	if slot < 0 || slot >= len(t.leaves) {
+		return fmt.Errorf("sched: slot %d out of range [0,%d)", slot, len(t.leaves))
+	}
+	if t.leaves[slot].InUse {
+		return fmt.Errorf("sched: slot %d already in use", slot)
+	}
+	if leaf.Mask == 0 {
+		return fmt.Errorf("sched: installing leaf with empty port mask")
+	}
+	leaf.InUse = true
+	t.leaves[slot] = leaf
+	t.inUse++
+	return nil
+}
+
+// Select implements Scheduler. It performs the same min-reduction the
+// hardware comparator tree performs, with the top-of-tree horizon check.
+func (t *EDFTree) Select(port int, now timing.Stamp, horizon uint32) Selection {
+	best := Selection{Slot: -1, Class: ClassNone, Key: t.wheel.KeyIneligible()}
+	for i := range t.leaves {
+		lf := &t.leaves[i]
+		if !lf.InUse || !lf.Mask.Has(port) {
+			continue
+		}
+		k, early, overdue := t.wheel.SortKey(lf.L, lf.Dl, now)
+		if overdue {
+			t.Overdue++
+		}
+		if k < best.Key {
+			best.Key = k
+			best.Slot = i
+			if early {
+				best.Class = ClassEarly
+			} else {
+				best.Class = ClassOnTime
+			}
+		}
+	}
+	if best.Slot < 0 {
+		return Selection{Slot: -1, Class: ClassNone, Key: t.wheel.KeyIneligible()}
+	}
+	// Top-of-tree check: early winners ship only within the horizon.
+	if best.Class == ClassEarly && !t.wheel.WithinHorizon(best.Key, horizon) {
+		return Selection{Slot: -1, Class: ClassNone, Key: best.Key}
+	}
+	return best
+}
+
+// ClearPort implements Scheduler.
+func (t *EDFTree) ClearPort(slot, port int) (bool, error) {
+	if slot < 0 || slot >= len(t.leaves) {
+		return false, fmt.Errorf("sched: slot %d out of range", slot)
+	}
+	lf := &t.leaves[slot]
+	if !lf.InUse {
+		return false, fmt.Errorf("sched: clearing free slot %d", slot)
+	}
+	if !lf.Mask.Has(port) {
+		return false, fmt.Errorf("sched: port %d bit already clear in slot %d", port, slot)
+	}
+	lf.Mask = lf.Mask.Clear(port)
+	if lf.Mask == 0 {
+		*lf = Leaf{}
+		t.inUse--
+		return true, nil
+	}
+	return false, nil
+}
+
+// Leaf implements Scheduler.
+func (t *EDFTree) Leaf(slot int) Leaf { return t.leaves[slot] }
+
+// Occupancy implements Scheduler.
+func (t *EDFTree) Occupancy() int { return t.inUse }
+
+// Slots implements Scheduler.
+func (t *EDFTree) Slots() int { return len(t.leaves) }

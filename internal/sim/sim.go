@@ -1,0 +1,140 @@
+// Package sim provides a two-phase synchronous simulation kernel.
+//
+// The real-time router is synchronous hardware: every flip-flop latches on
+// the same clock edge. The kernel models this with a compute/commit split.
+// On each cycle every registered Component observes the *current* values of
+// all Regs (the wires latched at the previous edge) and writes *next*
+// values; after all components have run, every Reg commits next→current.
+// Because components only communicate through Regs, evaluation order never
+// changes results across component boundaries.
+//
+// Two exceptions are deliberate and documented where used:
+//
+//   - Nodes (traffic sources/sinks) talk to their local router through
+//     injection and delivery queues rather than cycle-latched wires; nodes
+//     are registered before routers so a packet handed over in cycle c is
+//     visible to the router in cycle c. This models the processor-network
+//     interface, which the paper leaves outside the chip.
+//   - A router's internal units run in a fixed order inside its single
+//     Tick, modelling same-chip combinational paths.
+package sim
+
+import "fmt"
+
+// Cycle is an absolute simulation cycle count. One cycle is one byte time
+// on a network link (20 ns at the paper's 50 MHz).
+type Cycle int64
+
+// Component is a block of synchronous logic evaluated once per cycle.
+type Component interface {
+	// Name identifies the component in traces and error messages.
+	Name() string
+	// Tick performs the compute phase for the given cycle: read current
+	// Reg values, update internal state, write next Reg values.
+	Tick(now Cycle)
+}
+
+// Latchable is state that commits at the clock edge, after all components
+// have ticked.
+type Latchable interface {
+	Commit()
+}
+
+// Kernel drives a set of components cycle by cycle.
+type Kernel struct {
+	comps   []Component
+	latches []Latchable
+	now     Cycle
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Register adds a component. Components tick in registration order.
+func (k *Kernel) Register(c Component) {
+	if c == nil {
+		panic("sim: Register(nil)")
+	}
+	k.comps = append(k.comps, c)
+}
+
+// AddLatch adds latched state committed at the end of every cycle.
+func (k *Kernel) AddLatch(l Latchable) {
+	if l == nil {
+		panic("sim: AddLatch(nil)")
+	}
+	k.latches = append(k.latches, l)
+}
+
+// Now returns the current cycle (the cycle about to be executed by Step).
+func (k *Kernel) Now() Cycle { return k.now }
+
+// Step executes one full cycle: compute phase then commit phase.
+func (k *Kernel) Step() {
+	for _, c := range k.comps {
+		c.Tick(k.now)
+	}
+	for _, l := range k.latches {
+		l.Commit()
+	}
+	k.now++
+}
+
+// Run executes n cycles.
+func (k *Kernel) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		k.Step()
+	}
+}
+
+// RunUntil steps the kernel until pred returns true or the budget of
+// cycles is exhausted. It reports whether pred was satisfied.
+func (k *Kernel) RunUntil(pred func() bool, budget int64) bool {
+	for i := int64(0); i < budget; i++ {
+		if pred() {
+			return true
+		}
+		k.Step()
+	}
+	return pred()
+}
+
+// Components returns the number of registered components.
+func (k *Kernel) Components() int { return len(k.comps) }
+
+// String implements fmt.Stringer for debugging.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("sim.Kernel{cycle=%d components=%d latches=%d}",
+		k.now, len(k.comps), len(k.latches))
+}
+
+// Reg is a clock-latched register of any value type. Producers write the
+// next value during the compute phase; consumers read the current value.
+// If no producer writes during a cycle, the register drains to the zero
+// value at the edge (wire semantics: a Phit is only on the wire for the
+// cycle it was driven).
+type Reg[T any] struct {
+	cur, next T
+	sticky    bool // if true, hold value until overwritten (latch semantics)
+}
+
+// NewReg returns a wire-semantics register (drains each cycle).
+func NewReg[T any]() *Reg[T] { return &Reg[T]{} }
+
+// NewSticky returns a latch-semantics register (holds last written value).
+func NewSticky[T any]() *Reg[T] { return &Reg[T]{sticky: true} }
+
+// Read returns the value latched at the previous clock edge.
+func (r *Reg[T]) Read() T { return r.cur }
+
+// Write drives the value to be latched at the next clock edge.
+func (r *Reg[T]) Write(v T) { r.next = v }
+
+// Commit implements Latchable.
+func (r *Reg[T]) Commit() {
+	r.cur = r.next
+	if !r.sticky {
+		var zero T
+		r.next = zero
+	}
+}

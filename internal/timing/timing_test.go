@@ -1,0 +1,275 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWheelBounds(t *testing.T) {
+	for _, bits := range []uint{0, 1, 31, 64} {
+		if _, err := NewWheel(bits); err == nil {
+			t.Errorf("NewWheel(%d): want error", bits)
+		}
+	}
+	for _, bits := range []uint{2, 8, 16, 30} {
+		w, err := NewWheel(bits)
+		if err != nil {
+			t.Fatalf("NewWheel(%d): %v", bits, err)
+		}
+		if w.Bits() != bits {
+			t.Errorf("Bits() = %d, want %d", w.Bits(), bits)
+		}
+		if w.Range() != 1<<bits {
+			t.Errorf("Range() = %d, want %d", w.Range(), 1<<bits)
+		}
+		if w.HalfRange() != 1<<(bits-1) {
+			t.Errorf("HalfRange() = %d, want %d", w.HalfRange(), 1<<(bits-1))
+		}
+	}
+}
+
+func TestMustWheelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustWheel(1) did not panic")
+		}
+	}()
+	MustWheel(1)
+}
+
+func TestWrapAdd(t *testing.T) {
+	w := MustWheel(8)
+	if got := w.Wrap(256); got != 0 {
+		t.Errorf("Wrap(256) = %d, want 0", got)
+	}
+	if got := w.Wrap(300); got != 44 {
+		t.Errorf("Wrap(300) = %d, want 44", got)
+	}
+	if got := w.Wrap(-1); got != 255 {
+		t.Errorf("Wrap(-1) = %d, want 255", got)
+	}
+	if got := w.Add(250, 10); got != 4 {
+		t.Errorf("Add(250,10) = %d, want 4", got)
+	}
+	if got := w.Sub(4, 250); got != 10 {
+		t.Errorf("Sub(4,250) = %d, want 10", got)
+	}
+}
+
+// TestFigure6 reproduces the worked example in Figure 6 of the paper:
+// an 8-bit clock with t = 240. A packet with ℓ = 80 is early traffic
+// (its real arrival time is 336 = 80+256), while ℓ = 210 is on-time.
+func TestFigure6(t *testing.T) {
+	w := MustWheel(8)
+	const now Stamp = 240
+	if w.OnTime(80, now) {
+		t.Error("ℓ=80 at t=240 classified on-time; paper says early")
+	}
+	if !w.OnTime(210, now) {
+		t.Error("ℓ=210 at t=240 classified early; paper says on-time")
+	}
+	// The early gap for ℓ=80 is 96 slots (336−240).
+	if gap := w.EarlyGap(80, now); gap != 96 {
+		t.Errorf("EarlyGap(80,240) = %d, want 96", gap)
+	}
+}
+
+func TestOnTimeWindowAcrossRollover(t *testing.T) {
+	w := MustWheel(8)
+	// Absolute time 1000 wraps to stamp 232. A packet with absolute ℓ in
+	// [1000−127, 1000] must be on-time; ℓ in (1000, 1000+127] early.
+	now := w.Wrap(1000)
+	for off := int64(-127); off <= 127; off++ {
+		l := w.Wrap(Slot(1000 + off))
+		want := off <= 0
+		if got := w.OnTime(l, now); got != want {
+			t.Fatalf("offset %d: OnTime=%v, want %v", off, got, want)
+		}
+	}
+}
+
+func TestLaxityAndOverdue(t *testing.T) {
+	w := MustWheel(8)
+	now := w.Wrap(500)
+	lax, overdue := w.Laxity(w.Wrap(500+40), now)
+	if overdue || lax != 40 {
+		t.Errorf("Laxity(+40) = %d,%v, want 40,false", lax, overdue)
+	}
+	lax, overdue = w.Laxity(w.Wrap(500), now)
+	if overdue || lax != 0 {
+		t.Errorf("Laxity(0) = %d,%v, want 0,false", lax, overdue)
+	}
+	lax, overdue = w.Laxity(w.Wrap(500-3), now)
+	if !overdue || lax != 0 {
+		t.Errorf("Laxity(-3) = %d,%v, want 0,true (clamped)", lax, overdue)
+	}
+}
+
+func TestSortKeyOrdering(t *testing.T) {
+	w := MustWheel(8)
+	now := w.Wrap(100)
+	// On-time with smaller laxity sorts first.
+	kTight, early, _ := w.SortKey(w.Wrap(95), w.Wrap(100+5), now)
+	kLoose, _, _ := w.SortKey(w.Wrap(95), w.Wrap(100+50), now)
+	if early {
+		t.Fatal("on-time packet keyed early")
+	}
+	if !(kTight < kLoose) {
+		t.Errorf("tight on-time key %d not < loose %d", kTight, kLoose)
+	}
+	// Any early key sorts after any on-time key.
+	kEarly, early, _ := w.SortKey(w.Wrap(101), w.Wrap(101+1), now)
+	if !early {
+		t.Fatal("future packet not keyed early")
+	}
+	if !(kLoose < kEarly) {
+		t.Errorf("on-time key %d not < early key %d", kLoose, kEarly)
+	}
+	// Every real key sorts before the ineligible key.
+	if !(kEarly < w.KeyIneligible()) {
+		t.Errorf("early key %d not < ineligible %d", kEarly, w.KeyIneligible())
+	}
+}
+
+func TestHorizonCheck(t *testing.T) {
+	w := MustWheel(8)
+	now := w.Wrap(100)
+	k, _, _ := w.SortKey(w.Wrap(104), w.Wrap(104+8), now) // 4 slots early
+	if !w.WithinHorizon(k, 4) {
+		t.Error("gap 4 with h=4: want within horizon")
+	}
+	if w.WithinHorizon(k, 3) {
+		t.Error("gap 4 with h=3: want outside horizon")
+	}
+	kOn, _, _ := w.SortKey(w.Wrap(99), w.Wrap(99+8), now)
+	if w.WithinHorizon(kOn, 200) {
+		t.Error("on-time key must never be classified early-within-horizon")
+	}
+}
+
+func TestValidDelay(t *testing.T) {
+	w := MustWheel(8)
+	cases := []struct {
+		d    int64
+		want bool
+	}{{0, true}, {127, true}, {128, false}, {-1, false}, {1 << 20, false}}
+	for _, c := range cases {
+		if got := w.ValidDelay(c.d); got != c.want {
+			t.Errorf("ValidDelay(%d) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestCyclesToSlot(t *testing.T) {
+	if got := CyclesToSlot(399, 20); got != 19 {
+		t.Errorf("CyclesToSlot(399,20) = %d, want 19", got)
+	}
+	if got := CyclesToSlot(400, 20); got != 20 {
+		t.Errorf("CyclesToSlot(400,20) = %d, want 20", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CyclesToSlot with zero divisor did not panic")
+		}
+	}()
+	CyclesToSlot(1, 0)
+}
+
+// Property: for any absolute time t and offset within the valid window,
+// classification and gaps computed on wrapped stamps match the unwrapped
+// ground truth. This is the rollover-correctness claim of Section 4.3.
+func TestRolloverPropertyQuick(t *testing.T) {
+	w := MustWheel(8)
+	prop := func(tAbs int64, off int16) bool {
+		if tAbs < 0 {
+			tAbs = -tAbs
+		}
+		o := int64(off) % 128 // stay within the half-range window
+		lAbs := tAbs + o
+		lt, tt := w.Wrap(Slot(lAbs)), w.Wrap(Slot(tAbs))
+		if w.OnTime(lt, tt) != (o <= 0) {
+			return false
+		}
+		if o > 0 && w.EarlyGap(lt, tt) != uint32(o) {
+			return false
+		}
+		if o <= 0 {
+			// Deadline d slots after ℓ, still in window.
+			d := int64(20)
+			if -o+d < 128 {
+				lax, over := w.Laxity(w.Wrap(Slot(lAbs+d)), tt)
+				if o+d >= 0 {
+					if over || int64(lax) != o+d {
+						return false
+					}
+				} else if !over || lax != 0 {
+					// Deadline already expired: must clamp to overdue.
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: key ordering is consistent with (class, gap) lexicographic
+// ordering for all in-window pairs.
+func TestKeyOrderPropertyQuick(t *testing.T) {
+	w := MustWheel(8)
+	type pkt struct {
+		l, dl Stamp
+	}
+	mk := func(tAbs int64, off int8, d uint8) pkt {
+		o := int64(off) % 100
+		dd := int64(d)%27 + 1
+		return pkt{w.Wrap(Slot(tAbs + o)), w.Wrap(Slot(tAbs + o + dd))}
+	}
+	prop := func(tAbs int64, o1, o2 int8, d1, d2 uint8) bool {
+		if tAbs < 0 {
+			tAbs = -tAbs
+		}
+		now := w.Wrap(Slot(tAbs))
+		a, b := mk(tAbs, o1, d1), mk(tAbs, o2, d2)
+		ka, ea, _ := w.SortKey(a.l, a.dl, now)
+		kb, eb, _ := w.SortKey(b.l, b.dl, now)
+		// Class dominance: on-time always sorts before early.
+		if !ea && eb && ka >= kb {
+			return false
+		}
+		if ea && !eb && ka <= kb {
+			return false
+		}
+		if ea == eb {
+			ga, gb := w.KeyGap(ka), w.KeyGap(kb)
+			if (ga < gb) != (ka < kb) && ga != gb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustive8BitClassification(t *testing.T) {
+	// For every (ℓ, t) pair on an 8-bit wheel, exactly one of on-time /
+	// early holds, and Sub/Add are inverses.
+	w := MustWheel(8)
+	for l := 0; l < 256; l++ {
+		for tt := 0; tt < 256; tt++ {
+			ls, ts := Stamp(l), Stamp(tt)
+			on := w.OnTime(ls, ts)
+			gap := w.Sub(ts, ls)
+			if on != (gap < 128) {
+				t.Fatalf("ℓ=%d t=%d: OnTime=%v gap=%d", l, tt, on, gap)
+			}
+			if w.Add(ls, w.Sub(ts, ls)) != ts {
+				t.Fatalf("Add/Sub not inverse at ℓ=%d t=%d", l, tt)
+			}
+		}
+	}
+}

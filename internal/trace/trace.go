@@ -1,0 +1,155 @@
+// Package trace records time-stamped network events into a bounded ring
+// for post-mortem inspection — the software analog of watching the
+// Verilog waveforms the authors used. Recorders attach to router hooks
+// and sink observers; cmd/rtsim exposes the tail via -trace.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mesh"
+	"repro/internal/router"
+	"repro/internal/sched"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// KindTCTransmit is a time-constrained packet leaving an output port.
+	KindTCTransmit Kind = iota
+	// KindTCDeliver is a delivery to a local processor.
+	KindTCDeliver
+	// KindBEDeliver is a best-effort delivery.
+	KindBEDeliver
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTCTransmit:
+		return "tc-tx"
+	case KindTCDeliver:
+		return "tc-rx"
+	case KindBEDeliver:
+		return "be-rx"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Cycle  int64
+	Kind   Kind
+	Router string
+	Port   int
+	Conn   uint8
+	Class  sched.Class
+	Missed bool
+	Wait   int64
+}
+
+// Ring is a fixed-capacity event recorder; the newest events win.
+type Ring struct {
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRing returns a recorder keeping the last n events.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Record appends an event, evicting the oldest beyond capacity.
+func (r *Ring) Record(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Total returns how many events were recorded overall (including
+// evicted ones).
+func (r *Ring) Total() int64 { return r.total }
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	if len(r.buf) < cap(r.buf) {
+		out := make([]Event, len(r.buf))
+		copy(out, r.buf)
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events, oldest first.
+func (r *Ring) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		miss := ""
+		if e.Missed {
+			miss = " MISS"
+		}
+		switch e.Kind {
+		case KindTCTransmit:
+			fmt.Fprintf(w, "%10d  %s  %s %s conn=%d class=%s wait=%d%s\n",
+				e.Cycle, e.Kind, e.Router, router.PortName(e.Port), e.Conn, e.Class, e.Wait, miss)
+		default:
+			fmt.Fprintf(w, "%10d  %s  %s conn=%d%s\n", e.Cycle, e.Kind, e.Router, e.Conn, miss)
+		}
+	}
+}
+
+// AttachRouter hooks a router's transmit events into the ring. It
+// chains with any hook already installed.
+func AttachRouter(ring *Ring, r *router.Router) {
+	prev := r.OnTCTransmit
+	r.OnTCTransmit = func(ev router.TCTransmitEvent) {
+		ring.Record(Event{
+			Cycle:  ev.Cycle,
+			Kind:   KindTCTransmit,
+			Router: ev.Router,
+			Port:   ev.Port,
+			Conn:   ev.InConn,
+			Class:  ev.Class,
+			Missed: ev.Missed,
+			Wait:   ev.Wait,
+		})
+		if prev != nil {
+			prev(ev)
+		}
+	}
+}
+
+// AttachDeliveries hooks a node's delivery events into the ring via its
+// sink observers. The at label names the node.
+type DeliveryObserver struct {
+	ring *Ring
+	at   mesh.Coord
+}
+
+// NewDeliveryObserver returns observer callbacks for traffic.Sink.OnTC
+// and OnBE.
+func NewDeliveryObserver(ring *Ring, at mesh.Coord) *DeliveryObserver {
+	return &DeliveryObserver{ring: ring, at: at}
+}
+
+// TC records a time-constrained delivery.
+func (o *DeliveryObserver) TC(d router.DeliveredTC) {
+	o.ring.Record(Event{Cycle: d.Cycle, Kind: KindTCDeliver, Router: o.at.String(), Conn: d.Conn})
+}
+
+// BE records a best-effort delivery.
+func (o *DeliveryObserver) BE(d router.DeliveredBE) {
+	o.ring.Record(Event{Cycle: d.Cycle, Kind: KindBEDeliver, Router: o.at.String()})
+}

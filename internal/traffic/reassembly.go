@@ -1,0 +1,141 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/rtc"
+)
+
+// Message is one reassembled application message.
+type Message struct {
+	Conn    uint8  // delivery identifier
+	Stamp   uint8  // the message's final deadline stamp
+	Payload []byte // Smax bytes (per-spec padding included)
+	Cycle   int64  // completion cycle (last packet's delivery)
+}
+
+// Reassembler groups delivered time-constrained packets back into the
+// multi-packet messages the source regulator split (rtc.Spec messages
+// larger than one 18-byte payload). The network carries and schedules
+// messages as trains of packets sharing a connection id and deadline
+// stamp; reassembly is the application-side inverse, which the paper
+// leaves to the node processor.
+//
+// Grouping is by (conn, stamp): every packet of one message carries the
+// same logical arrival time, and the regulator's Imin spacing keeps
+// consecutive messages' stamps distinct within the clock's half range.
+// Packets of one message can in principle reorder relative to each
+// other (the comparator tree breaks deadline ties by memory slot, not
+// arrival order), so payload positions within a message are the
+// application's contract — the probe convention puts sequencing in the
+// payload when it matters.
+type Reassembler struct {
+	expect  map[uint8]int // packets per message, by delivery conn id
+	partial map[reKey]*partialMsg
+
+	// Complete is invoked for every finished message.
+	Complete func(Message)
+	// Messages counts completed reassemblies.
+	Messages int64
+	// Dropped counts partial messages abandoned by Flush.
+	Dropped int64
+}
+
+type reKey struct {
+	conn  uint8
+	stamp uint8
+}
+
+type partialMsg struct {
+	chunks [][]byte
+	got    int
+	cycle  int64
+}
+
+// NewReassembler creates a reassembler. Register each delivery id with
+// Expect before packets arrive.
+func NewReassembler() *Reassembler {
+	return &Reassembler{
+		expect:  make(map[uint8]int),
+		partial: make(map[reKey]*partialMsg),
+	}
+}
+
+// Expect declares the message geometry of one delivery identifier.
+func (ra *Reassembler) Expect(conn uint8, spec rtc.Spec) error {
+	n := spec.PacketsPerMessage()
+	if n < 1 {
+		return fmt.Errorf("traffic: spec with %d packets per message", n)
+	}
+	ra.expect[conn] = n
+	return nil
+}
+
+// Push feeds one delivered packet; it returns the completed message
+// when this packet was the last of its group.
+func (ra *Reassembler) Push(d router.DeliveredTC) (Message, bool) {
+	n, ok := ra.expect[d.Conn]
+	if !ok {
+		return Message{}, false
+	}
+	if n == 1 {
+		m := Message{Conn: d.Conn, Stamp: d.Stamp, Payload: append([]byte(nil), d.Payload[:]...), Cycle: d.Cycle}
+		ra.finish(m)
+		return m, true
+	}
+	key := reKey{d.Conn, d.Stamp}
+	p, ok := ra.partial[key]
+	if !ok {
+		p = &partialMsg{chunks: make([][]byte, 0, n)}
+		ra.partial[key] = p
+	}
+	p.chunks = append(p.chunks, append([]byte(nil), d.Payload[:]...))
+	p.got++
+	if d.Cycle > p.cycle {
+		p.cycle = d.Cycle
+	}
+	if p.got < n {
+		return Message{}, false
+	}
+	delete(ra.partial, key)
+	payload := make([]byte, 0, n*packet.TCPayloadBytes)
+	for _, c := range p.chunks {
+		payload = append(payload, c...)
+	}
+	m := Message{Conn: d.Conn, Stamp: d.Stamp, Payload: payload, Cycle: p.cycle}
+	ra.finish(m)
+	return m, true
+}
+
+func (ra *Reassembler) finish(m Message) {
+	ra.Messages++
+	if ra.Complete != nil {
+		ra.Complete(m)
+	}
+}
+
+// Pending returns the number of incomplete messages in flight.
+func (ra *Reassembler) Pending() int { return len(ra.partial) }
+
+// Flush abandons all partial messages (e.g. at teardown) and returns
+// how many were dropped.
+func (ra *Reassembler) Flush() int {
+	n := len(ra.partial)
+	ra.partial = make(map[reKey]*partialMsg)
+	ra.Dropped += int64(n)
+	return n
+}
+
+// AttachReassembler chains a reassembler onto a sink's delivery
+// observer, preserving any existing observer.
+func AttachReassembler(s *Sink, ra *Reassembler) {
+	prev := s.OnTC
+	s.OnTC = func(d router.DeliveredTC) {
+		ra.Push(d)
+		if prev != nil {
+			prev(d)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/router"
+	"repro/internal/rtc"
+	"repro/internal/sim"
+)
+
+func deliveredPkt(conn, stamp uint8, fill byte, cycle int64) router.DeliveredTC {
+	d := router.DeliveredTC{Conn: conn, Stamp: stamp, Cycle: cycle}
+	for i := range d.Payload {
+		d.Payload[i] = fill
+	}
+	return d
+}
+
+func TestReassemblerSinglePacket(t *testing.T) {
+	ra := NewReassembler()
+	if err := ra.Expect(5, rtc.Spec{Imin: 8, Smax: 18, D: 40}); err != nil {
+		t.Fatal(err)
+	}
+	m, done := ra.Push(deliveredPkt(5, 9, 0xAA, 100))
+	if !done {
+		t.Fatal("single-packet message not complete")
+	}
+	if m.Conn != 5 || m.Stamp != 9 || m.Cycle != 100 || len(m.Payload) != 18 {
+		t.Errorf("message %+v", m)
+	}
+	if ra.Messages != 1 || ra.Pending() != 0 {
+		t.Errorf("counts: %d pending %d", ra.Messages, ra.Pending())
+	}
+}
+
+func TestReassemblerMultiPacket(t *testing.T) {
+	ra := NewReassembler()
+	spec := rtc.Spec{Imin: 8, Smax: 50, D: 40} // 3 packets
+	if err := ra.Expect(7, spec); err != nil {
+		t.Fatal(err)
+	}
+	var completed []Message
+	ra.Complete = func(m Message) { completed = append(completed, m) }
+	// Interleave two messages (stamps 10 and 20).
+	if _, done := ra.Push(deliveredPkt(7, 10, 1, 100)); done {
+		t.Fatal("premature completion")
+	}
+	if _, done := ra.Push(deliveredPkt(7, 20, 2, 110)); done {
+		t.Fatal("premature completion")
+	}
+	if ra.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", ra.Pending())
+	}
+	ra.Push(deliveredPkt(7, 10, 1, 120))
+	ra.Push(deliveredPkt(7, 20, 2, 130))
+	m1, done := ra.Push(deliveredPkt(7, 10, 1, 140))
+	if !done || m1.Stamp != 10 || m1.Cycle != 140 {
+		t.Fatalf("message 1: %+v done=%v", m1, done)
+	}
+	if len(m1.Payload) != 54 || !bytes.Equal(m1.Payload, bytes.Repeat([]byte{1}, 54)) {
+		t.Error("message 1 payload wrong")
+	}
+	m2, done := ra.Push(deliveredPkt(7, 20, 2, 150))
+	if !done || m2.Stamp != 20 {
+		t.Fatalf("message 2: %+v done=%v", m2, done)
+	}
+	if len(completed) != 2 {
+		t.Errorf("Complete called %d times", len(completed))
+	}
+	if ra.Pending() != 0 {
+		t.Error("partials left over")
+	}
+}
+
+func TestReassemblerUnknownConnIgnored(t *testing.T) {
+	ra := NewReassembler()
+	if _, done := ra.Push(deliveredPkt(9, 0, 0, 1)); done {
+		t.Error("unknown conn completed a message")
+	}
+	if ra.Messages != 0 {
+		t.Error("unknown conn counted")
+	}
+}
+
+func TestReassemblerFlush(t *testing.T) {
+	ra := NewReassembler()
+	if err := ra.Expect(1, rtc.Spec{Imin: 8, Smax: 36, D: 40}); err != nil {
+		t.Fatal(err)
+	}
+	ra.Push(deliveredPkt(1, 3, 0, 10))
+	if n := ra.Flush(); n != 1 {
+		t.Errorf("Flush = %d, want 1", n)
+	}
+	if ra.Dropped != 1 || ra.Pending() != 0 {
+		t.Errorf("dropped=%d pending=%d", ra.Dropped, ra.Pending())
+	}
+}
+
+// TestReassemblerEndToEnd drives two-packet messages through a live
+// router and reassembles at the sink.
+func TestReassemblerEndToEnd(t *testing.T) {
+	k := sim.NewKernel()
+	r := router.MustNew("A", router.DefaultConfig())
+	p, err := rtc.NewPacer("pacer", r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := rtc.Spec{Imin: 8, Smax: 36, D: 24}
+	if err := r.SetConnection(1, 9, uint8(spec.D), 1<<router.PortLocal); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := p.Channel(1, spec, spec.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewSink("sink", r)
+	ra := NewReassembler()
+	if err := ra.Expect(9, spec); err != nil {
+		t.Fatal(err)
+	}
+	var got []Message
+	ra.Complete = func(m Message) { got = append(got, m) }
+	AttachReassembler(sink, ra)
+	k.Register(p)
+	k.Register(r)
+	k.Register(sink)
+
+	for i := 0; i < 4; i++ {
+		body := bytes.Repeat([]byte{byte(i + 1)}, 36)
+		if err := ch.Submit(0, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(func() bool { return ra.Messages >= 4 }, 40000)
+	if len(got) != 4 {
+		t.Fatalf("reassembled %d/4 messages", len(got))
+	}
+	for i, m := range got {
+		if !bytes.Equal(m.Payload, bytes.Repeat([]byte{byte(i + 1)}, 36)) {
+			t.Errorf("message %d payload corrupted", i)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package traffic provides deterministic workload generators and
+// measurement sinks for the experiment harness: periodic and backlogged
+// real-time channel sources, rate-controlled best-effort sources with
+// configurable destination and size distributions, and delivery sinks
+// that recover end-to-end latency from probe payloads.
+package traffic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mesh"
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/rtc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// Probe is the instrumentation header generators place at the front of
+// payloads so sinks can measure end-to-end latency without any
+// simulator back-channel: the bytes travel through the routers like any
+// other data.
+const ProbeBytes = 12
+
+// EncodeProbe writes the injection cycle and sequence number into the
+// first ProbeBytes of dst.
+func EncodeProbe(dst []byte, cycle int64, seq uint32) {
+	if len(dst) < ProbeBytes {
+		panic("traffic: probe destination too short")
+	}
+	binary.BigEndian.PutUint64(dst[0:8], uint64(cycle))
+	binary.BigEndian.PutUint32(dst[8:12], seq)
+}
+
+// DecodeProbe recovers the injection cycle and sequence number.
+func DecodeProbe(src []byte) (cycle int64, seq uint32) {
+	if len(src) < ProbeBytes {
+		return 0, 0
+	}
+	return int64(binary.BigEndian.Uint64(src[0:8])), binary.BigEndian.Uint32(src[8:12])
+}
+
+// TCPattern selects how a time-constrained source generates messages.
+type TCPattern int
+
+const (
+	// Periodic submits one message every Imin slots — the nominal
+	// real-time workload.
+	Periodic TCPattern = iota
+	// Backlogged keeps the channel's queue non-empty, the "continual
+	// backlog" condition of Figure 7; throughput is then set entirely by
+	// the reservation.
+	Backlogged
+	// Bursty submits Bmax+1 messages at once every Bmax+1 periods,
+	// exercising the burst allowance of the arrival model.
+	Bursty
+)
+
+// Sender is where a generator submits messages: the raw source
+// regulator handle (rtc.PacedChannel) or a facade that survives channel
+// re-establishment (core.Channel).
+type Sender interface {
+	Submit(now timing.Slot, payload []byte) error
+	Pending() int
+}
+
+// TCApp drives one real-time channel with a synthetic message pattern.
+// It implements sim.Component and must tick before the routers.
+type TCApp struct {
+	name    string
+	ch      Sender
+	spec    rtc.Spec
+	pattern TCPattern
+	size    int
+	seq     uint32
+
+	nextSlot timing.Slot
+	stopped  bool
+
+	// Submitted counts messages handed to the regulator.
+	Submitted int64
+	// Errors counts submissions refused (e.g. the channel closed after a
+	// failed re-establishment); the generator stops at the first one.
+	Errors int64
+}
+
+// NewTCApp creates a generator for an admitted channel. size is the
+// message payload length (capped at the spec's Smax, with room for the
+// probe header).
+func NewTCApp(name string, ch Sender, spec rtc.Spec, pattern TCPattern, size int) (*TCApp, error) {
+	if size < ProbeBytes {
+		size = ProbeBytes
+	}
+	if size > spec.Smax {
+		return nil, fmt.Errorf("traffic: message size %d exceeds Smax %d", size, spec.Smax)
+	}
+	return &TCApp{name: name, ch: ch, spec: spec, pattern: pattern, size: size}, nil
+}
+
+// Name implements sim.Component.
+func (a *TCApp) Name() string { return a.name }
+
+// Tick implements sim.Component.
+func (a *TCApp) Tick(now sim.Cycle) {
+	if a.stopped {
+		return
+	}
+	nowSlot := timing.CyclesToSlot(int64(now), packet.TCBytes)
+	switch a.pattern {
+	case Backlogged:
+		// Keep a couple of messages queued beyond what the regulator can
+		// release, so the source never idles.
+		for a.ch.Pending() < 2 {
+			a.submit(int64(now), nowSlot)
+		}
+	case Bursty:
+		if nowSlot >= a.nextSlot {
+			n := a.spec.Bmax + 1
+			for i := 0; i < n; i++ {
+				a.submit(int64(now), nowSlot)
+			}
+			a.nextSlot = nowSlot + timing.Slot(a.spec.Imin*int64(n))
+		}
+	default: // Periodic
+		if nowSlot >= a.nextSlot {
+			a.submit(int64(now), nowSlot)
+			a.nextSlot = nowSlot + timing.Slot(a.spec.Imin)
+		}
+	}
+}
+
+func (a *TCApp) submit(cycle int64, nowSlot timing.Slot) {
+	body := make([]byte, a.size)
+	EncodeProbe(body, cycle, a.seq)
+	a.seq++
+	if err := a.ch.Submit(nowSlot, body); err != nil {
+		// Sizes are validated at construction, so a refusal means the
+		// channel died underneath us (teardown or a failed reroute):
+		// stop generating rather than wedge the simulation.
+		a.Errors++
+		a.stopped = true
+		return
+	}
+	a.Submitted++
+}
+
+// DstPicker selects a destination for each best-effort packet.
+type DstPicker func(rng *rand.Rand) mesh.Coord
+
+// UniformDst picks uniformly over the mesh, excluding the source.
+func UniformDst(net *mesh.Network, src mesh.Coord) DstPicker {
+	coords := make([]mesh.Coord, 0, len(net.Coords())-1)
+	for _, c := range net.Coords() {
+		if c != src {
+			coords = append(coords, c)
+		}
+	}
+	return func(rng *rand.Rand) mesh.Coord {
+		if len(coords) == 0 {
+			return src
+		}
+		return coords[rng.Intn(len(coords))]
+	}
+}
+
+// FixedDst always picks dst.
+func FixedDst(dst mesh.Coord) DstPicker {
+	return func(*rand.Rand) mesh.Coord { return dst }
+}
+
+// HotspotDst picks hot with probability p, else uniformly.
+func HotspotDst(net *mesh.Network, src, hot mesh.Coord, p float64) DstPicker {
+	uni := UniformDst(net, src)
+	return func(rng *rand.Rand) mesh.Coord {
+		if rng.Float64() < p {
+			return hot
+		}
+		return uni(rng)
+	}
+}
+
+// SizePicker selects a payload size for each best-effort packet.
+type SizePicker func(rng *rand.Rand) int
+
+// FixedSize always returns n.
+func FixedSize(n int) SizePicker { return func(*rand.Rand) int { return n } }
+
+// UniformSize returns sizes uniformly in [lo, hi].
+func UniformSize(lo, hi int) SizePicker {
+	return func(rng *rand.Rand) int { return lo + rng.Intn(hi-lo+1) }
+}
+
+// BEApp injects best-effort packets at a target byte rate using a token
+// bucket: Rate is in bytes per cycle (1.0 saturates a link). It
+// implements sim.Component.
+type BEApp struct {
+	name string
+	r    *router.Router
+	src  mesh.Coord
+	dst  DstPicker
+	size SizePicker
+	rate float64
+	rng  *rand.Rand
+
+	tokens  float64
+	pending int // size of the packet awaiting tokens
+	pdst    mesh.Coord
+	seq     uint32
+
+	// Injected counts packets queued at the router.
+	Injected int64
+	// InjectedBytes counts total frame bytes queued.
+	InjectedBytes int64
+}
+
+// NewBEApp creates a best-effort source at src on the given network.
+func NewBEApp(name string, net *mesh.Network, src mesh.Coord, dst DstPicker, size SizePicker, rate float64, seed int64) (*BEApp, error) {
+	r := net.Router(src)
+	if r == nil {
+		return nil, fmt.Errorf("traffic: source %s outside mesh", src)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("traffic: rate %v must be positive", rate)
+	}
+	return &BEApp{
+		name: name, r: r, src: src, dst: dst, size: size, rate: rate,
+		rng: rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Name implements sim.Component.
+func (a *BEApp) Name() string { return a.name }
+
+// Tick implements sim.Component.
+func (a *BEApp) Tick(now sim.Cycle) {
+	a.tokens += a.rate
+	// Cap the idle bucket so quiet periods don't bank unbounded bursts;
+	// once a packet is chosen the bucket must be allowed to reach its
+	// frame length.
+	if limit := 4 * a.rate * float64(packet.TCBytes); a.pending == 0 && a.tokens > limit {
+		a.tokens = limit
+	}
+	if a.pending == 0 {
+		a.pending = a.size(a.rng)
+		if a.pending < ProbeBytes {
+			a.pending = ProbeBytes
+		}
+		a.pdst = a.dst(a.rng)
+	}
+	frameLen := a.pending + packet.BEHeaderBytes
+	if a.tokens < float64(frameLen) {
+		return
+	}
+	a.tokens -= float64(frameLen)
+	body := make([]byte, a.pending)
+	EncodeProbe(body, int64(now), a.seq)
+	a.seq++
+	xo, yo := mesh.BEOffsets(a.src, a.pdst)
+	frame, err := packet.NewBE(xo, yo, body)
+	if err != nil {
+		panic("traffic: " + err.Error())
+	}
+	a.r.InjectBE(frame)
+	a.Injected++
+	a.InjectedBytes += int64(len(frame))
+	a.pending = 0
+}
+
+// Sink drains a router's delivery queues every cycle and accumulates
+// latency statistics from probe payloads. It implements sim.Component
+// and should be registered after the router it serves.
+type Sink struct {
+	name string
+	r    *router.Router
+
+	TCLatency stats.Hist // cycles, injection to delivery
+	BELatency stats.Hist
+	TCCount   int64
+	BECount   int64
+
+	// OnTC, if set, observes every time-constrained delivery.
+	OnTC func(router.DeliveredTC)
+	// OnBE, if set, observes every best-effort delivery.
+	OnBE func(router.DeliveredBE)
+}
+
+// NewSink creates a delivery sink for one router.
+func NewSink(name string, r *router.Router) *Sink {
+	return &Sink{name: name, r: r}
+}
+
+// Name implements sim.Component.
+func (s *Sink) Name() string { return s.name }
+
+// Reset discards accumulated statistics (for post-warmup measurement).
+func (s *Sink) Reset() {
+	s.TCLatency.Reset()
+	s.BELatency.Reset()
+	s.TCCount = 0
+	s.BECount = 0
+}
+
+// Tick implements sim.Component.
+func (s *Sink) Tick(now sim.Cycle) {
+	for _, d := range s.r.DrainTC() {
+		s.TCCount++
+		inj, _ := DecodeProbe(d.Payload[:])
+		if inj > 0 && inj <= d.Cycle {
+			s.TCLatency.AddInt(d.Cycle - inj)
+		}
+		if s.OnTC != nil {
+			s.OnTC(d)
+		}
+	}
+	for _, d := range s.r.DrainBE() {
+		s.BECount++
+		inj, _ := DecodeProbe(d.Payload)
+		if inj > 0 && inj <= d.Cycle {
+			s.BELatency.AddInt(d.Cycle - inj)
+		}
+		if s.OnBE != nil {
+			s.OnBE(d)
+		}
+	}
+}
