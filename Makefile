@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test fmt bench
+
+# check is the tier-1 gate: vet, build, race tests, and formatting.
+check: vet build test fmt
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# fmt fails (rather than rewrites) so CI catches unformatted files.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -14,9 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/router"
 )
 
@@ -24,7 +29,25 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|ring|sharing|all)")
 	cycles := flag.Int64("cycles", 0, "override simulated cycles where applicable (0 = experiment default)")
 	chart := flag.Bool("chart", false, "render ASCII charts where available")
+	metricsOut := flag.String("metrics", "", "write aggregate telemetry across all runs to this file (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
+	listen := flag.String("listen", "", "serve live telemetry over HTTP at this address while experiments run (e.g. :8080)")
 	flag.Parse()
+
+	// Experiments build their Systems internally, so telemetry hooks in
+	// through the package-level default registry.
+	var reg *metrics.Registry
+	if *metricsOut != "" || *listen != "" {
+		reg = metrics.NewRegistry()
+		core.DefaultMetrics = reg
+		if *listen != "" {
+			go func() {
+				if err := http.ListenAndServe(*listen, reg); err != nil {
+					fmt.Fprintln(os.Stderr, "rtbench: telemetry listener:", err)
+				}
+			}()
+			fmt.Printf("telemetry: live at http://%s/\n", *listen)
+		}
+	}
 
 	runners := map[string]func() error{
 		"e1":        func() error { return runE1() },
@@ -51,6 +74,7 @@ func main() {
 				fatal(name, err)
 			}
 		}
+		dumpTelemetry(reg, *metricsOut)
 		return
 	}
 	run, ok := runners[*exp]
@@ -61,6 +85,36 @@ func main() {
 	}
 	if err := run(); err != nil {
 		fatal(*exp, err)
+	}
+	dumpTelemetry(reg, *metricsOut)
+}
+
+// dumpTelemetry writes the aggregate registry (counters accumulated
+// across every system the experiments built) after the runs finish.
+func dumpTelemetry(reg *metrics.Registry, path string) {
+	if reg == nil || path == "" {
+		return
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal("metrics", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
+		err = reg.WritePrometheus(w)
+	} else {
+		err = reg.WriteJSON(w)
+	}
+	if err != nil {
+		fatal("metrics", err)
+	}
+	if path != "-" {
+		fmt.Printf("telemetry report written to %s\n", path)
 	}
 }
 

@@ -15,13 +15,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"strings"
 
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/mesh"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/router"
 	"repro/internal/rtc"
@@ -32,28 +35,33 @@ import (
 
 func main() {
 	var (
-		meshDim   = flag.String("mesh", "4x4", "mesh dimensions WxH")
-		channels  = flag.Int("channels", 8, "real-time channels to open at random placements")
-		imin      = flag.Int64("imin", 16, "channel Imin in slots")
-		deadline  = flag.Int64("deadline", 96, "channel end-to-end bound in slots")
-		smax      = flag.Int("smax", 18, "channel message size in bytes")
-		beRate    = flag.Float64("berate", 0.2, "best-effort bytes/cycle injected per node (0 disables)")
-		beSize    = flag.Int("besize", 64, "best-effort payload bytes")
-		cycles    = flag.Int64("cycles", 100000, "cycles to simulate")
-		seed      = flag.Int64("seed", 1, "workload placement seed")
-		horizon   = flag.Uint("horizon", 8, "horizon parameter programmed on all ports (slots)")
-		window    = flag.Int64("window", 8, "source regulator window (slots)")
-		scheduler = flag.String("sched", "edf", "link scheduler: edf|fifo|static")
-		vct       = flag.Bool("vct", false, "enable virtual cut-through for time-constrained traffic")
-		shared    = flag.Bool("shared", false, "use shared-pool buffer accounting instead of partitioned")
-		traceN    = flag.Int("trace", 0, "dump the last N network events after the run (0 disables)")
-		scenPath  = flag.String("scenario", "", "run a JSON scenario file instead of the flag-driven workload")
-		links     = flag.Bool("links", false, "print the per-link utilization table after the run")
+		meshDim    = flag.String("mesh", "4x4", "mesh dimensions WxH")
+		channels   = flag.Int("channels", 8, "real-time channels to open at random placements")
+		imin       = flag.Int64("imin", 16, "channel Imin in slots")
+		deadline   = flag.Int64("deadline", 96, "channel end-to-end bound in slots")
+		smax       = flag.Int("smax", 18, "channel message size in bytes")
+		beRate     = flag.Float64("berate", 0.2, "best-effort bytes/cycle injected per node (0 disables)")
+		beSize     = flag.Int("besize", 64, "best-effort payload bytes")
+		cycles     = flag.Int64("cycles", 100000, "cycles to simulate")
+		seed       = flag.Int64("seed", 1, "workload placement seed")
+		horizon    = flag.Uint("horizon", 8, "horizon parameter programmed on all ports (slots)")
+		window     = flag.Int64("window", 8, "source regulator window (slots)")
+		scheduler  = flag.String("sched", "edf", "link scheduler: edf|fifo|static")
+		vct        = flag.Bool("vct", false, "enable virtual cut-through for time-constrained traffic")
+		shared     = flag.Bool("shared", false, "use shared-pool buffer accounting instead of partitioned")
+		traceN     = flag.Int("trace", 0, "dump the last N network events after the run (0 disables)")
+		scenPath   = flag.String("scenario", "", "run a JSON scenario file instead of the flag-driven workload")
+		links      = flag.Bool("links", false, "print the per-link utilization table after the run")
+		metricsOut = flag.String("metrics", "", "write the telemetry report to this file after the run (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
+		sample     = flag.Int64("sample", 0, "snapshot telemetry totals into a time series every N cycles (0 = cycles/100 when telemetry is on)")
+		listen     = flag.String("listen", "", "serve live telemetry over HTTP at this address during the run (e.g. :8080)")
 	)
 	flag.Parse()
 
+	reg := openTelemetry(*metricsOut, *listen, sample, *cycles)
+
 	if *scenPath != "" {
-		runScenario(*scenPath)
+		runScenario(*scenPath, reg, *sample, *metricsOut)
 		return
 	}
 
@@ -76,7 +84,11 @@ func main() {
 	if *shared {
 		policy = admission.SharedPool
 	}
-	sys, err := core.NewMesh(w, h, core.Options{Router: cfg}.WithAdmission(admission.Config{
+	sys, err := core.NewMesh(w, h, core.Options{
+		Router:             cfg,
+		Metrics:            reg,
+		MetricsSampleEvery: *sample,
+	}.WithAdmission(admission.Config{
 		Policy:       policy,
 		SourceWindow: *window,
 		Horizon:      uint32(*horizon),
@@ -85,14 +97,13 @@ func main() {
 		fail(err)
 	}
 
+	// AttachRouter records the full lifecycle, deliveries included, so
+	// no sink observers are needed.
 	var ring *trace.Ring
 	if *traceN > 0 {
 		ring = trace.NewRing(*traceN)
 		for _, c := range sys.Net.Coords() {
 			trace.AttachRouter(ring, sys.Router(c))
-			obs := trace.NewDeliveryObserver(ring, c)
-			sys.Sink(c).OnTC = obs.TC
-			sys.Sink(c).OnBE = obs.BE
 		}
 	}
 
@@ -141,16 +152,76 @@ func main() {
 		fmt.Printf("\nlast %d of %d network events:\n", len(ring.Events()), ring.Total())
 		ring.Dump(os.Stdout)
 	}
+	finishTelemetry(reg, sys.Now(), *metricsOut)
+}
+
+// openTelemetry builds the metrics registry when any telemetry output
+// is requested, starts the live HTTP endpoint, and defaults the
+// sampling period to 1% of the run.
+func openTelemetry(metricsOut, listen string, sample *int64, cycles int64) *metrics.Registry {
+	if metricsOut == "" && listen == "" {
+		return nil
+	}
+	reg := metrics.NewRegistry()
+	if *sample <= 0 {
+		*sample = cycles / 100
+		if *sample < 1 {
+			*sample = 1
+		}
+	}
+	if listen != "" {
+		go func() {
+			if err := http.ListenAndServe(listen, reg); err != nil {
+				fmt.Fprintln(os.Stderr, "rtsim: telemetry listener:", err)
+			}
+		}()
+		fmt.Printf("telemetry: live at http://%s/ (Prometheus text; append ?format=json for JSON)\n", listen)
+	}
+	return reg
+}
+
+// finishTelemetry stamps the final cycle count and writes the report.
+func finishTelemetry(reg *metrics.Registry, now int64, metricsOut string) {
+	if reg == nil {
+		return
+	}
+	reg.Cycles.Store(now)
+	if metricsOut == "" {
+		return
+	}
+	if err := writeMetrics(reg, metricsOut); err != nil {
+		fail(err)
+	}
+	if metricsOut != "-" {
+		fmt.Printf("telemetry report written to %s\n", metricsOut)
+	}
+}
+
+// writeMetrics dumps the registry; the extension picks the format.
+func writeMetrics(reg *metrics.Registry, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
+		return reg.WritePrometheus(w)
+	}
+	return reg.WriteJSON(w)
 }
 
 // runScenario plays a declarative workload file (see scenarios/ and the
 // scenario package).
-func runScenario(path string) {
+func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut string) {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		fail(err)
 	}
-	res, sys, err := sc.Run()
+	res, sys, err := sc.RunWith(scenario.RunOpts{Metrics: reg, SampleEvery: sample})
 	if err != nil {
 		fail(err)
 	}
@@ -166,6 +237,7 @@ func runScenario(path string) {
 		fmt.Printf("link failures played: %d; channels rerouted: %d\n", res.Failures, res.Rerouted)
 	}
 	printSummary(sys, res.Cycles)
+	finishTelemetry(reg, sys.Now(), metricsOut)
 }
 
 func parseMesh(s string) (int, int, error) {

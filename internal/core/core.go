@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/mesh"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/router"
 	"repro/internal/rtc"
@@ -39,7 +40,21 @@ type Options struct {
 	Admission admission.Config
 	// admissionSet marks Admission as explicitly provided.
 	admissionSet bool
+	// Metrics attaches a telemetry registry: every router gets a
+	// counter block named after its coordinate. Nil falls back to
+	// DefaultMetrics; when that is nil too, the system runs without
+	// telemetry (the hot paths pay only a nil check).
+	Metrics *metrics.Registry
+	// MetricsSampleEvery, when positive, registers a periodic sampler
+	// snapshotting registry totals into System.Sampler.TS every N
+	// cycles. Ignored without a registry.
+	MetricsSampleEvery int64
 }
+
+// DefaultMetrics, when set, is attached by NewMesh to systems built
+// without an explicit Options.Metrics — the hook the command-line
+// tools use to observe experiments that construct Systems internally.
+var DefaultMetrics *metrics.Registry
 
 // WithAdmission returns o with the admission configuration set.
 func (o Options) WithAdmission(a admission.Config) Options {
@@ -56,6 +71,12 @@ type System struct {
 	cfg  router.Config
 	pcrs map[mesh.Coord]*rtc.Pacer
 	snks map[mesh.Coord]*traffic.Sink
+
+	// Metrics is the attached telemetry registry, or nil.
+	Metrics *metrics.Registry
+	// Sampler is the periodic registry sampler, or nil; its TS field
+	// holds the per-quantity time series after a run.
+	Sampler *metrics.Sampler
 }
 
 // NewMesh builds a W×H system.
@@ -83,6 +104,10 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 	// components in registration order, so pacer injections become
 	// visible at the next cycle — one cycle of processor-interface
 	// latency, which is fine. Sinks drain after the routers.
+	reg := opts.Metrics
+	if reg == nil {
+		reg = DefaultMetrics
+	}
 	for _, c := range net.Coords() {
 		p, err := rtc.NewPacer(fmt.Sprintf("pacer%s", c), net.Router(c), acfg.SourceWindow)
 		if err != nil {
@@ -93,6 +118,16 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 		s := traffic.NewSink(fmt.Sprintf("sink%s", c), net.Router(c))
 		net.Kernel.Register(s)
 		sys.snks[c] = s
+		if reg != nil {
+			net.Router(c).AttachMetrics(reg.Router(c.String()))
+		}
+	}
+	if reg != nil {
+		sys.Metrics = reg
+		if opts.MetricsSampleEvery > 0 {
+			sys.Sampler = metrics.NewSampler("metrics-sampler", reg, opts.MetricsSampleEvery)
+			net.Kernel.Register(sys.Sampler)
+		}
 	}
 	adm, err := admission.New(net, acfg)
 	if err != nil {

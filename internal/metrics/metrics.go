@@ -1,0 +1,556 @@
+// Package metrics is the router telemetry layer: a zero-allocation
+// counter/gauge registry the router core updates on every hot-path
+// event, with JSON and Prometheus-text export and an HTTP handler for
+// watching a long simulation live.
+//
+// The label space is fixed at construction — router name, output port
+// (0..4) and arbitration class — so every hot-path update is a single
+// atomic add into a preallocated array; nothing on the tick path
+// allocates, hashes or locks. Counters are safe for concurrent readers
+// (the -listen endpoint) while the simulation is running.
+//
+// The software plays the role of the chip-level event counters and
+// Verilog waveforms the paper's authors watched (Figures 4–7): each
+// counter answers a "why did this happen" question — arbitration wins
+// by class per port, packet-memory occupancy high-water, slot-clock
+// rollovers, best-effort credit stalls, deadline misses and drops by
+// reason.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// NumPorts mirrors the router's port count (four mesh links plus the
+// local port). Kept as a local constant so the router package can
+// depend on metrics without a cycle.
+const NumPorts = 5
+
+// portName mirrors router.PortName for export labels.
+func portName(p int) string {
+	switch p {
+	case 0:
+		return "+x"
+	case 1:
+		return "-x"
+	case 2:
+		return "+y"
+	case 3:
+		return "-y"
+	case 4:
+		return "local"
+	default:
+		return fmt.Sprintf("port(%d)", p)
+	}
+}
+
+// ArbClass labels an output-port arbitration decision (Table 1 service
+// order): an on-time time-constrained packet, an early time-constrained
+// packet sent within the horizon, or a best-effort flit.
+type ArbClass uint8
+
+const (
+	// ArbOnTime is a Queue-1 win: a time-constrained packet at or past
+	// its logical arrival time started transmission.
+	ArbOnTime ArbClass = iota
+	// ArbEarly is a Queue-3 win: a time-constrained packet ahead of its
+	// logical arrival time was sent within the port's horizon.
+	ArbEarly
+	// ArbBE is a best-effort win: one wormhole flit crossed the port.
+	// Counted per flit, because the chip re-arbitrates best-effort
+	// traffic every byte (byte-level preemption).
+	ArbBE
+	// NumArbClasses sizes per-class arrays.
+	NumArbClasses = 3
+)
+
+func (c ArbClass) String() string {
+	switch c {
+	case ArbOnTime:
+		return "on_time"
+	case ArbEarly:
+		return "early"
+	case ArbBE:
+		return "best_effort"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// DropReason labels a discarded packet by the mechanism that dropped it.
+type DropReason uint8
+
+const (
+	// DropTCNoSlot: the idle-address FIFO was empty (a reservation
+	// violation; admitted traffic cannot exhaust the packet memory).
+	DropTCNoSlot DropReason = iota
+	// DropTCNoRoute: no valid connection-table entry for the header id.
+	DropTCNoRoute
+	// DropTCStaging: the input's nominal staging space overran.
+	DropTCStaging
+	// DropTCDeadPort: the packet was scheduled to an unwired link.
+	DropTCDeadPort
+	// DropBEMisroute: dimension-ordered routing pointed off the mesh.
+	DropBEMisroute
+	// DropBETruncated: a wormhole fragment was abandoned after its
+	// upstream link failed mid-packet.
+	DropBETruncated
+	// DropBEOverrun: a best-effort flit arrived with no buffer space (a
+	// credit-protocol violation).
+	DropBEOverrun
+	// NumDropReasons sizes per-reason arrays.
+	NumDropReasons = 7
+)
+
+func (d DropReason) String() string {
+	switch d {
+	case DropTCNoSlot:
+		return "tc_no_slot"
+	case DropTCNoRoute:
+		return "tc_no_route"
+	case DropTCStaging:
+		return "tc_staging"
+	case DropTCDeadPort:
+		return "tc_dead_port"
+	case DropBEMisroute:
+		return "be_misroute"
+	case DropBETruncated:
+		return "be_truncated"
+	case DropBEOverrun:
+		return "be_overrun"
+	default:
+		return fmt.Sprintf("reason(%d)", int(d))
+	}
+}
+
+// Counter is a monotonically increasing event count, safe for one
+// writer and many concurrent readers (and for several writers, though
+// the simulator is single-threaded).
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous level, also usable as a running maximum via
+// SetMax (high-water marks).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current level.
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+// SetMax raises the gauge to x if x exceeds the stored value.
+func (g *Gauge) SetMax(x int64) {
+	for {
+		cur := g.v.Load()
+		if x <= cur || g.v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// RouterMetrics is the fixed-cardinality counter block of one router
+// chip. The router core holds a pointer (nil when telemetry is off) and
+// updates fields directly on its hot path; all updates are atomic adds
+// or stores into preallocated storage.
+type RouterMetrics struct {
+	name string
+
+	// TCInjected counts packets handed to the time-constrained
+	// injection port by the local processor.
+	TCInjected Counter
+	// TCEnqueued counts scheduling-leaf installs: a packet became live
+	// in the shared memory and visible to the comparator tree.
+	TCEnqueued Counter
+	// TCDequeued counts transmission starts per output port for packets
+	// leaving through the memory path (cut-throughs are separate).
+	TCDequeued [NumPorts]Counter
+	// TCDelivered counts packets handed to the local processor.
+	TCDelivered Counter
+	// BEDelivered counts best-effort deliveries.
+	BEDelivered Counter
+
+	// ArbWins counts output-port arbitration decisions by class:
+	// time-constrained wins per packet, best-effort wins per flit.
+	ArbWins [NumPorts][NumArbClasses]Counter
+
+	// CutThroughs counts established virtual cut-through paths (§7).
+	CutThroughs Counter
+
+	// MemOccupancy is the current number of occupied packet-memory
+	// slots; MemHighWater is its maximum since the last reset.
+	MemOccupancy Gauge
+	MemHighWater Gauge
+
+	// SchedSelects counts comparator-tree selection beats issued;
+	// SchedOccupancy/SchedOccPeak track in-use scheduling leaves.
+	SchedSelects   Counter
+	SchedOccupancy Gauge
+	SchedOccPeak   Gauge
+
+	// SlotRollovers counts wraps of the bounded slot clock (§4.3).
+	SlotRollovers Counter
+
+	// DeadlineMisses counts transmissions that started past their local
+	// deadline.
+	DeadlineMisses Counter
+
+	// BEStallCycles counts cycles an output port idled with a
+	// best-effort flit waiting but no downstream credit.
+	BEStallCycles [NumPorts]Counter
+	// BEFlitAcks counts flit credits returned upstream.
+	BEFlitAcks Counter
+
+	// Drops counts discarded packets by reason.
+	Drops [NumDropReasons]Counter
+}
+
+// Name returns the router label the block was registered under.
+func (m *RouterMetrics) Name() string {
+	if m == nil {
+		return ""
+	}
+	return m.name
+}
+
+// Reset zeroes every counter and gauge. Nil-safe, so the router's
+// warmup reset needs no telemetry guard.
+func (m *RouterMetrics) Reset() {
+	if m == nil {
+		return
+	}
+	m.TCInjected.reset()
+	m.TCEnqueued.reset()
+	m.TCDelivered.reset()
+	m.BEDelivered.reset()
+	m.CutThroughs.reset()
+	m.SchedSelects.reset()
+	m.SlotRollovers.reset()
+	m.DeadlineMisses.reset()
+	m.BEFlitAcks.reset()
+	m.MemHighWater.reset()
+	m.SchedOccPeak.reset()
+	// Occupancy gauges keep their level: the memory does not empty on a
+	// stats reset, and the next update overwrites them anyway.
+	for p := 0; p < NumPorts; p++ {
+		m.TCDequeued[p].reset()
+		m.BEStallCycles[p].reset()
+		for c := 0; c < NumArbClasses; c++ {
+			m.ArbWins[p][c].reset()
+		}
+	}
+	for d := 0; d < NumDropReasons; d++ {
+		m.Drops[d].reset()
+	}
+}
+
+// Registry holds the telemetry of a whole network, one RouterMetrics
+// block per router plus run-level bookkeeping. Router() is the only
+// locking operation and runs once per router at attach time; everything
+// on the simulation hot path goes through the preallocated blocks.
+type Registry struct {
+	mu      sync.RWMutex
+	routers map[string]*RouterMetrics
+	order   []string
+
+	// Cycles, if set by the harness, records the measured cycle span
+	// for rate normalization in reports.
+	Cycles atomic.Int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{routers: make(map[string]*RouterMetrics)}
+}
+
+// Router returns the metrics block registered under name, creating it
+// on first use. Safe for concurrent use.
+func (g *Registry) Router(name string) *RouterMetrics {
+	g.mu.RLock()
+	m := g.routers[name]
+	g.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m = g.routers[name]; m != nil {
+		return m
+	}
+	m = &RouterMetrics{name: name}
+	g.routers[name] = m
+	g.order = append(g.order, name)
+	return m
+}
+
+// Routers returns the registered router names in registration order.
+func (g *Registry) Routers() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]string(nil), g.order...)
+}
+
+// Reset zeroes every registered block (warmup exclusion).
+func (g *Registry) Reset() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, m := range g.routers {
+		m.Reset()
+	}
+	g.Cycles.Store(0)
+}
+
+// RouterSnapshot is a point-in-time copy of one router's counters in
+// export-friendly form.
+type RouterSnapshot struct {
+	Router         string                      `json:"router"`
+	TCInjected     int64                       `json:"tc_injected"`
+	TCEnqueued     int64                       `json:"tc_enqueued"`
+	TCDequeued     map[string]int64            `json:"tc_dequeued"`
+	TCDelivered    int64                       `json:"tc_delivered"`
+	BEDelivered    int64                       `json:"be_delivered"`
+	ArbWins        map[string]map[string]int64 `json:"arb_wins"`
+	CutThroughs    int64                       `json:"cut_throughs"`
+	MemOccupancy   int64                       `json:"mem_occupancy"`
+	MemHighWater   int64                       `json:"mem_high_water"`
+	SchedSelects   int64                       `json:"sched_selects"`
+	SchedOccupancy int64                       `json:"sched_occupancy"`
+	SchedOccPeak   int64                       `json:"sched_occ_peak"`
+	SlotRollovers  int64                       `json:"slot_rollovers"`
+	DeadlineMisses int64                       `json:"deadline_misses"`
+	BEStallCycles  map[string]int64            `json:"be_stall_cycles"`
+	BEFlitAcks     int64                       `json:"be_flit_acks"`
+	Drops          map[string]int64            `json:"drops"`
+}
+
+// Snapshot is a point-in-time copy of the whole registry: per-router
+// blocks plus network-wide totals (gauges aggregate by max for
+// high-waters and by sum for levels).
+type Snapshot struct {
+	Cycles  int64            `json:"cycles,omitempty"`
+	Totals  RouterSnapshot   `json:"totals"`
+	Routers []RouterSnapshot `json:"routers"`
+}
+
+func (m *RouterMetrics) snapshot() RouterSnapshot {
+	s := RouterSnapshot{
+		Router:         m.name,
+		TCInjected:     m.TCInjected.Load(),
+		TCEnqueued:     m.TCEnqueued.Load(),
+		TCDequeued:     make(map[string]int64, NumPorts),
+		TCDelivered:    m.TCDelivered.Load(),
+		BEDelivered:    m.BEDelivered.Load(),
+		ArbWins:        make(map[string]map[string]int64, NumPorts),
+		CutThroughs:    m.CutThroughs.Load(),
+		MemOccupancy:   m.MemOccupancy.Load(),
+		MemHighWater:   m.MemHighWater.Load(),
+		SchedSelects:   m.SchedSelects.Load(),
+		SchedOccupancy: m.SchedOccupancy.Load(),
+		SchedOccPeak:   m.SchedOccPeak.Load(),
+		SlotRollovers:  m.SlotRollovers.Load(),
+		DeadlineMisses: m.DeadlineMisses.Load(),
+		BEStallCycles:  make(map[string]int64, NumPorts),
+		BEFlitAcks:     m.BEFlitAcks.Load(),
+		Drops:          make(map[string]int64, NumDropReasons),
+	}
+	for p := 0; p < NumPorts; p++ {
+		pn := portName(p)
+		s.TCDequeued[pn] = m.TCDequeued[p].Load()
+		s.BEStallCycles[pn] = m.BEStallCycles[p].Load()
+		wins := make(map[string]int64, NumArbClasses)
+		for c := 0; c < NumArbClasses; c++ {
+			wins[ArbClass(c).String()] = m.ArbWins[p][c].Load()
+		}
+		s.ArbWins[pn] = wins
+	}
+	for d := 0; d < NumDropReasons; d++ {
+		s.Drops[DropReason(d).String()] = m.Drops[d].Load()
+	}
+	return s
+}
+
+func (s *RouterSnapshot) accumulate(o RouterSnapshot) {
+	s.TCInjected += o.TCInjected
+	s.TCEnqueued += o.TCEnqueued
+	s.TCDelivered += o.TCDelivered
+	s.BEDelivered += o.BEDelivered
+	s.CutThroughs += o.CutThroughs
+	s.MemOccupancy += o.MemOccupancy
+	if o.MemHighWater > s.MemHighWater {
+		s.MemHighWater = o.MemHighWater
+	}
+	s.SchedSelects += o.SchedSelects
+	s.SchedOccupancy += o.SchedOccupancy
+	if o.SchedOccPeak > s.SchedOccPeak {
+		s.SchedOccPeak = o.SchedOccPeak
+	}
+	s.SlotRollovers += o.SlotRollovers
+	s.DeadlineMisses += o.DeadlineMisses
+	s.BEFlitAcks += o.BEFlitAcks
+	for pn, v := range o.TCDequeued {
+		s.TCDequeued[pn] += v
+	}
+	for pn, v := range o.BEStallCycles {
+		s.BEStallCycles[pn] += v
+	}
+	for pn, wins := range o.ArbWins {
+		if s.ArbWins[pn] == nil {
+			s.ArbWins[pn] = make(map[string]int64, NumArbClasses)
+		}
+		for cn, v := range wins {
+			s.ArbWins[pn][cn] += v
+		}
+	}
+	for dn, v := range o.Drops {
+		s.Drops[dn] += v
+	}
+}
+
+// Snapshot copies the registry. Counters are read atomically but not as
+// one transaction; a snapshot taken mid-cycle can be off by in-flight
+// events, which is fine for reporting.
+func (g *Registry) Snapshot() Snapshot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	snap := Snapshot{
+		Cycles: g.Cycles.Load(),
+		Totals: RouterSnapshot{
+			Router:        "total",
+			TCDequeued:    make(map[string]int64, NumPorts),
+			BEStallCycles: make(map[string]int64, NumPorts),
+			ArbWins:       make(map[string]map[string]int64, NumPorts),
+			Drops:         make(map[string]int64, NumDropReasons),
+		},
+	}
+	for _, name := range g.order {
+		rs := g.routers[name].snapshot()
+		snap.Routers = append(snap.Routers, rs)
+		snap.Totals.accumulate(rs)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (g *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format, one sample per router/label combination under the rt_ prefix.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	snap := g.Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP rt_cycles Simulated cycles covered by this report.\n# TYPE rt_cycles gauge\nrt_cycles %d\n", snap.Cycles)
+	counter := func(metric, help string, get func(RouterSnapshot) int64) {
+		p("# HELP %s %s\n# TYPE %s counter\n", metric, help, metric)
+		for _, rs := range snap.Routers {
+			p("%s{router=%q} %d\n", metric, rs.Router, get(rs))
+		}
+	}
+	gauge := func(metric, help string, get func(RouterSnapshot) int64) {
+		p("# HELP %s %s\n# TYPE %s gauge\n", metric, help, metric)
+		for _, rs := range snap.Routers {
+			p("%s{router=%q} %d\n", metric, rs.Router, get(rs))
+		}
+	}
+	counter("rt_tc_injected_total", "Time-constrained packets injected by the local processor.",
+		func(r RouterSnapshot) int64 { return r.TCInjected })
+	counter("rt_tc_enqueued_total", "Scheduling-leaf installs (packet live in shared memory).",
+		func(r RouterSnapshot) int64 { return r.TCEnqueued })
+	counter("rt_tc_delivered_total", "Time-constrained deliveries to the local processor.",
+		func(r RouterSnapshot) int64 { return r.TCDelivered })
+	counter("rt_be_delivered_total", "Best-effort deliveries to the local processor.",
+		func(r RouterSnapshot) int64 { return r.BEDelivered })
+	counter("rt_cut_throughs_total", "Virtual cut-through paths established.",
+		func(r RouterSnapshot) int64 { return r.CutThroughs })
+	counter("rt_sched_selects_total", "Comparator-tree selection beats.",
+		func(r RouterSnapshot) int64 { return r.SchedSelects })
+	counter("rt_slot_rollovers_total", "Bounded slot-clock wraps.",
+		func(r RouterSnapshot) int64 { return r.SlotRollovers })
+	counter("rt_deadline_misses_total", "Transmissions started past their local deadline.",
+		func(r RouterSnapshot) int64 { return r.DeadlineMisses })
+	counter("rt_be_flit_acks_total", "Best-effort flit credits returned upstream.",
+		func(r RouterSnapshot) int64 { return r.BEFlitAcks })
+	gauge("rt_mem_occupancy", "Occupied packet-memory slots.",
+		func(r RouterSnapshot) int64 { return r.MemOccupancy })
+	gauge("rt_mem_high_water", "Packet-memory occupancy high-water mark.",
+		func(r RouterSnapshot) int64 { return r.MemHighWater })
+	gauge("rt_sched_occupancy", "In-use scheduling leaves.",
+		func(r RouterSnapshot) int64 { return r.SchedOccupancy })
+	gauge("rt_sched_occ_peak", "Scheduling-leaf occupancy high-water mark.",
+		func(r RouterSnapshot) int64 { return r.SchedOccPeak })
+
+	p("# HELP rt_arb_wins_total Output-port arbitration wins by class (TC per packet, BE per flit).\n# TYPE rt_arb_wins_total counter\n")
+	for _, rs := range snap.Routers {
+		for _, pn := range sortedKeys(rs.ArbWins) {
+			for _, cn := range sortedKeys(rs.ArbWins[pn]) {
+				p("rt_arb_wins_total{router=%q,port=%q,class=%q} %d\n", rs.Router, pn, cn, rs.ArbWins[pn][cn])
+			}
+		}
+	}
+	p("# HELP rt_tc_dequeued_total Transmission starts per output port (memory path).\n# TYPE rt_tc_dequeued_total counter\n")
+	for _, rs := range snap.Routers {
+		for _, pn := range sortedKeys(rs.TCDequeued) {
+			p("rt_tc_dequeued_total{router=%q,port=%q} %d\n", rs.Router, pn, rs.TCDequeued[pn])
+		}
+	}
+	p("# HELP rt_be_stall_cycles_total Cycles a port idled on a credit-starved best-effort flit.\n# TYPE rt_be_stall_cycles_total counter\n")
+	for _, rs := range snap.Routers {
+		for _, pn := range sortedKeys(rs.BEStallCycles) {
+			p("rt_be_stall_cycles_total{router=%q,port=%q} %d\n", rs.Router, pn, rs.BEStallCycles[pn])
+		}
+	}
+	p("# HELP rt_drops_total Discarded packets by reason.\n# TYPE rt_drops_total counter\n")
+	for _, rs := range snap.Routers {
+		for _, dn := range sortedKeys(rs.Drops) {
+			p("rt_drops_total{router=%q,reason=%q} %d\n", rs.Router, dn, rs.Drops[dn])
+		}
+	}
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// ServeHTTP implements http.Handler: Prometheus text by default, JSON
+// with ?format=json (or a .json path suffix), for the -listen endpoint.
+func (g *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" || len(req.URL.Path) > 5 && req.URL.Path[len(req.URL.Path)-5:] == ".json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = g.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = g.WritePrometheus(w)
+}

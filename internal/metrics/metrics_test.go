@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d, want 5", c.Load())
+	}
+	var g Gauge
+	g.Set(7)
+	g.SetMax(3)
+	if g.Load() != 7 {
+		t.Errorf("SetMax lowered the gauge to %d", g.Load())
+	}
+	g.SetMax(11)
+	if g.Load() != 11 {
+		t.Errorf("SetMax did not raise the gauge: %d", g.Load())
+	}
+}
+
+func TestRouterBlockNilSafe(t *testing.T) {
+	var m *RouterMetrics
+	m.Reset() // must not panic
+	if m.Name() != "" {
+		t.Error("nil block has a name")
+	}
+}
+
+func TestRegistryRouterIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Router("(0,0)")
+	b := reg.Router("(0,0)")
+	if a != b {
+		t.Fatal("Router() returned distinct blocks for one name")
+	}
+	reg.Router("(1,0)")
+	if got := reg.Routers(); len(got) != 2 || got[0] != "(0,0)" || got[1] != "(1,0)" {
+		t.Errorf("Routers() = %v", got)
+	}
+}
+
+func fill(reg *Registry) {
+	m := reg.Router("(0,0)")
+	m.TCEnqueued.Add(10)
+	m.TCDequeued[0].Add(9)
+	m.ArbWins[0][ArbOnTime].Add(7)
+	m.ArbWins[0][ArbEarly].Add(2)
+	m.ArbWins[4][ArbBE].Add(100)
+	m.MemOccupancy.Set(3)
+	m.MemHighWater.SetMax(12)
+	m.SlotRollovers.Add(4)
+	m.DeadlineMisses.Inc()
+	m.Drops[DropTCNoRoute].Add(2)
+	n := reg.Router("(1,0)")
+	n.TCEnqueued.Add(5)
+	n.MemHighWater.SetMax(8)
+}
+
+func TestSnapshotTotals(t *testing.T) {
+	reg := NewRegistry()
+	fill(reg)
+	snap := reg.Snapshot()
+	if snap.Totals.TCEnqueued != 15 {
+		t.Errorf("total enqueued = %d, want 15", snap.Totals.TCEnqueued)
+	}
+	if snap.Totals.MemHighWater != 12 {
+		t.Errorf("total high water = %d, want max 12", snap.Totals.MemHighWater)
+	}
+	if snap.Totals.ArbWins["+x"]["on_time"] != 7 {
+		t.Errorf("total on-time wins = %d, want 7", snap.Totals.ArbWins["+x"]["on_time"])
+	}
+	if snap.Totals.Drops["tc_no_route"] != 2 {
+		t.Errorf("total no-route drops = %d, want 2", snap.Totals.Drops["tc_no_route"])
+	}
+	if len(snap.Routers) != 2 {
+		t.Fatalf("routers = %d, want 2", len(snap.Routers))
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	reg := NewRegistry()
+	fill(reg)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if snap.Totals.SlotRollovers != 4 || snap.Totals.DeadlineMisses != 1 {
+		t.Errorf("decoded totals wrong: %+v", snap.Totals)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	fill(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`rt_arb_wins_total{router="(0,0)",port="+x",class="on_time"} 7`,
+		`rt_mem_high_water{router="(0,0)"} 12`,
+		`rt_deadline_misses_total{router="(0,0)"} 1`,
+		`rt_slot_rollovers_total{router="(0,0)"} 4`,
+		`rt_drops_total{router="(0,0)",reason="tc_no_route"} 2`,
+		"# TYPE rt_arb_wins_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+func TestResetZeroes(t *testing.T) {
+	reg := NewRegistry()
+	fill(reg)
+	reg.Reset()
+	snap := reg.Snapshot()
+	if snap.Totals.TCEnqueued != 0 || snap.Totals.MemHighWater != 0 {
+		t.Errorf("reset left counts: %+v", snap.Totals)
+	}
+	// Occupancy level survives reset by design (it is a level, not a count).
+	if snap.Totals.MemOccupancy != 3 {
+		t.Errorf("occupancy level = %d, want 3 preserved", snap.Totals.MemOccupancy)
+	}
+}
+
+func TestServeHTTPFormats(t *testing.T) {
+	reg := NewRegistry()
+	fill(reg)
+	rr := httptest.NewRecorder()
+	reg.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "rt_arb_wins_total") {
+		t.Error("default response is not prometheus text")
+	}
+	rr = httptest.NewRecorder()
+	reg.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics.json", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Errorf(".json endpoint not JSON: %v", err)
+	}
+	rr = httptest.NewRecorder()
+	reg.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Errorf("format=json endpoint not JSON: %v", err)
+	}
+}
+
+func TestSamplerSeries(t *testing.T) {
+	reg := NewRegistry()
+	m := reg.Router("r")
+	s := NewSampler("sampler", reg, 10)
+	for cyc := int64(0); cyc < 40; cyc++ {
+		if cyc == 5 {
+			m.TCEnqueued.Add(3)
+		}
+		if cyc == 25 {
+			m.TCEnqueued.Add(2)
+			m.MemOccupancy.Set(7)
+		}
+		s.Tick(sim.Cycle(cyc))
+	}
+	enq := s.TS.Series("tc_enqueued")
+	if enq == nil || enq.Len() != 4 {
+		t.Fatalf("tc_enqueued series = %v", enq)
+	}
+	if enq.At(15) != 3 || enq.At(35) != 5 {
+		t.Errorf("series values: at15=%v at35=%v, want 3,5", enq.At(15), enq.At(35))
+	}
+	if occ := s.TS.Series("mem_occupancy"); occ.At(30) != 7 {
+		t.Errorf("occupancy at 30 = %v, want 7", occ.At(30))
+	}
+}

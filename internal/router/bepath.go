@@ -1,6 +1,7 @@
 package router
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/packet"
 )
 
@@ -46,6 +47,7 @@ func (u *beInput) acceptByte(b byte) {
 		// Credits make this unreachable from a correct upstream; count it
 		// as a protocol violation rather than silently growing the buffer.
 		u.r.Stats.BEBufferOverruns++
+		u.r.dropBE(metrics.DropBEOverrun, u.id)
 		return
 	}
 	u.buf = append(u.buf, b)
@@ -105,6 +107,7 @@ func (u *beInput) parse() {
 		// and discard the packet.
 		u.dropping = true
 		u.r.Stats.BEMisroutes++
+		u.r.dropBE(metrics.DropBEMisroute, u.outPort)
 	}
 }
 
@@ -159,6 +162,7 @@ func (u *beInput) truncate() {
 	u.bound = false
 	u.dropping = false
 	u.r.Stats.BETruncated++
+	u.r.dropBE(metrics.DropBETruncated, u.id)
 }
 
 // beOutput arbitrates the best-effort virtual channel of one output
@@ -171,6 +175,10 @@ type beOutput struct {
 	curIn   int // bound input engine, or -1
 	rr      int
 	credits int // downstream flit-buffer credits (mesh links only)
+
+	// wasStalled marks an ongoing credit stall so the trace records one
+	// block event per episode rather than one per cycle.
+	wasStalled bool
 
 	// local reception assembly (PortLocal only)
 	rxBuf []byte
@@ -206,12 +214,23 @@ func (b *beOutput) canSend() bool {
 	return b.r.beIn[b.curIn].hasByte()
 }
 
+// stalled reports whether a bound input has a flit ready but the port
+// cannot send it for lack of downstream credits.
+func (b *beOutput) stalled() bool {
+	b.bind()
+	return b.curIn >= 0 && b.port != PortLocal && b.credits <= 0 &&
+		b.r.beIn[b.curIn].hasByte()
+}
+
 // sendByte forwards one flit from the bound input. The caller has
 // checked canSend.
 func (b *beOutput) sendByte() {
 	u := b.r.beIn[b.curIn]
 	by, head, tail := u.pop()
 	b.r.Stats.BEBytes[b.port]++
+	if b.r.met != nil {
+		b.r.met.ArbWins[b.port][metrics.ArbBE].Inc()
+	}
 	if b.r.OnBETransmit != nil {
 		b.r.OnBETransmit(b.port, b.r.nowCycle)
 	}
@@ -243,5 +262,11 @@ func (b *beOutput) deliverLocal() {
 		Cycle:   b.r.nowCycle,
 	})
 	b.r.Stats.BEDelivered++
+	if b.r.met != nil {
+		b.r.met.BEDelivered.Inc()
+	}
+	if b.r.OnLifecycle != nil {
+		b.r.lifecycle(LifecycleEvent{Kind: EvDeliver, Port: -1, BE: true})
+	}
 	b.rxBuf = b.rxBuf[:0]
 }

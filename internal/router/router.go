@@ -3,6 +3,7 @@ package router
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -94,6 +95,12 @@ type Router struct {
 	schedRR        int
 	nowCycle       int64
 
+	// met is the attached telemetry block (nil = telemetry off); see
+	// AttachMetrics. prevSlot/slotSeen detect slot-clock rollovers.
+	met      *metrics.RouterMetrics
+	prevSlot timing.Stamp
+	slotSeen bool
+
 	// Stats exposes the hardware counters; read-only for callers.
 	Stats Stats
 	// OnTCTransmit, if set, is invoked at the start of every
@@ -101,6 +108,13 @@ type Router struct {
 	OnTCTransmit func(TCTransmitEvent)
 	// OnBETransmit, if set, is invoked for every best-effort flit sent.
 	OnBETransmit func(port int, cycle int64)
+	// OnLifecycle, if set, observes every packet-level lifecycle event
+	// (inject, enqueue, arbitration win, transmit, cut-through, block,
+	// drop, deliver); trace.AttachRouter installs the standard recorder.
+	OnLifecycle func(LifecycleEvent)
+	// OnReset, if set, is invoked by ResetStats so externally attached
+	// state (trace rings) rotates together with the counters.
+	OnReset func()
 }
 
 // New constructs a router with the given configuration. The name appears
@@ -191,10 +205,21 @@ func (r *Router) OutputState(p int) PortState {
 }
 
 // ResetStats zeroes the hardware counters — the standard simulator
-// warmup idiom: run to steady state, reset, then measure.
+// warmup idiom: run to steady state, reset, then measure. Attached
+// telemetry resets with them (the metrics block, any scheduler
+// counters, and — via OnReset — externally attached recorders such as
+// trace rings), so warmup exclusion is consistent across every
+// observation channel.
 func (r *Router) ResetStats() {
 	r.Stats = Stats{}
 	r.bus.grants = 0
+	r.met.Reset()
+	if sr, ok := r.schedq.(interface{ ResetTelemetry() }); ok {
+		sr.ResetTelemetry()
+	}
+	if r.OnReset != nil {
+		r.OnReset()
+	}
 }
 
 // ConnectIn attaches the receive side of a mesh link to input port p.
@@ -218,6 +243,12 @@ func (r *Router) ConnectOut(p int, l *OutLink) {
 // the network slot clock.
 func (r *Router) InjectTC(p packet.TCPacket) {
 	r.tcInjectQ = append(r.tcInjectQ, packet.EncodeTC(p))
+	if r.met != nil {
+		r.met.TCInjected.Inc()
+	}
+	if r.OnLifecycle != nil {
+		r.lifecycle(LifecycleEvent{Kind: EvInject, Port: -1, InConn: p.Conn})
+	}
 }
 
 // InjectBE queues one encoded best-effort packet (see packet.NewBE) at
@@ -282,6 +313,13 @@ func (r *Router) Tick(now sim.Cycle) {
 	r.nowCycle = int64(now)
 	nowSlot := r.slotNow(int64(now))
 
+	// The wrapped slot clock only moves forward, so a numerically
+	// smaller stamp than last cycle's means the register rolled over.
+	if nowSlot < r.prevSlot && r.slotSeen && r.met != nil {
+		r.met.SlotRollovers.Inc()
+	}
+	r.prevSlot, r.slotSeen = nowSlot, true
+
 	for p := 0; p < NumPorts; p++ {
 		r.arbitrate(p, nowSlot)
 	}
@@ -311,6 +349,9 @@ func (r *Router) Tick(now sim.Cycle) {
 		if u.consumed > 0 {
 			r.in[p].DriveAck(packet.Ack{BECredit: true})
 			u.consumed--
+			if r.met != nil {
+				r.met.BEFlitAcks.Inc()
+			}
 		}
 	}
 }
@@ -327,6 +368,10 @@ func (r *Router) schedBeat(nowSlot timing.Stamp) {
 		}
 		r.schedRR = p + 1
 		o.schedule(nowSlot)
+		if r.met != nil {
+			r.met.SchedSelects.Inc()
+			r.noteSchedOccupancy()
+		}
 		return
 	}
 }
@@ -376,11 +421,28 @@ func (r *Router) arbitrate(p int, nowSlot timing.Stamp) {
 		r.emitCut(o)
 	case be.canSend():
 		be.sendByte()
+		be.wasStalled = false
 	case class == sched.ClassEarly:
 		o.startTx(nowSlot, class)
 		r.emitTC(o)
 	case cutClass == sched.ClassEarly:
 		r.emitCut(o)
+	default:
+		// The port idles this cycle. If a best-effort flit is waiting
+		// but the downstream buffer owes no credit, that is a
+		// backpressure stall worth counting (and tracing once per
+		// episode): the link is free, the flit is not.
+		if stalled := be.stalled(); stalled {
+			if r.met != nil {
+				r.met.BEStallCycles[p].Inc()
+			}
+			if !be.wasStalled && r.OnLifecycle != nil {
+				r.lifecycle(LifecycleEvent{Kind: EvBlock, Port: p, BE: true})
+			}
+			be.wasStalled = true
+		} else {
+			be.wasStalled = false
+		}
 	}
 }
 
@@ -393,9 +455,11 @@ func (r *Router) drainDeadPort(o *tcOutput) {
 	empty, err := r.schedq.ClearPort(o.sSlot, o.port)
 	if err == nil && empty {
 		r.mem.free(o.sSlot)
+		r.noteMemOccupancy()
 	}
 	o.staged = false
 	r.Stats.TCDeadPortDrops++
+	r.dropTC(metrics.DropTCDeadPort, o.sLeaf.InConn, o.port)
 }
 
 // emitTC sends the next byte of the active transmission.
@@ -428,12 +492,25 @@ func (r *Router) emitCut(o *tcOutput) {
 	head := o.cutIdx == 0
 	if head {
 		r.Stats.TCTransmitted[o.port]++
+		if r.met != nil {
+			r.met.ArbWins[o.port][arbClass(o.cutClass)].Inc()
+		}
 		if r.OnTCTransmit != nil {
 			r.OnTCTransmit(TCTransmitEvent{
 				Router: r.name, Port: o.port,
 				InConn: o.cutLeaf.InConn, OutConn: o.cutLeaf.OutConn,
 				Class: o.cutClass, Cycle: r.nowCycle,
 			})
+		}
+		if r.OnLifecycle != nil {
+			ev := LifecycleEvent{
+				Port: o.port, InConn: o.cutLeaf.InConn, OutConn: o.cutLeaf.OutConn,
+				Class: o.cutClass,
+			}
+			ev.Kind = EvArbWin
+			r.lifecycle(ev)
+			ev.Kind = EvTransmit
+			r.lifecycle(ev)
 		}
 	}
 	tail := o.cutIdx == packet.TCBytes-1
@@ -459,6 +536,12 @@ func (r *Router) deliverLocalTC(buf [packet.TCBytes]byte) {
 		Conn: p.Conn, Stamp: p.Stamp, Payload: p.Payload, Cycle: r.nowCycle,
 	})
 	r.Stats.TCDelivered++
+	if r.met != nil {
+		r.met.TCDelivered.Inc()
+	}
+	if r.OnLifecycle != nil {
+		r.lifecycle(LifecycleEvent{Kind: EvDeliver, Port: -1, InConn: p.Conn})
+	}
 }
 
 // sampleInputs reads the link wires and injection queues.

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sched"
 	"repro/internal/timing"
@@ -67,6 +68,7 @@ func (u *tcInput) acceptByte(b byte, now int64) {
 			// Staging overrun: only possible when traffic violates its
 			// reservation badly enough to saturate the memory bus.
 			u.r.Stats.TCDropsStaging++
+			u.r.dropTC(metrics.DropTCStaging, u.asm[0], -1)
 			return
 		}
 		u.pending = append(u.pending, u.asm)
@@ -132,6 +134,15 @@ func (u *tcInput) tryCutThrough(now int64) bool {
 	u.cutFIFO = u.cutFIFO[:0]
 	u.nAsm = 0
 	u.r.Stats.TCCutThroughs++
+	if u.r.met != nil {
+		u.r.met.CutThroughs.Inc()
+	}
+	if u.r.OnLifecycle != nil {
+		u.r.lifecycle(LifecycleEvent{
+			Kind: EvCutThrough, Port: port,
+			InConn: hdr.Conn, OutConn: ent.Out, Class: class,
+		})
+	}
 	return true
 }
 
@@ -145,6 +156,7 @@ func (u *tcInput) launchWrite() {
 		// Reservation guarantees this cannot happen for admitted traffic
 		// (Section 3.4); count and drop for misbehaving workloads.
 		u.r.Stats.TCDropsNoSlot++
+		u.r.dropTC(metrics.DropTCNoSlot, u.pending[0][0], -1)
 		u.pending = u.pending[1:]
 		return
 	}
@@ -153,6 +165,7 @@ func (u *tcInput) launchWrite() {
 	u.wChunk = 0
 	u.wData = u.pending[0]
 	u.pending = u.pending[1:]
+	u.r.noteMemOccupancy()
 }
 
 func (u *tcInput) wantsBus() bool { return u.wActive }
@@ -176,6 +189,8 @@ func (u *tcInput) finishPacket() {
 	if !ent.Valid {
 		u.r.Stats.TCDropsNoRoute++
 		u.r.mem.free(u.wSlot)
+		u.r.noteMemOccupancy()
+		u.r.dropTC(metrics.DropTCNoRoute, p.Conn, -1)
 		return
 	}
 	l := u.r.wheel.Wrap(timing.Slot(p.Stamp))
@@ -192,6 +207,14 @@ func (u *tcInput) finishPacket() {
 		panic("router " + u.r.name + ": leaf install: " + err.Error())
 	}
 	u.r.Stats.TCArrived++
+	if u.r.met != nil {
+		u.r.met.TCEnqueued.Inc()
+	}
+	if u.r.OnLifecycle != nil {
+		u.r.lifecycle(LifecycleEvent{
+			Kind: EvEnqueue, Port: -1, InConn: p.Conn, OutConn: ent.Out,
+		})
+	}
 }
 
 // tcOutput is the time-constrained transmit engine of one output port.
@@ -317,12 +340,21 @@ func (o *tcOutput) startTx(nowSlot timing.Stamp, class sched.Class) {
 	}
 	if empty {
 		o.r.mem.free(o.sSlot)
+		o.r.noteMemOccupancy()
 	}
 	_, overdue := o.r.wheel.Laxity(o.sLeaf.Dl, nowSlot)
 	if overdue {
 		o.r.Stats.TCDeadlineMisses++
 	}
 	o.r.Stats.TCTransmitted[o.port]++
+	wait := o.r.nowCycle - o.sLeaf.EnqueueCycle
+	if m := o.r.met; m != nil {
+		m.ArbWins[o.port][arbClass(class)].Inc()
+		m.TCDequeued[o.port].Inc()
+		if overdue {
+			m.DeadlineMisses.Inc()
+		}
+	}
 	if o.r.OnTCTransmit != nil {
 		o.r.OnTCTransmit(TCTransmitEvent{
 			Router:  o.r.name,
@@ -332,8 +364,18 @@ func (o *tcOutput) startTx(nowSlot timing.Stamp, class sched.Class) {
 			Class:   class,
 			Cycle:   o.r.nowCycle,
 			Missed:  overdue,
-			Wait:    o.r.nowCycle - o.sLeaf.EnqueueCycle,
+			Wait:    wait,
 		})
+	}
+	if o.r.OnLifecycle != nil {
+		ev := LifecycleEvent{
+			Port: o.port, InConn: o.sLeaf.InConn, OutConn: o.sLeaf.OutConn,
+			Class: class, Missed: overdue, Wait: wait,
+		}
+		ev.Kind = EvArbWin
+		o.r.lifecycle(ev)
+		ev.Kind = EvTransmit
+		o.r.lifecycle(ev)
 	}
 	o.txBuf = o.sBuf
 	o.txActive = true

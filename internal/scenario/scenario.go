@@ -14,6 +14,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/mesh"
+	"repro/internal/metrics"
 	"repro/internal/router"
 	"repro/internal/rtc"
 	"repro/internal/traffic"
@@ -164,10 +165,26 @@ type Result struct {
 	Failures int
 }
 
+// RunOpts carries harness-level knobs that are not part of the
+// scenario document itself.
+type RunOpts struct {
+	// Metrics, when non-nil, attaches the telemetry registry to every
+	// router in the built system.
+	Metrics *metrics.Registry
+	// SampleEvery, when positive, registers a periodic sampler
+	// snapshotting the registry into System.Sampler.TS.
+	SampleEvery int64
+}
+
 // Run builds the system, opens every channel, attaches the generators,
 // plays the failure timeline (rerouting affected channels), and returns
 // the summary.
 func (sc *Scenario) Run() (*Result, *core.System, error) {
+	return sc.RunWith(RunOpts{})
+}
+
+// RunWith is Run with harness options (telemetry attachment).
+func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 	rcfg := router.DefaultConfig()
 	rcfg.VCT = sc.Router.VCT
 	switch sc.Router.Scheduler {
@@ -188,7 +205,11 @@ func (sc *Scenario) Run() (*Result, *core.System, error) {
 	}
 	acfg.Horizon = sc.Admission.Horizon
 
-	sys, err := core.NewMesh(sc.Mesh.W, sc.Mesh.H, core.Options{Router: rcfg}.WithAdmission(acfg))
+	sys, err := core.NewMesh(sc.Mesh.W, sc.Mesh.H, core.Options{
+		Router:             rcfg,
+		Metrics:            opts.Metrics,
+		MetricsSampleEvery: opts.SampleEvery,
+	}.WithAdmission(acfg))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -130,6 +130,7 @@ type EDFTree struct {
 	leaves  []Leaf
 	inUse   int
 	Overdue int64 // count of selections whose laxity clamped (robustness metric)
+	Selects int64 // count of Select invocations (arbitration beats)
 }
 
 // NewEDFTree returns an EDF scheduler with the given number of leaf slots
@@ -164,6 +165,7 @@ func (t *EDFTree) Install(slot int, leaf Leaf) error {
 // Select implements Scheduler. It performs the same min-reduction the
 // hardware comparator tree performs, with the top-of-tree horizon check.
 func (t *EDFTree) Select(port int, now timing.Stamp, horizon uint32) Selection {
+	t.Selects++
 	best := Selection{Slot: -1, Class: ClassNone, Key: t.wheel.KeyIneligible()}
 	for i := range t.leaves {
 		lf := &t.leaves[i]
@@ -223,3 +225,11 @@ func (t *EDFTree) Occupancy() int { return t.inUse }
 
 // Slots implements Scheduler.
 func (t *EDFTree) Slots() int { return len(t.leaves) }
+
+// ResetTelemetry zeroes the running Select and Overdue counters without
+// disturbing installed leaves; Router.ResetStats calls it so warmup
+// exclusion covers the scheduler too.
+func (t *EDFTree) ResetTelemetry() {
+	t.Selects = 0
+	t.Overdue = 0
+}

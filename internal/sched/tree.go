@@ -21,6 +21,8 @@ type Tournament struct {
 	// CompareOps counts comparator evaluations across all Select calls,
 	// the unit of the chip's scheduling-logic activity.
 	CompareOps int64
+	// Selects counts Select invocations (arbitration beats).
+	Selects int64
 }
 
 // NewTournament returns a structural tree over the given number of leaf
@@ -63,6 +65,7 @@ func (t *Tournament) Install(slot int, leaf Leaf) error {
 // pipelined hardware rows of comparators would, and applies the
 // top-of-tree horizon check.
 func (t *Tournament) Select(port int, now timing.Stamp, horizon uint32) Selection {
+	t.Selects++
 	type entry struct {
 		slot int
 		key  timing.Key
@@ -127,6 +130,13 @@ func (t *Tournament) ClearPort(slot, port int) (bool, error) {
 
 // Leaf implements Scheduler.
 func (t *Tournament) Leaf(slot int) Leaf { return t.leaves[slot] }
+
+// ResetTelemetry zeroes the running comparator and Select counters
+// without disturbing installed leaves.
+func (t *Tournament) ResetTelemetry() {
+	t.CompareOps = 0
+	t.Selects = 0
+}
 
 // Occupancy implements Scheduler.
 func (t *Tournament) Occupancy() int {

@@ -132,3 +132,92 @@ func TestRenderASCII(t *testing.T) {
 		t.Errorf("empty render = %q", got)
 	}
 }
+
+func TestHistQuantileTinySamples(t *testing.T) {
+	var h Hist
+	h.Add(42)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("1-sample Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+	h.Add(10)
+	// Nearest-rank on two sorted samples {10, 42}: anything at or below
+	// the median picks the first, above it the second.
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("2-sample Quantile(0.5) = %v, want 10", got)
+	}
+	if got := h.Quantile(0.51); got != 42 {
+		t.Errorf("2-sample Quantile(0.51) = %v, want 42", got)
+	}
+	if h.Min() != 10 || h.Max() != 42 {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistAddAfterSortedRead(t *testing.T) {
+	var h Hist
+	h.Add(5)
+	h.Add(1)
+	if h.Quantile(1) != 5 { // forces the sort
+		t.Fatal("setup quantile wrong")
+	}
+	h.Add(3) // must invalidate the sorted view
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("median after post-sort Add = %v, want 3", got)
+	}
+	if h.Min() != 1 || h.Max() != 5 || h.Mean() != 3 {
+		t.Errorf("stats after post-sort Add: min=%v max=%v mean=%v", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestSeriesInsertOutOfOrder(t *testing.T) {
+	var s Series
+	s.Insert(100, 1)
+	s.Insert(300, 3)
+	s.Insert(200, 2) // late observation lands in the middle
+	s.Insert(50, 0.5)
+	wantT := []int64{50, 100, 200, 300}
+	wantV := []float64{0.5, 1, 2, 3}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := range wantT {
+		if s.T[i] != wantT[i] || s.V[i] != wantV[i] {
+			t.Errorf("point %d = (%d, %v), want (%d, %v)", i, s.T[i], s.V[i], wantT[i], wantV[i])
+		}
+	}
+	if s.At(250) != 2 || s.At(49) != 0 {
+		t.Errorf("At after out-of-order insert: %v %v", s.At(250), s.At(49))
+	}
+	// Equal timestamps keep insertion order (stable on ties).
+	s.Insert(300, 4)
+	if s.V[s.Len()-1] != 4 {
+		t.Errorf("tie did not append after existing point: %v", s.V)
+	}
+}
+
+func TestTimeSeriesOutOfOrder(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Observe("misses", 200, 2)
+	ts.Observe("misses", 100, 1)
+	ts.Observe("occupancy", 50, 9)
+	s := ts.Series("misses")
+	if s == nil || s.Len() != 2 || s.T[0] != 100 || s.T[1] != 200 {
+		t.Fatalf("misses series out of order: %+v", s)
+	}
+	if got := ts.Names(); len(got) != 2 || got[0] != "misses" || got[1] != "occupancy" {
+		t.Errorf("Names = %v", got)
+	}
+	if ts.Series("absent") != nil {
+		t.Error("unknown series should be nil")
+	}
+	ts.Reset()
+	if len(ts.Names()) != 0 || ts.Series("misses") != nil {
+		t.Error("Reset left series behind")
+	}
+	ts.Observe("misses", 5, 1)
+	if ts.Series("misses").Len() != 1 {
+		t.Error("Observe after Reset broken")
+	}
+}

@@ -23,6 +23,20 @@ const (
 	KindTCDeliver
 	// KindBEDeliver is a best-effort delivery.
 	KindBEDeliver
+	// KindInject is a time-constrained packet handed to the injection
+	// port by the local processor.
+	KindInject
+	// KindEnqueue is a packet becoming visible to the comparator tree
+	// (memory write finished, scheduling leaf installed).
+	KindEnqueue
+	// KindArbWin is an output port selecting a packet for transmission.
+	KindArbWin
+	// KindCutThrough is a virtual cut-through path being established.
+	KindCutThrough
+	// KindBlock is an output port starting a best-effort credit stall.
+	KindBlock
+	// KindDrop is a packet being discarded (Reason says why).
+	KindDrop
 )
 
 func (k Kind) String() string {
@@ -33,21 +47,38 @@ func (k Kind) String() string {
 		return "tc-rx"
 	case KindBEDeliver:
 		return "be-rx"
+	case KindInject:
+		return "inject"
+	case KindEnqueue:
+		return "enqueue"
+	case KindArbWin:
+		return "arb-win"
+	case KindCutThrough:
+		return "cut-thru"
+	case KindBlock:
+		return "block"
+	case KindDrop:
+		return "drop"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. Conn is the connection id the
+// packet carried arriving at the router; OutConn the rewritten id it
+// leaves with (headers are rewritten every hop), zero when unknown.
 type Event struct {
-	Cycle  int64
-	Kind   Kind
-	Router string
-	Port   int
-	Conn   uint8
-	Class  sched.Class
-	Missed bool
-	Wait   int64
+	Cycle   int64
+	Kind    Kind
+	Router  string
+	Port    int
+	Conn    uint8
+	OutConn uint8
+	Class   sched.Class
+	Missed  bool
+	Wait    int64
+	Reason  string
+	BE      bool
 }
 
 // Ring is a fixed-capacity event recorder; the newest events win.
@@ -80,6 +111,15 @@ func (r *Ring) Record(e Event) {
 // evicted ones).
 func (r *Ring) Total() int64 { return r.total }
 
+// Reset discards all retained events and the running total, keeping
+// the capacity. Router.ResetStats invokes it through the OnReset chain
+// installed by AttachRouter.
+func (r *Ring) Reset() {
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.total = 0
+}
+
 // Events returns the retained events oldest-first.
 func (r *Ring) Events() []Event {
 	if len(r.buf) < cap(r.buf) {
@@ -101,38 +141,118 @@ func (r *Ring) Dump(w io.Writer) {
 			miss = " MISS"
 		}
 		switch e.Kind {
-		case KindTCTransmit:
-			fmt.Fprintf(w, "%10d  %s  %s %s conn=%d class=%s wait=%d%s\n",
-				e.Cycle, e.Kind, e.Router, router.PortName(e.Port), e.Conn, e.Class, e.Wait, miss)
+		case KindTCTransmit, KindArbWin:
+			fmt.Fprintf(w, "%10d  %s  %s %s conn=%d->%d class=%s wait=%d%s\n",
+				e.Cycle, e.Kind, e.Router, router.PortName(e.Port), e.Conn, e.OutConn, e.Class, e.Wait, miss)
+		case KindCutThrough:
+			fmt.Fprintf(w, "%10d  %s  %s %s conn=%d->%d class=%s\n",
+				e.Cycle, e.Kind, e.Router, router.PortName(e.Port), e.Conn, e.OutConn, e.Class)
+		case KindEnqueue:
+			fmt.Fprintf(w, "%10d  %s  %s conn=%d->%d\n", e.Cycle, e.Kind, e.Router, e.Conn, e.OutConn)
+		case KindDrop:
+			fmt.Fprintf(w, "%10d  %s  %s conn=%d reason=%s\n", e.Cycle, e.Kind, e.Router, e.Conn, e.Reason)
+		case KindBlock:
+			fmt.Fprintf(w, "%10d  %s  %s %s\n", e.Cycle, e.Kind, e.Router, router.PortName(e.Port))
 		default:
 			fmt.Fprintf(w, "%10d  %s  %s conn=%d%s\n", e.Cycle, e.Kind, e.Router, e.Conn, miss)
 		}
 	}
 }
 
-// AttachRouter hooks a router's transmit events into the ring. It
-// chains with any hook already installed.
+// fromLifecycle translates a router observation into a trace event.
+func fromLifecycle(ev router.LifecycleEvent) Event {
+	e := Event{
+		Cycle:   ev.Cycle,
+		Router:  ev.Router,
+		Port:    ev.Port,
+		Conn:    ev.InConn,
+		OutConn: ev.OutConn,
+		Class:   ev.Class,
+		Missed:  ev.Missed,
+		Wait:    ev.Wait,
+		BE:      ev.BE,
+	}
+	switch ev.Kind {
+	case router.EvInject:
+		e.Kind = KindInject
+	case router.EvEnqueue:
+		e.Kind = KindEnqueue
+	case router.EvArbWin:
+		e.Kind = KindArbWin
+	case router.EvTransmit:
+		e.Kind = KindTCTransmit
+	case router.EvCutThrough:
+		e.Kind = KindCutThrough
+	case router.EvBlock:
+		e.Kind = KindBlock
+	case router.EvDrop:
+		e.Kind = KindDrop
+		e.Reason = ev.Reason.String()
+	case router.EvDeliver:
+		if ev.BE {
+			e.Kind = KindBEDeliver
+		} else {
+			e.Kind = KindTCDeliver
+		}
+	}
+	return e
+}
+
+// AttachRouter hooks the router's full packet lifecycle — inject,
+// enqueue, arbitration wins, transmits, cut-throughs, best-effort
+// blocks, drops, and deliveries — into the ring. It chains with any
+// lifecycle hook already installed, and chains the router's OnReset so
+// Router.ResetStats also clears the ring.
 func AttachRouter(ring *Ring, r *router.Router) {
-	prev := r.OnTCTransmit
-	r.OnTCTransmit = func(ev router.TCTransmitEvent) {
-		ring.Record(Event{
-			Cycle:  ev.Cycle,
-			Kind:   KindTCTransmit,
-			Router: ev.Router,
-			Port:   ev.Port,
-			Conn:   ev.InConn,
-			Class:  ev.Class,
-			Missed: ev.Missed,
-			Wait:   ev.Wait,
-		})
+	prev := r.OnLifecycle
+	r.OnLifecycle = func(ev router.LifecycleEvent) {
+		ring.Record(fromLifecycle(ev))
 		if prev != nil {
 			prev(ev)
 		}
 	}
+	prevReset := r.OnReset
+	r.OnReset = func() {
+		ring.Reset()
+		if prevReset != nil {
+			prevReset()
+		}
+	}
+}
+
+// Timeline reconstructs the per-hop history of the connection: the
+// chain of logical arrivals (ℓ_j in the paper) from injection at the
+// source through every hop's enqueue/arbitration/transmit to delivery.
+// Because headers are rewritten at each hop, the walk follows the
+// connection-id chain: an event transmitting conn a as conn b extends
+// the set of ids considered part of the flow. conn id 0 is treated as
+// "unknown" and never followed. If unrelated connections reuse an id
+// retained in the ring their events merge into the result; keep rings
+// short-lived (or Reset between phases) when ids are recycled.
+func Timeline(ring *Ring, conn uint8) []Event {
+	live := map[uint8]bool{conn: true}
+	var out []Event
+	for _, e := range ring.Events() {
+		if e.BE || !live[e.Conn] {
+			continue
+		}
+		out = append(out, e)
+		switch e.Kind {
+		case KindEnqueue, KindTCTransmit, KindCutThrough, KindArbWin:
+			if e.OutConn != 0 {
+				live[e.OutConn] = true
+			}
+		}
+	}
+	return out
 }
 
 // AttachDeliveries hooks a node's delivery events into the ring via its
 // sink observers. The at label names the node.
+//
+// Deprecated-in-spirit: AttachRouter now records deliveries through the
+// lifecycle hook, so attaching both double-counts. The observer remains
+// for callers that want delivery events only.
 type DeliveryObserver struct {
 	ring *Ring
 	at   mesh.Coord
@@ -151,5 +271,5 @@ func (o *DeliveryObserver) TC(d router.DeliveredTC) {
 
 // BE records a best-effort delivery.
 func (o *DeliveryObserver) BE(d router.DeliveredBE) {
-	o.ring.Record(Event{Cycle: d.Cycle, Kind: KindBEDeliver, Router: o.at.String()})
+	o.ring.Record(Event{Cycle: d.Cycle, Kind: KindBEDeliver, Router: o.at.String(), BE: true})
 }

@@ -53,17 +53,16 @@ func TestKindString(t *testing.T) {
 	}
 }
 
-// TestAttachEndToEnd traces a live system and checks transmit and
-// delivery events appear with sane fields.
+// TestAttachEndToEnd traces a live system and checks the full packet
+// lifecycle appears with sane fields. AttachRouter alone now records
+// deliveries (through the lifecycle hook), so no sink observers are
+// needed.
 func TestAttachEndToEnd(t *testing.T) {
 	sys := core.MustNewMesh(2, 1, core.Options{})
 	ring := NewRing(64)
 	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
 	for _, c := range sys.Net.Coords() {
 		AttachRouter(ring, sys.Router(c))
-		obs := NewDeliveryObserver(ring, c)
-		sys.Sink(c).OnTC = obs.TC
-		sys.Sink(c).OnBE = obs.BE
 	}
 	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, rtc.Spec{Imin: 8, Smax: 18, D: 32})
 	if err != nil {
@@ -79,9 +78,15 @@ func TestAttachEndToEnd(t *testing.T) {
 	sys.Router(src).InjectBE(frame)
 	sys.Run(2000)
 
-	var tx, rx, be int
+	var inject, enq, win, tx, rx, be int
 	for _, e := range ring.Events() {
 		switch e.Kind {
+		case KindInject:
+			inject++
+		case KindEnqueue:
+			enq++
+		case KindArbWin:
+			win++
 		case KindTCTransmit:
 			tx++
 			if e.Class == sched.ClassNone {
@@ -93,18 +98,96 @@ func TestAttachEndToEnd(t *testing.T) {
 			be++
 		}
 	}
-	// One packet: transmits at (0,0)+x and at (1,0) reception, one
-	// delivery; one BE delivery.
+	// One packet: injected and enqueued at (0,0), transmitted there and
+	// at (1,0) (memory or cut-through path), one delivery; one BE
+	// delivery.
 	if tx != 2 || rx != 1 || be != 1 {
 		t.Errorf("tx=%d rx=%d be=%d, want 2,1,1", tx, rx, be)
+	}
+	if inject != 1 || enq < 1 || win != 2 {
+		t.Errorf("inject=%d enqueue=%d arb-win=%d, want 1,>=1,2", inject, enq, win)
 	}
 	var buf bytes.Buffer
 	ring.Dump(&buf)
 	out := buf.String()
-	for _, want := range []string{"tc-tx", "tc-rx", "be-rx", "(0,0)"} {
+	for _, want := range []string{"inject", "enqueue", "tc-tx", "tc-rx", "be-rx", "(0,0)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dump missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestTimeline reconstructs a multi-hop time-constrained packet's
+// inject→deliver chain across rewritten per-hop connection ids.
+func TestTimeline(t *testing.T) {
+	sys := core.MustNewMesh(3, 1, core.Options{})
+	ring := NewRing(256)
+	for _, c := range sys.Net.Coords() {
+		AttachRouter(ring, sys.Router(c))
+	}
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 2, Y: 0}
+	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, rtc.Spec{Imin: 8, Smax: 18, D: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send([]byte("hop-hop")); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(4000)
+
+	tl := Timeline(ring, ch.Admitted().SrcConn)
+	if len(tl) < 4 {
+		t.Fatalf("timeline too short: %v", tl)
+	}
+	if tl[0].Kind != KindInject || tl[0].Router != src.String() {
+		t.Errorf("timeline does not start with inject at source: %+v", tl[0])
+	}
+	last := tl[len(tl)-1]
+	if last.Kind != KindTCDeliver || last.Router != dst.String() {
+		t.Errorf("timeline does not end with delivery at destination: %+v", last)
+	}
+	hops := map[string]bool{}
+	var tx int
+	for i, e := range tl {
+		hops[e.Router] = true
+		if i > 0 && e.Cycle < tl[i-1].Cycle {
+			t.Errorf("timeline not in cycle order at %d: %+v", i, e)
+		}
+		if e.Kind == KindTCTransmit {
+			tx++
+		}
+	}
+	if len(hops) != 3 {
+		t.Errorf("timeline spans %d routers, want all 3 hops", len(hops))
+	}
+	if tx != 3 {
+		t.Errorf("timeline has %d transmits, want 3 (one per hop)", tx)
+	}
+}
+
+// TestResetStatsClearsRing checks Router.ResetStats propagates through
+// the OnReset chain installed by AttachRouter.
+func TestResetStatsClearsRing(t *testing.T) {
+	sys := core.MustNewMesh(2, 1, core.Options{})
+	ring := NewRing(64)
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
+	for _, c := range sys.Net.Coords() {
+		AttachRouter(ring, sys.Router(c))
+	}
+	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, rtc.Spec{Imin: 8, Smax: 18, D: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send([]byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2000)
+	if ring.Total() == 0 {
+		t.Fatal("warmup recorded nothing")
+	}
+	sys.Router(src).ResetStats()
+	if ring.Total() != 0 || len(ring.Events()) != 0 {
+		t.Errorf("ResetStats left %d events (total %d)", len(ring.Events()), ring.Total())
 	}
 }
 
