@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test fmt bench
+.PHONY: check build vet test fmt bench benchall
 
 # check is the tier-1 gate: vet, build, race tests, and formatting.
 check: vet build test fmt
@@ -21,5 +21,14 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# bench runs the simulator-speed micro-benchmarks (cycle rate sequential
+# vs parallel, scheduler selection, sort keys) with allocation reporting,
+# then records machine-readable numbers in $(BENCH_JSON).
+BENCH_JSON ?= BENCH_router.json
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRouterCycleRate|BenchmarkT4SchedulerThroughput|BenchmarkFig6SortKeys' -benchmem .
+	$(GO) run ./cmd/rtbench -exp cyclerate -benchjson $(BENCH_JSON)
+
+# benchall runs every benchmark, including the full experiment replays.
+benchall:
 	$(GO) test -bench=. -benchmem ./...

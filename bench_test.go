@@ -6,14 +6,18 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mesh"
-	"repro/internal/packet"
 	"repro/internal/router"
+	"repro/internal/rtc"
 	"repro/internal/sched"
 	"repro/internal/timing"
+	"repro/internal/traffic"
 )
 
 // BenchmarkE1WormholeBaseline regenerates the Section 5.2 latency model
@@ -315,30 +319,54 @@ func BenchmarkX11LeafSharing(b *testing.B) {
 }
 
 // BenchmarkRouterCycleRate measures the simulator itself: cycles per
-// second for a loaded 4×4 mesh, the figure that bounds every experiment
-// above.
+// second for a loaded 8×8 mesh, the figure that bounds every experiment
+// above — once with the sequential kernel and once with the parallel
+// kernel at GOMAXPROCS workers (both modes produce identical results;
+// see core.TestParallelEquivalence).
 func BenchmarkRouterCycleRate(b *testing.B) {
-	net := mesh.MustNew(4, 4, router.DefaultConfig())
-	// Keep traffic flowing: each corner floods best-effort packets at
-	// the opposite corner.
-	pairs := [][2]mesh.Coord{
-		{{X: 0, Y: 0}, {X: 3, Y: 3}},
-		{{X: 3, Y: 3}, {X: 0, Y: 0}},
-		{{X: 3, Y: 0}, {X: 0, Y: 3}},
-		{{X: 0, Y: 3}, {X: 3, Y: 0}},
+	par := runtime.GOMAXPROCS(0)
+	if par < 2 {
+		par = 2 // still exercise the pooled path on single-core hosts
 	}
-	for _, p := range pairs {
-		for i := 0; i < 50; i++ {
-			xo, yo := mesh.BEOffsets(p[0], p[1])
-			frame, err := packet.NewBE(xo, yo, make([]byte, 200))
+	for _, workers := range []int{1, par} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sys, err := core.NewMesh(8, 8, core.Options{Workers: workers})
 			if err != nil {
 				b.Fatal(err)
 			}
-			net.Router(p[0]).InjectBE(frame)
-		}
+			defer sys.Close()
+			// Sustained cross-traffic: every node sources best-effort
+			// packets, and real-time channels cross corner to corner.
+			spec := rtc.Spec{Imin: 8, Smax: 18, D: 24 * 16}
+			for i, rt := range [][2]mesh.Coord{
+				{{X: 0, Y: 0}, {X: 7, Y: 7}},
+				{{X: 7, Y: 0}, {X: 0, Y: 7}},
+				{{X: 0, Y: 7}, {X: 7, Y: 0}},
+				{{X: 7, Y: 7}, {X: 0, Y: 0}},
+			} {
+				ch, err := sys.OpenChannel(rt[0], []mesh.Coord{rt[1]}, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				app, err := traffic.NewTCApp(fmt.Sprintf("tc%d", i), ch.Paced(), spec, traffic.Periodic, 18)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.RegisterNode(rt[0], app)
+			}
+			for i, c := range sys.Net.Coords() {
+				be, err := traffic.NewBEApp(fmt.Sprintf("be%d", i), sys.Net, c,
+					traffic.UniformDst(sys.Net, c), traffic.FixedSize(64), 0.3, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.RegisterNode(c, be)
+			}
+			sys.Run(2000) // warm up buffers and frame pools
+			b.ResetTimer()
+			sys.Run(int64(b.N))
+			b.StopTimer()
+			b.ReportMetric(float64(64), "routers")
+		})
 	}
-	b.ResetTimer()
-	net.Run(int64(b.N))
-	b.StopTimer()
-	b.ReportMetric(float64(16), "routers")
 }

@@ -8,10 +8,12 @@
 //	rtbench -exp e1 -chart  # include ASCII charts where available
 //
 // Experiments: e1, fig6, fig7, chip, horizon, compare, vct, multicast,
-// admit, all.
+// admit, all; plus cyclerate, which benchmarks the simulator itself
+// (sequential vs parallel kernel; -workers, -benchjson).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,9 +28,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|ring|sharing|all)")
+	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|ring|sharing|cyclerate|all)")
 	cycles := flag.Int64("cycles", 0, "override simulated cycles where applicable (0 = experiment default)")
 	chart := flag.Bool("chart", false, "render ASCII charts where available")
+	workers := flag.Int("workers", 0, "parallel kernel workers for the cyclerate experiment (0 = GOMAXPROCS)")
+	benchJSON := flag.String("benchjson", "", "write the cyclerate result as JSON to this file (e.g. BENCH_router.json)")
 	metricsOut := flag.String("metrics", "", "write aggregate telemetry across all runs to this file (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
 	listen := flag.String("listen", "", "serve live telemetry over HTTP at this address while experiments run (e.g. :8080)")
 	flag.Parse()
@@ -65,7 +69,10 @@ func main() {
 		"failover":  func() error { return runFailover() },
 		"ring":      func() error { return runRing(*cycles) },
 		"sharing":   func() error { return runSharing(*cycles) },
+		"cyclerate": func() error { return runCycleRate(*cycles, *workers, *benchJSON) },
 	}
+	// cyclerate measures the simulator rather than the paper and is run
+	// on request only, not as part of "all".
 	order := []string{"e1", "fig7", "fig6", "chip", "horizon", "compare", "approx", "vct", "multicast", "admit", "load", "skew", "failover", "ring", "sharing"}
 
 	if *exp == "all" {
@@ -281,6 +288,43 @@ func runSharing(cycles int64) error {
 		return err
 	}
 	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runCycleRate(cycles int64, workers int, benchJSON string) error {
+	res, err := experiments.RunCycleRate(8, 8, cycles, workers)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	if !res.StatsMatch {
+		return fmt.Errorf("parallel run diverged from sequential run")
+	}
+	if benchJSON == "" {
+		return nil
+	}
+	f, err := os.Create(benchJSON)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{
+		"benchmark":            "router_cycle_rate",
+		"mesh":                 fmt.Sprintf("%dx%d", res.W, res.H),
+		"cycles":               res.Cycles,
+		"workers":              res.Workers,
+		"seq_cycles_per_sec":   res.SeqRate,
+		"par_cycles_per_sec":   res.ParRate,
+		"speedup":              res.Speedup,
+		"seq_allocs_per_cycle": res.SeqAllocsPerCycle,
+		"par_allocs_per_cycle": res.ParAllocsPerCycle,
+		"stats_match":          res.StatsMatch,
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark result written to %s\n", benchJSON)
 	return nil
 }
 

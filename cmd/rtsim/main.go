@@ -55,13 +55,22 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write the telemetry report to this file after the run (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
 		sample     = flag.Int64("sample", 0, "snapshot telemetry totals into a time series every N cycles (0 = cycles/100 when telemetry is on)")
 		listen     = flag.String("listen", "", "serve live telemetry over HTTP at this address during the run (e.g. :8080)")
+		workers    = flag.Int("workers", 1, "simulation kernel workers: 1 = sequential, >1 parallel (bit-identical results), 0 = GOMAXPROCS")
 	)
 	flag.Parse()
+
+	// The trace ring is one shared recorder attached to every router, so
+	// it is inherently sequential; parallel ticking would interleave (and
+	// race on) its entries.
+	if *traceN > 0 && *workers != 1 {
+		fmt.Fprintln(os.Stderr, "rtsim: -trace requires the sequential kernel; forcing -workers=1")
+		*workers = 1
+	}
 
 	reg := openTelemetry(*metricsOut, *listen, sample, *cycles)
 
 	if *scenPath != "" {
-		runScenario(*scenPath, reg, *sample, *metricsOut)
+		runScenario(*scenPath, reg, *sample, *metricsOut, *workers)
 		return
 	}
 
@@ -88,6 +97,7 @@ func main() {
 		Router:             cfg,
 		Metrics:            reg,
 		MetricsSampleEvery: *sample,
+		Workers:            *workers,
 	}.WithAdmission(admission.Config{
 		Policy:       policy,
 		SourceWindow: *window,
@@ -96,6 +106,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	defer sys.Close()
 
 	// AttachRouter records the full lifecycle, deliveries included, so
 	// no sink observers are needed.
@@ -124,7 +135,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		sys.Net.Kernel.Register(app)
+		sys.RegisterNode(src, app)
 		opened++
 	}
 	fmt.Printf("opened %d/%d real-time channels (Imin=%d slots, D=%d slots, Smax=%dB)\n",
@@ -137,7 +148,7 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			sys.Net.Kernel.Register(app)
+			sys.RegisterNode(c, app)
 		}
 		fmt.Printf("best-effort background: %.2f bytes/cycle/node, %dB payloads, uniform destinations\n",
 			*beRate, *beSize)
@@ -216,15 +227,16 @@ func writeMetrics(reg *metrics.Registry, path string) error {
 
 // runScenario plays a declarative workload file (see scenarios/ and the
 // scenario package).
-func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut string) {
+func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut string, workers int) {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		fail(err)
 	}
-	res, sys, err := sc.RunWith(scenario.RunOpts{Metrics: reg, SampleEvery: sample})
+	res, sys, err := sc.RunWith(scenario.RunOpts{Metrics: reg, SampleEvery: sample, Workers: workers})
 	if err != nil {
 		fail(err)
 	}
+	defer sys.Close()
 	fmt.Printf("scenario %s: %dx%d mesh, %d channels opened", path, sc.Mesh.W, sc.Mesh.H, res.Opened)
 	if len(res.Rejected) > 0 {
 		fmt.Printf(" (%d rejected)", len(res.Rejected))

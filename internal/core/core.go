@@ -25,6 +25,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/router"
 	"repro/internal/rtc"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/timing"
 	"repro/internal/traffic"
@@ -49,6 +50,11 @@ type Options struct {
 	// snapshotting registry totals into System.Sampler.TS every N
 	// cycles. Ignored without a registry.
 	MetricsSampleEvery int64
+	// Workers selects the kernel execution mode: 0 or 1 runs the
+	// simulation sequentially (the default); n > 1 ticks the per-node
+	// shards on n workers with bit-identical results; negative picks
+	// GOMAXPROCS. Parallel systems should be Closed when done.
+	Workers int
 }
 
 // DefaultMetrics, when set, is attached by NewMesh to systems built
@@ -113,10 +119,10 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		net.Kernel.Register(p)
+		net.RegisterAt(c, p)
 		sys.pcrs[c] = p
 		s := traffic.NewSink(fmt.Sprintf("sink%s", c), net.Router(c))
-		net.Kernel.Register(s)
+		net.RegisterAt(c, s)
 		sys.snks[c] = s
 		if reg != nil {
 			net.Router(c).AttachMetrics(reg.Router(c.String()))
@@ -134,6 +140,9 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Adm = adm
+	if opts.Workers != 0 && opts.Workers != 1 {
+		net.SetWorkers(opts.Workers)
+	}
 	return sys, nil
 }
 
@@ -250,6 +259,17 @@ func (s *System) SendBestEffort(src, dst mesh.Coord, payload []byte) error {
 	r.InjectBE(frame)
 	return nil
 }
+
+// RegisterNode registers per-node software (traffic generators,
+// observers) into the kernel shard of the node at c, keeping the
+// system parallelizable. Components that touch more than one node's
+// state must use s.Net.Kernel.Register instead, which makes them
+// scheduling barriers.
+func (s *System) RegisterNode(c mesh.Coord, comp sim.Component) { s.Net.RegisterAt(c, comp) }
+
+// Close releases the kernel's resident worker goroutines, if any. A
+// closed system keeps working sequentially.
+func (s *System) Close() { s.Net.Close() }
 
 // Run advances the network by the given number of cycles.
 func (s *System) Run(cycles int64) { s.Net.Run(cycles) }

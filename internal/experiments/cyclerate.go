@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/router"
+	"repro/internal/rtc"
+	"repro/internal/traffic"
+)
+
+// CycleRateResult reports the simulator's own throughput — cycles per
+// second on a loaded mesh — sequentially and with the parallel kernel,
+// together with the evidence that the two modes agree bit for bit.
+type CycleRateResult struct {
+	W, H    int
+	Cycles  int64
+	Workers int
+
+	SeqRate float64 // cycles per second, sequential kernel
+	ParRate float64 // cycles per second, parallel kernel
+	Speedup float64
+
+	SeqAllocsPerCycle float64
+	ParAllocsPerCycle float64
+
+	// StatsMatch confirms the parallel run reproduced the sequential
+	// run's per-router hardware counters exactly.
+	StatsMatch bool
+}
+
+// loadCycleRateSystem builds the measured workload: real-time channels
+// crossing the mesh corner to corner plus a best-effort source on every
+// node, all registered into per-node shards.
+func loadCycleRateSystem(w, h, workers int) (*core.System, error) {
+	sys, err := core.NewMesh(w, h, core.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	spec := rtc.Spec{Imin: 8, Smax: 18, D: 24 * int64(w+h)}
+	routes := [][2]mesh.Coord{
+		{{X: 0, Y: 0}, {X: w - 1, Y: h - 1}},
+		{{X: w - 1, Y: 0}, {X: 0, Y: h - 1}},
+		{{X: 0, Y: h - 1}, {X: w - 1, Y: 0}},
+		{{X: w - 1, Y: h - 1}, {X: 0, Y: 0}},
+	}
+	for i, rt := range routes {
+		ch, err := sys.OpenChannel(rt[0], []mesh.Coord{rt[1]}, spec)
+		if err != nil {
+			return nil, fmt.Errorf("cyclerate: channel %d: %w", i, err)
+		}
+		app, err := traffic.NewTCApp(fmt.Sprintf("tc%d", i), ch.Paced(), spec, traffic.Periodic, 18)
+		if err != nil {
+			return nil, err
+		}
+		sys.RegisterNode(rt[0], app)
+	}
+	for i, c := range sys.Net.Coords() {
+		be, err := traffic.NewBEApp(fmt.Sprintf("be%d", i), sys.Net, c,
+			traffic.UniformDst(sys.Net, c), traffic.FixedSize(64), 0.3, int64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		sys.RegisterNode(c, be)
+	}
+	return sys, nil
+}
+
+// timeRun measures one run: cycles per second, heap allocations per
+// cycle, and the final per-router counters.
+func timeRun(w, h, workers int, cycles int64) (rate, allocs float64, stats []router.Stats, err error) {
+	sys, err := loadCycleRateSystem(w, h, workers)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer sys.Close()
+	// Warm up pools and buffers so the steady state is what's measured.
+	sys.Run(cycles / 10)
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	sys.Run(cycles)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	rate = float64(cycles) / elapsed.Seconds()
+	allocs = float64(m1.Mallocs-m0.Mallocs) / float64(cycles)
+	for _, c := range sys.Net.Coords() {
+		stats = append(stats, sys.Router(c).Stats)
+	}
+	return rate, allocs, stats, nil
+}
+
+// RunCycleRate measures simulator throughput on a loaded w×h mesh with
+// the sequential kernel and with the parallel kernel at the given
+// worker count (<= 0 picks GOMAXPROCS), and cross-checks that both
+// modes produce identical router counters.
+func RunCycleRate(w, h int, cycles int64, workers int) (*CycleRateResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cycles <= 0 {
+		cycles = 50000
+	}
+	seqRate, seqAllocs, seqStats, err := timeRun(w, h, 1, cycles)
+	if err != nil {
+		return nil, err
+	}
+	parRate, parAllocs, parStats, err := timeRun(w, h, workers, cycles)
+	if err != nil {
+		return nil, err
+	}
+	res := &CycleRateResult{
+		W: w, H: h, Cycles: cycles, Workers: workers,
+		SeqRate: seqRate, ParRate: parRate,
+		SeqAllocsPerCycle: seqAllocs, ParAllocsPerCycle: parAllocs,
+		StatsMatch: reflect.DeepEqual(seqStats, parStats),
+	}
+	if seqRate > 0 {
+		res.Speedup = parRate / seqRate
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *CycleRateResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Simulator cycle rate, %dx%d mesh, %d cycles", r.W, r.H, r.Cycles),
+		Header: []string{"kernel", "cycles/sec", "allocs/cycle"},
+	}
+	t.AddRow("sequential", fmt.Sprintf("%.0f", r.SeqRate), fmt.Sprintf("%.2f", r.SeqAllocsPerCycle))
+	t.AddRow(fmt.Sprintf("parallel x%d", r.Workers), fmt.Sprintf("%.0f", r.ParRate), fmt.Sprintf("%.2f", r.ParAllocsPerCycle))
+	t.AddNote("speedup %.2fx; router counters bit-identical: %v", r.Speedup, r.StatsMatch)
+	return t
+}

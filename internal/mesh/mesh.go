@@ -67,7 +67,11 @@ func New(w, h int, cfg router.Config) (*Network, error) {
 			}
 			n.routers[c] = r
 			n.order = append(n.order, c)
-			n.Kernel.Register(r)
+			// Each router is its own kernel shard; node-side software
+			// (pacers, sinks, traffic apps) registers into the same shard
+			// via RegisterAt so the parallel mode keeps the documented
+			// node-before-router ordering per chip.
+			n.Kernel.RegisterShard(n.Shard(c), r)
 		}
 	}
 	for y := 0; y < h; y++ {
@@ -115,17 +119,57 @@ func (n *Network) Contains(c Coord) bool {
 // Coords returns all node coordinates in row-major order.
 func (n *Network) Coords() []Coord { return n.order }
 
+// Shard returns the kernel shard key of the node at c (its row-major
+// index). Components that talk directly to that node's router — rather
+// than through cycle-latched wires — must register into this shard so
+// the parallel execution mode preserves their tick order.
+func (n *Network) Shard(c Coord) int { return c.Y*n.W + c.X }
+
+// RegisterAt registers a component into the shard of the node at c.
+// Use it for per-node software (traffic generators, observers) so the
+// network stays parallelizable; cross-node components must use
+// Kernel.Register, which makes them scheduling barriers.
+func (n *Network) RegisterAt(c Coord, comp sim.Component) {
+	n.Kernel.RegisterShard(n.Shard(c), comp)
+}
+
+// SetWorkers selects the kernel execution mode: 1 (default) runs every
+// component sequentially; w > 1 ticks the per-node shards on w workers
+// with bit-identical results; w <= 0 picks GOMAXPROCS.
+func (n *Network) SetWorkers(w int) { n.Kernel.SetWorkers(w) }
+
+// Close releases the kernel's resident worker goroutines, if any.
+func (n *Network) Close() { n.Kernel.Close() }
+
 // Run advances the whole network by the given number of cycles.
 func (n *Network) Run(cycles int64) { n.Kernel.Run(cycles) }
 
 // Now returns the current cycle.
 func (n *Network) Now() int64 { return int64(n.Kernel.Now()) }
 
+// routeLen is the exact length of a dimension-ordered route: one hop
+// per unit of offset plus the final local port.
+func routeLen(src, dst Coord) int {
+	n := 1
+	if dst.X > src.X {
+		n += dst.X - src.X
+	} else {
+		n += src.X - dst.X
+	}
+	if dst.Y > src.Y {
+		n += dst.Y - src.Y
+	} else {
+		n += src.Y - dst.Y
+	}
+	return n
+}
+
 // XYRoute returns the dimension-ordered port sequence from src to dst:
 // all x hops, then all y hops — the route best-effort packets take and
-// the default route for real-time channels.
+// the default route for real-time channels. The returned slice is a
+// single exact-length allocation.
 func XYRoute(src, dst Coord) []int {
-	var ports []int
+	ports := make([]int, 0, routeLen(src, dst))
 	for x := src.X; x < dst.X; x++ {
 		ports = append(ports, router.PortXPlus)
 	}
@@ -147,7 +191,7 @@ func XYRoute(src, dst Coord) []int {
 // "the chosen route depends on the resources available at various nodes
 // and links in the network").
 func YXRoute(src, dst Coord) []int {
-	var ports []int
+	ports := make([]int, 0, routeLen(src, dst))
 	for y := src.Y; y < dst.Y; y++ {
 		ports = append(ports, router.PortYPlus)
 	}
@@ -207,12 +251,12 @@ func (n *Network) FailLink(from Coord, port int) error {
 	return nil
 }
 
-// TotalStats sums a statistic across all routers.
+// TotalStats sums a statistic across all routers. f receives a pointer
+// to each router's live Stats struct (no copying); it must only read.
 func (n *Network) TotalStats(f func(*router.Stats) int64) int64 {
 	var total int64
 	for _, c := range n.order {
-		s := n.routers[c].Stats
-		total += f(&s)
+		total += f(&n.routers[c].Stats)
 	}
 	return total
 }

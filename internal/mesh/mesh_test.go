@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/router"
+	"repro/internal/sim"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -280,3 +281,50 @@ func TestLargeMeshSoak(t *testing.T) {
 		t.Errorf("misroutes: %d", mis)
 	}
 }
+
+// TestRouteAllocations: the dimension-ordered route helpers make
+// exactly one allocation — the exact-length result slice — however
+// long the route.
+func TestRouteAllocations(t *testing.T) {
+	cases := [][2]Coord{
+		{{X: 0, Y: 0}, {X: 0, Y: 0}},
+		{{X: 0, Y: 0}, {X: 7, Y: 7}},
+		{{X: 7, Y: 2}, {X: 1, Y: 5}},
+		{{X: 3, Y: 6}, {X: 3, Y: 0}},
+	}
+	var sink []int
+	for _, tc := range cases {
+		for name, route := range map[string]func(Coord, Coord) []int{"XYRoute": XYRoute, "YXRoute": YXRoute} {
+			allocs := testing.AllocsPerRun(100, func() {
+				sink = route(tc[0], tc[1])
+			})
+			if allocs != 1 {
+				t.Errorf("%s(%v,%v): %.1f allocs/op, want exactly 1", name, tc[0], tc[1], allocs)
+			}
+			want := routeLen(tc[0], tc[1])
+			if len(sink) != want || cap(sink) != want {
+				t.Errorf("%s(%v,%v): len=%d cap=%d, want both %d", name, tc[0], tc[1], len(sink), cap(sink), want)
+			}
+		}
+	}
+}
+
+// TestRegisterAtShardAffinity: RegisterAt puts a component in the same
+// shard as its router, so kernel parallel mode keeps their tick order.
+func TestRegisterAtShardAffinity(t *testing.T) {
+	n := MustNew(3, 2, router.DefaultConfig())
+	defer n.Close()
+	if got := n.Shard(Coord{X: 2, Y: 1}); got != 5 {
+		t.Fatalf("Shard((2,1)) = %d, want 5 (row-major)", got)
+	}
+	before := n.Kernel.Components()
+	n.RegisterAt(Coord{X: 1, Y: 1}, nopComp{})
+	if n.Kernel.Components() != before+1 {
+		t.Fatal("RegisterAt did not register the component")
+	}
+}
+
+type nopComp struct{}
+
+func (nopComp) Name() string   { return "nop" }
+func (nopComp) Tick(sim.Cycle) {}

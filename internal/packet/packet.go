@@ -154,9 +154,11 @@ func DecodeBEHeader(src []byte) BEHeader {
 	}
 }
 
-// NewBE builds a complete best-effort packet frame with the given offsets
-// and payload. The length field covers header plus payload.
-func NewBE(xoff, yoff int, payload []byte) ([]byte, error) {
+// AppendBE appends a complete best-effort packet frame — header with the
+// given offsets, then the payload — to dst and returns the extended
+// slice. dst may be a recycled buffer (see router.BEFrameBuf), which is
+// how steady-state sources avoid a frame allocation per packet.
+func AppendBE(dst []byte, xoff, yoff int, payload []byte) ([]byte, error) {
 	total := BEHeaderBytes + len(payload)
 	if total > BEMaxBytes {
 		return nil, fmt.Errorf("packet: best-effort packet of %d bytes exceeds %d", total, BEMaxBytes)
@@ -164,10 +166,16 @@ func NewBE(xoff, yoff int, payload []byte) ([]byte, error) {
 	if xoff < -128 || xoff > 127 || yoff < -128 || yoff > 127 {
 		return nil, fmt.Errorf("packet: offsets (%d,%d) exceed signed byte range", xoff, yoff)
 	}
-	b := make([]byte, total)
-	EncodeBEHeader(BEHeader{XOff: int8(xoff), YOff: int8(yoff), Len: uint16(total)}, b)
-	copy(b[BEHeaderBytes:], payload)
-	return b, nil
+	var hdr [BEHeaderBytes]byte
+	EncodeBEHeader(BEHeader{XOff: int8(xoff), YOff: int8(yoff), Len: uint16(total)}, hdr[:])
+	return append(append(dst, hdr[:]...), payload...), nil
+}
+
+// NewBE builds a complete best-effort packet frame with the given offsets
+// and payload in a fresh exact-size buffer. The length field covers
+// header plus payload.
+func NewBE(xoff, yoff int, payload []byte) ([]byte, error) {
+	return AppendBE(make([]byte, 0, BEHeaderBytes+len(payload)), xoff, yoff, payload)
 }
 
 // Frame converts an encoded packet to a phit stream on the given VC.

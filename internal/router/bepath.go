@@ -16,7 +16,12 @@ type beInput struct {
 	r  *Router
 	id int // 0..3 mesh links, 4 injection
 
-	buf []byte // flit buffer (raw bytes as received, header included)
+	// buf is the flit buffer (raw bytes as received, header included).
+	// It is head-indexed: pop advances bufHead and push compacts the
+	// consumed prefix when full, so the small backing array is reused
+	// instead of regrown on every slide.
+	buf     []byte
+	bufHead int
 
 	// current packet parse/forward state
 	parsed   bool
@@ -36,45 +41,80 @@ type beInput struct {
 	consumed int
 
 	// injection source (id 4 only): queued packets stream into the flit
-	// buffer at link rate.
-	injQ   [][]byte
-	injPos int
+	// buffer at link rate. Head-indexed like buf; fully streamed frames
+	// are recycled to the router's frame pool.
+	injQ    [][]byte
+	injHead int
+	injPos  int
+}
+
+// occ is the number of unconsumed bytes in the flit buffer.
+func (u *beInput) occ() int { return len(u.buf) - u.bufHead }
+
+// push appends one byte, reclaiming consumed head space instead of
+// growing the backing array.
+func (u *beInput) push(b byte) {
+	if len(u.buf) == cap(u.buf) && u.bufHead > 0 {
+		n := copy(u.buf, u.buf[u.bufHead:])
+		u.buf = u.buf[:n]
+		u.bufHead = 0
+	}
+	u.buf = append(u.buf, b)
+}
+
+// inject queues one encoded frame behind the injection port.
+func (u *beInput) inject(frame []byte) {
+	if u.injHead > 0 && len(u.injQ) == cap(u.injQ) {
+		n := copy(u.injQ, u.injQ[u.injHead:])
+		for i := n; i < len(u.injQ); i++ {
+			u.injQ[i] = nil
+		}
+		u.injQ = u.injQ[:n]
+		u.injHead = 0
+	}
+	u.injQ = append(u.injQ, frame)
 }
 
 // acceptByte receives one best-effort flit from the wire.
 func (u *beInput) acceptByte(b byte) {
-	if len(u.buf) >= u.r.cfg.FlitBufBytes {
+	if u.occ() >= u.r.cfg.FlitBufBytes {
 		// Credits make this unreachable from a correct upstream; count it
 		// as a protocol violation rather than silently growing the buffer.
 		u.r.Stats.BEBufferOverruns++
 		u.r.dropBE(metrics.DropBEOverrun, u.id)
 		return
 	}
-	u.buf = append(u.buf, b)
+	u.push(b)
 }
 
 // feedInjection streams one byte of the oldest queued packet into the
 // flit buffer, modelling the injection port crossing at link rate.
 func (u *beInput) feedInjection() {
-	if len(u.injQ) == 0 || len(u.buf) >= u.r.cfg.FlitBufBytes {
+	if u.injHead == len(u.injQ) || u.occ() >= u.r.cfg.FlitBufBytes {
 		return
 	}
-	pkt := u.injQ[0]
-	u.buf = append(u.buf, pkt[u.injPos])
+	pkt := u.injQ[u.injHead]
+	u.push(pkt[u.injPos])
 	u.injPos++
 	if u.injPos == len(pkt) {
-		u.injQ = u.injQ[1:]
+		u.r.recycleBEFrame(pkt)
+		u.injQ[u.injHead] = nil
+		u.injHead++
 		u.injPos = 0
+		if u.injHead == len(u.injQ) {
+			u.injQ = u.injQ[:0]
+			u.injHead = 0
+		}
 	}
 }
 
 // parse decodes the routing header once its four bytes are buffered and
 // computes the output port and the rewritten next-hop header.
 func (u *beInput) parse() {
-	if u.parsed || len(u.buf) < packet.BEHeaderBytes {
+	if u.parsed || u.occ() < packet.BEHeaderBytes {
 		return
 	}
-	u.hdr = packet.DecodeBEHeader(u.buf[:packet.BEHeaderBytes])
+	u.hdr = packet.DecodeBEHeader(u.buf[u.bufHead : u.bufHead+packet.BEHeaderBytes])
 	if u.hdr.Len < packet.BEHeaderBytes {
 		// Malformed length; consume just the header and move on.
 		u.r.Stats.BEMalformed++
@@ -113,17 +153,21 @@ func (u *beInput) parse() {
 
 // hasByte reports whether the engine can supply a byte to its output.
 func (u *beInput) hasByte() bool {
-	return u.parsed && len(u.buf) > 0 && u.r.nowCycle >= u.readyAt
+	return u.parsed && u.occ() > 0 && u.r.nowCycle >= u.readyAt
 }
 
 // pop removes the next byte of the current packet, substituting the
 // rewritten header for the first four bytes, and reports head/tail.
 func (u *beInput) pop() (b byte, head, tail bool) {
-	b = u.buf[0]
+	b = u.buf[u.bufHead]
 	if u.fwdIdx < packet.BEHeaderBytes {
 		b = u.nextHdr[u.fwdIdx]
 	}
-	u.buf = u.buf[1:]
+	u.bufHead++
+	if u.bufHead == len(u.buf) {
+		u.buf = u.buf[:0]
+		u.bufHead = 0
+	}
 	u.consumed++
 	head = u.fwdIdx == 0
 	u.fwdIdx++
@@ -138,7 +182,7 @@ func (u *beInput) pop() (b byte, head, tail bool) {
 
 // drainDropped consumes one byte per cycle of a misrouted packet.
 func (u *beInput) drainDropped() {
-	if !u.dropping || len(u.buf) == 0 {
+	if !u.dropping || u.occ() == 0 {
 		return
 	}
 	u.pop()
@@ -150,6 +194,7 @@ func (u *beInput) drainDropped() {
 func (u *beInput) truncate() {
 	if !u.parsed {
 		u.buf = u.buf[:0]
+		u.bufHead = 0
 		return
 	}
 	for q := 0; q < NumPorts; q++ {
@@ -158,6 +203,7 @@ func (u *beInput) truncate() {
 		}
 	}
 	u.buf = u.buf[:0]
+	u.bufHead = 0
 	u.parsed = false
 	u.bound = false
 	u.dropping = false

@@ -87,9 +87,23 @@ type Router struct {
 	beIn  [NumPorts]*beInput
 	beOut [NumPorts]*beOutput
 
-	tcInjectQ   [][packet.TCBytes]byte
-	tcDelivered []DeliveredTC
-	beDelivered []DeliveredBE
+	// tcInjectQ is a head-indexed queue: popped entries advance tcInjHead
+	// instead of reslicing, so the backing array is reused rather than
+	// regrown in the injection hot path.
+	tcInjectQ [][packet.TCBytes]byte
+	tcInjHead int
+
+	// Delivery queues are double-buffered: Drain returns the filled
+	// buffer and installs the spare, so steady-state delivery never
+	// allocates once both buffers have grown to the working set.
+	tcDelivered  []DeliveredTC
+	tcDrainSpare []DeliveredTC
+	beDelivered  []DeliveredBE
+	beDrainSpare []DeliveredBE
+
+	// beFree recycles fully injected best-effort frames back to local
+	// sources (BEFrameBuf), bounding frame allocation per packet.
+	beFree [][]byte
 
 	schedCountdown int
 	schedRR        int
@@ -135,7 +149,7 @@ func New(name string, cfg Config) (*Router, error) {
 	for i := 0; i < NumPorts; i++ {
 		r.tcIn[i] = &tcInput{r: r, id: i}
 		r.tcOut[i] = &tcOutput{r: r, port: i}
-		r.beIn[i] = &beInput{r: r, id: i}
+		r.beIn[i] = &beInput{r: r, id: i, buf: make([]byte, 0, cfg.FlitBufBytes)}
 		r.beOut[i] = &beOutput{r: r, port: i, curIn: -1, credits: cfg.FlitBufBytes}
 	}
 	// Bus polling order mirrors the chip's ten port engines: five
@@ -242,6 +256,12 @@ func (r *Router) ConnectOut(p int, l *OutLink) {
 // header stamp must carry the connection's logical arrival time ℓ0(m) on
 // the network slot clock.
 func (r *Router) InjectTC(p packet.TCPacket) {
+	if r.tcInjHead > 0 && len(r.tcInjectQ) == cap(r.tcInjectQ) {
+		// Reclaim the consumed head space instead of growing.
+		n := copy(r.tcInjectQ, r.tcInjectQ[r.tcInjHead:])
+		r.tcInjectQ = r.tcInjectQ[:n]
+		r.tcInjHead = 0
+	}
 	r.tcInjectQ = append(r.tcInjectQ, packet.EncodeTC(p))
 	if r.met != nil {
 		r.met.TCInjected.Inc()
@@ -257,13 +277,38 @@ func (r *Router) InjectBE(frame []byte) {
 	if len(frame) < packet.BEHeaderBytes {
 		panic(fmt.Sprintf("router %s: InjectBE frame of %d bytes", r.name, len(frame)))
 	}
-	r.beIn[PortLocal].injQ = append(r.beIn[PortLocal].injQ, frame)
+	r.beIn[PortLocal].inject(frame)
+}
+
+// BEFrameBuf returns a zero-length recycled frame buffer (or nil when
+// none is pooled) for use with packet.AppendBE. The router takes frames
+// back after they fully cross the injection port, so a steady-state
+// source alternates between a handful of buffers instead of allocating
+// one per packet.
+func (r *Router) BEFrameBuf() []byte {
+	if n := len(r.beFree); n > 0 {
+		b := r.beFree[n-1]
+		r.beFree[n-1] = nil
+		r.beFree = r.beFree[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// beFreeCap bounds the recycled-frame pool; sources queue at most a few
+// frames ahead of the injection port.
+const beFreeCap = 8
+
+func (r *Router) recycleBEFrame(frame []byte) {
+	if len(r.beFree) < beFreeCap {
+		r.beFree = append(r.beFree, frame)
+	}
 }
 
 // TCInjectBacklog returns the number of packets queued at the
 // time-constrained injection port.
 func (r *Router) TCInjectBacklog() int {
-	n := len(r.tcInjectQ)
+	n := len(r.tcInjectQ) - r.tcInjHead
 	if r.tcIn[PortLocal].injCount > 0 {
 		n++
 	}
@@ -271,17 +316,22 @@ func (r *Router) TCInjectBacklog() int {
 }
 
 // DrainTC returns and clears the packets delivered to the local
-// processor since the last call.
+// processor since the last call. The returned slice is reused by the
+// call after next — iterate or copy it before draining again.
 func (r *Router) DrainTC() []DeliveredTC {
 	d := r.tcDelivered
-	r.tcDelivered = nil
+	r.tcDelivered = r.tcDrainSpare[:0]
+	r.tcDrainSpare = d
 	return d
 }
 
-// DrainBE returns and clears the best-effort deliveries.
+// DrainBE returns and clears the best-effort deliveries. The returned
+// slice is reused by the call after next — iterate or copy it before
+// draining again (the per-delivery Payload buffers are never reused).
 func (r *Router) DrainBE() []DeliveredBE {
 	d := r.beDelivered
-	r.beDelivered = nil
+	r.beDelivered = r.beDrainSpare[:0]
+	r.beDrainSpare = d
 	return d
 }
 
@@ -483,11 +533,15 @@ func (r *Router) emitCut(o *tcOutput) {
 		b = o.cutHdr[o.cutIdx]
 	} else {
 		u := o.cutIn
-		if len(u.cutFIFO) == 0 {
+		if u.cutHead == len(u.cutFIFO) {
 			return // bubble: arrival stream has not caught up
 		}
-		b = u.cutFIFO[0]
-		u.cutFIFO = u.cutFIFO[1:]
+		b = u.cutFIFO[u.cutHead]
+		u.cutHead++
+		if u.cutHead == len(u.cutFIFO) {
+			u.cutFIFO = u.cutFIFO[:0]
+			u.cutHead = 0
+		}
 	}
 	head := o.cutIdx == 0
 	if head {
@@ -550,7 +604,7 @@ func (r *Router) sampleInputs() {
 		if r.in[p] == nil {
 			// A failed upstream link can never complete an in-progress
 			// packet: flush the fragment so it releases its output.
-			if u := r.beIn[p]; u.parsed || len(u.buf) > 0 {
+			if u := r.beIn[p]; u.parsed || u.occ() > 0 {
 				u.truncate()
 			}
 		}
@@ -584,11 +638,15 @@ func (r *Router) sampleInputs() {
 func (r *Router) feedTCInjection() {
 	u := r.tcIn[PortLocal]
 	if u.injCount == 0 {
-		if len(r.tcInjectQ) == 0 {
+		if r.tcInjHead == len(r.tcInjectQ) {
 			return
 		}
-		u.injPkt = r.tcInjectQ[0]
-		r.tcInjectQ = r.tcInjectQ[1:]
+		u.injPkt = r.tcInjectQ[r.tcInjHead]
+		r.tcInjHead++
+		if r.tcInjHead == len(r.tcInjectQ) {
+			r.tcInjectQ = r.tcInjectQ[:0]
+			r.tcInjHead = 0
+		}
 		u.injCount = packet.TCBytes
 	}
 	idx := packet.TCBytes - u.injCount

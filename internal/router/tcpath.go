@@ -21,8 +21,10 @@ type tcInput struct {
 	nAsm int
 	// pending holds fully assembled packets awaiting a memory write. The
 	// paper gives each port "nominal buffer space" to ride out bus
-	// contention; two packets of staging suffices at these bandwidths.
-	pending [][packet.TCBytes]byte
+	// contention; two packets of staging suffices at these bandwidths,
+	// so the staging space is a fixed in-struct array.
+	pending  [pendingCap][packet.TCBytes]byte
+	nPending int
 
 	// write in progress
 	wActive bool
@@ -39,9 +41,20 @@ type tcInput struct {
 	// remaining bytes of the arriving packet stream straight to the
 	// output port without touching the packet memory. cutFIFO absorbs the
 	// two-byte skew between arrival and the rewritten header going out.
+	// cutFIFO is head-indexed: emitCut advances cutHead instead of
+	// reslicing, so the skew buffer's backing array is reused.
 	cutting bool
 	cutIdx  int
 	cutFIFO []byte
+	cutHead int
+}
+
+// popPending removes and returns the oldest staged packet.
+func (u *tcInput) popPending() [packet.TCBytes]byte {
+	p := u.pending[0]
+	copy(u.pending[:], u.pending[1:])
+	u.nPending--
+	return p
 }
 
 const pendingCap = 2
@@ -50,6 +63,11 @@ const pendingCap = 2
 // injection stream).
 func (u *tcInput) acceptByte(b byte, now int64) {
 	if u.cutting {
+		if len(u.cutFIFO) == cap(u.cutFIFO) && u.cutHead > 0 {
+			n := copy(u.cutFIFO, u.cutFIFO[u.cutHead:])
+			u.cutFIFO = u.cutFIFO[:n]
+			u.cutHead = 0
+		}
 		u.cutFIFO = append(u.cutFIFO, b)
 		u.cutIdx++
 		if u.cutIdx == packet.TCBytes {
@@ -64,14 +82,15 @@ func (u *tcInput) acceptByte(b byte, now int64) {
 	}
 	if u.nAsm == packet.TCBytes {
 		u.nAsm = 0
-		if len(u.pending) >= pendingCap {
+		if u.nPending >= pendingCap {
 			// Staging overrun: only possible when traffic violates its
 			// reservation badly enough to saturate the memory bus.
 			u.r.Stats.TCDropsStaging++
 			u.r.dropTC(metrics.DropTCStaging, u.asm[0], -1)
 			return
 		}
-		u.pending = append(u.pending, u.asm)
+		u.pending[u.nPending] = u.asm
+		u.nPending++
 	}
 }
 
@@ -86,7 +105,7 @@ func (u *tcInput) tryCutThrough(now int64) bool {
 	// The skew FIFO belongs to one cut at a time: a new cut may only
 	// start once the previous cut's consumer has drained every byte
 	// (resetting the FIFO earlier would wedge that output mid-packet).
-	if u.cutting || len(u.cutFIFO) > 0 {
+	if u.cutting || u.cutHead < len(u.cutFIFO) {
 		return false
 	}
 	hdr := packet.DecodeTC([packet.TCBytes]byte{u.asm[0], u.asm[1]})
@@ -132,6 +151,7 @@ func (u *tcInput) tryCutThrough(now int64) bool {
 	u.cutting = true
 	u.cutIdx = packet.TCHeaderBytes
 	u.cutFIFO = u.cutFIFO[:0]
+	u.cutHead = 0
 	u.nAsm = 0
 	u.r.Stats.TCCutThroughs++
 	if u.r.met != nil {
@@ -148,7 +168,7 @@ func (u *tcInput) tryCutThrough(now int64) bool {
 
 // launchWrite starts the memory write of the oldest pending packet.
 func (u *tcInput) launchWrite() {
-	if u.wActive || len(u.pending) == 0 {
+	if u.wActive || u.nPending == 0 {
 		return
 	}
 	slot, ok := u.r.mem.alloc()
@@ -157,14 +177,13 @@ func (u *tcInput) launchWrite() {
 		// (Section 3.4); count and drop for misbehaving workloads.
 		u.r.Stats.TCDropsNoSlot++
 		u.r.dropTC(metrics.DropTCNoSlot, u.pending[0][0], -1)
-		u.pending = u.pending[1:]
+		u.popPending()
 		return
 	}
 	u.wActive = true
 	u.wSlot = slot
 	u.wChunk = 0
-	u.wData = u.pending[0]
-	u.pending = u.pending[1:]
+	u.wData = u.popPending()
 	u.r.noteMemOccupancy()
 }
 

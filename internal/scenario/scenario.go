@@ -174,6 +174,11 @@ type RunOpts struct {
 	// SampleEvery, when positive, registers a periodic sampler
 	// snapshotting the registry into System.Sampler.TS.
 	SampleEvery int64
+	// Workers selects the kernel execution mode: 0 or 1 sequential,
+	// n > 1 parallel over per-node shards (bit-identical results),
+	// negative GOMAXPROCS. Parallel runs should Close the returned
+	// System when done with it.
+	Workers int
 }
 
 // Run builds the system, opens every channel, attaches the generators,
@@ -209,6 +214,7 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 		Router:             rcfg,
 		Metrics:            opts.Metrics,
 		MetricsSampleEvery: opts.SampleEvery,
+		Workers:            opts.Workers,
 	}.WithAdmission(acfg))
 	if err != nil {
 		return nil, nil, err
@@ -248,7 +254,10 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("scenario: channel %d: %w", i, err)
 		}
-		sys.Net.Kernel.Register(app)
+		// The generator only touches its source node's regulator, so it
+		// lives in that node's shard and stays off the parallel-mode
+		// barrier path.
+		sys.RegisterNode(coord(def.Src), app)
 		opened = append(opened, openChan{ch, def})
 		res.Opened++
 	}
@@ -271,7 +280,7 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("scenario: best-effort %d: %w", i, err)
 		}
-		sys.Net.Kernel.Register(app)
+		sys.RegisterNode(coord(f.Src), app)
 	}
 
 	fails := append([]LinkFail(nil), sc.Failures...)

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel execution mode.
+//
+// The compute/commit split already guarantees that evaluation order
+// never changes results across component boundaries, as long as
+// components communicate only through Regs: every Tick reads values
+// latched at the previous edge and writes values latched at the next
+// one. The parallel mode exploits exactly that property. Components
+// registered with RegisterShard are grouped by shard; within a shard
+// they keep registration order (modelling same-chip paths and the
+// node→router injection-queue handoff, the two documented ordering
+// exceptions), while different shards tick concurrently on a persistent
+// worker pool. Components registered with plain Register may touch
+// anything (e.g. a telemetry sampler reading every router's counters),
+// so they act as barriers: the schedule is a sequence of segments, each
+// either one parallel batch of shard groups or one barrier component.
+//
+// The commit phase partitions the Latchables into contiguous chunks,
+// one per worker; every latch is independent, so any partition commits
+// the same state.
+//
+// No goroutine is spawned per cycle: SetWorkers starts workers-1
+// resident goroutines that block on a per-worker channel, and each
+// phase is one broadcast/join round. The calling goroutine doubles as
+// worker 0. Results are bit-identical to the sequential mode for any
+// worker count (see TestParallelEquivalence in internal/core).
+
+// SetWorkers selects the execution mode: n <= 1 is the sequential mode
+// (the default), n > 1 ticks shards on n workers (the caller counts as
+// one). n <= 0 picks GOMAXPROCS. Changing the count mid-run is allowed
+// between Steps; the resident pool is resized lazily.
+func (k *Kernel) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == k.workers {
+		return
+	}
+	k.stopPool()
+	k.workers = n
+}
+
+// Workers returns the configured worker count (1 = sequential).
+func (k *Kernel) Workers() int { return k.workers }
+
+// Close releases the resident worker goroutines. The kernel remains
+// usable afterwards in sequential mode (and a later Step with workers
+// still set restarts the pool). Callers that enable parallel mode on
+// short-lived kernels — benchmarks, sweeps — should Close them.
+func (k *Kernel) Close() {
+	k.stopPool()
+	k.workers = 1
+}
+
+func (k *Kernel) stopPool() {
+	if k.pool != nil {
+		k.pool.stop()
+		k.pool = nil
+	}
+}
+
+// segment is one step of the parallel schedule.
+type segment struct {
+	barrier Component     // non-nil: tick alone on the calling goroutine
+	shards  [][]Component // else: shard groups ticked concurrently
+}
+
+// buildPlan folds the registration list into the segment schedule:
+// maximal runs of sharded components coalesce into one parallel batch
+// (grouped by shard, registration order preserved within each shard),
+// split at every unsharded component.
+func (k *Kernel) buildPlan() {
+	k.plan = k.plan[:0]
+	idx := make(map[int]int) // shard key -> position in the open batch
+	var batch [][]Component
+	flush := func() {
+		if len(batch) > 0 {
+			k.plan = append(k.plan, segment{shards: batch})
+			batch = nil
+			clear(idx)
+		}
+	}
+	for _, e := range k.entries {
+		if e.shard == globalShard {
+			flush()
+			k.plan = append(k.plan, segment{barrier: e.c})
+			continue
+		}
+		i, ok := idx[e.shard]
+		if !ok {
+			i = len(batch)
+			idx[e.shard] = i
+			batch = append(batch, nil)
+		}
+		batch[i] = append(batch[i], e.c)
+	}
+	flush()
+	k.planDirty = false
+}
+
+// stepParallel executes one cycle on the worker pool.
+func (k *Kernel) stepParallel() {
+	if k.planDirty {
+		k.buildPlan()
+	}
+	if k.pool == nil {
+		k.pool = newWorkerPool(k.workers)
+	}
+	for i := range k.plan {
+		seg := &k.plan[i]
+		if seg.barrier != nil {
+			seg.barrier.Tick(k.now)
+			continue
+		}
+		if len(seg.shards) == 1 {
+			// One group cannot parallelize; skip the broadcast.
+			for _, c := range seg.shards[0] {
+				c.Tick(k.now)
+			}
+			continue
+		}
+		k.pool.tick(seg.shards, k.now)
+	}
+	k.pool.commit(k.latches)
+	k.now++
+}
+
+// workerPool is the resident goroutine team. The job fields are written
+// by the calling goroutine before the start broadcast and read by the
+// workers after receiving it; the channel operations order the accesses.
+type workerPool struct {
+	n      int
+	starts []chan struct{}
+	wg     sync.WaitGroup
+
+	// current job
+	committing bool
+	shards     [][]Component
+	latches    []Latchable
+	now        Cycle
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{n: n, starts: make([]chan struct{}, n)}
+	for w := 1; w < n; w++ {
+		p.starts[w] = make(chan struct{}, 1)
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *workerPool) worker(id int) {
+	for range p.starts[id] {
+		p.run(id)
+		p.wg.Done()
+	}
+}
+
+// run executes worker id's share of the current job. Shard groups are
+// assigned round-robin (group sizes are near-uniform in a mesh);
+// latches split into contiguous chunks.
+func (p *workerPool) run(id int) {
+	if p.committing {
+		lo := id * len(p.latches) / p.n
+		hi := (id + 1) * len(p.latches) / p.n
+		for _, l := range p.latches[lo:hi] {
+			l.Commit()
+		}
+		return
+	}
+	for i := id; i < len(p.shards); i += p.n {
+		for _, c := range p.shards[i] {
+			c.Tick(p.now)
+		}
+	}
+}
+
+func (p *workerPool) dispatch() {
+	p.wg.Add(p.n - 1)
+	for w := 1; w < p.n; w++ {
+		p.starts[w] <- struct{}{}
+	}
+	p.run(0)
+	p.wg.Wait()
+}
+
+func (p *workerPool) tick(shards [][]Component, now Cycle) {
+	p.committing = false
+	p.shards = shards
+	p.now = now
+	p.dispatch()
+}
+
+func (p *workerPool) commit(latches []Latchable) {
+	p.committing = true
+	p.latches = latches
+	p.dispatch()
+}
+
+func (p *workerPool) stop() {
+	for w := 1; w < p.n; w++ {
+		close(p.starts[w])
+	}
+}

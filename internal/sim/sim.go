@@ -41,21 +41,65 @@ type Latchable interface {
 }
 
 // Kernel drives a set of components cycle by cycle.
+//
+// By default every component ticks sequentially in registration order.
+// SetWorkers enables the parallel execution mode: components registered
+// with RegisterShard may tick concurrently with components of other
+// shards, while components registered with plain Register act as
+// barriers (see parallel.go). Results are bit-identical across worker
+// counts as long as components of different shards communicate only
+// through Regs.
 type Kernel struct {
-	comps   []Component
+	entries []entry
 	latches []Latchable
 	now     Cycle
+
+	workers   int
+	pool      *workerPool
+	plan      []segment
+	planDirty bool
 }
 
-// NewKernel returns an empty kernel at cycle 0.
-func NewKernel() *Kernel { return &Kernel{} }
+// entry is one registered component with its shard tag.
+type entry struct {
+	c     Component
+	shard int // globalShard for barrier components
+}
 
-// Register adds a component. Components tick in registration order.
+// globalShard marks a component registered without a shard: it may
+// touch any state, so in parallel mode it runs alone between batches.
+const globalShard = -1
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel { return &Kernel{workers: 1} }
+
+// Register adds a component. Components tick in registration order. In
+// parallel mode an unsharded component is a barrier: every component
+// registered before it finishes ticking first, and it ticks alone.
 func (k *Kernel) Register(c Component) {
 	if c == nil {
 		panic("sim: Register(nil)")
 	}
-	k.comps = append(k.comps, c)
+	k.entries = append(k.entries, entry{c: c, shard: globalShard})
+	k.planDirty = true
+}
+
+// RegisterShard adds a component to a shard. Components of the same
+// shard always tick in registration order relative to each other;
+// components of different shards may tick concurrently in parallel
+// mode, so they must interact only through Regs (or not at all). The
+// shard key is arbitrary; meshes use the router's row-major index and
+// tag each router's node-side software (pacer, sink, traffic sources)
+// with its router's shard.
+func (k *Kernel) RegisterShard(shard int, c Component) {
+	if c == nil {
+		panic("sim: RegisterShard(nil)")
+	}
+	if shard < 0 {
+		panic(fmt.Sprintf("sim: RegisterShard(%d): shard must be non-negative", shard))
+	}
+	k.entries = append(k.entries, entry{c: c, shard: shard})
+	k.planDirty = true
 }
 
 // AddLatch adds latched state committed at the end of every cycle.
@@ -71,8 +115,12 @@ func (k *Kernel) Now() Cycle { return k.now }
 
 // Step executes one full cycle: compute phase then commit phase.
 func (k *Kernel) Step() {
-	for _, c := range k.comps {
-		c.Tick(k.now)
+	if k.workers > 1 {
+		k.stepParallel()
+		return
+	}
+	for _, e := range k.entries {
+		e.c.Tick(k.now)
 	}
 	for _, l := range k.latches {
 		l.Commit()
@@ -100,12 +148,12 @@ func (k *Kernel) RunUntil(pred func() bool, budget int64) bool {
 }
 
 // Components returns the number of registered components.
-func (k *Kernel) Components() int { return len(k.comps) }
+func (k *Kernel) Components() int { return len(k.entries) }
 
 // String implements fmt.Stringer for debugging.
 func (k *Kernel) String() string {
-	return fmt.Sprintf("sim.Kernel{cycle=%d components=%d latches=%d}",
-		k.now, len(k.comps), len(k.latches))
+	return fmt.Sprintf("sim.Kernel{cycle=%d components=%d latches=%d workers=%d}",
+		k.now, len(k.entries), len(k.latches), k.workers)
 }
 
 // Reg is a clock-latched register of any value type. Producers write the

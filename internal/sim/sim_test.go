@@ -71,6 +71,61 @@ func TestKernelRunUntil(t *testing.T) {
 	}
 }
 
+// TestRunUntilPredAlreadyTrue: a satisfied predicate costs zero steps.
+func TestRunUntilPredAlreadyTrue(t *testing.T) {
+	k := NewKernel()
+	c := &counter{name: "c"}
+	k.Register(c)
+	if !k.RunUntil(func() bool { return true }, 100) {
+		t.Fatal("RunUntil(true) reported failure")
+	}
+	if c.count() != 0 {
+		t.Errorf("ran %d cycles for an already-true predicate", c.count())
+	}
+	if k.Now() != 0 {
+		t.Errorf("Now() = %d, want 0", k.Now())
+	}
+}
+
+// TestRunUntilZeroBudget: no steps are taken and the result is just the
+// predicate's current value.
+func TestRunUntilZeroBudget(t *testing.T) {
+	k := NewKernel()
+	c := &counter{name: "c"}
+	k.Register(c)
+	if k.RunUntil(func() bool { return false }, 0) {
+		t.Fatal("zero-budget RunUntil reported success on a false predicate")
+	}
+	if ok := k.RunUntil(func() bool { return true }, 0); !ok {
+		t.Fatal("zero-budget RunUntil missed an already-true predicate")
+	}
+	if c.count() != 0 {
+		t.Errorf("zero budget still ran %d cycles", c.count())
+	}
+}
+
+// TestRunUntilSatisfiedOnLastCycle: the final post-step check counts —
+// a predicate that becomes true exactly when the budget is exhausted
+// still reports success.
+func TestRunUntilSatisfiedOnLastCycle(t *testing.T) {
+	k := NewKernel()
+	c := &counter{name: "c"}
+	k.Register(c)
+	if !k.RunUntil(func() bool { return c.count() >= 10 }, 10) {
+		t.Fatal("RunUntil missed a predicate satisfied by the last budgeted cycle")
+	}
+	if c.count() != 10 {
+		t.Errorf("ran %d cycles, want exactly 10", c.count())
+	}
+	// One cycle short: same predicate, budget 9 from a fresh kernel.
+	k2 := NewKernel()
+	c2 := &counter{name: "c"}
+	k2.Register(c2)
+	if k2.RunUntil(func() bool { return c2.count() >= 10 }, 9) {
+		t.Fatal("RunUntil reported success one cycle short of the budget")
+	}
+}
+
 func TestRegisterNilPanics(t *testing.T) {
 	k := NewKernel()
 	defer func() {
@@ -124,6 +179,56 @@ func TestRegStickySemantics(t *testing.T) {
 	}
 }
 
+// TestRegWireMultipleWrites: the last write of a cycle wins, mirroring
+// the final driven value being the one latched at the edge.
+func TestRegWireMultipleWrites(t *testing.T) {
+	r := NewReg[int]()
+	r.Write(1)
+	r.Write(2)
+	r.Write(3)
+	r.Commit()
+	if got := r.Read(); got != 3 {
+		t.Errorf("Read = %d, want the last written value 3", got)
+	}
+}
+
+// TestRegStickyZeroWrite: writing the zero value to a sticky register
+// is a real write, not "no write" — the latch holds zero afterwards.
+func TestRegStickyZeroWrite(t *testing.T) {
+	r := NewSticky[int]()
+	r.Write(9)
+	r.Commit()
+	r.Write(0)
+	r.Commit()
+	if got := r.Read(); got != 0 {
+		t.Errorf("sticky Read = %d after explicit zero write, want 0", got)
+	}
+	r.Commit()
+	if got := r.Read(); got != 0 {
+		t.Errorf("sticky reg drifted to %d", got)
+	}
+}
+
+// TestRegWireVsStickyDivergence pins the defining difference between
+// the two semantics over the same write/commit sequence.
+func TestRegWireVsStickyDivergence(t *testing.T) {
+	wire := NewReg[string]()
+	latch := NewSticky[string]()
+	for _, r := range []*Reg[string]{wire, latch} {
+		r.Write("driven")
+		r.Commit()
+	}
+	// Cycle with no writes: wire drains, latch holds.
+	wire.Commit()
+	latch.Commit()
+	if got := wire.Read(); got != "" {
+		t.Errorf("wire held %q across an idle cycle", got)
+	}
+	if got := latch.Read(); got != "driven" {
+		t.Errorf("sticky lost %q across an idle cycle", got)
+	}
+}
+
 // TestRegOneCycleLatency verifies the defining property of the kernel: a
 // value written by component A in cycle c is visible to component B only
 // in cycle c+1, regardless of registration order.
@@ -160,7 +265,7 @@ func TestKernelString(t *testing.T) {
 	k.Register(&counter{name: "x"})
 	k.AddLatch(NewReg[int]())
 	k.Step()
-	want := "sim.Kernel{cycle=1 components=1 latches=1}"
+	want := "sim.Kernel{cycle=1 components=1 latches=1 workers=1}"
 	if got := k.String(); got != want {
 		t.Errorf("String() = %q, want %q", got, want)
 	}

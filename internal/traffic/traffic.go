@@ -209,6 +209,7 @@ type BEApp struct {
 	pending int // size of the packet awaiting tokens
 	pdst    mesh.Coord
 	seq     uint32
+	body    []byte // scratch payload buffer, reused across packets
 
 	// Injected counts packets queued at the router.
 	Injected int64
@@ -255,11 +256,17 @@ func (a *BEApp) Tick(now sim.Cycle) {
 		return
 	}
 	a.tokens -= float64(frameLen)
-	body := make([]byte, a.pending)
+	if cap(a.body) < a.pending {
+		a.body = make([]byte, a.pending)
+	}
+	body := a.body[:a.pending]
+	clear(body[ProbeBytes:]) // zero padding, as a fresh buffer would carry
 	EncodeProbe(body, int64(now), a.seq)
 	a.seq++
 	xo, yo := mesh.BEOffsets(a.src, a.pdst)
-	frame, err := packet.NewBE(xo, yo, body)
+	// Build the frame in a buffer recycled from the injection port, so a
+	// steady-state source stops allocating once the pool warms up.
+	frame, err := packet.AppendBE(a.r.BEFrameBuf(), xo, yo, body)
 	if err != nil {
 		panic("traffic: " + err.Error())
 	}
