@@ -59,6 +59,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// core.Options treats 0 as "default" (sequential); the documented
+	// CLI meaning of 0 is GOMAXPROCS, which Options expresses as a
+	// negative count.
+	if *workers == 0 {
+		*workers = -1
+	}
+
 	// The trace ring is one shared recorder attached to every router, so
 	// it is inherently sequential; parallel ticking would interleave (and
 	// race on) its entries.

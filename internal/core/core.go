@@ -54,6 +54,14 @@ type Options struct {
 	// simulation sequentially (the default); n > 1 ticks the per-node
 	// shards on n workers with bit-identical results; negative picks
 	// GOMAXPROCS. Parallel systems should be Closed when done.
+	//
+	// Parallel mode runs each node's shard concurrently, so any state
+	// shared across nodes must not be mutated from per-node code: a
+	// single router.OnLifecycle observer (or trace.Ring) attached to
+	// every router races under Workers > 1 — keep such tracing
+	// sequential. Components spanning several nodes must be registered
+	// through Kernel.Register (see RegisterNode), which schedules them
+	// as barriers.
 	Workers int
 }
 
