@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test fmt bench benchall
+.PHONY: check build vet test fmt bench benchall trace
 
 # check is the tier-1 gate: vet, build, race tests, and formatting.
 check: vet build test fmt
@@ -32,3 +32,9 @@ bench:
 # benchall runs every benchmark, including the full experiment replays.
 benchall:
 	$(GO) test -bench=. -benchmem ./...
+
+# trace produces a sample Perfetto trace from the Figure 6 scenario
+# (open $(TRACE_JSON) at https://ui.perfetto.dev, or chrome://tracing).
+TRACE_JSON ?= trace.json
+trace:
+	$(GO) run ./cmd/rtsim -scenario scenarios/fig6.json -trace-out $(TRACE_JSON)

@@ -9,10 +9,13 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/rtc"
 	"repro/internal/sched"
@@ -318,6 +321,51 @@ func BenchmarkX11LeafSharing(b *testing.B) {
 	b.ReportMetric(missAt32*100, "tight-miss-%@32-sharing")
 }
 
+// buildLoadedMesh constructs the loaded 8×8 benchmark mesh — real-time
+// channels crossing corner to corner plus a best-effort source on every
+// node. With traced set it carries the full observability stack: the
+// sharded lifecycle collector, the telemetry registry, and per-channel
+// SLO histograms.
+func buildLoadedMesh(tb testing.TB, workers int, traced bool) *core.System {
+	tb.Helper()
+	opts := core.Options{Workers: workers}
+	if traced {
+		opts.Metrics = metrics.NewRegistry()
+		opts.Collector = obs.NewSharded(obs.DefaultShardCap)
+		opts.ChannelSLO = obs.NewSLO()
+	}
+	sys, err := core.NewMesh(8, 8, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spec := rtc.Spec{Imin: 8, Smax: 18, D: 24 * 16}
+	for i, rt := range [][2]mesh.Coord{
+		{{X: 0, Y: 0}, {X: 7, Y: 7}},
+		{{X: 7, Y: 0}, {X: 0, Y: 7}},
+		{{X: 0, Y: 7}, {X: 7, Y: 0}},
+		{{X: 7, Y: 7}, {X: 0, Y: 0}},
+	} {
+		ch, err := sys.OpenChannel(rt[0], []mesh.Coord{rt[1]}, spec)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		app, err := traffic.NewTCApp(fmt.Sprintf("tc%d", i), ch.Paced(), spec, traffic.Periodic, 18)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sys.RegisterNode(rt[0], app)
+	}
+	for i, c := range sys.Net.Coords() {
+		be, err := traffic.NewBEApp(fmt.Sprintf("be%d", i), sys.Net, c,
+			traffic.UniformDst(sys.Net, c), traffic.FixedSize(64), 0.3, int64(i)+1)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sys.RegisterNode(c, be)
+	}
+	return sys
+}
+
 // BenchmarkRouterCycleRate measures the simulator itself: cycles per
 // second for a loaded 8×8 mesh, the figure that bounds every experiment
 // above — once with the sequential kernel and once with the parallel
@@ -330,43 +378,77 @@ func BenchmarkRouterCycleRate(b *testing.B) {
 	}
 	for _, workers := range []int{1, par} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			sys, err := core.NewMesh(8, 8, core.Options{Workers: workers})
-			if err != nil {
-				b.Fatal(err)
-			}
+			sys := buildLoadedMesh(b, workers, false)
 			defer sys.Close()
-			// Sustained cross-traffic: every node sources best-effort
-			// packets, and real-time channels cross corner to corner.
-			spec := rtc.Spec{Imin: 8, Smax: 18, D: 24 * 16}
-			for i, rt := range [][2]mesh.Coord{
-				{{X: 0, Y: 0}, {X: 7, Y: 7}},
-				{{X: 7, Y: 0}, {X: 0, Y: 7}},
-				{{X: 0, Y: 7}, {X: 7, Y: 0}},
-				{{X: 7, Y: 7}, {X: 0, Y: 0}},
-			} {
-				ch, err := sys.OpenChannel(rt[0], []mesh.Coord{rt[1]}, spec)
-				if err != nil {
-					b.Fatal(err)
-				}
-				app, err := traffic.NewTCApp(fmt.Sprintf("tc%d", i), ch.Paced(), spec, traffic.Periodic, 18)
-				if err != nil {
-					b.Fatal(err)
-				}
-				sys.RegisterNode(rt[0], app)
-			}
-			for i, c := range sys.Net.Coords() {
-				be, err := traffic.NewBEApp(fmt.Sprintf("be%d", i), sys.Net, c,
-					traffic.UniformDst(sys.Net, c), traffic.FixedSize(64), 0.3, int64(i)+1)
-				if err != nil {
-					b.Fatal(err)
-				}
-				sys.RegisterNode(c, be)
-			}
 			sys.Run(2000) // warm up buffers and frame pools
 			b.ResetTimer()
 			sys.Run(int64(b.N))
 			b.StopTimer()
 			b.ReportMetric(float64(64), "routers")
 		})
+	}
+}
+
+// BenchmarkRouterCycleRateTraced is the same mesh with the full
+// observability stack attached — sharded lifecycle collector, telemetry
+// counters, and channel SLO histograms — so the delta against
+// BenchmarkRouterCycleRate is the price of always-on tracing.
+func BenchmarkRouterCycleRateTraced(b *testing.B) {
+	par := runtime.GOMAXPROCS(0)
+	if par < 2 {
+		par = 2
+	}
+	for _, workers := range []int{1, par} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sys := buildLoadedMesh(b, workers, true)
+			defer sys.Close()
+			sys.Run(2000)
+			b.ResetTimer()
+			sys.Run(int64(b.N))
+			b.StopTimer()
+			b.ReportMetric(float64(64), "routers")
+		})
+	}
+}
+
+// TestTracingOverheadGate is the regression gate on that price: a
+// traced parallel run must stay within 10% of the untraced run's wall
+// time. Best-of-N timing on interleaved trials absorbs scheduler noise;
+// the gate is skipped in short mode and under the race detector, where
+// instrumented atomics distort the ratio.
+func TestTracingOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	const cycles = 20000
+	const trials = 5
+	measure := func(traced bool) time.Duration {
+		sys := buildLoadedMesh(t, workers, traced)
+		defer sys.Close()
+		sys.Run(2000) // warm up
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < trials; i++ {
+			start := time.Now()
+			sys.Run(cycles)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	plain := measure(false)
+	traced := measure(true)
+	ratio := float64(traced) / float64(plain)
+	t.Logf("untraced %v, traced %v, ratio %.3f", plain, traced, ratio)
+	if ratio > 1.10 {
+		t.Errorf("tracing overhead %.1f%% exceeds the 10%% budget (untraced %v, traced %v)",
+			(ratio-1)*100, plain, traced)
 	}
 }

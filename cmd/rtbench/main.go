@@ -19,11 +19,13 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -35,10 +37,14 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write the cyclerate result as JSON to this file (e.g. BENCH_router.json)")
 	metricsOut := flag.String("metrics", "", "write aggregate telemetry across all runs to this file (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
 	listen := flag.String("listen", "", "serve live telemetry over HTTP at this address while experiments run (e.g. :8080)")
+	traceOut := flag.String("trace-out", "", "write the merged event timeline across all runs to this file (.json = Chrome trace-event JSON for Perfetto, .jsonl = JSON lines, otherwise the human-readable dump)")
+	traceBuf := flag.Int("trace-buf", obs.DefaultShardCap, "per-node event buffer capacity for -trace-out (oldest events evict first)")
 	flag.Parse()
 
 	// Experiments build their Systems internally, so telemetry hooks in
-	// through the package-level default registry.
+	// through the package-level default registry; tracing and SLO
+	// accounting hook in the same way. The sharded collector is
+	// parallel-safe, so -workers stays honored with tracing on.
 	var reg *metrics.Registry
 	if *metricsOut != "" || *listen != "" {
 		reg = metrics.NewRegistry()
@@ -51,6 +57,19 @@ func main() {
 			}()
 			fmt.Printf("telemetry: live at http://%s/\n", *listen)
 		}
+	}
+	var col *obs.Sharded
+	var slo *obs.SLO
+	if *traceOut != "" {
+		col = obs.NewSharded(*traceBuf)
+		slo = obs.NewSLO()
+		core.DefaultCollector = col
+		core.DefaultChannelSLO = slo
+		ew := *workers
+		if ew <= 0 {
+			ew = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("tracing: on (per-node buffer %d events; cyclerate runs on %d kernel worker(s))\n", *traceBuf, ew)
 	}
 
 	runners := map[string]func() error{
@@ -82,6 +101,7 @@ func main() {
 			}
 		}
 		dumpTelemetry(reg, *metricsOut)
+		dumpTrace(col, slo, *traceOut)
 		return
 	}
 	run, ok := runners[*exp]
@@ -94,6 +114,32 @@ func main() {
 		fatal(*exp, err)
 	}
 	dumpTelemetry(reg, *metricsOut)
+	dumpTrace(col, slo, *traceOut)
+}
+
+// dumpTrace exports the merged timeline accumulated across every system
+// the experiments built; the extension picks the format.
+func dumpTrace(col *obs.Sharded, slo *obs.SLO, path string) {
+	if col == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("trace", err)
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		err = obs.WriteChromeTrace(f, col, slo)
+	case strings.HasSuffix(path, ".jsonl"):
+		err = obs.WriteJSONL(f, col)
+	default:
+		col.Dump(f)
+	}
+	if err != nil {
+		fatal("trace", err)
+	}
+	fmt.Printf("trace written to %s (%d events recorded, %d evicted)\n", path, col.Total(), col.Dropped())
 }
 
 // dumpTelemetry writes the aggregate registry (counters accumulated

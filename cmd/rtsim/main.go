@@ -19,12 +19,14 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/router"
 	"repro/internal/rtc"
@@ -50,6 +52,8 @@ func main() {
 		vct        = flag.Bool("vct", false, "enable virtual cut-through for time-constrained traffic")
 		shared     = flag.Bool("shared", false, "use shared-pool buffer accounting instead of partitioned")
 		traceN     = flag.Int("trace", 0, "dump the last N network events after the run (0 disables)")
+		traceOut   = flag.String("trace-out", "", "write the merged event timeline to this file after the run (.json = Chrome trace-event JSON for Perfetto, .jsonl = JSON lines, otherwise the human-readable dump)")
+		traceBuf   = flag.Int("trace-buf", obs.DefaultShardCap, "per-node event buffer capacity for -trace/-trace-out (oldest events evict first)")
 		scenPath   = flag.String("scenario", "", "run a JSON scenario file instead of the flag-driven workload")
 		links      = flag.Bool("links", false, "print the per-link utilization table after the run")
 		metricsOut = flag.String("metrics", "", "write the telemetry report to this file after the run (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
@@ -66,18 +70,18 @@ func main() {
 		*workers = -1
 	}
 
-	// The trace ring is one shared recorder attached to every router, so
-	// it is inherently sequential; parallel ticking would interleave (and
-	// race on) its entries.
-	if *traceN > 0 && *workers != 1 {
-		fmt.Fprintln(os.Stderr, "rtsim: -trace requires the sequential kernel; forcing -workers=1")
-		*workers = 1
-	}
-
 	reg := openTelemetry(*metricsOut, *listen, sample, *cycles)
 
+	// Tracing is sharded per node (obs.Sharded), so it composes with any
+	// worker count; the merged timeline is identical across modes.
+	var col *obs.Sharded
+	if *traceN > 0 || *traceOut != "" {
+		col = obs.NewSharded(*traceBuf)
+	}
+	slo := obs.NewSLO()
+
 	if *scenPath != "" {
-		runScenario(*scenPath, reg, *sample, *metricsOut, *workers)
+		runScenario(*scenPath, reg, *sample, *metricsOut, *workers, col, slo, *traceN, *traceOut)
 		return
 	}
 
@@ -104,6 +108,8 @@ func main() {
 		Router:             cfg,
 		Metrics:            reg,
 		MetricsSampleEvery: *sample,
+		Collector:          col,
+		ChannelSLO:         slo,
 		Workers:            *workers,
 	}.WithAdmission(admission.Config{
 		Policy:       policy,
@@ -114,16 +120,6 @@ func main() {
 		fail(err)
 	}
 	defer sys.Close()
-
-	// AttachRouter records the full lifecycle, deliveries included, so
-	// no sink observers are needed.
-	var ring *trace.Ring
-	if *traceN > 0 {
-		ring = trace.NewRing(*traceN)
-		for _, c := range sys.Net.Coords() {
-			trace.AttachRouter(ring, sys.Router(c))
-		}
-	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	spec := rtc.Spec{Imin: *imin, Smax: *smax, D: *deadline}
@@ -162,15 +158,64 @@ func main() {
 	}
 
 	sys.Run(*cycles)
-	printSummary(sys, *cycles)
+	printSummary(sys, *cycles, *workers)
+	printChannelReport(slo)
 	if *links {
 		printLinkTable(sys, *cycles)
 	}
-	if ring != nil {
-		fmt.Printf("\nlast %d of %d network events:\n", len(ring.Events()), ring.Total())
-		ring.Dump(os.Stdout)
-	}
+	dumpTraceTail(col, *traceN)
+	writeTraceFile(col, slo, *traceOut)
 	finishTelemetry(reg, sys.Now(), *metricsOut)
+}
+
+// printChannelReport writes the per-channel SLO table (latency and
+// slack quantiles, miss and early counters) for every opened channel.
+func printChannelReport(slo *obs.SLO) {
+	if slo == nil || len(slo.Channels()) == 0 {
+		return
+	}
+	fmt.Println("\nper-channel SLO (latency in cycles, slack in slots):")
+	slo.Report(os.Stdout)
+}
+
+// dumpTraceTail prints the last n merged events, as -trace requests.
+func dumpTraceTail(col *obs.Sharded, n int) {
+	if col == nil || n <= 0 {
+		return
+	}
+	evs := col.TraceEvents()
+	tail := evs
+	if n < len(evs) {
+		tail = evs[len(evs)-n:]
+	}
+	fmt.Printf("\nlast %d of %d network events:\n", len(tail), col.Total())
+	trace.DumpEvents(os.Stdout, tail)
+}
+
+// writeTraceFile exports the merged timeline; the extension picks the
+// format (.json Chrome trace for Perfetto, .jsonl event log, otherwise
+// the human-readable dump).
+func writeTraceFile(col *obs.Sharded, slo *obs.SLO, path string) {
+	if col == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		err = obs.WriteChromeTrace(f, col, slo)
+	case strings.HasSuffix(path, ".jsonl"):
+		err = obs.WriteJSONL(f, col)
+	default:
+		col.Dump(f)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("trace written to %s (%d events recorded, %d evicted)\n", path, col.Total(), col.Dropped())
 }
 
 // openTelemetry builds the metrics registry when any telemetry output
@@ -234,12 +279,16 @@ func writeMetrics(reg *metrics.Registry, path string) error {
 
 // runScenario plays a declarative workload file (see scenarios/ and the
 // scenario package).
-func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut string, workers int) {
+func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut string, workers int,
+	col *obs.Sharded, slo *obs.SLO, traceN int, traceOut string) {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		fail(err)
 	}
-	res, sys, err := sc.RunWith(scenario.RunOpts{Metrics: reg, SampleEvery: sample, Workers: workers})
+	res, sys, err := sc.RunWith(scenario.RunOpts{
+		Metrics: reg, SampleEvery: sample, Workers: workers,
+		Collector: col, ChannelSLO: slo,
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -255,7 +304,10 @@ func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut st
 	if res.Failures > 0 {
 		fmt.Printf("link failures played: %d; channels rerouted: %d\n", res.Failures, res.Rerouted)
 	}
-	printSummary(sys, res.Cycles)
+	printSummary(sys, res.Cycles, workers)
+	printChannelReport(slo)
+	dumpTraceTail(col, traceN)
+	writeTraceFile(col, slo, traceOut)
 	finishTelemetry(reg, sys.Now(), metricsOut)
 }
 
@@ -293,9 +345,10 @@ func printLinkTable(sys *core.System, cycles int64) {
 	}
 }
 
-func printSummary(sys *core.System, cycles int64) {
+func printSummary(sys *core.System, cycles int64, workers int) {
 	sum := sys.Summarize()
-	fmt.Printf("\nsimulated %d cycles (%d slots)\n", cycles, cycles/packet.TCBytes)
+	fmt.Printf("\nsimulated %d cycles (%d slots) on %d kernel worker(s)\n",
+		cycles, cycles/packet.TCBytes, effectiveWorkers(workers))
 	fmt.Printf("time-constrained: %d delivered, %d deadline misses, %d drops\n",
 		sum.TCDelivered, sum.TCMisses, sum.TCDrops)
 	if sum.TCLatency.N() > 0 {
@@ -311,6 +364,15 @@ func printSummary(sys *core.System, cycles int64) {
 	}
 	fmt.Printf("peak scheduler occupancy: %d packets; cut-throughs: %d; memory-bus load: %.2f chunks/cycle/router\n",
 		sum.SchedulerPeak, sum.CutThroughs, sum.BusUtilization)
+}
+
+// effectiveWorkers resolves the worker-count flag the way the kernel
+// does: non-positive means one worker per available CPU.
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 func fail(err error) {

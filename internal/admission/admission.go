@@ -589,6 +589,27 @@ func (ch *Channel) Bound() int64 {
 	return ch.LocalD * int64(ch.Hops())
 }
 
+// HopID identifies one router traversal of an admitted channel: the
+// node and the connection ids the packet carries arriving there (In)
+// and leaving for the next hop (Out). Observability layers key per-hop
+// accounting on (Node, In).
+type HopID struct {
+	Node mesh.Coord
+	In   uint8
+	Out  uint8
+}
+
+// HopIDs returns the channel's router traversals in breadth-first route
+// order, source first. Delivery legs appear with the destination's
+// DstConn as Out.
+func (ch *Channel) HopIDs() []HopID {
+	ids := make([]HopID, len(ch.hops))
+	for i, h := range ch.hops {
+		ids[i] = HopID{Node: h.node, In: h.inConn, Out: h.outConn}
+	}
+	return ids
+}
+
 // Uses reports whether the channel's route crosses the given directed
 // link.
 func (ch *Channel) Uses(node mesh.Coord, port int) bool {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/router"
 	"repro/internal/rtc"
@@ -50,18 +51,33 @@ type Options struct {
 	// snapshotting registry totals into System.Sampler.TS every N
 	// cycles. Ignored without a registry.
 	MetricsSampleEvery int64
+	// Collector attaches a sharded lifecycle collector: every router
+	// writes its events into a private per-node buffer, merged into one
+	// deterministic timeline on demand (obs.Sharded). Nil falls back to
+	// DefaultCollector; when that is nil too, lifecycle tracing is off.
+	Collector *obs.Sharded
+	// ChannelSLO attaches per-channel SLO accounting: latency and slack
+	// histograms, miss and horizon-early counters for every channel
+	// opened on the system (obs.SLO). Nil falls back to
+	// DefaultChannelSLO. When a metrics registry is attached too, the
+	// SLO snapshots ride its JSON/Prometheus/HTTP exports.
+	ChannelSLO *obs.SLO
 	// Workers selects the kernel execution mode: 0 or 1 runs the
 	// simulation sequentially (the default); n > 1 ticks the per-node
 	// shards on n workers with bit-identical results; negative picks
 	// GOMAXPROCS. Parallel systems should be Closed when done.
 	//
-	// Parallel mode runs each node's shard concurrently, so any state
-	// shared across nodes must not be mutated from per-node code: a
-	// single router.OnLifecycle observer (or trace.Ring) attached to
-	// every router races under Workers > 1 — keep such tracing
-	// sequential. Components spanning several nodes must be registered
-	// through Kernel.Register (see RegisterNode), which schedules them
-	// as barriers.
+	// Observability is parallel-safe under any worker count: each router
+	// writes lifecycle events only into its own node's collector shard
+	// during the compute phase, metrics and SLO accounting use
+	// commutative atomics, and the collector merges shards into the
+	// deterministic (cycle, node, seq) order at snapshot time — so
+	// traces, counters, and histograms are identical across worker
+	// counts. What remains unsafe is custom cross-node mutable state:
+	// components touching more than one node must be registered through
+	// Kernel.Register (see RegisterNode), which schedules them as
+	// barriers, and a hand-installed router.OnLifecycle hook that writes
+	// shared state must synchronize itself (prefer obs.Sharded).
 	Workers int
 }
 
@@ -69,6 +85,17 @@ type Options struct {
 // without an explicit Options.Metrics — the hook the command-line
 // tools use to observe experiments that construct Systems internally.
 var DefaultMetrics *metrics.Registry
+
+// DefaultCollector and DefaultChannelSLO are the same hook for the
+// sharded lifecycle collector and the per-channel SLO tracker: set
+// before building systems (rtbench's trace mode), and every System
+// constructed without explicit options attaches to them. A collector
+// shared across several systems keeps distinct shard indices per
+// attached router.
+var (
+	DefaultCollector  *obs.Sharded
+	DefaultChannelSLO *obs.SLO
+)
 
 // WithAdmission returns o with the admission configuration set.
 func (o Options) WithAdmission(a admission.Config) Options {
@@ -91,6 +118,10 @@ type System struct {
 	// Sampler is the periodic registry sampler, or nil; its TS field
 	// holds the per-quantity time series after a run.
 	Sampler *metrics.Sampler
+	// Collector is the attached sharded lifecycle collector, or nil.
+	Collector *obs.Sharded
+	// SLO is the attached per-channel SLO tracker, or nil.
+	SLO *obs.SLO
 }
 
 // NewMesh builds a W×H system.
@@ -122,6 +153,14 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 	if reg == nil {
 		reg = DefaultMetrics
 	}
+	col := opts.Collector
+	if col == nil {
+		col = DefaultCollector
+	}
+	slo := opts.ChannelSLO
+	if slo == nil {
+		slo = DefaultChannelSLO
+	}
 	for _, c := range net.Coords() {
 		p, err := rtc.NewPacer(fmt.Sprintf("pacer%s", c), net.Router(c), acfg.SourceWindow)
 		if err != nil {
@@ -135,9 +174,26 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 		if reg != nil {
 			net.Router(c).AttachMetrics(reg.Router(c.String()))
 		}
+		// Shard indices follow Coords order (row-major), so merged
+		// traces interleave nodes the same way in any execution mode.
+		if col != nil {
+			col.Attach(net.Router(c))
+		}
+		if slo != nil {
+			slo.Attach(net.Router(c))
+			name := c.String()
+			s.OnTCLatency = func(conn uint8, latency int64) {
+				slo.RecordLatency(name, conn, latency)
+			}
+		}
 	}
+	sys.Collector = col
+	sys.SLO = slo
 	if reg != nil {
 		sys.Metrics = reg
+		if slo != nil {
+			reg.SetChannelSource(slo.Export)
+		}
 		if opts.MetricsSampleEvery > 0 {
 			sys.Sampler = metrics.NewSampler("metrics-sampler", reg, opts.MetricsSampleEvery)
 			net.Kernel.Register(sys.Sampler)
@@ -168,6 +224,40 @@ type Channel struct {
 	sys   *System
 	adm   *admission.Channel
 	paced *rtc.PacedChannel
+	slo   *obs.ChannelStats
+}
+
+// sloHops converts an admission record's route into the SLO layer's
+// router-name keyed hop and delivery endpoints.
+func sloHops(ac *admission.Channel) (hops []obs.Hop, deliver []obs.Endpoint) {
+	for _, h := range ac.HopIDs() {
+		hops = append(hops, obs.Hop{Router: h.Node.String(), In: h.In, Out: h.Out})
+	}
+	for i, d := range ac.Dsts {
+		deliver = append(deliver, obs.Endpoint{Router: d.String(), Conn: ac.DstConn[i]})
+	}
+	return hops, deliver
+}
+
+// sloInfo builds the SLO registration record for an admitted channel.
+func sloInfo(ac *admission.Channel) obs.ChannelInfo {
+	dst := ""
+	for i, d := range ac.Dsts {
+		if i > 0 {
+			dst += "+"
+		}
+		dst += d.String()
+	}
+	hops, deliver := sloHops(ac)
+	return obs.ChannelInfo{
+		ID:         ac.ID,
+		Name:       fmt.Sprintf("ch%d:%s->%s", ac.ID, ac.Src, dst),
+		Src:        ac.Src.String(),
+		Dst:        dst,
+		BoundSlots: ac.Bound(),
+		Hops:       hops,
+		Deliver:    deliver,
+	}
 }
 
 // OpenChannel admits and programs a real-time channel from src to the
@@ -184,7 +274,11 @@ func (s *System) OpenChannel(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec) (
 		_ = s.Adm.Teardown(ac)
 		return nil, err
 	}
-	return &Channel{sys: s, adm: ac, paced: paced}, nil
+	ch := &Channel{sys: s, adm: ac, paced: paced}
+	if s.SLO != nil {
+		ch.slo = s.SLO.Register(sloInfo(ac))
+	}
+	return ch, nil
 }
 
 // Send submits one message on the channel at the current time.
@@ -211,10 +305,19 @@ func (c *Channel) Admitted() *admission.Channel { return c.adm }
 // Spec returns the channel's traffic contract.
 func (c *Channel) Spec() rtc.Spec { return c.adm.Spec }
 
+// SLOStats exposes the channel's SLO accounting, or nil when the
+// system runs without a ChannelSLO tracker.
+func (c *Channel) SLOStats() *obs.ChannelStats { return c.slo }
+
 // Close tears the channel down and releases its reservations; queued
 // but uninjected messages are dropped.
 func (c *Channel) Close() error {
 	c.sys.pcrs[c.adm.Src].Remove(c.paced)
+	if c.slo != nil {
+		// Endpoints unbind so a later channel reusing the ids is not
+		// misattributed; accumulated statistics stay exported.
+		c.sys.SLO.Detach(c.slo)
+	}
 	return c.sys.Adm.Teardown(c.adm)
 }
 
@@ -247,6 +350,10 @@ func (c *Channel) Reroute() error {
 	}
 	c.adm = nadm
 	c.paced = paced
+	if c.slo != nil {
+		hops, deliver := sloHops(nadm)
+		c.sys.SLO.Rebind(c.slo, hops, deliver)
+	}
 	return nil
 }
 
@@ -321,6 +428,11 @@ func (s *System) ResetStats() {
 	for _, c := range s.Net.Coords() {
 		s.Net.Router(c).ResetStats()
 		s.snks[c].Reset()
+	}
+	// The collector resets through each router's OnReset chain above;
+	// the SLO tracker has no per-router hook and resets here.
+	if s.SLO != nil {
+		s.SLO.Reset()
 	}
 }
 

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/rtc"
+	"repro/internal/traffic"
+)
+
+// runFig6Mesh drives an 8×8 mesh with fig6-style channels (Imin=8,
+// D=32, single-packet messages — the multi-wrap soak contract) under a
+// sharded collector and SLO tracker, long enough to cross a slot-clock
+// rollover, and returns both.
+func runFig6Mesh(t *testing.T, workers int) (*obs.Sharded, *obs.SLO) {
+	t.Helper()
+	col := obs.NewSharded(obs.DefaultShardCap)
+	slo := obs.NewSLO()
+	sys, err := NewMesh(8, 8, Options{Workers: workers, Collector: col, ChannelSLO: slo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	spec := rtc.Spec{Imin: 8, Smax: packet.TCPayloadBytes, D: 32}
+	routes := [][2]mesh.Coord{
+		{{X: 0, Y: 0}, {X: 7, Y: 0}},
+		{{X: 0, Y: 7}, {X: 7, Y: 7}},
+		{{X: 3, Y: 1}, {X: 3, Y: 6}},
+		{{X: 7, Y: 4}, {X: 0, Y: 4}},
+	}
+	for i, rt := range routes {
+		ch, err := sys.OpenChannel(rt[0], []mesh.Coord{rt[1]}, spec)
+		if err != nil {
+			t.Fatalf("channel %d: %v", i, err)
+		}
+		app, err := traffic.NewTCApp(fmt.Sprintf("tc%d", i), ch.Paced(), spec, traffic.Periodic, packet.TCPayloadBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RegisterNode(rt[0], app)
+	}
+	// One wrap of the 256-slot clock is 256×TCBytes cycles; run a bit
+	// past it so stamps wrap inside the recorded window.
+	sys.Run(256*packet.TCBytes + 2000)
+	return col, slo
+}
+
+// TestChromeTraceStructure asserts the Perfetto export from an 8×8
+// fig6-style run is structurally valid Chrome trace-event JSON: a
+// traceEvents array with per-node/per-port metadata, well-formed phase
+// and track fields on every event, duration slices for transmissions,
+// and complete flow chains (s → t* → f) for monitored channels.
+func TestChromeTraceStructure(t *testing.T) {
+	col, slo := runFig6Mesh(t, 2)
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, col, slo); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			ID   int64          `json:"id"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+
+	procs := map[int]bool{}
+	threads := map[[2]int]bool{}
+	var slices, instants, flowS, flowT, flowF int
+	flowIDs := map[int64][3]int{} // id -> counts of s/t/f
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.Ph == "" {
+			t.Fatalf("event %d missing name or ph: %+v", i, e)
+		}
+		switch e.Ph {
+		case "M":
+			switch e.Name {
+			case "process_name":
+				procs[e.Pid] = true
+			case "thread_name":
+				threads[[2]int{e.Pid, e.Tid}] = true
+			default:
+				t.Fatalf("event %d: unknown metadata %q", i, e.Name)
+			}
+			continue
+		case "X":
+			slices++
+			if e.Name == "tc-tx" && e.Dur != packet.TCBytes {
+				t.Fatalf("event %d: tc-tx dur = %d, want %d", i, e.Dur, packet.TCBytes)
+			}
+		case "i":
+			instants++
+		case "s", "t", "f":
+			c := flowIDs[e.ID]
+			switch e.Ph {
+			case "s":
+				flowS++
+				c[0]++
+			case "t":
+				flowT++
+				c[1]++
+			case "f":
+				flowF++
+				c[2]++
+			}
+			flowIDs[e.ID] = c
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, e.Ph)
+		}
+		if e.Pid < 1 || e.Pid > 64 {
+			t.Fatalf("event %d: pid %d outside the 8x8 mesh", i, e.Pid)
+		}
+		if e.Tid < 1 || e.Tid > 6 {
+			t.Fatalf("event %d: tid %d outside port/node tracks", i, e.Tid)
+		}
+		if e.Ts < 0 {
+			t.Fatalf("event %d: negative ts %d", i, e.Ts)
+		}
+		if !procs[e.Pid] || !threads[[2]int{e.Pid, e.Tid}] {
+			t.Fatalf("event %d: track (pid %d, tid %d) has no metadata", i, e.Pid, e.Tid)
+		}
+	}
+	if len(procs) != 64 {
+		t.Fatalf("%d process_name records, want 64", len(procs))
+	}
+	if slices == 0 || instants == 0 {
+		t.Fatalf("degenerate trace: %d slices, %d instants", slices, instants)
+	}
+	if flowS == 0 || flowT == 0 || flowF == 0 {
+		t.Fatalf("incomplete flows: s=%d t=%d f=%d", flowS, flowT, flowF)
+	}
+	// With unicast channels and no eviction (checked), every flow id
+	// has at most one start and one finish, every finished flow has a
+	// start, and only the handful of packets still in flight when the
+	// run stopped may lack a finish.
+	if col.Dropped() != 0 {
+		t.Fatalf("collector evicted %d events; flow checks need the full run", col.Dropped())
+	}
+	var unfinished int
+	for id, c := range flowIDs {
+		if c[0] > 1 || c[2] > 1 {
+			t.Fatalf("flow %d: %d starts, %d finishes", id, c[0], c[2])
+		}
+		if c[2] == 1 && c[0] != 1 {
+			t.Fatalf("flow %d finished without a start (%d steps)", id, c[1])
+		}
+		if c[2] == 0 {
+			unfinished++
+		}
+	}
+	if unfinished > 4*len(flowIDs)/5 || unfinished > 64 {
+		t.Fatalf("%d of %d flows unfinished — more than packets in flight can explain", unfinished, len(flowIDs))
+	}
+}
+
+// TestJSONLExport asserts the JSONL sibling export: every line parses,
+// cycles are sorted, and the line count matches the collector.
+func TestJSONLExport(t *testing.T) {
+	col, _ := runFig6Mesh(t, 1)
+
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, col); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	last := int64(-1)
+	for sc.Scan() {
+		var e struct {
+			Cycle  int64  `json:"cycle"`
+			Router string `json:"router"`
+			Kind   string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		if e.Router == "" || e.Kind == "" {
+			t.Fatalf("line %d missing router or kind: %s", lines+1, sc.Text())
+		}
+		if e.Cycle < last {
+			t.Fatalf("line %d: cycle %d after %d — timeline unsorted", lines+1, e.Cycle, last)
+		}
+		last = e.Cycle
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(col.Merged()); lines != want {
+		t.Fatalf("%d JSONL lines, collector holds %d events", lines, want)
+	}
+}

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"reflect"
+	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/mesh"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/rtc"
 	"repro/internal/traffic"
@@ -14,11 +17,14 @@ import (
 
 // loadedRun is everything observable about one simulation run: the
 // per-router hardware counters, every packet delivered at every node in
-// delivery order, and the telemetry registry totals.
+// delivery order, the telemetry registry totals, the merged lifecycle
+// trace, and the per-channel SLO snapshots.
 type loadedRun struct {
 	Stats      []router.Stats
 	Deliveries [][]string
 	Snapshot   metrics.Snapshot
+	Trace      string
+	Channels   []metrics.ChannelSnapshot
 }
 
 // runLoaded drives a loaded 8×8 mesh — unicast and multicast real-time
@@ -28,7 +34,9 @@ type loadedRun struct {
 func runLoaded(t *testing.T, workers int, cycles int64) loadedRun {
 	t.Helper()
 	reg := metrics.NewRegistry()
-	sys, err := NewMesh(8, 8, Options{Workers: workers, Metrics: reg})
+	col := obs.NewSharded(4096)
+	slo := obs.NewSLO()
+	sys, err := NewMesh(8, 8, Options{Workers: workers, Metrics: reg, Collector: col, ChannelSLO: slo})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +87,14 @@ func runLoaded(t *testing.T, workers int, cycles int64) loadedRun {
 
 	sys.Run(cycles)
 
-	run := loadedRun{Deliveries: deliv, Snapshot: reg.Snapshot()}
+	var dump strings.Builder
+	col.Dump(&dump)
+	run := loadedRun{
+		Deliveries: deliv,
+		Snapshot:   reg.Snapshot(),
+		Trace:      dump.String(),
+		Channels:   slo.Export(),
+	}
 	for _, c := range coords {
 		run.Stats = append(run.Stats, sys.Router(c).Stats)
 	}
@@ -124,9 +139,16 @@ func TestParallelEquivalence(t *testing.T) {
 	if !reflect.DeepEqual(seq.Snapshot, par.Snapshot) {
 		t.Fatal("metrics snapshots diverged between sequential and parallel runs")
 	}
+	if seq.Trace != par.Trace {
+		t.Fatal("merged lifecycle traces diverged between sequential and parallel runs")
+	}
+	if !reflect.DeepEqual(seq.Channels, par.Channels) {
+		t.Fatal("per-channel SLO snapshots diverged between sequential and parallel runs")
+	}
 
 	// Guard against a vacuous pass: the workload must actually have
-	// exercised both traffic classes end to end.
+	// exercised both traffic classes end to end, produced a non-empty
+	// merged trace, and recorded latency samples on every channel.
 	var tc, be int64
 	for _, st := range seq.Stats {
 		tc += st.TCDelivered
@@ -134,5 +156,50 @@ func TestParallelEquivalence(t *testing.T) {
 	}
 	if tc == 0 || be == 0 {
 		t.Fatalf("degenerate workload: tc=%d be=%d deliveries", tc, be)
+	}
+	if seq.Trace == "" {
+		t.Fatal("degenerate workload: empty merged trace")
+	}
+	if len(seq.Channels) == 0 {
+		t.Fatal("degenerate workload: no SLO channels registered")
+	}
+	for _, ch := range seq.Channels {
+		if ch.Delivered == 0 || ch.Latency.Count == 0 || ch.Slack.Count == 0 {
+			t.Fatalf("channel %q recorded no SLO samples: %+v", ch.Name, ch)
+		}
+	}
+}
+
+// TestParallelTracingRace is the observability side of the parallel
+// contract, meant to run under the race detector: with lifecycle
+// tracing, telemetry counters, and channel SLO histograms all attached,
+// the kernel runs on every available core and the merged event stream
+// still comes out byte-identical to the sequential run's. The sharded
+// collector makes this safe — each router writes only its own node's
+// buffer during the compute phase, the histograms are atomic, and the
+// merge is deterministic in (cycle, node, seq).
+func TestParallelTracingRace(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	cycles := int64(4000)
+	if testing.Short() {
+		cycles = 3000
+	}
+	seq := runLoaded(t, 1, cycles)
+	par := runLoaded(t, workers, cycles)
+
+	if seq.Trace == "" {
+		t.Fatal("degenerate workload: empty merged trace")
+	}
+	if seq.Trace != par.Trace {
+		t.Fatalf("merged traces diverged between 1 and %d workers", workers)
+	}
+	if !reflect.DeepEqual(seq.Channels, par.Channels) {
+		t.Fatalf("SLO snapshots diverged between 1 and %d workers", workers)
+	}
+	if !reflect.DeepEqual(seq.Snapshot, par.Snapshot) {
+		t.Fatalf("metrics snapshots diverged between 1 and %d workers", workers)
 	}
 }

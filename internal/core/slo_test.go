@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/rtc"
+	"repro/internal/traffic"
+)
+
+// TestSLOFIFOMissCrossCheck drives a workload that FIFO hardware
+// provably cannot serve — a tight-deadline stream sharing its
+// bottleneck link with bulky loose-deadline messages (the X2
+// comparison recipe) — and cross-checks the three independent miss
+// accounts against each other: the routers' hardware
+// TCDeadlineMisses counters, the telemetry registry's DeadlineMisses
+// total, and the SLO layer's per-channel hop-miss counters with their
+// negative-slack histogram buckets.
+func TestSLOFIFOMissCrossCheck(t *testing.T) {
+	reg := metrics.NewRegistry()
+	slo := obs.NewSLO()
+	sys, err := NewMesh(3, 1, Options{Router: baseline.FIFOConfig(), Metrics: reg, ChannelSLO: slo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	dst := mesh.Coord{X: 2, Y: 0}
+	looseSpec := rtc.Spec{Imin: 16, Smax: 90, D: 48}
+	tightSpec := rtc.Spec{Imin: 4, Smax: packet.TCPayloadBytes, D: 8}
+	open := func(src mesh.Coord, spec rtc.Spec, tag string) *Channel {
+		t.Helper()
+		ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		app, err := traffic.NewTCApp(tag, ch.Paced(), spec, traffic.Periodic, spec.Smax)
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		sys.RegisterNode(src, app)
+		return ch
+	}
+	open(mesh.Coord{X: 0, Y: 0}, looseSpec, "loose0")
+	open(mesh.Coord{X: 0, Y: 0}, looseSpec, "loose1")
+	tight := open(mesh.Coord{X: 1, Y: 0}, tightSpec, "tight")
+
+	cycles := int64(60000)
+	if testing.Short() {
+		cycles = 20000
+	}
+	sys.Run(cycles)
+
+	var hw int64
+	for _, c := range sys.Net.Coords() {
+		hw += sys.Router(c).Stats.TCDeadlineMisses
+	}
+	if hw == 0 {
+		t.Fatal("degenerate workload: FIFO scheduling produced no deadline misses")
+	}
+	if got := reg.Snapshot().Totals.DeadlineMisses; got != hw {
+		t.Errorf("registry DeadlineMisses = %d, hardware counters say %d", got, hw)
+	}
+
+	var sloHop int64
+	for _, ch := range slo.Channels() {
+		sloHop += ch.HopMisses()
+		// Every hop-level miss is a transmission that started past its
+		// per-hop deadline, i.e. with negative slack — the two views of
+		// the same event must agree exactly.
+		if ch.HopSlack().MissCount() != ch.HopMisses() {
+			t.Errorf("channel %q: hop-slack miss bucket %d != hop misses %d",
+				ch.Info().Name, ch.HopSlack().MissCount(), ch.HopMisses())
+		}
+		// Same invariant end to end: a delivery past its deadline is
+		// counted once and lands in the slack histogram's miss bucket.
+		if ch.Slack().MissCount() != ch.Misses() {
+			t.Errorf("channel %q: slack miss bucket %d != deliver misses %d",
+				ch.Info().Name, ch.Slack().MissCount(), ch.Misses())
+		}
+	}
+	if sloHop != hw {
+		t.Errorf("SLO hop misses %d != hardware TCDeadlineMisses %d", sloHop, hw)
+	}
+
+	// The miss pressure must land on the tight stream (the X2 result):
+	// under FIFO its packets queue behind 5-packet loose messages.
+	ts := tight.SLOStats()
+	if ts == nil {
+		t.Fatal("tight channel has no SLO stats")
+	}
+	if ts.Delivered() == 0 || ts.Latency().Count() == 0 {
+		t.Fatalf("tight channel recorded no deliveries: %+v", ts.Snapshot())
+	}
+	if ts.HopMisses() == 0 {
+		t.Error("tight channel shows no hop misses under FIFO contention")
+	}
+}

@@ -271,6 +271,10 @@ type Registry struct {
 	routers map[string]*RouterMetrics
 	order   []string
 
+	// channels, when set, supplies per-channel SLO snapshots for export
+	// (see SetChannelSource); the obs package is the standard provider.
+	channels func() []ChannelSnapshot
+
 	// Cycles, if set by the harness, records the measured cycle span
 	// for rate normalization in reports.
 	Cycles atomic.Int64
@@ -318,6 +322,52 @@ func (g *Registry) Reset() {
 	g.Cycles.Store(0)
 }
 
+// HistogramSnapshot is a point-in-time copy of one log-bucketed
+// latency/slack histogram in export-friendly form. Buckets[0] counts
+// exact zeros; Buckets[i] for i ≥ 1 counts values in [2^(i−1), 2^i−1].
+// Negative values (deadline misses for slack histograms) land in
+// MissCount, not in Buckets. Min/Max/P50/P99 are over all recorded
+// values including negative ones; they are zero when Count is zero.
+type HistogramSnapshot struct {
+	Count     int64   `json:"count"`
+	MissCount int64   `json:"miss_count"`
+	Sum       int64   `json:"sum"`
+	Min       int64   `json:"min"`
+	Max       int64   `json:"max"`
+	P50       int64   `json:"p50"`
+	P99       int64   `json:"p99"`
+	Buckets   []int64 `json:"buckets,omitempty"`
+}
+
+// ChannelSnapshot is a point-in-time copy of one real-time channel's
+// SLO accounting: end-to-end delivery latency (cycles), end-to-end
+// deadline slack at delivery (slots, ℓ+D−arrival), per-hop slack
+// against the local deadline d_j (slots), plus miss and horizon-early
+// counters.
+type ChannelSnapshot struct {
+	ID         int               `json:"id"`
+	Name       string            `json:"name"`
+	Src        string            `json:"src"`
+	Dst        string            `json:"dst"`
+	BoundSlots int64             `json:"bound_slots"`
+	Delivered  int64             `json:"delivered"`
+	Misses     int64             `json:"deadline_misses"`
+	HopMisses  int64             `json:"hop_misses"`
+	EarlyTx    int64             `json:"early_tx"`
+	Latency    HistogramSnapshot `json:"latency_cycles"`
+	Slack      HistogramSnapshot `json:"slack_slots"`
+	HopSlack   HistogramSnapshot `json:"hop_slack_slots"`
+}
+
+// SetChannelSource installs the function Snapshot calls to collect
+// per-channel SLO snapshots (nil detaches). The source must be safe to
+// call concurrently with the simulation, like the router counters.
+func (g *Registry) SetChannelSource(fn func() []ChannelSnapshot) {
+	g.mu.Lock()
+	g.channels = fn
+	g.mu.Unlock()
+}
+
 // RouterSnapshot is a point-in-time copy of one router's counters in
 // export-friendly form.
 type RouterSnapshot struct {
@@ -345,9 +395,10 @@ type RouterSnapshot struct {
 // blocks plus network-wide totals (gauges aggregate by max for
 // high-waters and by sum for levels).
 type Snapshot struct {
-	Cycles  int64            `json:"cycles,omitempty"`
-	Totals  RouterSnapshot   `json:"totals"`
-	Routers []RouterSnapshot `json:"routers"`
+	Cycles   int64             `json:"cycles,omitempty"`
+	Totals   RouterSnapshot    `json:"totals"`
+	Routers  []RouterSnapshot  `json:"routers"`
+	Channels []ChannelSnapshot `json:"channels,omitempty"`
 }
 
 func (m *RouterMetrics) snapshot() RouterSnapshot {
@@ -445,6 +496,9 @@ func (g *Registry) Snapshot() Snapshot {
 		snap.Routers = append(snap.Routers, rs)
 		snap.Totals.accumulate(rs)
 	}
+	if g.channels != nil {
+		snap.Channels = g.channels()
+	}
 	return snap
 }
 
@@ -530,6 +584,49 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		for _, dn := range sortedKeys(rs.Drops) {
 			p("rt_drops_total{router=%q,reason=%q} %d\n", rs.Router, dn, rs.Drops[dn])
 		}
+	}
+
+	if len(snap.Channels) > 0 {
+		chCounter := func(metric, help string, get func(ChannelSnapshot) int64) {
+			p("# HELP %s %s\n# TYPE %s counter\n", metric, help, metric)
+			for _, cs := range snap.Channels {
+				p("%s{channel=%q} %d\n", metric, cs.Name, get(cs))
+			}
+		}
+		chCounter("rt_channel_delivered_total", "Time-constrained packets delivered on this channel.",
+			func(c ChannelSnapshot) int64 { return c.Delivered })
+		chCounter("rt_channel_deadline_miss_total", "Deliveries past the channel's end-to-end deadline.",
+			func(c ChannelSnapshot) int64 { return c.Misses })
+		chCounter("rt_channel_hop_miss_total", "Per-hop transmissions started past the local deadline d_j.",
+			func(c ChannelSnapshot) int64 { return c.HopMisses })
+		chCounter("rt_channel_early_tx_total", "Horizon-early transmissions on this channel's hops.",
+			func(c ChannelSnapshot) int64 { return c.EarlyTx })
+		hist := func(metric, help string, get func(ChannelSnapshot) HistogramSnapshot) {
+			p("# HELP %s %s\n# TYPE %s summary\n", metric, help, metric)
+			for _, cs := range snap.Channels {
+				h := get(cs)
+				p("%s{channel=%q,quantile=\"0.5\"} %d\n", metric, cs.Name, h.P50)
+				p("%s{channel=%q,quantile=\"0.99\"} %d\n", metric, cs.Name, h.P99)
+				p("%s_sum{channel=%q} %d\n", metric, cs.Name, h.Sum)
+				p("%s_count{channel=%q} %d\n", metric, cs.Name, h.Count)
+			}
+		}
+		hist("rt_channel_latency_cycles", "End-to-end delivery latency per channel in byte cycles.",
+			func(c ChannelSnapshot) HistogramSnapshot { return c.Latency })
+		hist("rt_channel_slack_slots", "End-to-end deadline slack at delivery per channel in slots (negative = miss).",
+			func(c ChannelSnapshot) HistogramSnapshot { return c.Slack })
+		hist("rt_channel_hop_slack_slots", "Per-hop slack against the local deadline d_j in slots.",
+			func(c ChannelSnapshot) HistogramSnapshot { return c.HopSlack })
+		gaugeCh := func(metric, help string, get func(ChannelSnapshot) int64) {
+			p("# HELP %s %s\n# TYPE %s gauge\n", metric, help, metric)
+			for _, cs := range snap.Channels {
+				p("%s{channel=%q} %d\n", metric, cs.Name, get(cs))
+			}
+		}
+		gaugeCh("rt_channel_latency_worst_cycles", "Worst observed end-to-end latency per channel.",
+			func(c ChannelSnapshot) int64 { return c.Latency.Max })
+		gaugeCh("rt_channel_slack_worst_slots", "Smallest observed end-to-end slack per channel.",
+			func(c ChannelSnapshot) int64 { return c.Slack.Min })
 	}
 	return err
 }

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/packet"
+	"repro/internal/router"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// Perfetto and chrome://tracing load). Only the fields this exporter
+// uses are modelled.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Comment         string        `json:"otherData,omitempty"`
+}
+
+// Track layout: one Perfetto "process" per mesh node (pid = node index
+// + 1; pid 0 renders poorly), one "thread" per output port (tid = port
+// + 1) plus a node-level track (tid = nodeTid) for inject, enqueue and
+// deliver events, which are not port-specific.
+const nodeTid = router.NumPorts + 1
+
+// flowPoint classifies one (router, conn) endpoint of a monitored
+// channel for flow binding: where the packet flow starts (the source
+// hop), steps (intermediate transmits), or finishes (delivery).
+type flowPoint struct {
+	chanID int
+	name   string
+	start  bool
+	end    bool
+	// Per-endpoint packet indices (FIFO order within a channel), one
+	// counter per event kind: the source endpoint sees each packet twice
+	// (inject, then transmit), so the streams must count independently
+	// for the k-th inject and the k-th transmit to name the same packet.
+	kInj, kTx, kRx int64
+}
+
+// flowTable indexes every monitored channel endpoint. Per-channel
+// traffic is FIFO through each endpoint, so the k-th event of a kind at
+// each endpoint belongs to the k-th packet of that channel, and
+// id = chanID<<20 | k names one packet's flow across all its hops.
+func flowTable(slo *SLO) map[Endpoint]*flowPoint {
+	if slo == nil {
+		return nil
+	}
+	tbl := make(map[Endpoint]*flowPoint)
+	for _, cs := range slo.Channels() {
+		info := cs.Info()
+		for i, h := range info.Hops {
+			tbl[Endpoint{Router: h.Router, Conn: h.In}] = &flowPoint{
+				chanID: info.ID, name: info.Name, start: i == 0,
+			}
+		}
+		for _, d := range info.Deliver {
+			tbl[d] = &flowPoint{chanID: info.ID, name: info.Name, end: true}
+		}
+	}
+	return tbl
+}
+
+// WriteChromeTrace writes the collector's merged timeline as Chrome
+// trace-event JSON: transmissions are duration slices on their port's
+// track, inject/enqueue/deliver are slices on the node track, and
+// drops, blocks and cut-throughs are instants. When an SLO tracker is
+// supplied, each monitored channel's packets are additionally linked
+// into flows (ph s/t/f) so Perfetto draws one arrow chain per packet
+// from injection through every hop to delivery.
+//
+// Timebase: 1 trace microsecond = 1 byte cycle (the viewer has no
+// native cycle unit). Flow matching counts events per endpoint, so it
+// is exact only when no shard evicted events — size the collector to
+// the run (or accept arrows joining different packets of the same
+// channel after eviction). Multicast channels share one flow id across
+// their delivery branches.
+func WriteChromeTrace(w io.Writer, c *Sharded, slo *SLO) error {
+	flows := flowTable(slo)
+	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for node := 0; node < c.Nodes(); node++ {
+		pid := node + 1
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": "router " + c.RouterName(node)},
+		})
+		for p := 0; p < router.NumPorts; p++ {
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: p + 1,
+				Args: map[string]any{"name": "port " + router.PortName(p)},
+			})
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: nodeTid,
+			Args: map[string]any{"name": "node"},
+		})
+	}
+
+	flowStep := func(e Event, pid, tid int) *chromeEvent {
+		if flows == nil {
+			return nil
+		}
+		fp := flows[Endpoint{Router: e.Router, Conn: e.InConn}]
+		if fp == nil {
+			return nil
+		}
+		var k *int64
+		switch e.Kind {
+		case router.EvInject:
+			if !fp.start {
+				return nil
+			}
+			k = &fp.kInj
+		case router.EvDeliver:
+			if !fp.end {
+				return nil
+			}
+			k = &fp.kRx
+		default: // EvTransmit
+			k = &fp.kTx
+		}
+		id := int64(fp.chanID)<<20 | *k
+		*k++
+		ev := &chromeEvent{
+			Name: fp.name, Cat: "packet", Ts: e.Cycle, Pid: pid, Tid: tid, ID: id,
+		}
+		switch {
+		case e.Kind == router.EvInject:
+			ev.Ph = "s"
+		case fp.end:
+			ev.Ph = "f"
+			ev.BP = "e"
+		default:
+			ev.Ph = "t"
+		}
+		return ev
+	}
+
+	for _, e := range c.Merged() {
+		pid := e.Node + 1
+		tid := nodeTid
+		if e.Port >= 0 {
+			tid = e.Port + 1
+		}
+		args := map[string]any{"conn": e.InConn}
+		if e.OutConn != 0 {
+			args["out_conn"] = e.OutConn
+		}
+		ce := chromeEvent{Ts: e.Cycle, Pid: pid, Tid: tid, Args: args}
+		switch e.Kind {
+		case router.EvTransmit:
+			ce.Name, ce.Ph, ce.Dur = "tc-tx", "X", packet.TCBytes
+			args["class"] = e.Class.String()
+			args["slack_slots"] = e.Slack
+			args["wait_cycles"] = e.Wait
+			if e.Missed {
+				args["missed"] = true
+			}
+		case router.EvInject:
+			ce.Name, ce.Ph, ce.Dur = "inject", "X", 1
+		case router.EvEnqueue:
+			ce.Name, ce.Ph, ce.Dur = "enqueue", "X", 1
+			args["slack_slots"] = e.Slack
+		case router.EvDeliver:
+			if e.BE {
+				ce.Name, ce.Ph, ce.Dur = "be-rx", "X", 1
+				delete(args, "conn")
+			} else {
+				ce.Name, ce.Ph, ce.Dur = "tc-rx", "X", 1
+				args["slack_slots"] = e.Slack
+			}
+		case router.EvArbWin:
+			ce.Name, ce.Ph, ce.S = "arb-win", "i", "t"
+			args["class"] = e.Class.String()
+		case router.EvCutThrough:
+			ce.Name, ce.Ph, ce.S = "cut-through", "i", "t"
+		case router.EvBlock:
+			ce.Name, ce.Ph, ce.S = "be-block", "i", "t"
+			delete(args, "conn")
+		case router.EvDrop:
+			ce.Name, ce.Ph, ce.S = "drop", "i", "t"
+			args["reason"] = e.Reason.String()
+		default:
+			continue
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ce)
+		if !e.BE && (e.Kind == router.EvInject || e.Kind == router.EvTransmit || e.Kind == router.EvDeliver) {
+			if fe := flowStep(e, pid, tid); fe != nil {
+				tr.TraceEvents = append(tr.TraceEvents, *fe)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// jsonlEvent is the line format of WriteJSONL.
+type jsonlEvent struct {
+	Cycle   int64  `json:"cycle"`
+	Node    int    `json:"node"`
+	Seq     uint64 `json:"seq"`
+	Router  string `json:"router"`
+	Kind    string `json:"kind"`
+	Port    int    `json:"port"`
+	Conn    uint8  `json:"conn"`
+	OutConn uint8  `json:"out_conn,omitempty"`
+	Class   string `json:"class,omitempty"`
+	Missed  bool   `json:"missed,omitempty"`
+	Wait    int64  `json:"wait,omitempty"`
+	Stamp   uint32 `json:"stamp"`
+	Slack   int64  `json:"slack"`
+	Reason  string `json:"reason,omitempty"`
+	BE      bool   `json:"be,omitempty"`
+}
+
+// WriteJSONL writes the merged timeline as one JSON object per line —
+// the machine-readable sibling of Dump, stable across worker counts.
+func WriteJSONL(w io.Writer, c *Sharded) error {
+	enc := json.NewEncoder(w)
+	for _, e := range c.Merged() {
+		le := jsonlEvent{
+			Cycle:  e.Cycle,
+			Node:   e.Node,
+			Seq:    e.Seq,
+			Router: e.Router,
+			Kind:   e.Kind.String(),
+			Port:   e.Port,
+			Conn:   e.InConn,
+			Missed: e.Missed,
+			Wait:   e.Wait,
+			Stamp:  uint32(e.Stamp),
+			Slack:  e.Slack,
+			BE:     e.BE,
+		}
+		if e.OutConn != 0 {
+			le.OutConn = e.OutConn
+		}
+		switch e.Kind {
+		case router.EvArbWin, router.EvTransmit, router.EvCutThrough:
+			le.Class = e.Class.String()
+		case router.EvDrop:
+			le.Reason = e.Reason.String()
+		}
+		if err := enc.Encode(le); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// histBuckets is the fixed bucket count of LogHist: bucket 0 holds
+// exact zeros and bucket i (i ≥ 1) the range [2^(i−1), 2^i−1], so the
+// top bucket starts at 2^42 — far beyond any latency or slack a
+// simulation can produce, making the clamp in Record unreachable in
+// practice.
+const histBuckets = 44
+
+// LogHist is an HDR-style log-bucketed histogram of signed values:
+// power-of-two buckets for values ≥ 0 and a dedicated miss bucket for
+// values < 0 (negative slack = a blown deadline). Every update is an
+// atomic add or CAS on preallocated storage, so recorders on different
+// mesh nodes may share one histogram during the parallel compute phase;
+// because the operations commute, snapshots are identical across worker
+// counts. The zero value is NOT ready to use — the min/max trackers
+// need sentinels — construct via NewLogHist (or Init).
+type LogHist struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	miss    atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewLogHist returns an empty, ready-to-record histogram.
+func NewLogHist() *LogHist {
+	h := &LogHist{}
+	h.Init()
+	return h
+}
+
+// Init arms the min/max sentinels of an embedded zero-value LogHist.
+func (h *LogHist) Init() {
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+}
+
+// Reset empties the histogram. Not safe concurrently with Record; call
+// between runs (the warmup-reset idiom).
+func (h *LogHist) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.miss.Store(0)
+	h.Init()
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// bucketOf maps a non-negative value to its bucket index: 0 for zero,
+// i for [2^(i−1), 2^i−1].
+func bucketOf(v int64) int {
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Record adds one value. Negative values count toward the miss bucket
+// (and min), not the power-of-two buckets.
+func (h *LogHist) Record(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	if v < 0 {
+		h.miss.Add(1)
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of recorded values.
+func (h *LogHist) Count() int64 { return h.count.Load() }
+
+// MissCount returns the number of recorded negative values.
+func (h *LogHist) MissCount() int64 { return h.miss.Load() }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *LogHist) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (h *LogHist) Max() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// BucketCount returns the count in non-negative bucket i, for tests.
+func (h *LogHist) BucketCount(i int) int64 { return h.buckets[i].Load() }
+
+// Snapshot copies the histogram into export form, computing the p50 and
+// p99 quantile estimates and trimming trailing empty buckets.
+func (h *LogHist) Snapshot() metrics.HistogramSnapshot {
+	s := metrics.HistogramSnapshot{
+		Count:     h.count.Load(),
+		MissCount: h.miss.Load(),
+		Sum:       h.sum.Load(),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	var counts [histBuckets]int64
+	last := -1
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append([]int64(nil), counts[:last+1]...)
+	}
+	s.P50 = h.quantile(0.50, &s, counts[:])
+	s.P99 = h.quantile(0.99, &s, counts[:])
+	return s
+}
+
+// quantile estimates the q-quantile from bucket counts. Values in the
+// miss bucket are represented by the recorded minimum (the worst
+// miss); within a non-negative bucket the estimate interpolates
+// linearly by rank (integer math, so identical across worker counts),
+// clamped to the recorded extremes so one-value histograms report that
+// value exactly.
+func (h *LogHist) quantile(q float64, s *metrics.HistogramSnapshot, counts []int64) int64 {
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := s.MissCount
+	if rank <= cum {
+		return s.Min
+	}
+	for i, n := range counts {
+		cum += n
+		if rank > cum {
+			continue
+		}
+		if i == 0 {
+			return 0 // the zero bucket holds exact zeros
+		}
+		lower := int64(1) << uint(i-1)
+		rankIn := rank - (cum - n) // 1..n within this bucket
+		est := lower + (lower-1)*rankIn/n
+		if est > s.Max {
+			est = s.Max
+		}
+		if s.MissCount == 0 && est < s.Min {
+			est = s.Min
+		}
+		return est
+	}
+	return s.Max
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLogHistZero pins the zero-slack case: a delivery exactly on its
+// deadline records as a non-miss in bucket 0.
+func TestLogHistZero(t *testing.T) {
+	h := NewLogHist()
+	h.Record(0)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if got := h.MissCount(); got != 0 {
+		t.Fatalf("zero slack counted as a miss: %d", got)
+	}
+	if got := h.BucketCount(0); got != 1 {
+		t.Fatalf("bucket 0 = %d, want 1", got)
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("min/max = %d/%d, want 0/0", h.Min(), h.Max())
+	}
+	s := h.Snapshot()
+	if s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("p50/p99 = %d/%d, want 0/0", s.P50, s.P99)
+	}
+}
+
+// TestLogHistNegative pins the miss bucket: negative slack counts
+// toward MissCount and min, never a power-of-two bucket.
+func TestLogHistNegative(t *testing.T) {
+	h := NewLogHist()
+	h.Record(-3)
+	h.Record(-17)
+	h.Record(5)
+	if got := h.MissCount(); got != 2 {
+		t.Fatalf("miss count = %d, want 2", got)
+	}
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := h.Min(); got != -17 {
+		t.Fatalf("min = %d, want -17", got)
+	}
+	if got := h.Max(); got != 5 {
+		t.Fatalf("max = %d, want 5", got)
+	}
+	var inBuckets int64
+	for i := 0; i < histBuckets; i++ {
+		inBuckets += h.BucketCount(i)
+	}
+	if inBuckets != 1 {
+		t.Fatalf("%d values in non-negative buckets, want 1", inBuckets)
+	}
+	// With 2 of 3 samples negative, the median is a miss and reports the
+	// worst recorded value.
+	if s := h.Snapshot(); s.P50 != -17 {
+		t.Fatalf("p50 = %d, want -17 (the worst miss)", s.P50)
+	}
+}
+
+// TestLogHistBucketBoundaries pins the bucket map at powers of two:
+// 2^k−1 is the top of bucket k and 2^k the bottom of bucket k+1.
+func TestLogHistBucketBoundaries(t *testing.T) {
+	for k := uint(1); k <= 10; k++ {
+		h := NewLogHist()
+		lo := int64(1)<<k - 1 // 2^k−1
+		hi := int64(1) << k   // 2^k
+		h.Record(lo)
+		h.Record(hi)
+		if got := h.BucketCount(int(k)); got != 1 {
+			t.Fatalf("k=%d: bucket %d = %d, want 1 (value %d)", k, k, got, lo)
+		}
+		if got := h.BucketCount(int(k + 1)); got != 1 {
+			t.Fatalf("k=%d: bucket %d = %d, want 1 (value %d)", k, k+1, got, hi)
+		}
+	}
+	// The clamp: values past the top bucket land in it rather than
+	// walking off the array.
+	h := NewLogHist()
+	h.Record(math.MaxInt64)
+	if got := h.BucketCount(histBuckets - 1); got != 1 {
+		t.Fatalf("max value missed the top bucket: %d", got)
+	}
+}
+
+// TestLogHistQuantiles checks the rank arithmetic on a known
+// population, including the one-value exactness clamp.
+func TestLogHistQuantiles(t *testing.T) {
+	h := NewLogHist()
+	h.Record(100)
+	s := h.Snapshot()
+	if s.P50 != 100 || s.P99 != 100 {
+		t.Fatalf("one-value histogram p50/p99 = %d/%d, want 100/100", s.P50, s.P99)
+	}
+
+	h = NewLogHist()
+	for i := 0; i < 99; i++ {
+		h.Record(4) // bucket 3
+	}
+	h.Record(1 << 20)
+	s = h.Snapshot()
+	if s.P50 < 4 || s.P50 > 7 {
+		t.Fatalf("p50 = %d, want within bucket [4,7]", s.P50)
+	}
+	if s.P99 < 4 || s.P99 > 7 {
+		t.Fatalf("p99 = %d, want within bucket [4,7] (rank 99 of 100)", s.P99)
+	}
+	if s.Max != 1<<20 {
+		t.Fatalf("max = %d, want %d", s.Max, 1<<20)
+	}
+}
+
+// TestLogHistSnapshotEmpty pins the empty-histogram snapshot: all
+// zeros, no buckets, no sentinel leakage.
+func TestLogHistSnapshotEmpty(t *testing.T) {
+	s := NewLogHist().Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+// TestLogHistReset verifies Reset rearms the sentinels.
+func TestLogHistReset(t *testing.T) {
+	h := NewLogHist()
+	h.Record(-5)
+	h.Record(9)
+	h.Reset()
+	if h.Count() != 0 || h.MissCount() != 0 {
+		t.Fatalf("reset left counts: %d/%d", h.Count(), h.MissCount())
+	}
+	h.Record(3)
+	if h.Min() != 3 || h.Max() != 3 {
+		t.Fatalf("post-reset min/max = %d/%d, want 3/3", h.Min(), h.Max())
+	}
+}

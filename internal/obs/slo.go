@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/router"
+	"repro/internal/sched"
+)
+
+// Endpoint names one (router, connection id) pair. Admission assigns a
+// router's incoming hop ids and local delivery ids from one shared id
+// space, so an Endpoint is unambiguous: it is either a hop traversal or
+// a delivery point of exactly one live channel.
+type Endpoint struct {
+	Router string
+	Conn   uint8
+}
+
+// Hop is one router traversal of a channel as seen by the SLO layer:
+// the router's name and the connection id packets carry arriving there.
+type Hop struct {
+	Router string
+	In     uint8
+	Out    uint8
+}
+
+// ChannelInfo is the static identity of one monitored channel.
+type ChannelInfo struct {
+	ID   int
+	Name string
+	Src  string
+	Dst  string
+	// BoundSlots is the reserved end-to-end delay bound in slots
+	// (admission.Channel.Bound): LocalD per traversed router.
+	BoundSlots int64
+	// Hops lists every router traversal, source first; Deliver lists the
+	// delivery endpoints (destination router, delivery conn id).
+	Hops    []Hop
+	Deliver []Endpoint
+}
+
+// ChannelStats accumulates one channel's SLO observations. All updates
+// are atomic and commutative, so parallel and sequential runs of the
+// same workload produce identical snapshots.
+type ChannelStats struct {
+	info      ChannelInfo
+	delivered atomic.Int64
+	misses    atomic.Int64 // deliveries with negative end-to-end slack
+	hopMisses atomic.Int64 // transmissions started past the local d_j
+	early     atomic.Int64 // horizon-early transmissions
+	latency   LogHist      // end-to-end delivery latency, byte cycles
+	slack     LogHist      // end-to-end slack at delivery, slots
+	hopSlack  LogHist      // per-hop slack at transmit, slots
+}
+
+// Info returns the channel's registered identity.
+func (c *ChannelStats) Info() ChannelInfo { return c.info }
+
+// Delivered returns the packets delivered so far.
+func (c *ChannelStats) Delivered() int64 { return c.delivered.Load() }
+
+// Misses returns deliveries that arrived past the end-to-end deadline.
+func (c *ChannelStats) Misses() int64 { return c.misses.Load() }
+
+// HopMisses returns per-hop transmissions that started past d_j; it
+// mirrors the hardware DeadlineMisses counter restricted to this
+// channel's hops.
+func (c *ChannelStats) HopMisses() int64 { return c.hopMisses.Load() }
+
+// EarlyTx returns horizon-early transmissions on this channel's hops.
+func (c *ChannelStats) EarlyTx() int64 { return c.early.Load() }
+
+// Latency exposes the end-to-end latency histogram (byte cycles).
+func (c *ChannelStats) Latency() *LogHist { return &c.latency }
+
+// Slack exposes the end-to-end delivery-slack histogram (slots).
+func (c *ChannelStats) Slack() *LogHist { return &c.slack }
+
+// HopSlack exposes the per-hop transmit-slack histogram (slots).
+func (c *ChannelStats) HopSlack() *LogHist { return &c.hopSlack }
+
+// Snapshot copies the channel's accounting into export form.
+func (c *ChannelStats) Snapshot() metrics.ChannelSnapshot {
+	return metrics.ChannelSnapshot{
+		ID:         c.info.ID,
+		Name:       c.info.Name,
+		Src:        c.info.Src,
+		Dst:        c.info.Dst,
+		BoundSlots: c.info.BoundSlots,
+		Delivered:  c.delivered.Load(),
+		Misses:     c.misses.Load(),
+		HopMisses:  c.hopMisses.Load(),
+		EarlyTx:    c.early.Load(),
+		Latency:    c.latency.Snapshot(),
+		Slack:      c.slack.Snapshot(),
+		HopSlack:   c.hopSlack.Snapshot(),
+	}
+}
+
+func (c *ChannelStats) reset() {
+	c.delivered.Store(0)
+	c.misses.Store(0)
+	c.hopMisses.Store(0)
+	c.early.Store(0)
+	c.latency.Reset()
+	c.slack.Reset()
+	c.hopSlack.Reset()
+}
+
+// SLO routes lifecycle observations and sink latencies to per-channel
+// accountants. Lookups on the packet path take a read lock only (the
+// endpoint table mutates solely on channel open/reroute/close, which
+// happen between kernel phases); the accounting itself is atomic, so
+// routers on different nodes may observe into one SLO concurrently.
+type SLO struct {
+	mu     sync.RWMutex
+	chans  []*ChannelStats
+	byConn map[Endpoint]*ChannelStats
+}
+
+// NewSLO returns an empty SLO tracker.
+func NewSLO() *SLO {
+	return &SLO{byConn: make(map[Endpoint]*ChannelStats)}
+}
+
+// Register adds a channel and indexes its hop and delivery endpoints.
+func (s *SLO) Register(info ChannelInfo) *ChannelStats {
+	cs := &ChannelStats{info: info}
+	cs.latency.Init()
+	cs.slack.Init()
+	cs.hopSlack.Init()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chans = append(s.chans, cs)
+	s.bindLocked(cs)
+	return cs
+}
+
+func (s *SLO) bindLocked(cs *ChannelStats) {
+	for _, h := range cs.info.Hops {
+		s.byConn[Endpoint{Router: h.Router, Conn: h.In}] = cs
+	}
+	for _, d := range cs.info.Deliver {
+		s.byConn[d] = cs
+	}
+}
+
+func (s *SLO) unbindLocked(cs *ChannelStats) {
+	for _, h := range cs.info.Hops {
+		delete(s.byConn, Endpoint{Router: h.Router, Conn: h.In})
+	}
+	for _, d := range cs.info.Deliver {
+		delete(s.byConn, d)
+	}
+}
+
+// Rebind swaps a channel's endpoints after a reroute: accumulated
+// statistics stay, the endpoint index follows the new route.
+func (s *SLO) Rebind(cs *ChannelStats, hops []Hop, deliver []Endpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unbindLocked(cs)
+	cs.info.Hops = hops
+	cs.info.Deliver = deliver
+	s.bindLocked(cs)
+}
+
+// Detach removes a closed channel's endpoints; its accumulated
+// statistics remain visible in Channels and Export.
+func (s *SLO) Detach(cs *ChannelStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unbindLocked(cs)
+}
+
+// Channels returns the registered channels in registration order.
+func (s *SLO) Channels() []*ChannelStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*ChannelStats(nil), s.chans...)
+}
+
+// Reset zeroes every channel's accounting, keeping registrations — the
+// warmup-reset idiom.
+func (s *SLO) Reset() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, cs := range s.chans {
+		cs.reset()
+	}
+}
+
+// lookup resolves an endpoint to its channel, or nil.
+func (s *SLO) lookup(rtr string, conn uint8) *ChannelStats {
+	s.mu.RLock()
+	cs := s.byConn[Endpoint{Router: rtr, Conn: conn}]
+	s.mu.RUnlock()
+	return cs
+}
+
+// Observe feeds one lifecycle event into the accounting. Transmit
+// events record per-hop slack, hop misses (the Missed flag, which
+// mirrors the hardware DeadlineMisses counter), and horizon-early
+// sends; deliver events record end-to-end slack and misses. Other kinds
+// are ignored here — the Sharded collector keeps the full stream.
+func (s *SLO) Observe(ev router.LifecycleEvent) {
+	if ev.BE {
+		return
+	}
+	switch ev.Kind {
+	case router.EvTransmit:
+		cs := s.lookup(ev.Router, ev.InConn)
+		if cs == nil {
+			return
+		}
+		cs.hopSlack.Record(ev.Slack)
+		if ev.Missed {
+			cs.hopMisses.Add(1)
+		}
+		if ev.Class == sched.ClassEarly {
+			cs.early.Add(1)
+		}
+	case router.EvDeliver:
+		cs := s.lookup(ev.Router, ev.InConn)
+		if cs == nil {
+			return
+		}
+		cs.delivered.Add(1)
+		cs.slack.Record(ev.Slack)
+		if ev.Slack < 0 {
+			cs.misses.Add(1)
+		}
+	}
+}
+
+// RecordLatency notes one probe-measured end-to-end delivery latency in
+// byte cycles, keyed by the delivery endpoint (traffic.Sink.OnTCLatency
+// supplies these).
+func (s *SLO) RecordLatency(rtr string, conn uint8, cycles int64) {
+	if cs := s.lookup(rtr, conn); cs != nil {
+		cs.latency.Record(cycles)
+	}
+}
+
+// Attach chains the SLO observer into a router's lifecycle hook,
+// preserving any hook already installed.
+func (s *SLO) Attach(r *router.Router) {
+	prev := r.OnLifecycle
+	r.OnLifecycle = func(ev router.LifecycleEvent) {
+		s.Observe(ev)
+		if prev != nil {
+			prev(ev)
+		}
+	}
+}
+
+// Export snapshots every registered channel in registration order, in
+// the shape metrics.Registry expects from SetChannelSource.
+func (s *SLO) Export() []metrics.ChannelSnapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]metrics.ChannelSnapshot, len(s.chans))
+	for i, cs := range s.chans {
+		out[i] = cs.Snapshot()
+	}
+	return out
+}
+
+// Report writes the per-channel SLO table: delivery counts, latency
+// p50/p99/worst (byte cycles), end-to-end slack p50/min (slots, against
+// the reserved bound), and the miss/early counters. Latency rows show
+// "-" when no probe-carrying traffic was delivered (latency needs the
+// 12-byte probe payload; slack is measured for every delivery).
+func (s *SLO) Report(w io.Writer) {
+	chans := s.Channels()
+	fmt.Fprintf(w, "%-22s %9s %7s %7s %7s %7s %7s %7s %6s %6s %6s\n",
+		"channel", "delivered",
+		"lat p50", "lat p99", "lat max",
+		"slk p50", "slk min", "bound",
+		"miss", "hopmis", "early")
+	for _, cs := range chans {
+		snap := cs.Snapshot()
+		lat50, lat99, latMax := "-", "-", "-"
+		if snap.Latency.Count > 0 {
+			lat50 = fmt.Sprint(snap.Latency.P50)
+			lat99 = fmt.Sprint(snap.Latency.P99)
+			latMax = fmt.Sprint(snap.Latency.Max)
+		}
+		slk50, slkMin := "-", "-"
+		if snap.Slack.Count > 0 {
+			slk50 = fmt.Sprint(snap.Slack.P50)
+			slkMin = fmt.Sprint(snap.Slack.Min)
+		}
+		fmt.Fprintf(w, "%-22s %9d %7s %7s %7s %7s %7s %7d %6d %6d %6d\n",
+			snap.Name, snap.Delivered,
+			lat50, lat99, latMax,
+			slk50, slkMin, snap.BoundSlots,
+			snap.Misses, snap.HopMisses, snap.EarlyTx)
+	}
+}

@@ -267,7 +267,11 @@ func (r *Router) InjectTC(p packet.TCPacket) {
 		r.met.TCInjected.Inc()
 	}
 	if r.OnLifecycle != nil {
-		r.lifecycle(LifecycleEvent{Kind: EvInject, Port: -1, InConn: p.Conn})
+		l := r.wheel.Wrap(timing.Slot(p.Stamp))
+		r.lifecycle(LifecycleEvent{
+			Kind: EvInject, Port: -1, InConn: p.Conn,
+			Stamp: l, Slack: r.wheel.SignedDiff(l, r.slotNow(r.nowCycle)),
+		})
 	}
 }
 
@@ -560,6 +564,8 @@ func (r *Router) emitCut(o *tcOutput) {
 			ev := LifecycleEvent{
 				Port: o.port, InConn: o.cutLeaf.InConn, OutConn: o.cutLeaf.OutConn,
 				Class: o.cutClass,
+				Stamp: o.cutLeaf.Dl,
+				Slack: r.wheel.SignedDiff(o.cutLeaf.Dl, r.slotNow(r.nowCycle)),
 			}
 			ev.Kind = EvArbWin
 			r.lifecycle(ev)
@@ -594,7 +600,14 @@ func (r *Router) deliverLocalTC(buf [packet.TCBytes]byte) {
 		r.met.TCDelivered.Inc()
 	}
 	if r.OnLifecycle != nil {
-		r.lifecycle(LifecycleEvent{Kind: EvDeliver, Port: -1, InConn: p.Conn})
+		// The last hop rewrote the header stamp to the delivery deadline
+		// (busGrant writes StampOf(Dl)), so the slack here is the packet's
+		// end-to-end margin against its reserved bound.
+		dl := r.wheel.Wrap(timing.Slot(p.Stamp))
+		r.lifecycle(LifecycleEvent{
+			Kind: EvDeliver, Port: -1, InConn: p.Conn,
+			Stamp: dl, Slack: r.wheel.SignedDiff(dl, r.slotNow(r.nowCycle)),
+		})
 	}
 }
 

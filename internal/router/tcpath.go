@@ -161,6 +161,7 @@ func (u *tcInput) tryCutThrough(now int64) bool {
 		u.r.lifecycle(LifecycleEvent{
 			Kind: EvCutThrough, Port: port,
 			InConn: hdr.Conn, OutConn: ent.Out, Class: class,
+			Stamp: dl, Slack: u.r.wheel.SignedDiff(dl, nowSlot),
 		})
 	}
 	return true
@@ -232,6 +233,8 @@ func (u *tcInput) finishPacket() {
 	if u.r.OnLifecycle != nil {
 		u.r.lifecycle(LifecycleEvent{
 			Kind: EvEnqueue, Port: -1, InConn: p.Conn, OutConn: ent.Out,
+			Stamp: leaf.Dl,
+			Slack: u.r.wheel.SignedDiff(leaf.Dl, u.r.slotNow(u.r.nowCycle)),
 		})
 	}
 }
@@ -390,6 +393,7 @@ func (o *tcOutput) startTx(nowSlot timing.Stamp, class sched.Class) {
 		ev := LifecycleEvent{
 			Port: o.port, InConn: o.sLeaf.InConn, OutConn: o.sLeaf.OutConn,
 			Class: class, Missed: overdue, Wait: wait,
+			Stamp: o.sLeaf.Dl, Slack: o.r.wheel.SignedDiff(o.sLeaf.Dl, nowSlot),
 		}
 		ev.Kind = EvArbWin
 		o.r.lifecycle(ev)

@@ -3,6 +3,7 @@ package router
 import (
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/timing"
 )
 
 // LifecycleKind classifies one step in a packet's life inside a router.
@@ -79,6 +80,17 @@ type LifecycleEvent struct {
 	// Wait is cycles from leaf install to transmission start (transmit
 	// events from the memory path only).
 	Wait int64
+	// Stamp is the wrapped slot-clock stamp the event was measured
+	// against: the per-hop deadline ℓ+d for enqueue/arb-win/transmit/
+	// cut-through, the delivery deadline carried in the header for
+	// deliver, and the logical arrival time ℓ0 for inject. Zero for
+	// best-effort and drop events.
+	Stamp timing.Stamp
+	// Slack is the signed slot distance from the current slot time to
+	// Stamp (timing.Wheel.SignedDiff): positive = slots to spare, zero =
+	// the deadline slot itself (still on time), negative = overdue. For
+	// inject events it is the gap to ℓ0 instead (positive = early).
+	Slack int64
 	// Reason is valid for EvDrop.
 	Reason metrics.DropReason
 	// BE marks best-effort events (block, drop, deliver); connection

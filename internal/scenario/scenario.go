@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/rtc"
 	"repro/internal/traffic"
@@ -174,6 +175,12 @@ type RunOpts struct {
 	// SampleEvery, when positive, registers a periodic sampler
 	// snapshotting the registry into System.Sampler.TS.
 	SampleEvery int64
+	// Collector, when non-nil, attaches the sharded lifecycle collector
+	// to every router (parallel-safe tracing).
+	Collector *obs.Sharded
+	// ChannelSLO, when non-nil, attaches per-channel SLO accounting to
+	// every channel the scenario opens.
+	ChannelSLO *obs.SLO
 	// Workers selects the kernel execution mode: 0 or 1 sequential,
 	// n > 1 parallel over per-node shards (bit-identical results),
 	// negative GOMAXPROCS. Parallel runs should Close the returned
@@ -214,6 +221,8 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 		Router:             rcfg,
 		Metrics:            opts.Metrics,
 		MetricsSampleEvery: opts.SampleEvery,
+		Collector:          opts.Collector,
+		ChannelSLO:         opts.ChannelSLO,
 		Workers:            opts.Workers,
 	}.WithAdmission(acfg))
 	if err != nil {

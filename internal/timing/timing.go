@@ -123,6 +123,21 @@ func (w Wheel) Laxity(dl, t Stamp) (lax uint32, overdue bool) {
 	return d, false
 }
 
+// SignedDiff interprets the modular difference (a − b) mod 2^bits as a
+// signed distance within the half-range window: differences of half the
+// wheel or more denote a past stamp and come back negative. Under the
+// Section 4.3 window invariant every live stamp sits within ± half a
+// wheel of the current time, so the result is exact. SignedDiff(dl, t)
+// is the signed slack against deadline dl at time t — zero means the
+// deadline slot itself (still on time), negative means overdue.
+func (w Wheel) SignedDiff(a, b Stamp) int64 {
+	d := w.Sub(a, b)
+	if d >= w.half {
+		return int64(d) - int64(w.Range())
+	}
+	return int64(d)
+}
+
 // EarlyGap returns the slots remaining until logical arrival l, for an
 // early packet, given current time t.
 func (w Wheel) EarlyGap(l, t Stamp) uint32 {

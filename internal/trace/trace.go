@@ -11,6 +11,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/router"
 	"repro/internal/sched"
+	"repro/internal/timing"
 )
 
 // Kind classifies an event.
@@ -77,8 +78,13 @@ type Event struct {
 	Class   sched.Class
 	Missed  bool
 	Wait    int64
-	Reason  string
-	BE      bool
+	// Stamp and Slack mirror router.LifecycleEvent: the wrapped deadline
+	// stamp the event was measured against and the signed slot distance
+	// to it (negative = overdue).
+	Stamp  timing.Stamp
+	Slack  int64
+	Reason string
+	BE     bool
 }
 
 // Ring is a fixed-capacity event recorder; the newest events win.
@@ -135,32 +141,44 @@ func (r *Ring) Events() []Event {
 
 // Dump writes the retained events, oldest first.
 func (r *Ring) Dump(w io.Writer) {
-	for _, e := range r.Events() {
+	DumpEvents(w, r.Events())
+}
+
+// DumpEvents writes events in the standard human-readable trace format,
+// one line each, in slice order. The slack printed on transmit,
+// arbitration, cut-through, and delivery lines is the signed slot margin
+// against the event's deadline stamp (negative = overdue).
+func DumpEvents(w io.Writer, events []Event) {
+	for _, e := range events {
 		miss := ""
 		if e.Missed {
 			miss = " MISS"
 		}
 		switch e.Kind {
 		case KindTCTransmit, KindArbWin:
-			fmt.Fprintf(w, "%10d  %s  %s %s conn=%d->%d class=%s wait=%d%s\n",
-				e.Cycle, e.Kind, e.Router, router.PortName(e.Port), e.Conn, e.OutConn, e.Class, e.Wait, miss)
+			fmt.Fprintf(w, "%10d  %s  %s %s conn=%d->%d class=%s wait=%d slack=%d%s\n",
+				e.Cycle, e.Kind, e.Router, router.PortName(e.Port), e.Conn, e.OutConn, e.Class, e.Wait, e.Slack, miss)
 		case KindCutThrough:
-			fmt.Fprintf(w, "%10d  %s  %s %s conn=%d->%d class=%s\n",
-				e.Cycle, e.Kind, e.Router, router.PortName(e.Port), e.Conn, e.OutConn, e.Class)
+			fmt.Fprintf(w, "%10d  %s  %s %s conn=%d->%d class=%s slack=%d\n",
+				e.Cycle, e.Kind, e.Router, router.PortName(e.Port), e.Conn, e.OutConn, e.Class, e.Slack)
 		case KindEnqueue:
 			fmt.Fprintf(w, "%10d  %s  %s conn=%d->%d\n", e.Cycle, e.Kind, e.Router, e.Conn, e.OutConn)
 		case KindDrop:
 			fmt.Fprintf(w, "%10d  %s  %s conn=%d reason=%s\n", e.Cycle, e.Kind, e.Router, e.Conn, e.Reason)
 		case KindBlock:
 			fmt.Fprintf(w, "%10d  %s  %s %s\n", e.Cycle, e.Kind, e.Router, router.PortName(e.Port))
+		case KindTCDeliver:
+			fmt.Fprintf(w, "%10d  %s  %s conn=%d slack=%d%s\n", e.Cycle, e.Kind, e.Router, e.Conn, e.Slack, miss)
 		default:
 			fmt.Fprintf(w, "%10d  %s  %s conn=%d%s\n", e.Cycle, e.Kind, e.Router, e.Conn, miss)
 		}
 	}
 }
 
-// fromLifecycle translates a router observation into a trace event.
-func fromLifecycle(ev router.LifecycleEvent) Event {
+// FromLifecycle translates a router observation into a trace event. The
+// obs package reuses it so sharded collectors and the legacy ring render
+// identically.
+func FromLifecycle(ev router.LifecycleEvent) Event {
 	e := Event{
 		Cycle:   ev.Cycle,
 		Router:  ev.Router,
@@ -170,6 +188,8 @@ func fromLifecycle(ev router.LifecycleEvent) Event {
 		Class:   ev.Class,
 		Missed:  ev.Missed,
 		Wait:    ev.Wait,
+		Stamp:   ev.Stamp,
+		Slack:   ev.Slack,
 		BE:      ev.BE,
 	}
 	switch ev.Kind {
@@ -206,7 +226,7 @@ func fromLifecycle(ev router.LifecycleEvent) Event {
 func AttachRouter(ring *Ring, r *router.Router) {
 	prev := r.OnLifecycle
 	r.OnLifecycle = func(ev router.LifecycleEvent) {
-		ring.Record(fromLifecycle(ev))
+		ring.Record(FromLifecycle(ev))
 		if prev != nil {
 			prev(ev)
 		}

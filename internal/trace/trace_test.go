@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
@@ -11,12 +11,13 @@ import (
 	"repro/internal/router"
 	"repro/internal/rtc"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 func TestRingEviction(t *testing.T) {
-	r := NewRing(3)
+	r := trace.NewRing(3)
 	for i := int64(0); i < 5; i++ {
-		r.Record(Event{Cycle: i})
+		r.Record(trace.Event{Cycle: i})
 	}
 	if r.Total() != 5 {
 		t.Errorf("Total = %d, want 5", r.Total())
@@ -33,36 +34,36 @@ func TestRingEviction(t *testing.T) {
 }
 
 func TestRingUnderfill(t *testing.T) {
-	r := NewRing(10)
-	r.Record(Event{Cycle: 7})
+	r := trace.NewRing(10)
+	r.Record(trace.Event{Cycle: 7})
 	ev := r.Events()
 	if len(ev) != 1 || ev[0].Cycle != 7 {
 		t.Fatalf("events = %v", ev)
 	}
-	if NewRing(0) == nil {
+	if trace.NewRing(0) == nil {
 		t.Fatal("degenerate capacity must clamp, not fail")
 	}
 }
 
 func TestKindString(t *testing.T) {
-	if KindTCTransmit.String() != "tc-tx" || KindTCDeliver.String() != "tc-rx" || KindBEDeliver.String() != "be-rx" {
+	if trace.KindTCTransmit.String() != "tc-tx" || trace.KindTCDeliver.String() != "tc-rx" || trace.KindBEDeliver.String() != "be-rx" {
 		t.Error("kind labels wrong")
 	}
-	if Kind(9).String() != "kind(9)" {
+	if trace.Kind(9).String() != "kind(9)" {
 		t.Error("unknown kind label wrong")
 	}
 }
 
 // TestAttachEndToEnd traces a live system and checks the full packet
-// lifecycle appears with sane fields. AttachRouter alone now records
+// lifecycle appears with sane fields. trace.AttachRouter alone now records
 // deliveries (through the lifecycle hook), so no sink observers are
 // needed.
 func TestAttachEndToEnd(t *testing.T) {
 	sys := core.MustNewMesh(2, 1, core.Options{})
-	ring := NewRing(64)
+	ring := trace.NewRing(64)
 	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
 	for _, c := range sys.Net.Coords() {
-		AttachRouter(ring, sys.Router(c))
+		trace.AttachRouter(ring, sys.Router(c))
 	}
 	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, rtc.Spec{Imin: 8, Smax: 18, D: 32})
 	if err != nil {
@@ -81,20 +82,20 @@ func TestAttachEndToEnd(t *testing.T) {
 	var inject, enq, win, tx, rx, be int
 	for _, e := range ring.Events() {
 		switch e.Kind {
-		case KindInject:
+		case trace.KindInject:
 			inject++
-		case KindEnqueue:
+		case trace.KindEnqueue:
 			enq++
-		case KindArbWin:
+		case trace.KindArbWin:
 			win++
-		case KindTCTransmit:
+		case trace.KindTCTransmit:
 			tx++
 			if e.Class == sched.ClassNone {
 				t.Error("transmit event with no class")
 			}
-		case KindTCDeliver:
+		case trace.KindTCDeliver:
 			rx++
-		case KindBEDeliver:
+		case trace.KindBEDeliver:
 			be++
 		}
 	}
@@ -121,9 +122,9 @@ func TestAttachEndToEnd(t *testing.T) {
 // inject→deliver chain across rewritten per-hop connection ids.
 func TestTimeline(t *testing.T) {
 	sys := core.MustNewMesh(3, 1, core.Options{})
-	ring := NewRing(256)
+	ring := trace.NewRing(256)
 	for _, c := range sys.Net.Coords() {
-		AttachRouter(ring, sys.Router(c))
+		trace.AttachRouter(ring, sys.Router(c))
 	}
 	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 2, Y: 0}
 	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, rtc.Spec{Imin: 8, Smax: 18, D: 64})
@@ -135,15 +136,15 @@ func TestTimeline(t *testing.T) {
 	}
 	sys.Run(4000)
 
-	tl := Timeline(ring, ch.Admitted().SrcConn)
+	tl := trace.Timeline(ring, ch.Admitted().SrcConn)
 	if len(tl) < 4 {
 		t.Fatalf("timeline too short: %v", tl)
 	}
-	if tl[0].Kind != KindInject || tl[0].Router != src.String() {
+	if tl[0].Kind != trace.KindInject || tl[0].Router != src.String() {
 		t.Errorf("timeline does not start with inject at source: %+v", tl[0])
 	}
 	last := tl[len(tl)-1]
-	if last.Kind != KindTCDeliver || last.Router != dst.String() {
+	if last.Kind != trace.KindTCDeliver || last.Router != dst.String() {
 		t.Errorf("timeline does not end with delivery at destination: %+v", last)
 	}
 	hops := map[string]bool{}
@@ -153,7 +154,7 @@ func TestTimeline(t *testing.T) {
 		if i > 0 && e.Cycle < tl[i-1].Cycle {
 			t.Errorf("timeline not in cycle order at %d: %+v", i, e)
 		}
-		if e.Kind == KindTCTransmit {
+		if e.Kind == trace.KindTCTransmit {
 			tx++
 		}
 	}
@@ -166,13 +167,13 @@ func TestTimeline(t *testing.T) {
 }
 
 // TestResetStatsClearsRing checks Router.ResetStats propagates through
-// the OnReset chain installed by AttachRouter.
+// the OnReset chain installed by trace.AttachRouter.
 func TestResetStatsClearsRing(t *testing.T) {
 	sys := core.MustNewMesh(2, 1, core.Options{})
-	ring := NewRing(64)
+	ring := trace.NewRing(64)
 	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
 	for _, c := range sys.Net.Coords() {
-		AttachRouter(ring, sys.Router(c))
+		trace.AttachRouter(ring, sys.Router(c))
 	}
 	ch, err := sys.OpenChannel(src, []mesh.Coord{dst}, rtc.Spec{Imin: 8, Smax: 18, D: 32})
 	if err != nil {
@@ -199,8 +200,8 @@ func TestAttachChainsExistingHook(t *testing.T) {
 	r := sys.Router(at)
 	called := 0
 	r.OnTCTransmit = func(router.TCTransmitEvent) { called++ }
-	ring := NewRing(8)
-	AttachRouter(ring, r)
+	ring := trace.NewRing(8)
+	trace.AttachRouter(ring, r)
 	ch, err := sys.OpenChannel(at, []mesh.Coord{at}, rtc.Spec{Imin: 8, Smax: 18, D: 16})
 	if err != nil {
 		// Self-channels may be rejected by routing; fall back to raw

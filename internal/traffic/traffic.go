@@ -292,6 +292,12 @@ type Sink struct {
 	OnTC func(router.DeliveredTC)
 	// OnBE, if set, observes every best-effort delivery.
 	OnBE func(router.DeliveredBE)
+	// OnTCLatency, if set, observes the probe-measured end-to-end
+	// latency (byte cycles) of every time-constrained delivery whose
+	// payload carries a valid probe, keyed by the delivery connection
+	// id. A separate hook from OnTC so SLO accounting composes with a
+	// user-installed delivery observer.
+	OnTCLatency func(conn uint8, latency int64)
 }
 
 // NewSink creates a delivery sink for one router.
@@ -317,6 +323,9 @@ func (s *Sink) Tick(now sim.Cycle) {
 		inj, _ := DecodeProbe(d.Payload[:])
 		if inj > 0 && inj <= d.Cycle {
 			s.TCLatency.AddInt(d.Cycle - inj)
+			if s.OnTCLatency != nil {
+				s.OnTCLatency(d.Conn, d.Cycle-inj)
+			}
 		}
 		if s.OnTC != nil {
 			s.OnTC(d)
