@@ -23,11 +23,13 @@ fmt:
 
 # bench runs the simulator-speed micro-benchmarks (cycle rate sequential
 # vs parallel, scheduler selection, sort keys) with allocation reporting,
-# then records machine-readable numbers in $(BENCH_JSON).
+# then runs the full scaling sweep — mesh size × worker count, printing
+# the speedup table — and records machine-readable numbers (including
+# allocs/cycle and GOMAXPROCS) in $(BENCH_JSON).
 BENCH_JSON ?= BENCH_router.json
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRouterCycleRate|BenchmarkT4SchedulerThroughput|BenchmarkFig6SortKeys' -benchmem .
-	$(GO) run ./cmd/rtbench -exp cyclerate -benchjson $(BENCH_JSON)
+	$(GO) run ./cmd/rtbench -exp sweep -benchjson $(BENCH_JSON)
 
 # benchall runs every benchmark, including the full experiment replays.
 benchall:

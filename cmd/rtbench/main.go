@@ -8,8 +8,9 @@
 //	rtbench -exp e1 -chart  # include ASCII charts where available
 //
 // Experiments: e1, fig6, fig7, chip, horizon, compare, vct, multicast,
-// admit, all; plus cyclerate, which benchmarks the simulator itself
-// (sequential vs parallel kernel; -workers, -benchjson).
+// admit, all; plus cyclerate and sweep, which benchmark the simulator
+// itself (sequential vs parallel kernel; -workers, -mesh, -benchjson,
+// -min-speedup).
 package main
 
 import (
@@ -19,7 +20,8 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -27,19 +29,55 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/router"
+	"repro/internal/sim"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|ring|sharing|cyclerate|all)")
+	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|ring|sharing|cyclerate|sweep|all)")
 	cycles := flag.Int64("cycles", 0, "override simulated cycles where applicable (0 = experiment default)")
 	chart := flag.Bool("chart", false, "render ASCII charts where available")
-	workers := flag.Int("workers", 0, "parallel kernel workers for the cyclerate experiment (0 = GOMAXPROCS)")
-	benchJSON := flag.String("benchjson", "", "write the cyclerate result as JSON to this file (e.g. BENCH_router.json)")
+	workers := flag.Int("workers", 0, "parallel kernel workers for cyclerate, or the single worker count for sweep (0 = GOMAXPROCS for cyclerate, default worker set for sweep)")
+	benchJSON := flag.String("benchjson", "", "write the cyclerate/sweep result as JSON to this file (e.g. BENCH_router.json)")
+	meshList := flag.String("mesh", "", "comma-separated square mesh edges for the sweep (default 8,16,32)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail the sweep if any parallel row is slower than this fraction of sequential (0 = don't enforce)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	metricsOut := flag.String("metrics", "", "write aggregate telemetry across all runs to this file (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
 	listen := flag.String("listen", "", "serve live telemetry over HTTP at this address while experiments run (e.g. :8080)")
 	traceOut := flag.String("trace-out", "", "write the merged event timeline across all runs to this file (.json = Chrome trace-event JSON for Perfetto, .jsonl = JSON lines, otherwise the human-readable dump)")
 	traceBuf := flag.Int("trace-buf", obs.DefaultShardCap, "per-node event buffer capacity for -trace-out (oldest events evict first)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal("cpuprofile", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile", err)
+		}
+		profStop = append(profStop, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("cpu profile written to %s\n", f.Name())
+		})
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		profStop = append(profStop, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rtbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "rtbench: memprofile:", err)
+				return
+			}
+			fmt.Printf("heap profile written to %s\n", path)
+		})
+	}
 
 	// Experiments build their Systems internally, so telemetry hooks in
 	// through the package-level default registry; tracing and SLO
@@ -65,11 +103,7 @@ func main() {
 		slo = obs.NewSLO()
 		core.DefaultCollector = col
 		core.DefaultChannelSLO = slo
-		ew := *workers
-		if ew <= 0 {
-			ew = runtime.GOMAXPROCS(0)
-		}
-		fmt.Printf("tracing: on (per-node buffer %d events; cyclerate runs on %d kernel worker(s))\n", *traceBuf, ew)
+		fmt.Printf("tracing: on (per-node buffer %d events; cyclerate runs on %d kernel worker(s))\n", *traceBuf, sim.ResolveWorkers(*workers))
 	}
 
 	runners := map[string]func() error{
@@ -89,9 +123,10 @@ func main() {
 		"ring":      func() error { return runRing(*cycles) },
 		"sharing":   func() error { return runSharing(*cycles) },
 		"cyclerate": func() error { return runCycleRate(*cycles, *workers, *benchJSON) },
+		"sweep":     func() error { return runSweep(*cycles, *workers, *meshList, *benchJSON, *minSpeedup) },
 	}
-	// cyclerate measures the simulator rather than the paper and is run
-	// on request only, not as part of "all".
+	// cyclerate and sweep measure the simulator rather than the paper and
+	// are run on request only, not as part of "all".
 	order := []string{"e1", "fig7", "fig6", "chip", "horizon", "compare", "approx", "vct", "multicast", "admit", "load", "skew", "failover", "ring", "sharing"}
 
 	if *exp == "all" {
@@ -102,6 +137,7 @@ func main() {
 		}
 		dumpTelemetry(reg, *metricsOut)
 		dumpTrace(col, slo, *traceOut)
+		finishProfiles()
 		return
 	}
 	run, ok := runners[*exp]
@@ -115,6 +151,25 @@ func main() {
 	}
 	dumpTelemetry(reg, *metricsOut)
 	dumpTrace(col, slo, *traceOut)
+	finishProfiles()
+}
+
+// profStop holds the -cpuprofile/-memprofile finalizers;
+// finishProfiles runs them exactly once on every exit path, fatal
+// included, so a failed run still leaves usable profiles behind.
+var (
+	profStop []func()
+	profDone bool
+)
+
+func finishProfiles() {
+	if profDone {
+		return
+	}
+	profDone = true
+	for _, f := range profStop {
+		f()
+	}
 }
 
 // dumpTrace exports the merged timeline accumulated across every system
@@ -172,6 +227,7 @@ func dumpTelemetry(reg *metrics.Registry, path string) {
 }
 
 func fatal(name string, err error) {
+	finishProfiles()
 	fmt.Fprintf(os.Stderr, "rtbench: %s: %v\n", name, err)
 	os.Exit(1)
 }
@@ -368,6 +424,104 @@ func runCycleRate(cycles int64, workers int, benchJSON string) error {
 		"par_allocs_per_cycle": res.ParAllocsPerCycle,
 		"stats_match":          res.StatsMatch,
 	}); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark result written to %s\n", benchJSON)
+	return nil
+}
+
+// runSweep runs the full scaling matrix (meshes × worker counts). A
+// non-zero workers narrows the sweep to that single worker count, a
+// non-zero cycles overrides every mesh's budget, and minSpeedup turns
+// the sweep into a regression tripwire for CI.
+func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup float64) error {
+	var meshes []int
+	if meshList != "" {
+		for _, s := range strings.Split(meshList, ",") {
+			edge, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || edge < 2 {
+				return fmt.Errorf("bad -mesh entry %q", s)
+			}
+			meshes = append(meshes, edge)
+		}
+	}
+	var workerSet []int
+	if workers != 0 {
+		workerSet = []int{sim.ResolveWorkers(workers)}
+	}
+	var budget func(edge int) int64
+	if cycles > 0 {
+		budget = func(int) int64 { return cycles }
+	}
+	res, err := experiments.RunScalingSweep(meshes, workerSet, budget)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+
+	type jsonRow struct {
+		Mesh              string  `json:"mesh"`
+		Cycles            int64   `json:"cycles"`
+		Workers           int     `json:"workers"`
+		SeqCyclesPerSec   float64 `json:"seq_cycles_per_sec"`
+		ParCyclesPerSec   float64 `json:"par_cycles_per_sec"`
+		Speedup           float64 `json:"speedup"`
+		SeqAllocsPerCycle float64 `json:"seq_allocs_per_cycle"`
+		ParAllocsPerCycle float64 `json:"par_allocs_per_cycle"`
+		StatsMatch        bool    `json:"stats_match"`
+	}
+	rows := make([]jsonRow, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		if !r.StatsMatch {
+			return fmt.Errorf("%dx%d x%d: parallel run diverged from sequential run", r.W, r.H, r.Workers)
+		}
+		rows = append(rows, jsonRow{
+			Mesh:            fmt.Sprintf("%dx%d", r.W, r.H),
+			Cycles:          r.Cycles,
+			Workers:         r.Workers,
+			SeqCyclesPerSec: r.SeqRate, ParCyclesPerSec: r.ParRate,
+			Speedup:           r.Speedup,
+			SeqAllocsPerCycle: r.SeqAllocsPerCycle, ParAllocsPerCycle: r.ParAllocsPerCycle,
+			StatsMatch: r.StatsMatch,
+		})
+	}
+	if minSpeedup > 0 {
+		for _, r := range res.Rows {
+			if r.Workers > 1 && r.Speedup < minSpeedup {
+				return fmt.Errorf("%dx%d x%d: speedup %.2fx below the %.2fx floor",
+					r.W, r.H, r.Workers, r.Speedup, minSpeedup)
+			}
+		}
+	}
+	if benchJSON == "" {
+		return nil
+	}
+	out := map[string]any{
+		"benchmark":  "router_scaling_sweep",
+		"gomaxprocs": res.GOMAXPROCS,
+		"rows":       rows,
+	}
+	// Headline: the 8×8 mesh at 4 workers, the configuration the older
+	// single-point cyclerate benchmark archived.
+	if h := res.Row(8, 4); h != nil {
+		out["mesh"] = "8x8"
+		out["cycles"] = h.Cycles
+		out["workers"] = h.Workers
+		out["seq_cycles_per_sec"] = h.SeqRate
+		out["par_cycles_per_sec"] = h.ParRate
+		out["speedup"] = h.Speedup
+		out["seq_allocs_per_cycle"] = h.SeqAllocsPerCycle
+		out["par_allocs_per_cycle"] = h.ParAllocsPerCycle
+		out["stats_match"] = h.StatsMatch
+	}
+	f, err := os.Create(benchJSON)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
 		return err
 	}
 	fmt.Printf("benchmark result written to %s\n", benchJSON)

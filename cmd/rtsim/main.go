@@ -19,7 +19,6 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"runtime"
 	"strings"
 
 	"repro/internal/admission"
@@ -31,6 +30,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/rtc"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -348,7 +348,7 @@ func printLinkTable(sys *core.System, cycles int64) {
 func printSummary(sys *core.System, cycles int64, workers int) {
 	sum := sys.Summarize()
 	fmt.Printf("\nsimulated %d cycles (%d slots) on %d kernel worker(s)\n",
-		cycles, cycles/packet.TCBytes, effectiveWorkers(workers))
+		cycles, cycles/packet.TCBytes, sim.ResolveWorkers(workers))
 	fmt.Printf("time-constrained: %d delivered, %d deadline misses, %d drops\n",
 		sum.TCDelivered, sum.TCMisses, sum.TCDrops)
 	if sum.TCLatency.N() > 0 {
@@ -364,15 +364,6 @@ func printSummary(sys *core.System, cycles int64, workers int) {
 	}
 	fmt.Printf("peak scheduler occupancy: %d packets; cut-throughs: %d; memory-bus load: %.2f chunks/cycle/router\n",
 		sum.SchedulerPeak, sum.CutThroughs, sum.BusUtilization)
-}
-
-// effectiveWorkers resolves the worker-count flag the way the kernel
-// does: non-positive means one worker per available CPU.
-func effectiveWorkers(w int) int {
-	if w <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return w
 }
 
 func fail(err error) {

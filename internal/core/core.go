@@ -79,6 +79,11 @@ type Options struct {
 	// barriers, and a hand-installed router.OnLifecycle hook that writes
 	// shared state must synchronize itself (prefer obs.Sharded).
 	Workers int
+	// Tile sets the spatial tile edge for the parallel execution mode:
+	// node shards group into Tile×Tile blocks per kernel worker. 0 means
+	// mesh.DefaultTileSize; 1 is per-node grouping. Results are
+	// bit-identical for every tile size.
+	Tile int
 }
 
 // DefaultMetrics, when set, is attached by NewMesh to systems built
@@ -204,6 +209,9 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Adm = adm
+	if opts.Tile != 0 {
+		net.SetTileSize(opts.Tile)
+	}
 	if opts.Workers != 0 && opts.Workers != 1 {
 		net.SetWorkers(opts.Workers)
 	}

@@ -30,17 +30,19 @@ type loadedRun struct {
 // runLoaded drives a loaded 8×8 mesh — unicast and multicast real-time
 // channels crossing the network plus a seeded best-effort source on
 // every node — for the given number of cycles with the given worker
-// count, and records the complete observable outcome.
-func runLoaded(t *testing.T, workers int, cycles int64) loadedRun {
+// count, tile size (0 = default), and pool forcing, and records the
+// complete observable outcome.
+func runLoaded(t *testing.T, workers, tile int, forcePool bool, cycles int64) loadedRun {
 	t.Helper()
 	reg := metrics.NewRegistry()
 	col := obs.NewSharded(4096)
 	slo := obs.NewSLO()
-	sys, err := NewMesh(8, 8, Options{Workers: workers, Metrics: reg, Collector: col, ChannelSLO: slo})
+	sys, err := NewMesh(8, 8, Options{Workers: workers, Tile: tile, Metrics: reg, Collector: col, ChannelSLO: slo})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sys.Close()
+	sys.Net.Kernel.ForcePool(forcePool)
 
 	spec := rtc.Spec{Imin: 8, Smax: 18, D: 120}
 	routes := [][]mesh.Coord{
@@ -114,8 +116,8 @@ func TestParallelEquivalence(t *testing.T) {
 	if testing.Short() {
 		cycles = 3000
 	}
-	seq := runLoaded(t, 1, cycles)
-	par := runLoaded(t, 4, cycles)
+	seq := runLoaded(t, 1, 0, false, cycles)
+	par := runLoaded(t, 4, 0, false, cycles)
 
 	if !reflect.DeepEqual(seq.Stats, par.Stats) {
 		for i := range seq.Stats {
@@ -168,6 +170,30 @@ func TestParallelEquivalence(t *testing.T) {
 			t.Fatalf("channel %q recorded no SLO samples: %+v", ch.Name, ch)
 		}
 	}
+
+	// The tile size only regroups the plan; every choice must reproduce
+	// the same run, through the real pooled rendezvous path.
+	for _, tile := range []int{1, 2, 4} {
+		tile := tile
+		t.Run(fmt.Sprintf("tile%d", tile), func(t *testing.T) {
+			tiled := runLoaded(t, 4, tile, true, cycles)
+			if !reflect.DeepEqual(seq.Stats, tiled.Stats) {
+				t.Fatal("router stats diverged with tile size", tile)
+			}
+			if !reflect.DeepEqual(seq.Deliveries, tiled.Deliveries) {
+				t.Fatal("deliveries diverged with tile size", tile)
+			}
+			if !reflect.DeepEqual(seq.Snapshot, tiled.Snapshot) {
+				t.Fatal("metrics snapshots diverged with tile size", tile)
+			}
+			if seq.Trace != tiled.Trace {
+				t.Fatal("merged traces diverged with tile size", tile)
+			}
+			if !reflect.DeepEqual(seq.Channels, tiled.Channels) {
+				t.Fatal("SLO snapshots diverged with tile size", tile)
+			}
+		})
+	}
 }
 
 // TestParallelTracingRace is the observability side of the parallel
@@ -187,8 +213,11 @@ func TestParallelTracingRace(t *testing.T) {
 	if testing.Short() {
 		cycles = 3000
 	}
-	seq := runLoaded(t, 1, cycles)
-	par := runLoaded(t, workers, cycles)
+	// ForcePool makes the parallel run take the real worker-pool
+	// rendezvous even on a single-CPU machine, so the race detector
+	// always sees the cross-goroutine path.
+	seq := runLoaded(t, 1, 0, false, cycles)
+	par := runLoaded(t, workers, 0, true, cycles)
 
 	if seq.Trace == "" {
 		t.Fatal("degenerate workload: empty merged trace")

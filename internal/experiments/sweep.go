@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// SweepRow is one (mesh, worker-count) measurement of the scaling
+// sweep, always compared against a shared sequential baseline for the
+// same mesh.
+type SweepRow struct {
+	W, H    int
+	Cycles  int64
+	Workers int
+
+	SeqRate float64 // cycles per second, sequential kernel
+	ParRate float64 // cycles per second, parallel kernel
+	Speedup float64 // median of per-repetition par/seq ratios
+
+	SeqAllocsPerCycle float64
+	ParAllocsPerCycle float64
+
+	// StatsMatch confirms this run reproduced the sequential baseline's
+	// per-router hardware counters exactly.
+	StatsMatch bool
+}
+
+// SweepResult is the full scaling matrix. GOMAXPROCS records the
+// machine parallelism the sweep actually had available, so a reader of
+// the archived numbers can tell a single-core inline-path result from
+// a real multicore one.
+type SweepResult struct {
+	GOMAXPROCS int
+	Rows       []SweepRow
+}
+
+// DefaultSweepMeshes are the square mesh edges the sweep covers.
+var DefaultSweepMeshes = []int{8, 16, 32}
+
+// DefaultSweepWorkers returns the worker counts to sweep: 1, 2, 4 and
+// GOMAXPROCS, deduplicated and sorted.
+func DefaultSweepWorkers() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	out := make([]int, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DefaultSweepCycles sizes the measured run per mesh edge so the whole
+// sweep stays in tens of seconds: larger meshes do more work per cycle
+// and need fewer cycles for a stable rate.
+func DefaultSweepCycles(edge int) int64 {
+	switch {
+	case edge <= 8:
+		return 20000
+	case edge <= 16:
+		return 8000
+	default:
+		return 3000
+	}
+}
+
+// RunScalingSweep measures simulator throughput for every mesh edge ×
+// worker count combination. Each mesh's sequential baseline is timed
+// once and shared across its rows. Nil or empty arguments select the
+// defaults; worker counts <= 0 resolve to GOMAXPROCS.
+func RunScalingSweep(meshes []int, workers []int, cycles func(edge int) int64) (*SweepResult, error) {
+	if len(meshes) == 0 {
+		meshes = DefaultSweepMeshes
+	}
+	if len(workers) == 0 {
+		workers = DefaultSweepWorkers()
+	}
+	if cycles == nil {
+		cycles = DefaultSweepCycles
+	}
+	res := &SweepResult{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, edge := range meshes {
+		n := cycles(edge)
+		for _, wk := range workers {
+			wk = sim.ResolveWorkers(wk)
+			// Each row carries its own interleaved sequential baseline so
+			// the ratio is taken under the same machine conditions.
+			seq, par, speedup, err := timePair(edge, edge, wk, n)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %dx%d x%d: %w", edge, edge, wk, err)
+			}
+			res.Rows = append(res.Rows, SweepRow{
+				W: edge, H: edge, Cycles: n, Workers: wk,
+				SeqRate: seq.Rate, ParRate: par.Rate, Speedup: speedup,
+				SeqAllocsPerCycle: seq.Allocs, ParAllocsPerCycle: par.Allocs,
+				StatsMatch: reflect.DeepEqual(seq.Stats, par.Stats),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Row returns the sweep row for the given mesh edge and worker count,
+// or nil if the combination was not measured.
+func (s *SweepResult) Row(edge, workers int) *SweepRow {
+	for i := range s.Rows {
+		r := &s.Rows[i]
+		if r.W == edge && r.Workers == workers {
+			return r
+		}
+	}
+	return nil
+}
+
+// Table renders the scaling matrix.
+func (s *SweepResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Parallel kernel scaling sweep (GOMAXPROCS=%d)", s.GOMAXPROCS),
+		Header: []string{"mesh", "workers", "cycles", "seq c/s", "par c/s", "speedup", "allocs/cyc", "match"},
+	}
+	for _, r := range s.Rows {
+		t.AddRow(
+			fmt.Sprintf("%dx%d", r.W, r.H),
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%.0f", r.SeqRate),
+			fmt.Sprintf("%.0f", r.ParRate),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.2f", r.ParAllocsPerCycle),
+			fmt.Sprintf("%v", r.StatsMatch),
+		)
+	}
+	return t
+}

@@ -109,6 +109,15 @@ type Router struct {
 	schedRR        int
 	nowCycle       int64
 
+	// idle caches the quiescence summary computed at the end of every
+	// full Tick: no buffered flits, empty packet memory, no pending
+	// injections, no in-flight best-effort frames. While it holds (and
+	// the link wires stay clear), Tick runs a fast path that replicates
+	// only the idle cycle's observable effects — see tickIdle. Cleared
+	// by injections and rewiring; idleTicks counts fast-path cycles.
+	idle      bool
+	idleTicks int64
+
 	// met is the attached telemetry block (nil = telemetry off); see
 	// AttachMetrics. prevSlot/slotSeen detect slot-clock rollovers.
 	met      *metrics.RouterMetrics
@@ -242,6 +251,7 @@ func (r *Router) ConnectIn(p int, l *InLink) {
 		panic(fmt.Sprintf("router %s: ConnectIn(%d) out of link range", r.name, p))
 	}
 	r.in[p] = l
+	r.idle = false
 }
 
 // ConnectOut attaches the transmit side of a mesh link to output port p.
@@ -250,12 +260,14 @@ func (r *Router) ConnectOut(p int, l *OutLink) {
 		panic(fmt.Sprintf("router %s: ConnectOut(%d) out of link range", r.name, p))
 	}
 	r.out[p] = l
+	r.idle = false
 }
 
 // InjectTC queues one time-constrained packet at the injection port. The
 // header stamp must carry the connection's logical arrival time ℓ0(m) on
 // the network slot clock.
 func (r *Router) InjectTC(p packet.TCPacket) {
+	r.idle = false
 	if r.tcInjHead > 0 && len(r.tcInjectQ) == cap(r.tcInjectQ) {
 		// Reclaim the consumed head space instead of growing.
 		n := copy(r.tcInjectQ, r.tcInjectQ[r.tcInjHead:])
@@ -281,6 +293,7 @@ func (r *Router) InjectBE(frame []byte) {
 	if len(frame) < packet.BEHeaderBytes {
 		panic(fmt.Sprintf("router %s: InjectBE frame of %d bytes", r.name, len(frame)))
 	}
+	r.idle = false
 	r.beIn[PortLocal].inject(frame)
 }
 
@@ -364,8 +377,12 @@ func (r *Router) SlotNow(now int64) timing.Stamp { return r.slotNow(now) }
 //  4. inputs sample the link wires, and
 //  5. acknowledgements return flit credits upstream.
 func (r *Router) Tick(now sim.Cycle) {
-	r.nowCycle = int64(now)
 	nowSlot := r.slotNow(int64(now))
+	if r.idle && r.inputsClear() {
+		r.tickIdle(int64(now), nowSlot)
+		return
+	}
+	r.nowCycle = int64(now)
 
 	// The wrapped slot clock only moves forward, so a numerically
 	// smaller stamp than last cycle's means the register rolled over.
@@ -408,6 +425,88 @@ func (r *Router) Tick(now sim.Cycle) {
 			}
 		}
 	}
+
+	r.idle = r.quiescent()
+}
+
+// tickIdle is the quiescent cycle. With every engine empty and the link
+// wires clear, a full Tick reduces to exactly three observable effects:
+// the slot-clock rollover detection, the schedule countdown, and — on a
+// beat — the comparator-tree selection, which on an empty scheduler only
+// advances the round-robin pointer and the scheduler telemetry
+// (schedBeat is called unchanged, so any Select-side accounting stays
+// identical). Everything else in the pipeline provably does not change
+// state, so the fast path skips it.
+func (r *Router) tickIdle(now int64, nowSlot timing.Stamp) {
+	r.nowCycle = now
+	if nowSlot < r.prevSlot && r.slotSeen && r.met != nil {
+		r.met.SlotRollovers.Inc()
+	}
+	r.prevSlot, r.slotSeen = nowSlot, true
+	r.schedCountdown--
+	if r.schedCountdown <= 0 {
+		r.schedCountdown = r.cfg.SchedPeriod * r.cfg.LeafSharing
+		r.schedBeat(nowSlot)
+	}
+	r.idleTicks++
+}
+
+// inputsClear reports that nothing arrived on the link wires this
+// cycle: no valid phit to sample and no returning best-effort credit.
+// Together with the cached quiescence summary this licenses tickIdle.
+func (r *Router) inputsClear() bool {
+	for p := 0; p < NumLinks; p++ {
+		if r.in[p] != nil && r.in[p].Phit().Valid {
+			return false
+		}
+		if r.out[p] != nil && r.out[p].Ack().BECredit {
+			return false
+		}
+	}
+	return true
+}
+
+// quiescent computes the idle summary after a full Tick: every receive
+// and transmit engine empty, both injection queues drained, the packet
+// memory fully free, and no scheduling leaves installed. While it holds,
+// the next Tick can take the fast path (provided the wires stay clear).
+func (r *Router) quiescent() bool {
+	if r.tcInjHead != len(r.tcInjectQ) ||
+		r.mem.freeSlots() != r.cfg.Slots ||
+		r.schedq.Occupancy() != 0 {
+		return false
+	}
+	for p := 0; p < NumPorts; p++ {
+		ti := r.tcIn[p]
+		if ti.nAsm != 0 || ti.nPending != 0 || ti.wActive || ti.injCount != 0 ||
+			ti.cutting || ti.cutHead != len(ti.cutFIFO) {
+			return false
+		}
+		to := r.tcOut[p]
+		if to.txActive || to.staged || to.fetching || to.candValid || to.cutIn != nil {
+			return false
+		}
+		bi := r.beIn[p]
+		if bi.parsed || bi.occ() != 0 || bi.consumed != 0 || bi.injHead != len(bi.injQ) {
+			return false
+		}
+		bo := r.beOut[p]
+		if bo.curIn >= 0 || bo.wasStalled {
+			return false
+		}
+	}
+	return true
+}
+
+// IdleTicks reports how many cycles this router has executed through
+// the quiescence fast path — a diagnostic for tests and benchmarks, not
+// a hardware counter.
+func (r *Router) IdleTicks() int64 { return r.idleTicks }
+
+// HasDeliveries reports whether any delivered packets await DrainTC or
+// DrainBE, letting sinks skip the drain entirely on idle cycles.
+func (r *Router) HasDeliveries() bool {
+	return len(r.tcDelivered) > 0 || len(r.beDelivered) > 0
 }
 
 // schedBeat runs one comparator-tree selection for the next port in

@@ -141,6 +141,12 @@ func (p *Pacer) Name() string { return p.name }
 // its previous release, hand it the eligible message (ℓ0 within the
 // window) with the earliest local deadline ℓ0+d.
 func (p *Pacer) Tick(now sim.Cycle) {
+	// Most nodes of a large mesh source no real-time channels at all;
+	// their pacers are pure overhead, so get out before touching the
+	// router.
+	if len(p.chans) == 0 {
+		return
+	}
 	// Keeping at most one packet queued behind the one crossing the port
 	// leaves no idle cycles while preserving the release order.
 	if p.r.TCInjectBacklog() > 1 {

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Parallel execution mode.
@@ -11,43 +13,64 @@ import (
 // never changes results across component boundaries, as long as
 // components communicate only through Regs: every Tick reads values
 // latched at the previous edge and writes values latched at the next
-// one. The parallel mode exploits exactly that property. Components
-// registered with RegisterShard are grouped by shard; within a shard
-// they keep registration order (modelling same-chip paths and the
-// node→router injection-queue handoff, the two documented ordering
-// exceptions), while different shards tick concurrently on a persistent
-// worker pool. Components registered with plain Register may touch
-// anything (e.g. a telemetry sampler reading every router's counters),
-// so they act as barriers: the schedule is a sequence of segments, each
-// either one parallel batch of shard groups or one barrier component.
+// one. The parallel mode exploits exactly that property.
 //
-// The commit phase partitions the Latchables into contiguous chunks,
-// one per worker; every latch is independent, so any partition commits
-// the same state.
+// The engine compiles the registration list into a plan once (rebuilt
+// lazily when registrations, tiling, or the worker count change):
 //
-// No goroutine is spawned per cycle: SetWorkers starts workers-1
-// resident goroutines that block on a per-worker channel, and each
-// phase is one broadcast/join round. The calling goroutine doubles as
-// worker 0. Results are bit-identical to the sequential mode for any
-// worker count (see TestParallelEquivalence in internal/core).
+//   - Maximal runs of sharded components become parallel segments.
+//     Within a segment, shards are grouped into tiles (SetTiling; a mesh
+//     maps node shards to square spatial blocks), tiles are sorted and
+//     dealt out contiguously to the workers balanced by component count,
+//     so the plan has ~workers coarse, cache-local groups rather than
+//     ~shards small ones, and the tile→worker assignment is stable.
+//   - Components registered with plain Register may touch anything
+//     (e.g. a telemetry sampler reading every router's counters), so
+//     they act as barriers: all workers rendezvous, worker 0 ticks the
+//     component alone, and all workers rendezvous again.
+//   - The latches are partitioned per worker into contiguous spans over
+//     the typed commit banks (plus the loose interface list), so the
+//     commit phase is a deterministic dirty scan with no shared cursor.
+//
+// Per cycle the pool costs one dispatch: the main goroutine publishes
+// the job and enters the cycle barrier, every worker ticks its own
+// group, and the tick-phase join doubles as the commit dispatch — each
+// worker falls directly into committing its own latch spans. A final
+// join lets Step return only after all state has committed, keeping
+// between-step reads (RunUntil predicates, stats scrapes) safe. The
+// barriers are sense-reversing atomics that spin briefly before parking,
+// so a cycle costs a handful of atomic operations instead of the
+// channel broadcast + WaitGroup rendezvous per phase it used to.
+//
+// When the process has a single CPU (or a single worker group), the
+// pool cannot help, so the engine runs the same plan inline on the
+// calling goroutine: no dispatch at all, but still the tiled iteration
+// order and the dirty-latch commit. ForcePool overrides this for tests
+// that need the real rendezvous path exercised under the race detector.
 
 // SetWorkers selects the execution mode: n <= 1 is the sequential mode
 // (the default), n > 1 ticks shards on n workers (the caller counts as
 // one). n <= 0 picks GOMAXPROCS. Changing the count mid-run is allowed
 // between Steps; the resident pool is resized lazily.
 func (k *Kernel) SetWorkers(n int) {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
+	n = ResolveWorkers(n)
 	if n == k.workers {
 		return
 	}
 	k.stopPool()
 	k.workers = n
+	k.planDirty = true
 }
 
 // Workers returns the configured worker count (1 = sequential).
 func (k *Kernel) Workers() int { return k.workers }
+
+// ForcePool makes the parallel mode always run on the resident worker
+// pool, even where the engine would normally fall back to the inline
+// path (single-CPU processes, single-group plans). It exists so tests
+// can exercise the rendezvous machinery under the race detector on any
+// machine; simulations have no reason to set it.
+func (k *Kernel) ForcePool(on bool) { k.forcePool = on }
 
 // Close releases the resident worker goroutines. The kernel remains
 // usable afterwards in sequential mode (and a later Step with workers
@@ -55,7 +78,10 @@ func (k *Kernel) Workers() int { return k.workers }
 // short-lived kernels — benchmarks, sweeps — should Close them.
 func (k *Kernel) Close() {
 	k.stopPool()
-	k.workers = 1
+	if k.workers != 1 {
+		k.workers = 1
+		k.planDirty = true
+	}
 }
 
 func (k *Kernel) stopPool() {
@@ -65,146 +91,366 @@ func (k *Kernel) stopPool() {
 	}
 }
 
-// segment is one step of the parallel schedule.
-type segment struct {
-	barrier Component     // non-nil: tick alone on the calling goroutine
-	shards  [][]Component // else: shard groups ticked concurrently
+// planSeg is one step of the parallel schedule: either one barrier
+// component or one batch of per-worker component groups.
+type planSeg struct {
+	barrier Component
+	groups  [][]Component
 }
 
-// buildPlan folds the registration list into the segment schedule:
-// maximal runs of sharded components coalesce into one parallel batch
-// (grouped by shard, registration order preserved within each shard),
-// split at every unsharded component.
+// latchSpan is one contiguous slice of one commit bank (or, for
+// bank == -1, of the loose interface list) owned by one worker.
+type latchSpan struct {
+	bank   int
+	lo, hi int
+}
+
+// buildPlan compiles the registration list into the segment schedule
+// and the per-worker latch spans.
 func (k *Kernel) buildPlan() {
 	k.plan = k.plan[:0]
-	idx := make(map[int]int) // shard key -> position in the open batch
-	var batch [][]Component
+	var run []entry
 	flush := func() {
-		if len(batch) > 0 {
-			k.plan = append(k.plan, segment{shards: batch})
-			batch = nil
-			clear(idx)
+		if len(run) > 0 {
+			k.plan = append(k.plan, planSeg{groups: k.groupRun(run)})
+			run = run[:0]
 		}
 	}
 	for _, e := range k.entries {
 		if e.shard == globalShard {
 			flush()
-			k.plan = append(k.plan, segment{barrier: e.c})
+			k.plan = append(k.plan, planSeg{barrier: e.c})
 			continue
 		}
-		i, ok := idx[e.shard]
-		if !ok {
-			i = len(batch)
-			idx[e.shard] = i
-			batch = append(batch, nil)
-		}
-		batch[i] = append(batch[i], e.c)
+		run = append(run, e)
 	}
 	flush()
+	k.buildSpans()
 	k.planDirty = false
 }
 
-// stepParallel executes one cycle on the worker pool.
-func (k *Kernel) stepParallel() {
-	if k.planDirty {
-		k.buildPlan()
-	}
-	if k.pool == nil {
-		k.pool = newWorkerPool(k.workers)
-	}
-	for i := range k.plan {
-		seg := &k.plan[i]
-		if seg.barrier != nil {
-			seg.barrier.Tick(k.now)
-			continue
+// groupRun turns one run of sharded registrations into per-worker
+// groups: shards collapse into tiles (registration order preserved
+// within each tile, which subsumes the per-shard order), tiles sort by
+// id so the assignment is stable and spatially contiguous, and a greedy
+// contiguous deal balances component counts across the workers.
+func (k *Kernel) groupRun(run []entry) [][]Component {
+	tileOf := func(shard int) int {
+		if k.tiling != nil {
+			return k.tiling(shard)
 		}
-		if len(seg.shards) == 1 {
-			// One group cannot parallelize; skip the broadcast.
-			for _, c := range seg.shards[0] {
-				c.Tick(k.now)
+		return shard
+	}
+	type tile struct {
+		id    int
+		comps []Component
+	}
+	idx := make(map[int]int)
+	var tiles []tile
+	for _, e := range run {
+		t := tileOf(e.shard)
+		i, ok := idx[t]
+		if !ok {
+			i = len(tiles)
+			idx[t] = i
+			tiles = append(tiles, tile{id: t})
+		}
+		tiles[i].comps = append(tiles[i].comps, e.c)
+	}
+	sort.Slice(tiles, func(i, j int) bool { return tiles[i].id < tiles[j].id })
+
+	n := k.workers
+	if n > len(tiles) {
+		n = len(tiles)
+	}
+	groups := make([][]Component, 0, n)
+	total := len(run)
+	done := 0
+	var cur []Component
+	for _, t := range tiles {
+		cur = append(cur, t.comps...)
+		done += len(t.comps)
+		if len(groups) < n-1 && done >= (len(groups)+1)*total/n {
+			groups = append(groups, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// buildSpans deals the latches out to the workers: the banks (then the
+// loose list) form one logical sequence, split into contiguous
+// per-worker ranges, so every latch commits exactly once and the
+// partition is deterministic for any worker count.
+func (k *Kernel) buildSpans() {
+	total := len(k.loose)
+	for _, b := range k.banks {
+		total += b.size()
+	}
+	n := k.workers
+	k.spans = make([][]latchSpan, n)
+	for w := 0; w < n; w++ {
+		glo, ghi := w*total/n, (w+1)*total/n
+		off := 0
+		for bi := -1; bi < len(k.banks); bi++ {
+			var sz int
+			if bi < 0 {
+				sz = len(k.loose)
+			} else {
+				sz = k.banks[bi].size()
+			}
+			lo, hi := glo-off, ghi-off
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > sz {
+				hi = sz
+			}
+			if lo < hi {
+				k.spans[w] = append(k.spans[w], latchSpan{bank: bi, lo: lo, hi: hi})
+			}
+			off += sz
+		}
+	}
+}
+
+// commitSpans commits one worker's share of the latches.
+func (k *Kernel) commitSpans(spans []latchSpan) {
+	for _, s := range spans {
+		if s.bank < 0 {
+			for _, l := range k.loose[s.lo:s.hi] {
+				l.Commit()
 			}
 			continue
 		}
-		k.pool.tick(seg.shards, k.now)
+		k.banks[s.bank].commitRange(s.lo, s.hi)
 	}
-	k.pool.commit(k.latches)
+}
+
+// stepParallel executes one cycle of the compiled plan.
+func (k *Kernel) stepParallel() {
+	if !k.forcePool && runtime.GOMAXPROCS(0) == 1 {
+		// Single CPU: no plan needed at all, the inline path ticks the
+		// registration list directly.
+		k.stepInline()
+		return
+	}
+	if k.planDirty {
+		k.buildPlan()
+	}
+	if !k.forcePool && k.singleGroup() {
+		k.stepInline()
+		return
+	}
+	if k.dirtyOn {
+		// The dirty hooks are single-threaded; the pooled commit uses the
+		// per-worker latch spans instead.
+		k.disableDirty()
+	}
+	if k.pool == nil {
+		k.pool = newWorkerPool(k)
+	}
+	p := k.pool
+	p.plan, p.spans, p.now = k.plan, k.spans, k.now
+	p.enter.await()
+	p.runCycle(0)
 	k.now++
 }
 
-// workerPool is the resident goroutine team. The job fields are written
-// by the calling goroutine before the start broadcast and read by the
-// workers after receiving it; the channel operations order the accesses.
-type workerPool struct {
-	n      int
-	starts []chan struct{}
-	wg     sync.WaitGroup
-
-	// current job
-	committing bool
-	shards     [][]Component
-	latches    []Latchable
-	now        Cycle
+// singleGroup reports a plan with no parallelism to extract: no segment
+// has more than one worker group.
+func (k *Kernel) singleGroup() bool {
+	for i := range k.plan {
+		if len(k.plan[i].groups) > 1 {
+			return false
+		}
+	}
+	return true
 }
 
-func newWorkerPool(n int) *workerPool {
-	p := &workerPool{n: n, starts: make([]chan struct{}, n)}
-	for w := 1; w < n; w++ {
-		p.starts[w] = make(chan struct{}, 1)
-		go p.worker(w)
+// stepInline is the degenerate parallel mode for processes where
+// concurrency cannot help: it ticks the registration list directly —
+// the same order and cost as the sequential reference — and commits
+// from the dirty list, touching only the registers that were written
+// this cycle or still have to drain. That O(active wires) commit is
+// where the mode's single-CPU advantage comes from.
+func (k *Kernel) stepInline() {
+	if !k.dirtyOn {
+		k.enableDirty()
+	}
+	now := k.now
+	for _, e := range k.entries {
+		e.c.Tick(now)
+	}
+	// Commit and compact in place: wires that must drain next edge stay.
+	dl := k.dirty
+	keep := 0
+	for _, r := range dl {
+		if r.commitKeep() {
+			dl[keep] = r
+			keep++
+		}
+	}
+	k.dirty = dl[:keep]
+	for _, l := range k.loose {
+		l.Commit()
+	}
+	k.now++
+}
+
+// enableDirty attaches every banked register to the kernel's dirty list
+// and seeds the list with the registers that are already non-clean, so
+// switching modes mid-run loses no pending drains.
+func (k *Kernel) enableDirty() {
+	list := k.dirty[:0]
+	for _, b := range k.banks {
+		list = b.attach(&k.dirty, list)
+	}
+	k.dirty = list
+	k.dirtyOn = true
+}
+
+// disableDirty detaches the hooks; the sequential and pooled commits
+// walk the full latch set and need no list.
+func (k *Kernel) disableDirty() {
+	for _, b := range k.banks {
+		b.detach()
+	}
+	k.dirty = k.dirty[:0]
+	k.dirtyOn = false
+}
+
+// cycleBarrier is a sense-reversing barrier: the last arriver of a
+// generation resets the count, publishes the next generation, and wakes
+// the parked. Waiters spin briefly on the generation word (cheap on
+// multicore, where the other side is at most a few hundred nanoseconds
+// behind) before parking on the condition variable.
+type cycleBarrier struct {
+	n       int32
+	spin    int
+	arrived atomic.Int32
+	gen     atomic.Uint32
+	mu      sync.Mutex
+	cond    *sync.Cond
+}
+
+func newCycleBarrier(n, spin int) *cycleBarrier {
+	b := &cycleBarrier{n: int32(n), spin: spin}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *cycleBarrier) await() {
+	g := b.gen.Load()
+	if b.arrived.Add(1) == b.n {
+		b.arrived.Store(0)
+		// The generation flips under the mutex so a waiter past its spin
+		// phase cannot miss the broadcast between its check and its park.
+		b.mu.Lock()
+		b.gen.Store(g + 1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for i := 0; i < b.spin; i++ {
+		if b.gen.Load() != g {
+			return
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	b.mu.Lock()
+	for b.gen.Load() == g {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// workerPool is the resident goroutine team. The job fields are written
+// by the main goroutine before it enters the cycle barrier and read by
+// the workers after they leave it; the barrier's atomics order the
+// accesses.
+type workerPool struct {
+	k *Kernel
+	n int
+
+	// enter releases a cycle (workers park here between Steps), join
+	// synchronizes phases within it, and leave ends it. All three have
+	// every worker plus the main goroutine as participants.
+	enter, join, leave *cycleBarrier
+
+	stopping bool
+	plan     []planSeg
+	spans    [][]latchSpan
+	now      Cycle
+	wg       sync.WaitGroup
+}
+
+func newWorkerPool(k *Kernel) *workerPool {
+	spin := 0
+	if runtime.GOMAXPROCS(0) > 1 {
+		spin = 256
+	}
+	p := &workerPool{
+		k:     k,
+		n:     k.workers,
+		enter: newCycleBarrier(k.workers, spin),
+		join:  newCycleBarrier(k.workers, spin),
+		leave: newCycleBarrier(k.workers, spin),
+	}
+	p.wg.Add(p.n - 1)
+	for w := 1; w < p.n; w++ {
+		go p.workerLoop(w)
 	}
 	return p
 }
 
-func (p *workerPool) worker(id int) {
-	for range p.starts[id] {
-		p.run(id)
-		p.wg.Done()
-	}
-}
-
-// run executes worker id's share of the current job. Shard groups are
-// assigned round-robin (group sizes are near-uniform in a mesh);
-// latches split into contiguous chunks.
-func (p *workerPool) run(id int) {
-	if p.committing {
-		lo := id * len(p.latches) / p.n
-		hi := (id + 1) * len(p.latches) / p.n
-		for _, l := range p.latches[lo:hi] {
-			l.Commit()
+func (p *workerPool) workerLoop(id int) {
+	defer p.wg.Done()
+	for {
+		p.enter.await()
+		if p.stopping {
+			return
 		}
-		return
+		p.runCycle(id)
 	}
-	for i := id; i < len(p.shards); i += p.n {
-		for _, c := range p.shards[i] {
-			c.Tick(p.now)
+}
+
+// runCycle is one worker's share of one cycle. Every worker executes
+// the same await sequence (the plan is shared), so the barriers stay
+// balanced: around each barrier component all workers rendezvous twice,
+// and the tick-phase join flows straight into each worker's own commit
+// spans — the commit has no dispatch of its own.
+func (p *workerPool) runCycle(id int) {
+	now := p.now
+	for i := range p.plan {
+		s := &p.plan[i]
+		if s.barrier != nil {
+			p.join.await()
+			if id == 0 {
+				s.barrier.Tick(now)
+			}
+			p.join.await()
+			continue
+		}
+		if id < len(s.groups) {
+			for _, c := range s.groups[id] {
+				c.Tick(now)
+			}
 		}
 	}
-}
-
-func (p *workerPool) dispatch() {
-	p.wg.Add(p.n - 1)
-	for w := 1; w < p.n; w++ {
-		p.starts[w] <- struct{}{}
-	}
-	p.run(0)
-	p.wg.Wait()
-}
-
-func (p *workerPool) tick(shards [][]Component, now Cycle) {
-	p.committing = false
-	p.shards = shards
-	p.now = now
-	p.dispatch()
-}
-
-func (p *workerPool) commit(latches []Latchable) {
-	p.committing = true
-	p.latches = latches
-	p.dispatch()
+	p.join.await()
+	p.k.commitSpans(p.spans[id])
+	p.leave.await()
 }
 
 func (p *workerPool) stop() {
-	for w := 1; w < p.n; w++ {
-		close(p.starts[w])
-	}
+	p.stopping = true
+	p.enter.await()
+	p.wg.Wait()
+	p.stopping = false
 }

@@ -206,7 +206,8 @@ type BEApp struct {
 	rng  *rand.Rand
 
 	tokens  float64
-	pending int // size of the packet awaiting tokens
+	limit   float64 // idle-bucket cap, 4·rate·TCBytes (precomputed)
+	pending int     // size of the packet awaiting tokens
 	pdst    mesh.Coord
 	seq     uint32
 	body    []byte // scratch payload buffer, reused across packets
@@ -228,7 +229,8 @@ func NewBEApp(name string, net *mesh.Network, src mesh.Coord, dst DstPicker, siz
 	}
 	return &BEApp{
 		name: name, r: r, src: src, dst: dst, size: size, rate: rate,
-		rng: rand.New(rand.NewSource(seed)),
+		limit: 4 * rate * float64(packet.TCBytes),
+		rng:   rand.New(rand.NewSource(seed)),
 	}, nil
 }
 
@@ -241,8 +243,8 @@ func (a *BEApp) Tick(now sim.Cycle) {
 	// Cap the idle bucket so quiet periods don't bank unbounded bursts;
 	// once a packet is chosen the bucket must be allowed to reach its
 	// frame length.
-	if limit := 4 * a.rate * float64(packet.TCBytes); a.pending == 0 && a.tokens > limit {
-		a.tokens = limit
+	if a.pending == 0 && a.tokens > a.limit {
+		a.tokens = a.limit
 	}
 	if a.pending == 0 {
 		a.pending = a.size(a.rng)
@@ -318,6 +320,12 @@ func (s *Sink) Reset() {
 
 // Tick implements sim.Component.
 func (s *Sink) Tick(now sim.Cycle) {
+	// Idle-cycle fast path: the double-buffered drains are cheap, but on
+	// large meshes most sinks see nothing most cycles, and the pre-check
+	// is one pointer's worth of work.
+	if !s.r.HasDeliveries() {
+		return
+	}
 	for _, d := range s.r.DrainTC() {
 		s.TCCount++
 		inj, _ := DecodeProbe(d.Payload[:])
