@@ -33,7 +33,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|ring|sharing|cyclerate|sweep|all)")
+	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|faults|ring|sharing|cyclerate|sweep|all)")
+	seed := flag.Int64("seed", 1, "seed for the faults campaign's fault placement")
 	cycles := flag.Int64("cycles", 0, "override simulated cycles where applicable (0 = experiment default)")
 	chart := flag.Bool("chart", false, "render ASCII charts where available")
 	workers := flag.Int("workers", 0, "parallel kernel workers for cyclerate, or the single worker count for sweep (0 = GOMAXPROCS for cyclerate, default worker set for sweep)")
@@ -120,6 +121,7 @@ func main() {
 		"load":      func() error { return runLoad(*cycles) },
 		"skew":      func() error { return runSkew(*cycles) },
 		"failover":  func() error { return runFailover() },
+		"faults":    func() error { return runFaults(*seed) },
 		"ring":      func() error { return runRing(*cycles) },
 		"sharing":   func() error { return runSharing(*cycles) },
 		"cyclerate": func() error { return runCycleRate(*cycles, *workers, *benchJSON) },
@@ -127,7 +129,7 @@ func main() {
 	}
 	// cyclerate and sweep measure the simulator rather than the paper and
 	// are run on request only, not as part of "all".
-	order := []string{"e1", "fig7", "fig6", "chip", "horizon", "compare", "approx", "vct", "multicast", "admit", "load", "skew", "failover", "ring", "sharing"}
+	order := []string{"e1", "fig7", "fig6", "chip", "horizon", "compare", "approx", "vct", "multicast", "admit", "load", "skew", "failover", "faults", "ring", "sharing"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -362,6 +364,15 @@ func runSkew(cycles int64) error {
 
 func runFailover() error {
 	res, err := experiments.RunFailover(8)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
+}
+
+func runFaults(seed int64) error {
+	res, err := experiments.RunFaults(40, seed)
 	if err != nil {
 		return err
 	}

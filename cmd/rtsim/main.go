@@ -302,7 +302,12 @@ func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut st
 		fmt.Println("  rejected:", r)
 	}
 	if res.Failures > 0 {
-		fmt.Printf("link failures played: %d; channels rerouted: %d\n", res.Failures, res.Rerouted)
+		fmt.Printf("fault episodes played: %d (repairs: %d); channels rerouted: %d\n",
+			res.Failures, res.Repairs, res.Rerouted)
+	}
+	if res.Faults.CorruptedPhits > 0 || res.Faults.LostPhits > 0 {
+		fmt.Printf("wire faults injected: %d corrupted, %d lost phits\n",
+			res.Faults.CorruptedPhits, res.Faults.LostPhits)
 	}
 	printSummary(sys, res.Cycles, workers)
 	printChannelReport(slo)

@@ -322,6 +322,9 @@ func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, 
 	for _, n := range nodes {
 		in, out := ids[n.coord].in, ids[n.coord].out
 		if err := c.net.Router(n.coord).SetConnection(in, out, uint8(d), n.mask); err != nil {
+			// A control write failed mid-commit; unwind the hops already
+			// programmed so a refused admission leaves no debris.
+			c.unwindCommit(ch)
 			return nil, fmt.Errorf("admission: programming %s: %w", n.coord, err)
 		}
 		ns := c.nodes[n.coord]
@@ -388,6 +391,67 @@ func (c *Controller) Teardown(ch *Channel) error {
 			}
 		}
 	}
+	return nil
+}
+
+// unwindCommit reverses the hops already committed by admitVia's phase 2
+// when a later control write fails: table entries are cleared and the
+// resource debits reversed, hop by hop.
+func (c *Controller) unwindCommit(ch *Channel) {
+	for _, h := range ch.hops {
+		_ = c.net.Router(h.node).ClearConnection(h.inConn)
+		ns := c.nodes[h.node]
+		delete(ns.usedIDs, h.inConn)
+		if h.mask.Has(router.PortLocal) {
+			delete(ns.usedIDs, h.outConn)
+		}
+		ns.total -= h.buffers
+		for p := 0; p < router.NumPorts; p++ {
+			if h.mask.Has(p) {
+				ns.portBuffers[p] -= h.buffers
+				ls := c.link(linkKey{h.node, p})
+				for i := range ls.tasks {
+					if ls.tasks[i].chanID == ch.ID {
+						ls.tasks = append(ls.tasks[:i], ls.tasks[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+	ch.hops = nil
+}
+
+// restore re-commits a channel's reservations exactly as they were
+// before a Teardown, with no feasibility re-check: the resources were
+// freed by that Teardown, so they are available by construction. It is
+// the mechanical inverse of Teardown and backs the atomicity of Reroute.
+func (c *Controller) restore(ch *Channel) error {
+	if _, ok := c.chans[ch.ID]; ok {
+		return fmt.Errorf("admission: channel %d already active", ch.ID)
+	}
+	newTask := task{C: ch.Spec.MessageSlots(), T: ch.Spec.Imin, D: ch.LocalD, chanID: ch.ID}
+	for _, h := range ch.hops {
+		if err := c.net.Router(h.node).SetConnection(h.inConn, h.outConn, uint8(ch.LocalD), h.mask); err != nil {
+			return fmt.Errorf("admission: restoring channel %d at %s: %w", ch.ID, h.node, err)
+		}
+		ns := c.nodes[h.node]
+		ns.usedIDs[h.inConn] = true
+		if h.mask.Has(router.PortLocal) {
+			ns.usedIDs[h.outConn] = true
+		}
+		ns.total += h.buffers
+		for p := 0; p < router.NumPorts; p++ {
+			if h.mask.Has(p) {
+				ns.portBuffers[p] += h.buffers
+				ls := c.link(linkKey{h.node, p})
+				ls.tasks = append(ls.tasks, newTask)
+			}
+		}
+	}
+	inj := c.link(linkKey{ch.Src, portInject})
+	inj.tasks = append(inj.tasks, newTask)
+	c.chans[ch.ID] = ch
 	return nil
 }
 
@@ -551,14 +615,38 @@ func (c *Controller) MarkFailed(from mesh.Coord, port int) error {
 		return fmt.Errorf("admission: no link %s→%s", from, router.PortName(port))
 	}
 	c.failed[linkKey{from, port}] = true
-	back := map[int]int{
-		router.PortXPlus:  router.PortXMinus,
-		router.PortXMinus: router.PortXPlus,
-		router.PortYPlus:  router.PortYMinus,
-		router.PortYMinus: router.PortYPlus,
-	}[port]
-	c.failed[linkKey{to, back}] = true
+	c.failed[linkKey{to, reverse(port)}] = true
 	return nil
+}
+
+// MarkRepaired clears a previously recorded link failure in both
+// directions so future admissions may route across the link again (pair
+// with mesh.Network.RepairLink, which restores the wires).
+func (c *Controller) MarkRepaired(from mesh.Coord, port int) error {
+	if port < 0 || port >= router.NumLinks {
+		return fmt.Errorf("admission: port %s is not a link", router.PortName(port))
+	}
+	to := from.Add(port)
+	if !c.net.Contains(from) || !c.net.Contains(to) {
+		return fmt.Errorf("admission: no link %s→%s", from, router.PortName(port))
+	}
+	delete(c.failed, linkKey{from, port})
+	delete(c.failed, linkKey{to, reverse(port)})
+	return nil
+}
+
+// reverse maps a link port to the peer router's port on the same link.
+func reverse(port int) int {
+	switch port {
+	case router.PortXPlus:
+		return router.PortXMinus
+	case router.PortXMinus:
+		return router.PortXPlus
+	case router.PortYPlus:
+		return router.PortYMinus
+	default:
+		return router.PortYPlus
+	}
 }
 
 // Hops returns the number of routers on the channel's deepest branch —
@@ -621,17 +709,22 @@ func (ch *Channel) Uses(node mesh.Coord, port int) bool {
 	return false
 }
 
-// Reroute re-establishes a channel after a failure: its reservations are
-// released and admission re-runs, taking the failed-link set and the
-// freed resources into account. On success the old channel is invalid
-// and the returned one carries fresh connection ids; the caller must
-// re-bind its source regulator.
+// Reroute re-establishes a channel after a failure (or a repair, for
+// failing back to the primary path): its reservations are released and
+// admission re-runs, taking the failed-link set and the freed resources
+// into account. On success the old channel is invalid and the returned
+// one carries fresh connection ids; the caller must re-bind its source
+// regulator. On failure the old channel's reservations are restored
+// verbatim, so a refused reroute leaves the channel exactly as it was.
 func (c *Controller) Reroute(ch *Channel) (*Channel, error) {
 	if err := c.Teardown(ch); err != nil {
 		return nil, err
 	}
 	nch, err := c.Admit(ch.Src, ch.Dsts, ch.Spec)
 	if err != nil {
+		if rerr := c.restore(ch); rerr != nil {
+			return nil, fmt.Errorf("admission: reroute of channel %d failed (%v) and restore failed: %w", ch.ID, err, rerr)
+		}
 		return nil, fmt.Errorf("admission: reroute of channel %d: %w", ch.ID, err)
 	}
 	return nch, nil

@@ -340,13 +340,27 @@ func (s *System) FailLink(from mesh.Coord, port int) error {
 	return s.Adm.MarkFailed(from, port)
 }
 
+// RepairLink restores a previously failed link and clears the failure
+// record with the admission controller. Channels that were rerouted
+// around the outage keep their detour until Reroute is called again,
+// which re-admits them on the primary path (failback).
+func (s *System) RepairLink(from mesh.Coord, port int) error {
+	if err := s.Net.RepairLink(from, port); err != nil {
+		return err
+	}
+	return s.Adm.MarkRepaired(from, port)
+}
+
 // Reroute re-establishes the channel around failures and congestion:
 // reservations are released and re-admitted (the disjoint YX order
 // serves as fallback), and the source regulator is re-bound to the new
-// connection id. Messages already queued in the old regulator are
-// dropped, as after any connection re-establishment.
+// connection id. After a repair the same call fails the channel back:
+// admission tries the primary XY order first, so the channel returns to
+// its original path. Messages already queued in the old regulator are
+// dropped, as after any connection re-establishment. A failed reroute
+// leaves the channel exactly as it was — reservations and source
+// regulator intact — so traffic keeps flowing on the old route.
 func (c *Channel) Reroute() error {
-	c.sys.pcrs[c.adm.Src].Remove(c.paced)
 	nadm, err := c.sys.Adm.Reroute(c.adm)
 	if err != nil {
 		return err
@@ -356,6 +370,9 @@ func (c *Channel) Reroute() error {
 		_ = c.sys.Adm.Teardown(nadm)
 		return err
 	}
+	// Only now that the new admission and regulator both exist does the
+	// old regulator binding go away; an error above leaves it untouched.
+	c.sys.pcrs[c.adm.Src].Remove(c.paced)
 	c.adm = nadm
 	c.paced = paced
 	if c.slo != nil {
@@ -420,7 +437,11 @@ type Summary struct {
 	TCDelivered    int64
 	TCMisses       int64
 	TCDrops        int64
+	TCCorrupt      int64 // checksum + framing drops at inputs (Integrity)
 	BEDelivered    int64
+	BENacks        int64 // corrupted best-effort flits nacked upstream
+	BERetransmits  int64 // best-effort flits resent after a nack
+	BEAborts       int64 // best-effort frames abandoned (retry budget or dead link)
 	TCLatency      stats.Hist
 	BELatency      stats.Hist
 	SchedulerPeak  int
@@ -454,8 +475,13 @@ func (s *System) Summarize() Summary {
 		st := r.Stats
 		sum.TCDelivered += st.TCDelivered
 		sum.TCMisses += st.TCDeadlineMisses
-		sum.TCDrops += st.TCDropsNoSlot + st.TCDropsNoRoute + st.TCDropsStaging + st.TCDeadPortDrops
+		sum.TCDrops += st.TCDropsNoSlot + st.TCDropsNoRoute + st.TCDropsStaging + st.TCDeadPortDrops +
+			st.TCCorruptDrops + st.TCFramingDrops
+		sum.TCCorrupt += st.TCCorruptDrops + st.TCFramingDrops
 		sum.BEDelivered += st.BEDelivered
+		sum.BENacks += st.BEFlitNacks
+		sum.BERetransmits += st.BEFlitRetransmits
+		sum.BEAborts += st.BEFrameAborts + st.BETruncated
 		sum.CutThroughs += st.TCCutThroughs
 		sum.StageReplaced += st.TCStageReplaced
 		grants += st.BusGrants

@@ -94,9 +94,9 @@ func TestFailoverBestEffort(t *testing.T) {
 	}
 }
 
-// TestRerouteWithoutCapacityFails: if the disjoint path cannot host the
-// channel, Reroute reports failure and the channel is released (not
-// half-alive).
+// TestRerouteWithoutCapacityFails: if no alternate path can host the
+// channel, Reroute reports failure and the channel keeps its original
+// reservations — a refused reroute must not half-release the channel.
 func TestRerouteWithoutCapacityFails(t *testing.T) {
 	sys := MustNewMesh(2, 2, Options{})
 	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 1}
@@ -115,9 +115,15 @@ func TestRerouteWithoutCapacityFails(t *testing.T) {
 	if err := ch.Reroute(); err == nil {
 		t.Fatal("reroute succeeded with no live path")
 	}
-	// The old reservations were released during the attempt; the
-	// controller is consistent (nothing active from this channel).
+	// The failed attempt restored the original reservations verbatim:
+	// the channel is still admitted and can still be torn down cleanly.
+	if sys.Adm.Active() != 1 {
+		t.Fatalf("channel count after failed reroute: %d, want 1", sys.Adm.Active())
+	}
+	if err := ch.Close(); err != nil {
+		t.Fatalf("teardown after failed reroute: %v", err)
+	}
 	if sys.Adm.Active() != 0 {
-		t.Errorf("stale channels after failed reroute: %d", sys.Adm.Active())
+		t.Errorf("stale channels after teardown: %d", sys.Adm.Active())
 	}
 }

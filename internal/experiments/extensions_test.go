@@ -244,6 +244,44 @@ func TestRunFailover(t *testing.T) {
 	}
 }
 
+// TestRunFaults checks the X10 campaign shape: the invariants are
+// enforced inside RunFaults itself (conservation, zero misses, zero
+// leaked slots), so success plus non-vacuity is the whole contract.
+func TestRunFaults(t *testing.T) {
+	res, err := RunFaults(12, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatalf("sweep too small: %d rows", len(res.Rows))
+	}
+	base := res.Rows[0]
+	if base.Rate != 0 || base.TCDelivered != base.TCSent || base.BENacks != 0 {
+		t.Errorf("faultless baseline degraded: %+v", base)
+	}
+	var bitten, healed bool
+	for _, row := range res.Rows[1:] {
+		if row.Corrupted+row.Lost > 0 {
+			bitten = true
+		}
+		if row.BERetrans > 0 {
+			healed = true
+		}
+	}
+	if !bitten || !healed {
+		t.Errorf("vacuous sweep: bitten=%v healed=%v", bitten, healed)
+	}
+	if !res.FlapRerouted || !res.FlapFailback {
+		t.Errorf("flap recovery incomplete: %+v", res)
+	}
+	if res.TimeToRecover <= 0 {
+		t.Errorf("no recovery time measured: %d", res.TimeToRecover)
+	}
+	if _, err := RunFaults(1, 1); err == nil {
+		t.Error("degenerate message count accepted")
+	}
+}
+
 // TestRunRing checks the topology-independence claim: every channel on
 // an 8-node ring meets its deadline using nothing but connection
 // tables.

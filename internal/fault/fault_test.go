@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/sched"
+)
+
+func integrityCfg() router.Config {
+	cfg := router.DefaultConfig()
+	cfg.Integrity = true
+	return cfg
+}
+
+func maskOf(port int) sched.PortMask { return sched.PortMask(1 << port) }
+
+// TestBECorruptRetransmit drives best-effort frames across a corrupting
+// link; the nack/retransmit machinery must deliver every byte intact.
+func TestBECorruptRetransmit(t *testing.T) {
+	n := mesh.MustNew(2, 1, integrityCfg())
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
+	in := New(7)
+	if err := in.InjectLink(n, src, router.PortXPlus, Config{Kind: Corrupt, Rate: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 40)
+		want = append(want, payload)
+		frame, err := packet.NewBE(1, 0, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Router(src).InjectBE(frame)
+	}
+	n.Run(20000)
+	got := n.Router(dst).DrainBE()
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d/%d frames (stats rx=%+v)", len(got), len(want), n.Router(dst).Stats)
+	}
+	for i, d := range got {
+		if !bytes.Equal(d.Payload, want[i]) {
+			t.Errorf("frame %d corrupted end-to-end", i)
+		}
+	}
+	rx := n.Router(dst).Stats
+	tx := n.Router(src).Stats
+	if rx.BEFlitNacks == 0 {
+		t.Error("no nacks despite corruption")
+	}
+	if tx.BEFlitRetransmits == 0 {
+		t.Error("no retransmissions despite nacks")
+	}
+	if in.Stats().CorruptedPhits == 0 {
+		t.Error("injector reports no corruption")
+	}
+}
+
+// TestBELoseRecovers covers the Lose kind on best-effort traffic (loss
+// is modelled as mangling, so the same nack path recovers it).
+func TestBELoseRecovers(t *testing.T) {
+	n := mesh.MustNew(2, 1, integrityCfg())
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
+	in := New(11)
+	if err := in.InjectLink(n, src, router.PortXPlus, Config{Kind: Lose, Rate: 0.03, Burst: 2}); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xA5}, 200)
+	frame, err := packet.NewBE(1, 0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Router(src).InjectBE(frame)
+	n.Run(20000)
+	got := n.Router(dst).DrainBE()
+	if len(got) != 1 || !bytes.Equal(got[0].Payload, payload) {
+		t.Fatalf("frame not recovered: %d delivered, rx=%+v", len(got), n.Router(dst).Stats)
+	}
+	if in.Stats().LostPhits == 0 {
+		t.Error("injector reports no losses")
+	}
+}
+
+// TestTCCorruptDropped: corrupted time-constrained packets must be
+// dropped at the receiving input, never delivered garbled, and counted.
+func TestTCCorruptDropped(t *testing.T) {
+	n := mesh.MustNew(2, 1, integrityCfg())
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
+	in := New(3)
+	if err := in.InjectLink(n, src, router.PortXPlus, Config{Kind: Corrupt, Rate: 0.08}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Router(src).SetConnection(1, 2, 10, maskOf(router.PortXPlus)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Router(dst).SetConnection(2, 9, 10, maskOf(router.PortLocal)); err != nil {
+		t.Fatal(err)
+	}
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		var p packet.TCPacket
+		p.Conn = 1
+		for j := range p.Payload {
+			p.Payload[j] = byte(i)
+		}
+		n.Router(src).InjectTC(p)
+		n.Run(5 * packet.TCBytes)
+	}
+	n.Run(5000)
+	rx := n.Router(dst).Stats
+	for _, d := range n.Router(dst).DrainTC() {
+		for _, b := range d.Payload {
+			if b != d.Payload[0] {
+				t.Fatal("garbled packet delivered")
+			}
+		}
+	}
+	if rx.TCCorruptDrops == 0 {
+		t.Errorf("no corrupt drops at %v%% phit error rate", 8)
+	}
+	if got := rx.TCDelivered + rx.TCCorruptDrops + rx.TCFramingDrops; got != sent {
+		t.Errorf("conservation: delivered %d + corrupt %d + framing %d = %d, want %d",
+			rx.TCDelivered, rx.TCCorruptDrops, rx.TCFramingDrops, got, sent)
+	}
+	if n.Router(dst).FreeSlots() != integrityCfg().Slots {
+		t.Error("slot leaked through corrupt drops")
+	}
+}
+
+// TestTCLoseDetected: erased time-constrained phits break framing; the
+// receiver must resynchronize and count exactly one drop per lost
+// packet.
+func TestTCLoseDetected(t *testing.T) {
+	n := mesh.MustNew(2, 1, integrityCfg())
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
+	in := New(5)
+	if err := in.InjectLink(n, src, router.PortXPlus, Config{Kind: Lose, Rate: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Router(src).SetConnection(1, 2, 10, maskOf(router.PortXPlus)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Router(dst).SetConnection(2, 9, 10, maskOf(router.PortLocal)); err != nil {
+		t.Fatal(err)
+	}
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		n.Router(src).InjectTC(packet.TCPacket{Conn: 1})
+		n.Run(5 * packet.TCBytes)
+	}
+	n.Run(5000)
+	rx := n.Router(dst).Stats
+	if rx.TCFramingDrops == 0 {
+		t.Error("no framing drops despite phit loss")
+	}
+	// Lost phits strand at most one partial assembly at exit; everything
+	// else is delivered or counted.
+	accounted := rx.TCDelivered + rx.TCCorruptDrops + rx.TCFramingDrops
+	if accounted != sent && accounted != sent-1 {
+		t.Errorf("conservation: accounted %d of %d", accounted, sent)
+	}
+	if n.Router(dst).FreeSlots() != integrityCfg().Slots {
+		t.Error("slot leaked through framing drops")
+	}
+}
+
+// TestDeterministicFromSeed: identical seeds must produce bit-identical
+// outcomes; a different seed must place faults differently.
+func TestDeterministicFromSeed(t *testing.T) {
+	run := func(seed int64) (router.Stats, Stats) {
+		n := mesh.MustNew(2, 1, integrityCfg())
+		src := mesh.Coord{X: 0, Y: 0}
+		in := New(seed)
+		if err := in.InjectLink(n, src, router.PortXPlus, Config{Kind: Corrupt, Rate: 0.02, Burst: 3}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			frame, err := packet.NewBE(1, 0, bytes.Repeat([]byte{byte(i)}, 64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Router(src).InjectBE(frame)
+		}
+		n.Run(15000)
+		return n.Router(mesh.Coord{X: 1, Y: 0}).Stats, in.Stats()
+	}
+	a1, i1 := run(42)
+	a2, i2 := run(42)
+	if a1 != a2 || i1 != i2 {
+		t.Errorf("same seed diverged: %+v vs %+v (%+v vs %+v)", a1, a2, i1, i2)
+	}
+	b, ib := run(43)
+	if i1 == ib && a1 == b {
+		t.Error("different seeds produced identical fault placement")
+	}
+}
+
+// TestConfigValidate pins the configuration contract.
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{Kind: Corrupt, Rate: 0},
+		{Kind: Corrupt, Rate: 1},
+		{Kind: Lose, Rate: -0.1},
+		{Kind: Kind(9), Rate: 0.1},
+		{Kind: Corrupt, Rate: 0.1, Burst: -1},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+	if err := (Config{Kind: Lose, Rate: 0.5, Burst: 4}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if Corrupt.String() != "corrupt" || Lose.String() != "lose" {
+		t.Error("kind labels wrong")
+	}
+}
+
+// TestInjectLinkErrors pins the attachment contract.
+func TestInjectLinkErrors(t *testing.T) {
+	n := mesh.MustNew(2, 1, integrityCfg())
+	in := New(1)
+	good := Config{Kind: Corrupt, Rate: 0.1}
+	if err := in.InjectLink(n, mesh.Coord{X: 0, Y: 0}, router.PortLocal, good); err == nil {
+		t.Error("local port accepted as a link")
+	}
+	if err := in.InjectLink(n, mesh.Coord{X: 1, Y: 0}, router.PortXPlus, good); err == nil {
+		t.Error("edge link with no neighbour accepted")
+	}
+	if err := in.InjectLink(n, mesh.Coord{X: 0, Y: 0}, router.PortXPlus, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if err := in.InjectAll(n, good); err != nil {
+		t.Errorf("InjectAll on a valid mesh: %v", err)
+	}
+}

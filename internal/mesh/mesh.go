@@ -40,6 +40,21 @@ type Network struct {
 	W, H    int
 	routers map[Coord]*router.Router
 	order   []Coord // deterministic iteration order
+	failed  map[linkID]bool
+}
+
+// linkID names an undirected mesh link canonically: the endpoint with
+// the +x/+y facing port.
+type linkID struct {
+	from Coord
+	port int
+}
+
+func canonicalLink(from Coord, port int) linkID {
+	if port == router.PortXMinus || port == router.PortYMinus {
+		return linkID{from.Add(port), reversePort(port)}
+	}
+	return linkID{from, port}
 }
 
 // New builds a W×H mesh of routers with the given configuration,
@@ -57,6 +72,7 @@ func New(w, h int, cfg router.Config) (*Network, error) {
 		W:       w,
 		H:       h,
 		routers: make(map[Coord]*router.Router, w*h),
+		failed:  make(map[linkID]bool),
 	}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -254,7 +270,8 @@ func reversePort(p int) int {
 // both routers lose the wire, in both directions. In-flight
 // time-constrained packets scheduled onto the dead port drain at the
 // router (counted as TCDeadPortDrops); best-effort packets toward it
-// drop as misroutes. The admission controller must be told separately
+// drop as misroutes. Failing a link that is already down is an error.
+// The admission controller must be told separately
 // (Controller.MarkFailed) so new channels route around.
 func (n *Network) FailLink(from Coord, port int) error {
 	if port < 0 || port >= router.NumLinks {
@@ -264,12 +281,49 @@ func (n *Network) FailLink(from Coord, port int) error {
 	if !n.Contains(from) || !n.Contains(to) {
 		return fmt.Errorf("mesh: no link %s→%s", from, router.PortName(port))
 	}
+	id := canonicalLink(from, port)
+	if n.failed[id] {
+		return fmt.Errorf("mesh: link %s→%s already failed", from, router.PortName(port))
+	}
+	n.failed[id] = true
 	n.routers[from].ConnectOut(port, nil)
 	n.routers[from].ConnectIn(port, nil)
 	rp := reversePort(port)
 	n.routers[to].ConnectOut(rp, nil)
 	n.routers[to].ConnectIn(rp, nil)
 	return nil
+}
+
+// RepairLink restores a link previously severed by FailLink, rewiring
+// both directions with fresh channels. The dead channels' latches stay
+// registered with the kernel but are permanently clean, so the cost of a
+// flap is bounded and the parallel plan simply rebuilds. Repairing a
+// link that is up is an error. Pair with Controller.MarkRepaired so new
+// admissions may use the link again.
+func (n *Network) RepairLink(from Coord, port int) error {
+	if port < 0 || port >= router.NumLinks {
+		return fmt.Errorf("mesh: RepairLink port %d is not a link", port)
+	}
+	to := from.Add(port)
+	if !n.Contains(from) || !n.Contains(to) {
+		return fmt.Errorf("mesh: no link %s→%s", from, router.PortName(port))
+	}
+	id := canonicalLink(from, port)
+	if !n.failed[id] {
+		return fmt.Errorf("mesh: link %s→%s is not failed", from, router.PortName(port))
+	}
+	delete(n.failed, id)
+	n.wire(from, to, port, reversePort(port))
+	return nil
+}
+
+// LinkFailed reports whether the link leaving `from` through `port` is
+// currently severed.
+func (n *Network) LinkFailed(from Coord, port int) bool {
+	if port < 0 || port >= router.NumLinks {
+		return false
+	}
+	return n.failed[canonicalLink(from, port)]
 }
 
 // TotalStats sums a statistic across all routers. f receives a pointer

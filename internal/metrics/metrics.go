@@ -104,8 +104,17 @@ const (
 	// DropBEOverrun: a best-effort flit arrived with no buffer space (a
 	// credit-protocol violation).
 	DropBEOverrun
+	// DropTCCorrupt: a time-constrained packet failed its frame checksum
+	// at the input (integrity checking on).
+	DropTCCorrupt
+	// DropTCFraming: a time-constrained assembly lost framing — a head
+	// arrived mid-packet or a phit went missing mid-frame.
+	DropTCFraming
+	// DropBEAborted: a partial best-effort frame was discarded on an
+	// Abort flit from upstream (link death or retry exhaustion mid-worm).
+	DropBEAborted
 	// NumDropReasons sizes per-reason arrays.
-	NumDropReasons = 7
+	NumDropReasons = 10
 )
 
 func (d DropReason) String() string {
@@ -124,6 +133,12 @@ func (d DropReason) String() string {
 		return "be_truncated"
 	case DropBEOverrun:
 		return "be_overrun"
+	case DropTCCorrupt:
+		return "tc_corrupt"
+	case DropTCFraming:
+		return "tc_framing"
+	case DropBEAborted:
+		return "be_aborted"
 	default:
 		return fmt.Sprintf("reason(%d)", int(d))
 	}
@@ -219,6 +234,19 @@ type RouterMetrics struct {
 	// BEFlitAcks counts flit credits returned upstream.
 	BEFlitAcks Counter
 
+	// FaultCorruptPhits and FaultLostPhits count link-fault injections on
+	// this router's input wires: phits garbled in place and phits erased
+	// entirely. Incremented by the attached fault injector, not the
+	// router core.
+	FaultCorruptPhits Counter
+	FaultLostPhits    Counter
+	// BEFlitNacks counts corrupted best-effort flits nacked upstream;
+	// BEFlitRetransmits counts flits resent after a nack; BEFrameAborts
+	// counts frames abandoned after the retry budget ran out.
+	BEFlitNacks       Counter
+	BEFlitRetransmits Counter
+	BEFrameAborts     Counter
+
 	// Drops counts discarded packets by reason.
 	Drops [NumDropReasons]Counter
 }
@@ -246,6 +274,11 @@ func (m *RouterMetrics) Reset() {
 	m.SlotRollovers.reset()
 	m.DeadlineMisses.reset()
 	m.BEFlitAcks.reset()
+	m.FaultCorruptPhits.reset()
+	m.FaultLostPhits.reset()
+	m.BEFlitNacks.reset()
+	m.BEFlitRetransmits.reset()
+	m.BEFrameAborts.reset()
 	m.MemHighWater.reset()
 	m.SchedOccPeak.reset()
 	// Occupancy gauges keep their level: the memory does not empty on a
@@ -388,6 +421,11 @@ type RouterSnapshot struct {
 	DeadlineMisses int64                       `json:"deadline_misses"`
 	BEStallCycles  map[string]int64            `json:"be_stall_cycles"`
 	BEFlitAcks     int64                       `json:"be_flit_acks"`
+	FaultCorrupt   int64                       `json:"fault_corrupt_phits"`
+	FaultLost      int64                       `json:"fault_lost_phits"`
+	BEFlitNacks    int64                       `json:"be_flit_nacks"`
+	BERetransmits  int64                       `json:"be_flit_retransmits"`
+	BEFrameAborts  int64                       `json:"be_frame_aborts"`
 	Drops          map[string]int64            `json:"drops"`
 }
 
@@ -420,6 +458,11 @@ func (m *RouterMetrics) snapshot() RouterSnapshot {
 		DeadlineMisses: m.DeadlineMisses.Load(),
 		BEStallCycles:  make(map[string]int64, NumPorts),
 		BEFlitAcks:     m.BEFlitAcks.Load(),
+		FaultCorrupt:   m.FaultCorruptPhits.Load(),
+		FaultLost:      m.FaultLostPhits.Load(),
+		BEFlitNacks:    m.BEFlitNacks.Load(),
+		BERetransmits:  m.BEFlitRetransmits.Load(),
+		BEFrameAborts:  m.BEFrameAborts.Load(),
 		Drops:          make(map[string]int64, NumDropReasons),
 	}
 	for p := 0; p < NumPorts; p++ {
@@ -456,6 +499,11 @@ func (s *RouterSnapshot) accumulate(o RouterSnapshot) {
 	s.SlotRollovers += o.SlotRollovers
 	s.DeadlineMisses += o.DeadlineMisses
 	s.BEFlitAcks += o.BEFlitAcks
+	s.FaultCorrupt += o.FaultCorrupt
+	s.FaultLost += o.FaultLost
+	s.BEFlitNacks += o.BEFlitNacks
+	s.BERetransmits += o.BERetransmits
+	s.BEFrameAborts += o.BEFrameAborts
 	for pn, v := range o.TCDequeued {
 		s.TCDequeued[pn] += v
 	}
@@ -550,6 +598,16 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		func(r RouterSnapshot) int64 { return r.DeadlineMisses })
 	counter("rt_be_flit_acks_total", "Best-effort flit credits returned upstream.",
 		func(r RouterSnapshot) int64 { return r.BEFlitAcks })
+	counter("rt_fault_corrupt_phits_total", "Phits garbled by the link-fault injector.",
+		func(r RouterSnapshot) int64 { return r.FaultCorrupt })
+	counter("rt_fault_lost_phits_total", "Phits erased by the link-fault injector.",
+		func(r RouterSnapshot) int64 { return r.FaultLost })
+	counter("rt_fault_be_nacks_total", "Corrupted best-effort flits nacked upstream.",
+		func(r RouterSnapshot) int64 { return r.BEFlitNacks })
+	counter("rt_fault_be_retransmits_total", "Best-effort flits resent after a nack.",
+		func(r RouterSnapshot) int64 { return r.BERetransmits })
+	counter("rt_fault_be_frame_aborts_total", "Best-effort frames abandoned after retry-budget exhaustion.",
+		func(r RouterSnapshot) int64 { return r.BEFrameAborts })
 	gauge("rt_mem_occupancy", "Occupied packet-memory slots.",
 		func(r RouterSnapshot) int64 { return r.MemOccupancy })
 	gauge("rt_mem_high_water", "Packet-memory occupancy high-water mark.",

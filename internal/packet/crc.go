@@ -1,0 +1,38 @@
+package packet
+
+// CRC-8 with polynomial 0x07 (CRC-8/SMBUS), the checksum attached to
+// time-constrained packet frames and best-effort flits when the router
+// runs with integrity checking enabled. Hardware computes this with an
+// 8-bit LFSR clocked once per byte; the table below is the software
+// equivalent.
+
+var crc8Table = makeCRC8Table()
+
+func makeCRC8Table() [256]byte {
+	var t [256]byte
+	for i := 0; i < 256; i++ {
+		c := byte(i)
+		for b := 0; b < 8; b++ {
+			if c&0x80 != 0 {
+				c = c<<1 ^ 0x07
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}
+
+// CRC8 computes the checksum of data with initial value 0.
+func CRC8(data []byte) byte {
+	var c byte
+	for _, b := range data {
+		c = crc8Table[c^b]
+	}
+	return c
+}
+
+// CRC8Update folds one byte into a running checksum, for receivers that
+// verify frames as bytes arrive.
+func CRC8Update(crc, b byte) byte { return crc8Table[crc^b] }

@@ -67,6 +67,14 @@ type Phit struct {
 
 	SideValid bool
 	Side      byte
+
+	// Rexmit marks the first flit of a best-effort retransmission run: the
+	// receiver leaves discard mode and resumes accepting at this flit.
+	Rexmit bool
+	// Abort marks a best-effort tail flit that terminates a frame early:
+	// the upstream link died (or the retry budget ran out) mid-worm, so the
+	// receiver must drop the partial frame and release the output binding.
+	Abort bool
 }
 
 // Ack is the reverse-direction link signal: one best-effort flit credit
@@ -77,6 +85,11 @@ type Phit struct {
 type Ack struct {
 	BECredit bool
 	TCCredit bool
+
+	// BENack reports that the best-effort flit sampled this edge failed
+	// its checksum; the sender must back up and retransmit from the nacked
+	// flit. Only meaningful when the router runs with Config.Integrity.
+	BENack bool
 }
 
 // Time-constrained packet geometry (Table 2 / Figure 3a).

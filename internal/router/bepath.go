@@ -40,6 +40,15 @@ type beInput struct {
 	// returns a credit upstream (mesh links only).
 	consumed int
 
+	// Integrity receive state (mesh links only). discard marks the engine
+	// rejecting flits after a checksum failure until the sender's
+	// retransmission run arrives (its first flit carries Rexmit);
+	// nackPending is a nack awaiting the next reverse-ack edge. Rejected
+	// flits never enter the buffer but still return their credit, so the
+	// credit loop stays conserved through an error episode.
+	discard     bool
+	nackPending bool
+
 	// injection source (id 4 only): queued packets stream into the flit
 	// buffer at link rate. Head-indexed like buf; fully streamed frames
 	// are recycled to the router's frame pool.
@@ -85,6 +94,52 @@ func (u *beInput) acceptByte(b byte) {
 		return
 	}
 	u.push(b)
+}
+
+// acceptWireBE receives one best-effort flit from the wire with
+// integrity checking: the flit's sideband carries its checksum, and a
+// mismatch nacks the sender into a retransmission (go-back-N over the
+// two-cycle link turnaround) while this engine discards everything
+// until the retransmission run arrives.
+func (u *beInput) acceptWireBE(ph packet.Phit) {
+	ok := ph.SideValid && ph.Side == packet.CRC8Update(0, ph.Data)
+	if u.discard {
+		if !ph.Rexmit || !ok {
+			u.consumed++ // discarded flits still return their credit
+			if ph.Rexmit {
+				// The retransmission itself arrived corrupt: nack again.
+				u.nack()
+			}
+			return
+		}
+		u.discard = false
+	} else if !ok {
+		u.consumed++
+		u.discard = true
+		u.nack()
+		return
+	}
+	u.acceptByte(ph.Data)
+}
+
+func (u *beInput) nack() {
+	u.nackPending = true
+	u.r.Stats.BEFlitNacks++
+	if u.r.met != nil {
+		u.r.met.BEFlitNacks.Inc()
+	}
+}
+
+// abortRecv handles an Abort tail flit: the upstream router gave up on
+// the frame (its own upstream link died, or the retry budget ran out),
+// so the partial copy here is dropped and the abort propagates to
+// wherever this engine had already forwarded bytes. The frame is
+// counted once, at the router that originated the abort — this side
+// only records the drop reason.
+func (u *beInput) abortRecv() {
+	u.consumed++ // the abort flit spent a credit; return it
+	u.r.dropBE(metrics.DropBEAborted, u.id)
+	u.discardFrame()
 }
 
 // feedInjection streams one byte of the oldest queued packet into the
@@ -190,12 +245,29 @@ func (u *beInput) drainDropped() {
 
 // truncate abandons a packet whose tail can never arrive (its upstream
 // link failed mid-worm): the fragment is discarded and any output
-// binding released so other traffic can use the port.
+// binding released so other traffic can use the port. The frame itself
+// is counted at the router feeding the failed link (drainDeadBE), so
+// this side records only the drop reason — each broken worm lands in
+// exactly one conservation bucket.
 func (u *beInput) truncate() {
-	if !u.parsed {
-		u.buf = u.buf[:0]
-		u.bufHead = 0
-		return
+	if u.parsed || u.occ() > 0 {
+		u.r.dropBE(metrics.DropBETruncated, u.id)
+	}
+	u.discardFrame()
+}
+
+// discardFrame resets the engine's current frame, releasing any output
+// binding and propagating an abort to wherever bytes were already
+// forwarded — a worm spanning several hops must release every segment,
+// or the downstream ports stay bound to a tail that never comes.
+func (u *beInput) discardFrame() {
+	if u.parsed && !u.dropping && u.fwdIdx > 0 {
+		if u.outPort == PortLocal {
+			o := u.r.beOut[PortLocal]
+			o.rxBuf = o.rxBuf[:0]
+		} else if u.r.out[u.outPort] != nil {
+			u.r.beOut[u.outPort].abortPending = true
+		}
 	}
 	for q := 0; q < NumPorts; q++ {
 		if o := u.r.beOut[q]; o.curIn == u.id {
@@ -207,8 +279,24 @@ func (u *beInput) truncate() {
 	u.parsed = false
 	u.bound = false
 	u.dropping = false
-	u.r.Stats.BETruncated++
-	u.r.dropBE(metrics.DropBETruncated, u.id)
+	u.discard = false
+	u.nackPending = false
+}
+
+// nackWindow is how far back a nack reaches: the corrupted flit left
+// two cycles before the sender reads the nack (one cycle out on the
+// data wire, one back on the acknowledgement wire), and every flit sent
+// since must be resent too so the stream stays in order.
+const nackWindow = 2
+
+// beHistLen sizes the sent-flit history ring; at one flit per cycle the
+// nack window plus slack covers every flit a nack can reach.
+const beHistLen = nackWindow + 2
+
+type beHist struct {
+	cycle int64
+	ph    packet.Phit
+	valid bool
 }
 
 // beOutput arbitrates the best-effort virtual channel of one output
@@ -226,8 +314,167 @@ type beOutput struct {
 	// block event per episode rather than one per cycle.
 	wasStalled bool
 
+	// Integrity transmit state: hist remembers recently sent flits so a
+	// nack can replay them; replay holds flits awaiting retransmission
+	// (sent before any fresh byte, first one marked Rexmit); resumeAt
+	// delays the replay by an exponential backoff; retryCount bounds the
+	// episode against Config.BERetryLimit. abortPending requests an
+	// Abort tail flit — also used without Integrity to release a
+	// downstream worm segment after a link failure.
+	hist         [beHistLen]beHist
+	histIdx      int
+	replay       []packet.Phit
+	replayHead   int
+	rexmitNext   bool
+	retryCount   int
+	resumeAt     int64
+	abortPending bool
+
 	// local reception assembly (PortLocal only)
 	rxBuf []byte
+}
+
+// record notes a flit sent this cycle in the history ring. The Rexmit
+// mark is stripped: whether a future replay of this flit starts a
+// retransmission run is decided when that replay is sent.
+func (b *beOutput) record(ph packet.Phit) {
+	ph.Rexmit = false
+	b.hist[b.histIdx] = beHist{cycle: b.r.nowCycle, ph: ph, valid: true}
+	b.histIdx = (b.histIdx + 1) % beHistLen
+}
+
+// handleNack reacts to a nack read from the reverse wire: every flit
+// sent within the nack window goes back on the replay queue (ahead of
+// any replay remainder), the next attempt is delayed by an exponential
+// backoff, and an exhausted retry budget aborts the frame.
+func (b *beOutput) handleNack(now int64) {
+	var win []packet.Phit
+	for i := 0; i < beHistLen; i++ {
+		e := b.hist[(b.histIdx+i)%beHistLen] // oldest → newest
+		if e.valid && e.cycle >= now-nackWindow {
+			win = append(win, e.ph)
+		}
+	}
+	if len(win) == 0 {
+		return // stale nack for a frame already aborted or drained
+	}
+	b.retryCount++
+	limit := b.r.cfg.BERetryLimit
+	if limit == 0 {
+		limit = 8
+	}
+	if b.retryCount > limit {
+		b.abortFrame()
+		return
+	}
+	rest := b.replay[b.replayHead:]
+	nq := make([]packet.Phit, 0, len(win)+len(rest))
+	nq = append(nq, win...)
+	nq = append(nq, rest...)
+	b.replay = nq
+	b.replayHead = 0
+	b.rexmitNext = true
+	shift := b.retryCount - 1
+	if shift > 6 {
+		shift = 6
+	}
+	b.resumeAt = now + int64(1)<<shift
+	// The window flits now live on the replay queue; invalidate them in
+	// history so an overlapping nack cannot enqueue them twice.
+	for i := range b.hist {
+		b.hist[i].valid = false
+	}
+}
+
+// abortFrame gives up on the current frame after the retry budget ran
+// out: pending replays are dropped, the bound input drains the rest of
+// the frame unsent, and an Abort tail flit tells the downstream router
+// to drop its partial copy.
+func (b *beOutput) abortFrame() {
+	b.clearFault()
+	b.abortPending = true
+	if b.curIn >= 0 {
+		u := b.r.beIn[b.curIn]
+		u.dropping = true
+		b.curIn = -1
+	}
+	b.r.Stats.BEFrameAborts++
+	if b.r.met != nil {
+		b.r.met.BEFrameAborts.Inc()
+	}
+	b.r.dropBE(metrics.DropBEAborted, b.port)
+}
+
+// clearFault resets the retransmission machinery (history, replay
+// queue, backoff, pending abort) — on frame abort or link death.
+func (b *beOutput) clearFault() {
+	for i := range b.hist {
+		b.hist[i] = beHist{}
+	}
+	b.histIdx = 0
+	b.replay = b.replay[:0]
+	b.replayHead = 0
+	b.rexmitNext = false
+	b.retryCount = 0
+	b.resumeAt = 0
+	b.abortPending = false
+}
+
+// drainDeadBE releases the best-effort side of a dead output port: a
+// worm bound here can never finish (its remaining bytes drain unsent at
+// the input), and neither replays nor an abort flit can cross a missing
+// wire. This is where a broken worm is counted — exactly once, at the
+// router feeding the failed link.
+func (b *beOutput) drainDeadBE() {
+	if b.curIn >= 0 {
+		u := b.r.beIn[b.curIn]
+		u.dropping = true
+		b.curIn = -1
+		b.r.Stats.BETruncated++
+		b.r.dropBE(metrics.DropBETruncated, b.port)
+	}
+	b.clearFault()
+}
+
+// hasFaultWork reports whether the port owes the link a recovery flit:
+// a pending abort, or replays whose backoff has elapsed. Both need a
+// downstream credit, like any other flit.
+func (b *beOutput) hasFaultWork() bool {
+	if b.port == PortLocal || b.r.out[b.port] == nil || b.credits <= 0 {
+		return false
+	}
+	if b.abortPending {
+		return true
+	}
+	return b.replayHead < len(b.replay) && b.r.nowCycle >= b.resumeAt
+}
+
+// sendFaultFlit sends one recovery flit: the pending abort, or the next
+// replay (the first of a run carries Rexmit so the receiver leaves
+// discard mode at exactly the right flit).
+func (b *beOutput) sendFaultFlit() {
+	b.credits--
+	if b.abortPending {
+		b.abortPending = false
+		b.r.out[b.port].Drive(packet.Phit{Valid: true, VC: packet.VCBest, Tail: true, Abort: true})
+		return
+	}
+	ph := b.replay[b.replayHead]
+	b.replayHead++
+	if b.replayHead == len(b.replay) {
+		b.replay = b.replay[:0]
+		b.replayHead = 0
+	}
+	if b.rexmitNext {
+		ph.Rexmit = true
+		b.rexmitNext = false
+	}
+	b.record(ph)
+	b.r.Stats.BEFlitRetransmits++
+	if b.r.met != nil {
+		b.r.met.BEFlitRetransmits.Inc()
+	}
+	b.r.out[b.port].Drive(ph)
 }
 
 // bind picks a waiting input if none is bound, scanning round-robin.
@@ -249,7 +496,12 @@ func (b *beOutput) bind() {
 }
 
 // canSend reports whether a best-effort flit could go out this cycle.
+// Recovery traffic (pending replays or an abort) blocks fresh bytes:
+// the stream must stay in order.
 func (b *beOutput) canSend() bool {
+	if b.abortPending || b.replayHead < len(b.replay) {
+		return false
+	}
 	b.bind()
 	if b.curIn < 0 {
 		return false
@@ -289,9 +541,14 @@ func (b *beOutput) sendByte() {
 		return
 	}
 	b.credits--
-	b.r.out[b.port].Drive(packet.Phit{
-		Valid: true, VC: packet.VCBest, Data: by, Head: head, Tail: tail,
-	})
+	ph := packet.Phit{Valid: true, VC: packet.VCBest, Data: by, Head: head, Tail: tail}
+	if b.r.cfg.Integrity {
+		ph.SideValid = true
+		ph.Side = packet.CRC8Update(0, by)
+		b.record(ph)
+		b.retryCount = 0 // a fresh flit went out: the error episode is over
+	}
+	b.r.out[b.port].Drive(ph)
 	if tail {
 		b.curIn = -1
 		b.r.Stats.BEPacketsSent[b.port]++

@@ -144,6 +144,19 @@ type Config struct {
 	// routers share a common notion of time within bounded skew; this
 	// knob quantifies how much skew the design tolerates (experiment X8).
 	SkewCycles int64
+	// Integrity enables link-level error detection: a CRC-8 rides the
+	// tail phit of every time-constrained frame and the sideband of every
+	// best-effort flit. Corrupted time-constrained packets are dropped at
+	// the input (the reservation model absorbs the loss as slack);
+	// corrupted best-effort flits are nacked over the reverse channel and
+	// retransmitted by the sender. Off by default: with Integrity false
+	// the wire protocol is bit-identical to the base design.
+	Integrity bool
+	// BERetryLimit bounds how many times one best-effort frame may be
+	// retransmitted after a nack before the sender aborts it with an
+	// Abort tail flit. Zero means the default (8). Ignored unless
+	// Integrity is set.
+	BERetryLimit int
 	// Horizons are the initial per-output-port horizon parameters (in
 	// slots); the control interface can rewrite them at run time.
 	Horizons [NumPorts]uint32
@@ -161,6 +174,7 @@ func DefaultConfig() Config {
 		LeafSharing:  1,
 		BEHeadDelay:  5,
 		Scheduler:    SchedEDF,
+		BERetryLimit: 8,
 	}
 }
 
@@ -184,6 +198,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("router: LeafSharing must be at least 1, got %d", c.LeafSharing)
 	case c.BEHeadDelay < 0:
 		return fmt.Errorf("router: BEHeadDelay must be non-negative, got %d", c.BEHeadDelay)
+	case c.BERetryLimit < 0:
+		return fmt.Errorf("router: BERetryLimit must be non-negative, got %d", c.BERetryLimit)
 	case c.Scheduler == SchedApproxEDF && c.ApproxShift >= c.ClockBits:
 		return fmt.Errorf("router: ApproxShift %d leaves no key bits on a %d-bit clock",
 			c.ApproxShift, c.ClockBits)

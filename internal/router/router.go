@@ -52,13 +52,20 @@ type Stats struct {
 	TCDropsStaging   int64 // input staging overrun
 	TCDeadPortDrops  int64 // packet routed to an unwired link
 
+	TCCorruptDrops int64 // frame-checksum failures at an input (Integrity)
+	TCFramingDrops int64 // assemblies that lost framing (missing or stray phit)
+
 	BEBytes          [NumPorts]int64
 	BEPacketsSent    [NumPorts]int64
 	BEDelivered      int64
 	BEMisroutes      int64
 	BEMalformed      int64
 	BEBufferOverruns int64
-	BETruncated      int64 // fragments abandoned after a link failure
+	BETruncated      int64 // frames abandoned at the router feeding a failed link
+
+	BEFlitNacks       int64 // corrupted flits nacked upstream (Integrity)
+	BEFlitRetransmits int64 // flits resent after a nack (Integrity)
+	BEFrameAborts     int64 // frames abandoned after retry-budget exhaustion
 
 	BusGrants int64
 }
@@ -138,6 +145,14 @@ type Router struct {
 	// OnReset, if set, is invoked by ResetStats so externally attached
 	// state (trace rings) rotates together with the counters.
 	OnReset func()
+	// LinkFault, if set, intercepts every valid phit sampled from a mesh
+	// input wire before the receive engines see it. The hook may mutate
+	// the phit in place (corruption) or return false to erase it entirely
+	// (loss). Abort flits are never offered to the hook: they are the
+	// recovery protocol itself. The hook runs inside this router's tick,
+	// so per-link injector state needs no locking under the parallel
+	// kernel. See internal/fault.
+	LinkFault func(port int, ph *packet.Phit) bool
 }
 
 // New constructs a router with the given configuration. The name appears
@@ -417,12 +432,20 @@ func (r *Router) Tick(now sim.Cycle) {
 			continue
 		}
 		u := r.beIn[p]
+		var a packet.Ack
 		if u.consumed > 0 {
-			r.in[p].DriveAck(packet.Ack{BECredit: true})
+			a.BECredit = true
 			u.consumed--
 			if r.met != nil {
 				r.met.BEFlitAcks.Inc()
 			}
+		}
+		if u.nackPending {
+			a.BENack = true
+			u.nackPending = false
+		}
+		if a.BECredit || a.BENack {
+			r.in[p].DriveAck(a)
 		}
 	}
 
@@ -459,8 +482,10 @@ func (r *Router) inputsClear() bool {
 		if r.in[p] != nil && r.in[p].Phit().Valid {
 			return false
 		}
-		if r.out[p] != nil && r.out[p].Ack().BECredit {
-			return false
+		if r.out[p] != nil {
+			if a := r.out[p].Ack(); a.BECredit || a.BENack {
+				return false
+			}
 		}
 	}
 	return true
@@ -487,11 +512,12 @@ func (r *Router) quiescent() bool {
 			return false
 		}
 		bi := r.beIn[p]
-		if bi.parsed || bi.occ() != 0 || bi.consumed != 0 || bi.injHead != len(bi.injQ) {
+		if bi.parsed || bi.occ() != 0 || bi.consumed != 0 || bi.injHead != len(bi.injQ) ||
+			bi.discard || bi.nackPending {
 			return false
 		}
 		bo := r.beOut[p]
-		if bo.curIn >= 0 || bo.wasStalled {
+		if bo.curIn >= 0 || bo.wasStalled || bo.abortPending || bo.replayHead != len(bo.replay) {
 			return false
 		}
 	}
@@ -538,6 +564,7 @@ func (r *Router) arbitrate(p int, nowSlot timing.Stamp) {
 	o := r.tcOut[p]
 	if p != PortLocal && r.out[p] == nil {
 		r.drainDeadPort(o)
+		r.beOut[p].drainDeadBE()
 		r.beIn[p].drainDropped()
 		return
 	}
@@ -572,6 +599,9 @@ func (r *Router) arbitrate(p int, nowSlot timing.Stamp) {
 		r.emitTC(o)
 	case cutClass == sched.ClassOnTime:
 		r.emitCut(o)
+	case be.hasFaultWork():
+		be.sendFaultFlit()
+		be.wasStalled = false
 	case be.canSend():
 		be.sendByte()
 		be.wasStalled = false
@@ -625,7 +655,13 @@ func (r *Router) emitTC(o *tcOutput) {
 		}
 		return
 	}
-	r.out[o.port].Drive(packet.Phit{Valid: true, VC: packet.VCTime, Data: b, Head: head, Tail: tail})
+	ph := packet.Phit{Valid: true, VC: packet.VCTime, Data: b, Head: head, Tail: tail}
+	if tail && r.cfg.Integrity {
+		// The frame checksum rides the tail phit's sideband.
+		ph.SideValid = true
+		ph.Side = o.txCRC
+	}
+	r.out[o.port].Drive(ph)
 }
 
 // emitCut sends the next byte of a virtual cut-through stream; header
@@ -716,25 +752,56 @@ func (r *Router) sampleInputs() {
 		if r.in[p] == nil {
 			// A failed upstream link can never complete an in-progress
 			// packet: flush the fragment so it releases its output.
-			if u := r.beIn[p]; u.parsed || u.occ() > 0 {
+			if u := r.beIn[p]; u.parsed || u.occ() > 0 || u.discard {
 				u.truncate()
+			}
+			if tu := r.tcIn[p]; r.cfg.Integrity && tu.nAsm > 0 {
+				tu.framingDrop()
+				tu.resync = true
 			}
 		}
 		if r.in[p] != nil {
 			ph := r.in[p].Phit()
+			if ph.Valid && r.LinkFault != nil && !ph.Abort {
+				if !r.LinkFault(p, &ph) {
+					ph = packet.Phit{}
+				}
+			}
+			if tu := r.tcIn[p]; r.cfg.Integrity && tu.nAsm > 0 &&
+				(!ph.Valid || ph.VC != packet.VCTime) {
+				// Time-constrained frames are contiguous on the wire
+				// (cut-through is off under Integrity), so any gap
+				// mid-assembly means a phit was lost.
+				tu.framingDrop()
+				tu.resync = true
+			}
 			if ph.Valid {
 				switch ph.VC {
 				case packet.VCTime:
-					r.tcIn[p].acceptByte(ph.Data, r.nowCycle)
+					r.tcIn[p].acceptWire(ph, r.nowCycle)
 				case packet.VCBest:
-					r.beIn[p].acceptByte(ph.Data)
+					u := r.beIn[p]
+					switch {
+					case ph.Abort:
+						u.abortRecv()
+					case r.cfg.Integrity:
+						u.acceptWireBE(ph)
+					default:
+						u.acceptByte(ph.Data)
+					}
 				}
 			}
 		}
-		if r.out[p] != nil && r.out[p].Ack().BECredit {
-			be := r.beOut[p]
-			if be.credits < r.cfg.FlitBufBytes {
-				be.credits++
+		if r.out[p] != nil {
+			a := r.out[p].Ack()
+			if a.BECredit {
+				be := r.beOut[p]
+				if be.credits < r.cfg.FlitBufBytes {
+					be.credits++
+				}
+			}
+			if a.BENack {
+				r.beOut[p].handleNack(r.nowCycle)
 			}
 		}
 	}

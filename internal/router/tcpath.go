@@ -37,6 +37,13 @@ type tcInput struct {
 	injCount int
 	injPkt   [packet.TCBytes]byte
 
+	// wire-integrity state (mesh links under Config.Integrity): rxCRC
+	// folds arriving bytes for the tail-phit checksum compare; resync
+	// discards the remainder of a packet that lost framing until the
+	// next head phit.
+	rxCRC  byte
+	resync bool
+
 	// virtual cut-through state (Section 7 extension): when cutting, the
 	// remaining bytes of the arriving packet stream straight to the
 	// output port without touching the packet memory. cutFIFO absorbs the
@@ -58,6 +65,74 @@ func (u *tcInput) popPending() [packet.TCBytes]byte {
 }
 
 const pendingCap = 2
+
+// acceptWire consumes one time-constrained phit from the link wire.
+// Without Integrity it reduces to the trusted-byte path; with it, the
+// engine enforces framing (head/tail alignment, no gaps) and verifies
+// the frame checksum carried on the tail phit's sideband before the
+// packet may claim a memory slot — a corrupted packet is dropped here,
+// before any resource is allocated, and the reservation absorbs the
+// loss as slack.
+func (u *tcInput) acceptWire(ph packet.Phit, now int64) {
+	if !u.r.cfg.Integrity {
+		u.acceptByte(ph.Data, now)
+		return
+	}
+	if u.resync {
+		// Discarding a damaged frame: its end is the next Tail mark (a
+		// Head instead means the tail itself was lost and a new frame
+		// has begun — accept it normally).
+		if ph.Head {
+			u.resync = false
+		} else {
+			if ph.Tail {
+				u.resync = false
+			}
+			return
+		}
+	}
+	if ph.Head && u.nAsm != 0 {
+		// A new packet started mid-assembly: the old one lost its tail.
+		u.framingDrop()
+	}
+	if !ph.Head && u.nAsm == 0 {
+		// Mid-packet byte with no assembly open: the head was lost.
+		// Count the packet once and skip the rest of its bytes.
+		u.framingDrop()
+		u.resync = !ph.Tail
+		return
+	}
+	if u.nAsm == 0 {
+		u.rxCRC = 0
+	}
+	u.rxCRC = packet.CRC8Update(u.rxCRC, ph.Data)
+	u.asm[u.nAsm] = ph.Data
+	u.nAsm++
+	if u.nAsm < packet.TCBytes {
+		return
+	}
+	u.nAsm = 0
+	if !ph.Tail || !ph.SideValid || ph.Side != u.rxCRC {
+		u.r.Stats.TCCorruptDrops++
+		u.r.dropTC(metrics.DropTCCorrupt, u.asm[0], u.id)
+		return
+	}
+	if u.nPending >= pendingCap {
+		u.r.Stats.TCDropsStaging++
+		u.r.dropTC(metrics.DropTCStaging, u.asm[0], -1)
+		return
+	}
+	u.pending[u.nPending] = u.asm
+	u.nPending++
+}
+
+// framingDrop abandons a partial assembly whose frame can no longer be
+// trusted (lost head, lost tail, or a gap mid-packet).
+func (u *tcInput) framingDrop() {
+	u.r.Stats.TCFramingDrops++
+	u.r.dropTC(metrics.DropTCFraming, u.asm[0], u.id)
+	u.nAsm = 0
+}
 
 // acceptByte consumes one time-constrained byte from the wire (or the
 // injection stream).
@@ -102,6 +177,12 @@ func (u *tcInput) acceptByte(b byte, now int64) {
 // paper's sketch does not address). It returns true when the cut path is
 // established.
 func (u *tcInput) tryCutThrough(now int64) bool {
+	// Integrity requires store-and-forward: the frame checksum can only
+	// be verified once the whole packet has arrived, and the cut path
+	// would forward bytes before the tail's checksum is seen.
+	if u.r.cfg.Integrity {
+		return false
+	}
 	// The skew FIFO belongs to one cut at a time: a new cut may only
 	// start once the previous cut's consumer has drained every byte
 	// (resetting the FIFO earlier would wedge that output mid-packet).
@@ -265,6 +346,7 @@ type tcOutput struct {
 	txActive bool
 	txBuf    [packet.TCBytes]byte
 	txIdx    int
+	txCRC    byte // frame checksum for the tail phit (Integrity only)
 
 	// virtual cut-through source, when a packet streams directly from an
 	// input engine
@@ -401,6 +483,9 @@ func (o *tcOutput) startTx(nowSlot timing.Stamp, class sched.Class) {
 		o.r.lifecycle(ev)
 	}
 	o.txBuf = o.sBuf
+	if o.r.cfg.Integrity {
+		o.txCRC = packet.CRC8(o.sBuf[:])
+	}
 	o.txActive = true
 	o.txIdx = 0
 	o.staged = false

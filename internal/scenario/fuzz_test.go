@@ -1,0 +1,32 @@
+package scenario
+
+import "testing"
+
+// FuzzParse throws arbitrary bytes at the scenario decoder: it must
+// either return an error or a document that re-validates, and never
+// panic. The seed corpus covers every schema feature, the failure
+// timeline kinds in particular.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sampleJSON))
+	f.Add([]byte(`{"mesh":{"w":2,"h":1},"cycles":100}`))
+	f.Add([]byte(`{"mesh":{"w":3,"h":3},"cycles":1000,"router":{"scheduler":"approx","approxShift":2,"vct":true}}`))
+	f.Add([]byte(`{"mesh":{"w":2,"h":2},"cycles":500,"failures":[{"at":10,"from":[0,0],"port":"+x","kind":"flap","repair_at":200}]}`))
+	f.Add([]byte(`{"mesh":{"w":2,"h":2},"cycles":500,"failures":[{"at":10,"from":[0,1],"port":"-y","kind":"corrupt","rate":0.05,"burst":4}]}`))
+	f.Add([]byte(`{"mesh":{"w":2,"h":2},"cycles":500,"failures":[{"at":0,"from":[1,1],"port":"-x","kind":"lose","rate":0.5,"repair_at":500}]}`))
+	f.Add([]byte(`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"+x","repair_at":10}]}`))
+	f.Add([]byte(`{"mesh":{"w":1,"h":1},"cycles":-1}`))
+	f.Add([]byte(`{"cycles":1e18}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		sc, err := Parse(raw)
+		if err != nil {
+			return
+		}
+		if sc == nil {
+			t.Fatal("nil scenario without error")
+		}
+		if err := sc.validate(); err != nil {
+			t.Fatalf("parsed scenario fails re-validation: %v", err)
+		}
+	})
+}

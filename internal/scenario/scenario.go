@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -72,13 +73,36 @@ type BEFlow struct {
 	SizeMax int     `json:"sizeMax"`
 }
 
-// LinkFail schedules a link failure at a cycle; affected channels are
-// rerouted immediately afterwards.
+// LinkFail schedules a link fault episode on a timeline. Kind selects
+// the episode:
+//
+//   - "fail" (or empty): the link is severed at At, permanently unless
+//     RepairAt restores it. Channels crossing it are rerouted after the
+//     failure and failed back after the repair.
+//   - "flap": sugar for a fail that must carry a RepairAt.
+//   - "corrupt", "lose": a transient fault process (rate, optional
+//     burstiness) garbles or erases phits on the link from At until
+//     RepairAt (or the end of the run). Requires link-level integrity,
+//     which the runner enables automatically.
 type LinkFail struct {
 	At   int64  `json:"at"`
 	From [2]int `json:"from"`
 	Port string `json:"port"` // +x|-x|+y|-y
+	Kind string `json:"kind"` // fail|flap|corrupt|lose ("" = fail)
+	// RepairAt, when positive, ends the episode: the link is repaired
+	// (fail/flap) or the fault process is disarmed (corrupt/lose).
+	RepairAt int64 `json:"repair_at"`
+	// Rate is the steady-state per-phit fault probability for
+	// corrupt/lose, in (0,1).
+	Rate float64 `json:"rate"`
+	// Burst is the mean fault-burst length in phits; ≤ 1 means
+	// independent per-phit faults.
+	Burst float64 `json:"burst"`
 }
+
+// outage reports whether the episode severs the link (as opposed to
+// arming a transient fault process on it).
+func (f LinkFail) outage() bool { return f.Kind == "" || f.Kind == "fail" || f.Kind == "flap" }
 
 // Load reads and validates a scenario file.
 func Load(path string) (*Scenario, error) {
@@ -128,13 +152,63 @@ func (sc *Scenario) validate() error {
 			return fmt.Errorf("scenario: channel %d: unknown pattern %q", i, ch.Pattern)
 		}
 	}
+	// Overlap detection: two outage episodes (or two fault processes) on
+	// the same undirected link must not be active at once.
+	type interval struct {
+		idx      int
+		from, to int64
+	}
+	spans := map[string][]interval{}
 	for i, f := range sc.Failures {
-		if _, err := parsePort(f.Port); err != nil {
+		port, err := parsePort(f.Port)
+		if err != nil {
 			return fmt.Errorf("scenario: failure %d: %w", i, err)
 		}
 		if f.At < 0 || f.At >= sc.Cycles {
 			return fmt.Errorf("scenario: failure %d at cycle %d outside the run", i, f.At)
 		}
+		from := coord(f.From)
+		to := from.Add(port)
+		if from.X < 0 || from.X >= sc.Mesh.W || from.Y < 0 || from.Y >= sc.Mesh.H {
+			return fmt.Errorf("scenario: failure %d: node %s outside the %dx%d mesh", i, from, sc.Mesh.W, sc.Mesh.H)
+		}
+		if to.X < 0 || to.X >= sc.Mesh.W || to.Y < 0 || to.Y >= sc.Mesh.H {
+			return fmt.Errorf("scenario: failure %d: link %s %s leaves the mesh", i, from, f.Port)
+		}
+		switch f.Kind {
+		case "", "fail", "flap", "corrupt", "lose":
+		default:
+			return fmt.Errorf("scenario: failure %d: unknown kind %q", i, f.Kind)
+		}
+		if f.RepairAt != 0 && (f.RepairAt <= f.At || f.RepairAt > sc.Cycles) {
+			return fmt.Errorf("scenario: failure %d: repair_at %d outside (at, cycles]", i, f.RepairAt)
+		}
+		if f.Kind == "flap" && f.RepairAt == 0 {
+			return fmt.Errorf("scenario: failure %d: flap requires repair_at", i)
+		}
+		if f.outage() {
+			if f.Rate != 0 || f.Burst != 0 {
+				return fmt.Errorf("scenario: failure %d: rate/burst only apply to corrupt or lose", i)
+			}
+		} else if f.Rate <= 0 || f.Rate >= 1 {
+			return fmt.Errorf("scenario: failure %d: %s rate %v outside (0,1)", i, f.Kind, f.Rate)
+		}
+		// Canonical undirected link name, keyed per episode category.
+		lf, lp := from, port
+		if port == router.PortXMinus || port == router.PortYMinus {
+			lf, lp = to, map[int]int{router.PortXMinus: router.PortXPlus, router.PortYMinus: router.PortYPlus}[port]
+		}
+		key := fmt.Sprintf("%s#%d#%v", lf, lp, f.outage())
+		end := f.RepairAt
+		if end == 0 {
+			end = sc.Cycles
+		}
+		for _, iv := range spans[key] {
+			if f.At < iv.to && iv.from < end {
+				return fmt.Errorf("scenario: failures %d and %d overlap on link %s %s", iv.idx, i, lf, f.Port)
+			}
+		}
+		spans[key] = append(spans[key], interval{i, f.At, end})
 	}
 	return nil
 }
@@ -164,6 +238,11 @@ type Result struct {
 	Summary  core.Summary
 	Cycles   int64
 	Failures int
+	// Repairs counts episode endings played: link repairs and fault
+	// processes disarmed.
+	Repairs int
+	// Faults reports what the fault injector did on the wire.
+	Faults fault.Stats
 }
 
 // RunOpts carries harness-level knobs that are not part of the
@@ -195,10 +274,21 @@ func (sc *Scenario) Run() (*Result, *core.System, error) {
 	return sc.RunWith(RunOpts{})
 }
 
-// RunWith is Run with harness options (telemetry attachment).
+// RunWith is Run with harness options (telemetry attachment). The
+// scenario is re-validated first, so hand-built documents get the same
+// checks as parsed ones.
 func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
+	if err := sc.validate(); err != nil {
+		return nil, nil, err
+	}
 	rcfg := router.DefaultConfig()
 	rcfg.VCT = sc.Router.VCT
+	for _, f := range sc.Failures {
+		if !f.outage() {
+			// Transient wire faults need link-level detection to matter.
+			rcfg.Integrity = true
+		}
+	}
 	switch sc.Router.Scheduler {
 	case "fifo":
 		rcfg.Scheduler = router.SchedFIFO
@@ -292,29 +382,94 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 		sys.RegisterNode(coord(f.Src), app)
 	}
 
-	fails := append([]LinkFail(nil), sc.Failures...)
-	sort.Slice(fails, func(i, j int) bool { return fails[i].At < fails[j].At })
+	// The failure timeline: every episode contributes an onset event and,
+	// with RepairAt set, an ending event. Deterministic order: by cycle,
+	// then document order, endings before onsets at the same cycle (so a
+	// flap interval ending at t frees the link for one starting at t).
+	type event struct {
+		at     int64
+		repair bool
+		idx    int
+	}
+	var events []event
+	for i, f := range sc.Failures {
+		events = append(events, event{f.At, false, i})
+		if f.RepairAt > 0 {
+			events = append(events, event{f.RepairAt, true, i})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.repair != b.repair {
+			return a.repair
+		}
+		return a.idx < b.idx
+	})
+	var inj *fault.Injector
+	// reroutedAt remembers which channels each outage displaced, so its
+	// repair fails exactly those back.
+	reroutedAt := make(map[int][]*core.Channel)
 	at := int64(0)
-	for _, f := range fails {
-		sys.Run(f.At - at)
-		at = f.At
-		port, _ := parsePort(f.Port)
-		if err := sys.FailLink(coord(f.From), port); err != nil {
+	for _, ev := range events {
+		sys.Run(ev.at - at)
+		at = ev.at
+		f := sc.Failures[ev.idx]
+		port, err := parsePort(f.Port)
+		if err != nil {
 			return nil, nil, fmt.Errorf("scenario: failure at %d: %w", f.At, err)
 		}
-		res.Failures++
-		// A severed link is dead in both directions: reroute channels
-		// crossing it either way.
-		rev := map[int]int{
-			router.PortXPlus:  router.PortXMinus,
-			router.PortXMinus: router.PortXPlus,
-			router.PortYPlus:  router.PortYMinus,
-			router.PortYMinus: router.PortYPlus,
-		}[port]
-		to := coord(f.From).Add(port)
-		for _, oc := range opened {
-			if oc.ch.Admitted().Uses(coord(f.From), port) || oc.ch.Admitted().Uses(to, rev) {
-				if err := oc.ch.Reroute(); err == nil {
+		from := coord(f.From)
+		switch {
+		case !f.outage() && !ev.repair:
+			if inj == nil {
+				inj = fault.New(sc.Seed)
+			}
+			kind := fault.Corrupt
+			if f.Kind == "lose" {
+				kind = fault.Lose
+			}
+			cfg := fault.Config{Kind: kind, Rate: f.Rate, Burst: f.Burst}
+			if err := inj.InjectLink(sys.Net, from, port, cfg); err != nil {
+				return nil, nil, fmt.Errorf("scenario: fault at %d: %w", f.At, err)
+			}
+			res.Failures++
+		case !f.outage():
+			inj.ClearLink(from, port)
+			res.Repairs++
+		case !ev.repair:
+			if err := sys.FailLink(from, port); err != nil {
+				return nil, nil, fmt.Errorf("scenario: failure at %d: %w", f.At, err)
+			}
+			res.Failures++
+			// A severed link is dead in both directions: reroute channels
+			// crossing it either way.
+			rev := map[int]int{
+				router.PortXPlus:  router.PortXMinus,
+				router.PortXMinus: router.PortXPlus,
+				router.PortYPlus:  router.PortYMinus,
+				router.PortYMinus: router.PortYPlus,
+			}[port]
+			to := from.Add(port)
+			for _, oc := range opened {
+				if oc.ch.Admitted().Uses(from, port) || oc.ch.Admitted().Uses(to, rev) {
+					if err := oc.ch.Reroute(); err == nil {
+						res.Rerouted++
+						reroutedAt[ev.idx] = append(reroutedAt[ev.idx], oc.ch)
+					}
+				}
+			}
+		default:
+			if err := sys.RepairLink(from, port); err != nil {
+				return nil, nil, fmt.Errorf("scenario: repair at %d: %w", ev.at, err)
+			}
+			res.Repairs++
+			// Fail the displaced channels back: admission prefers the
+			// primary XY order, so they return to the repaired path.
+			for _, ch := range reroutedAt[ev.idx] {
+				if err := ch.Reroute(); err == nil {
 					res.Rerouted++
 				}
 			}
@@ -322,5 +477,8 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 	}
 	sys.Run(sc.Cycles - at)
 	res.Summary = sys.Summarize()
+	if inj != nil {
+		res.Faults = inj.Stats()
+	}
 	return res, sys, nil
 }

@@ -46,11 +46,54 @@ func TestParseRejects(t *testing.T) {
 		`{"mesh":{"w":2,"h":1},"cycles":100,"channels":[{"src":[0,0],"dsts":[[1,0]],"pattern":"chaotic"}]}`,
 		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"sideways"}]}`,
 		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":500,"from":[0,0],"port":"+x"}]}`,
+		// Failure episode validation: bad kind, off-mesh nodes and links.
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"+x","kind":"melt"}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[5,0],"port":"+x"}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[1,0],"port":"+x"}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"+y"}]}`,
+		// Boundary: repair must land inside (at, cycles].
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"+x","repair_at":10}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"+x","repair_at":500}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"+x","kind":"flap"}]}`,
+		// Rate/burst contract per kind.
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"+x","rate":0.1}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"+x","kind":"corrupt"}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[{"at":10,"from":[0,0],"port":"+x","kind":"lose","rate":1.5}]}`,
+		// Duplicate/overlapping episodes on one link (second names the
+		// same wire from the far end).
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[
+		   {"at":10,"from":[0,0],"port":"+x"},
+		   {"at":50,"from":[1,0],"port":"-x"}]}`,
+		`{"mesh":{"w":2,"h":1},"cycles":100,"failures":[
+		   {"at":10,"from":[0,0],"port":"+x","kind":"flap","repair_at":60},
+		   {"at":40,"from":[0,0],"port":"+x"}]}`,
 	}
 	for i, b := range bad {
 		if _, err := Parse([]byte(b)); err == nil {
 			t.Errorf("bad scenario %d accepted", i)
 		}
+	}
+	// Sequential (non-overlapping) episodes on one link are fine, as is
+	// a fault process running concurrently with an outage elsewhere.
+	ok := `{"mesh":{"w":3,"h":1},"cycles":100,"failures":[
+	  {"at":10,"from":[0,0],"port":"+x","kind":"flap","repair_at":40},
+	  {"at":40,"from":[0,0],"port":"+x"},
+	  {"at":5,"from":[1,0],"port":"+x","kind":"corrupt","rate":0.01,"repair_at":90}]}`
+	if _, err := Parse([]byte(ok)); err != nil {
+		t.Errorf("sequential episodes rejected: %v", err)
+	}
+}
+
+// TestRunValidatesHandBuiltScenario pins the parsePort bugfix: a
+// scenario constructed in code (never parsed) with a bad port string
+// must fail loudly instead of silently failing the wrong link.
+func TestRunValidatesHandBuiltScenario(t *testing.T) {
+	var sc Scenario
+	sc.Mesh.W, sc.Mesh.H = 2, 1
+	sc.Cycles = 100
+	sc.Failures = []LinkFail{{At: 10, From: [2]int{0, 0}, Port: "east"}}
+	if _, _, err := sc.Run(); err == nil {
+		t.Fatal("bad port string in a hand-built scenario not rejected")
 	}
 }
 
@@ -99,6 +142,65 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if sys == nil {
 		t.Fatal("system not returned")
+	}
+}
+
+// TestRunFlapFailsBack plays a flap episode: the displaced channel is
+// rerouted at the failure and failed back at the repair.
+func TestRunFlapFailsBack(t *testing.T) {
+	sc, err := Parse([]byte(`{
+	  "mesh": {"w": 3, "h": 3}, "cycles": 30000, "seed": 3,
+	  "channels": [{"src": [0,0], "dsts": [[2,2]], "imin": 8, "smax": 18, "d": 80}],
+	  "failures": [{"at": 10000, "from": [0,0], "port": "+x", "kind": "flap", "repair_at": 20000}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 || res.Repairs != 1 {
+		t.Errorf("timeline played %d failures, %d repairs, want 1 and 1", res.Failures, res.Repairs)
+	}
+	if res.Rerouted != 2 {
+		t.Errorf("rerouted %d times, want 2 (away and back)", res.Rerouted)
+	}
+	if res.Summary.TCMisses != 0 {
+		t.Errorf("deadline misses through the flap: %d", res.Summary.TCMisses)
+	}
+	if res.Summary.TCDelivered == 0 {
+		t.Error("degenerate run")
+	}
+}
+
+// TestRunCorruptEpisode arms a transient corruption process over a
+// best-effort flow's path; integrity must be switched on automatically
+// and the link-level recovery must show up in the result.
+func TestRunCorruptEpisode(t *testing.T) {
+	sc, err := Parse([]byte(`{
+	  "mesh": {"w": 2, "h": 1}, "cycles": 30000, "seed": 9,
+	  "bestEffort": [{"src": [0,0], "dst": [1,0], "rate": 0.3, "sizeMin": 64, "sizeMax": 64}],
+	  "failures": [{"at": 0, "from": [0,0], "port": "+x", "kind": "corrupt", "rate": 0.02, "repair_at": 30000}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.CorruptedPhits == 0 {
+		t.Error("fault process never fired")
+	}
+	if res.Summary.BENacks == 0 || res.Summary.BERetransmits == 0 {
+		t.Errorf("no link-level recovery: %+v", res.Summary)
+	}
+	if res.Summary.BEDelivered == 0 {
+		t.Error("nothing delivered through the corruption episode")
+	}
+	if res.Repairs != 1 {
+		t.Errorf("fault process not disarmed: repairs %d", res.Repairs)
 	}
 }
 

@@ -188,8 +188,13 @@ type SizePicker func(rng *rand.Rand) int
 // FixedSize always returns n.
 func FixedSize(n int) SizePicker { return func(*rand.Rand) int { return n } }
 
-// UniformSize returns sizes uniformly in [lo, hi].
+// UniformSize returns sizes uniformly in [lo, hi]. A degenerate or
+// inverted range (hi <= lo) clamps to a fixed size of lo rather than
+// panicking inside rng.Intn, so callers need not pre-validate.
 func UniformSize(lo, hi int) SizePicker {
+	if hi <= lo {
+		return FixedSize(lo)
+	}
 	return func(rng *rand.Rand) int { return lo + rng.Intn(hi-lo+1) }
 }
 
