@@ -10,7 +10,9 @@
 // Experiments: e1, fig6, fig7, chip, horizon, compare, vct, multicast,
 // admit, all; plus cyclerate and sweep, which benchmark the simulator
 // itself (sequential vs parallel kernel; -workers, -mesh, -benchjson,
-// -min-speedup).
+// -min-speedup, and -baseline/-max-regress for regression diffing
+// against an archived sweep), and forensics, which gates the slack
+// attribution engine on a scenario (-scenario).
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|faults|ring|sharing|cyclerate|sweep|all)")
+	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|faults|ring|sharing|cyclerate|sweep|forensics|all)")
 	seed := flag.Int64("seed", 1, "seed for the faults campaign's fault placement")
 	cycles := flag.Int64("cycles", 0, "override simulated cycles where applicable (0 = experiment default)")
 	chart := flag.Bool("chart", false, "render ASCII charts where available")
@@ -41,6 +43,9 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write the cyclerate/sweep result as JSON to this file (e.g. BENCH_router.json)")
 	meshList := flag.String("mesh", "", "comma-separated square mesh edges for the sweep (default 8,16,32)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail the sweep if any parallel row is slower than this fraction of sequential (0 = don't enforce)")
+	baseline := flag.String("baseline", "", "archived sweep JSON (BENCH_router.json) to diff the fresh sweep against")
+	maxRegress := flag.Float64("max-regress", 0, "with -baseline: fail if any row's speedup drops (or allocs/cycle grows) more than this fraction vs the baseline (0 = report only)")
+	scenarioPath := flag.String("scenario", "scenarios/faulty.json", "scenario file for -exp forensics")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	metricsOut := flag.String("metrics", "", "write aggregate telemetry across all runs to this file (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
@@ -125,10 +130,13 @@ func main() {
 		"ring":      func() error { return runRing(*cycles) },
 		"sharing":   func() error { return runSharing(*cycles) },
 		"cyclerate": func() error { return runCycleRate(*cycles, *workers, *benchJSON) },
-		"sweep":     func() error { return runSweep(*cycles, *workers, *meshList, *benchJSON, *minSpeedup) },
+		"sweep": func() error {
+			return runSweep(*cycles, *workers, *meshList, *benchJSON, *minSpeedup, *baseline, *maxRegress)
+		},
+		"forensics": func() error { return runForensics(*scenarioPath, *cycles) },
 	}
-	// cyclerate and sweep measure the simulator rather than the paper and
-	// are run on request only, not as part of "all".
+	// cyclerate, sweep and forensics probe the simulator rather than the
+	// paper and are run on request only, not as part of "all".
 	order := []string{"e1", "fig7", "fig6", "chip", "horizon", "compare", "approx", "vct", "multicast", "admit", "load", "skew", "failover", "faults", "ring", "sharing"}
 
 	if *exp == "all" {
@@ -441,11 +449,29 @@ func runCycleRate(cycles int64, workers int, benchJSON string) error {
 	return nil
 }
 
+// runForensics runs the slack-attribution gate on a scenario: the
+// forensics report must be byte-identical at every worker count, every
+// non-advancing time-constrained cycle must carry exactly one blame
+// cause (no unattributed cycles), and the blame totals must reconcile
+// with the independent hardware counters.
+func runForensics(scenarioPath string, cycles int64) error {
+	res, err := experiments.RunForensics(scenarioPath, cycles, nil)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	if !res.OK() {
+		return fmt.Errorf("forensics gate failed on %s", scenarioPath)
+	}
+	return nil
+}
+
 // runSweep runs the full scaling matrix (meshes × worker counts). A
 // non-zero workers narrows the sweep to that single worker count, a
 // non-zero cycles overrides every mesh's budget, and minSpeedup turns
-// the sweep into a regression tripwire for CI.
-func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup float64) error {
+// the sweep into a regression tripwire for CI. A baseline file adds a
+// per-row diff against the archived sweep, failing past maxRegress.
+func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup float64, baseline string, maxRegress float64) error {
 	var meshes []int
 	if meshList != "" {
 		for _, s := range strings.Split(meshList, ",") {
@@ -504,8 +530,23 @@ func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup 
 			}
 		}
 	}
+	var regress error
+	if baseline != "" {
+		base, err := experiments.LoadSweepBaseline(baseline)
+		if err != nil {
+			return err
+		}
+		deltas := res.Diff(base)
+		if len(deltas) == 0 {
+			return fmt.Errorf("baseline %s shares no (mesh, workers) rows with this sweep", baseline)
+		}
+		experiments.DeltaTable(deltas, baseline).Fprint(os.Stdout)
+		// Write the fresh sweep (the next baseline / CI artifact) before
+		// failing, so a regression still leaves the evidence behind.
+		regress = experiments.CheckRegression(deltas, maxRegress)
+	}
 	if benchJSON == "" {
-		return nil
+		return regress
 	}
 	out := map[string]any{
 		"benchmark":  "router_scaling_sweep",
@@ -536,7 +577,7 @@ func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup 
 		return err
 	}
 	fmt.Printf("benchmark result written to %s\n", benchJSON)
-	return nil
+	return regress
 }
 
 func runAdmit() error {

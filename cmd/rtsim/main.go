@@ -18,7 +18,9 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/admission"
@@ -58,10 +60,31 @@ func main() {
 		links      = flag.Bool("links", false, "print the per-link utilization table after the run")
 		metricsOut = flag.String("metrics", "", "write the telemetry report to this file after the run (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
 		sample     = flag.Int64("sample", 0, "snapshot telemetry totals into a time series every N cycles (0 = cycles/100 when telemetry is on)")
-		listen     = flag.String("listen", "", "serve live telemetry over HTTP at this address during the run (e.g. :8080)")
+		listen     = flag.String("listen", "", "serve live telemetry over HTTP at this address during the run (e.g. :8080; also serves net/http/pprof under /debug/pprof/)")
 		workers    = flag.Int("workers", 1, "simulation kernel workers: 1 = sequential, >1 parallel (bit-identical results), 0 = GOMAXPROCS")
+		explain    = flag.Bool("explain", false, "print the slack-attribution report after the run: cause totals, blame matrix, per-channel waterfalls, longest stall episodes")
+		flight     = flag.String("flight", "", "write the flight-recorder dump to this file after the run: the merged events of the last -flight-cycles cycles before the final trigger (.jsonl = JSON lines with trigger records, otherwise Chrome trace-event JSON for Perfetto)")
+		flightN    = flag.Int64("flight-cycles", 0, "flight-recorder dump window in cycles (0 = 4096); the dump draws on the -trace-buf event retention, so windows deeper than the per-node buffer covers come back truncated")
+		memProfile = flag.String("memprofile", "", "write a heap (allocs) profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rtsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "rtsim: memprofile:", err)
+				return
+			}
+			fmt.Printf("heap profile written to %s\n", path)
+		}()
+	}
 
 	// core.Options treats 0 as "default" (sequential); the documented
 	// CLI meaning of 0 is GOMAXPROCS, which Options expresses as a
@@ -74,14 +97,24 @@ func main() {
 
 	// Tracing is sharded per node (obs.Sharded), so it composes with any
 	// worker count; the merged timeline is identical across modes.
+	// Forensics and the flight recorder both reconstruct from the merged
+	// timeline, so requesting either brings the collector up too.
 	var col *obs.Sharded
-	if *traceN > 0 || *traceOut != "" {
+	if *traceN > 0 || *traceOut != "" || *explain || *flight != "" {
 		col = obs.NewSharded(*traceBuf)
 	}
 	slo := obs.NewSLO()
+	var fns *obs.Forensics
+	var rec *obs.Recorder
+	if *explain || *flight != "" {
+		fns = obs.NewForensics()
+		fns.UseSLO(slo)
+		rec = obs.NewRecorder(*flightN, 0)
+	}
 
 	if *scenPath != "" {
-		runScenario(*scenPath, reg, *sample, *metricsOut, *workers, col, slo, *traceN, *traceOut)
+		runScenario(*scenPath, reg, *sample, *metricsOut, *workers, col, slo, fns, rec,
+			*traceN, *traceOut, *explain, *flight)
 		return
 	}
 
@@ -110,6 +143,8 @@ func main() {
 		MetricsSampleEvery: *sample,
 		Collector:          col,
 		ChannelSLO:         slo,
+		Forensics:          fns,
+		Recorder:           rec,
 		Workers:            *workers,
 	}.WithAdmission(admission.Config{
 		Policy:       policy,
@@ -158,14 +193,70 @@ func main() {
 	}
 
 	sys.Run(*cycles)
+	// Flush open stall episodes before anything reads the merged
+	// timeline, so -trace-out, -explain and -flight all see them.
+	if fns != nil {
+		fns.Flush()
+	}
 	printSummary(sys, *cycles, *workers)
 	printChannelReport(slo)
 	if *links {
 		printLinkTable(sys, *cycles)
 	}
+	printForensics(fns, rec, col, *explain)
 	dumpTraceTail(col, *traceN)
 	writeTraceFile(col, slo, *traceOut)
+	writeFlightFile(rec, col, slo, *flight)
 	finishTelemetry(reg, sys.Now(), *metricsOut)
+}
+
+// printForensics writes the slack-attribution report and the flight
+// recorder's trigger digest, as -explain requests.
+func printForensics(fns *obs.Forensics, rec *obs.Recorder, col *obs.Sharded, explain bool) {
+	if fns == nil || !explain {
+		return
+	}
+	var events []obs.Event
+	if col != nil {
+		events = col.Merged()
+	}
+	fmt.Println("\nforensics (slack attribution):")
+	fns.Report(os.Stdout, events)
+	if rec != nil {
+		fmt.Println()
+		rec.Summary(os.Stdout)
+	}
+}
+
+// writeFlightFile dumps the flight-recorder window — the merged events
+// of the last recorder-window cycles up to the final trigger — to the
+// path; .jsonl selects JSON lines (trigger records first), anything
+// else Chrome trace-event JSON for Perfetto.
+func writeFlightFile(rec *obs.Recorder, col *obs.Sharded, slo *obs.SLO, path string) {
+	if rec == nil || col == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	var fired bool
+	if strings.HasSuffix(path, ".jsonl") {
+		fired, err = rec.DumpJSONL(f, col)
+	} else {
+		fired, err = rec.DumpChrome(f, col, slo)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if !fired {
+		fmt.Printf("flight recorder: no triggers fired; %s left empty\n", path)
+		return
+	}
+	last, _ := rec.Last()
+	fmt.Printf("flight recorder dump written to %s (%d cycles ending at %d; %d triggers)\n",
+		path, rec.Window(), last.Cycle, rec.Count())
 }
 
 // printChannelReport writes the per-channel SLO table (latency and
@@ -233,12 +324,21 @@ func openTelemetry(metricsOut, listen string, sample *int64, cycles int64) *metr
 		}
 	}
 	if listen != "" {
+		// Telemetry at the root, the standard pprof handlers alongside it:
+		// profiling parity with rtbench without a second listener.
+		mux := http.NewServeMux()
+		mux.Handle("/", reg)
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 		go func() {
-			if err := http.ListenAndServe(listen, reg); err != nil {
+			if err := http.ListenAndServe(listen, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "rtsim: telemetry listener:", err)
 			}
 		}()
-		fmt.Printf("telemetry: live at http://%s/ (Prometheus text; append ?format=json for JSON)\n", listen)
+		fmt.Printf("telemetry: live at http://%s/ (Prometheus text; ?format=json for JSON; pprof at /debug/pprof/)\n", listen)
 	}
 	return reg
 }
@@ -280,19 +380,23 @@ func writeMetrics(reg *metrics.Registry, path string) error {
 // runScenario plays a declarative workload file (see scenarios/ and the
 // scenario package).
 func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut string, workers int,
-	col *obs.Sharded, slo *obs.SLO, traceN int, traceOut string) {
+	col *obs.Sharded, slo *obs.SLO, fns *obs.Forensics, rec *obs.Recorder,
+	traceN int, traceOut string, explain bool, flight string) {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		fail(err)
 	}
 	res, sys, err := sc.RunWith(scenario.RunOpts{
 		Metrics: reg, SampleEvery: sample, Workers: workers,
-		Collector: col, ChannelSLO: slo,
+		Collector: col, ChannelSLO: slo, Forensics: fns, Recorder: rec,
 	})
 	if err != nil {
 		fail(err)
 	}
 	defer sys.Close()
+	if fns != nil {
+		fns.Flush()
+	}
 	fmt.Printf("scenario %s: %dx%d mesh, %d channels opened", path, sc.Mesh.W, sc.Mesh.H, res.Opened)
 	if len(res.Rejected) > 0 {
 		fmt.Printf(" (%d rejected)", len(res.Rejected))
@@ -311,8 +415,10 @@ func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut st
 	}
 	printSummary(sys, res.Cycles, workers)
 	printChannelReport(slo)
+	printForensics(fns, rec, col, explain)
 	dumpTraceTail(col, traceN)
 	writeTraceFile(col, slo, traceOut)
+	writeFlightFile(rec, col, slo, flight)
 	finishTelemetry(reg, sys.Now(), metricsOut)
 }
 

@@ -62,6 +62,19 @@ type Options struct {
 	// DefaultChannelSLO. When a metrics registry is attached too, the
 	// SLO snapshots ride its JSON/Prometheus/HTTP exports.
 	ChannelSLO *obs.SLO
+	// Forensics attaches the slack-attribution engine: every router
+	// collects per-cycle blame counters, merged post-run into the blame
+	// matrix and cause totals (obs.Forensics). Nil falls back to
+	// DefaultForensics; when that is nil too, attribution is off and the
+	// routers pay only a nil check per arbitration.
+	Forensics *obs.Forensics
+	// Recorder attaches the flight recorder: deadline misses, fault
+	// drops and fault-attributed stalls trigger bounded per-node logs
+	// with occupancy snapshots, dumpable post-run as the last K cycles
+	// of the merged timeline (obs.Recorder). Nil falls back to
+	// DefaultRecorder. A recorder without a Collector still counts and
+	// logs triggers; only the timeline dump needs the collector.
+	Recorder *obs.Recorder
 	// Workers selects the kernel execution mode: 0 or 1 runs the
 	// simulation sequentially (the default); n > 1 ticks the per-node
 	// shards on n workers with bit-identical results; negative picks
@@ -100,6 +113,8 @@ var DefaultMetrics *metrics.Registry
 var (
 	DefaultCollector  *obs.Sharded
 	DefaultChannelSLO *obs.SLO
+	DefaultForensics  *obs.Forensics
+	DefaultRecorder   *obs.Recorder
 )
 
 // WithAdmission returns o with the admission configuration set.
@@ -127,6 +142,10 @@ type System struct {
 	Collector *obs.Sharded
 	// SLO is the attached per-channel SLO tracker, or nil.
 	SLO *obs.SLO
+	// Forensics is the attached slack-attribution engine, or nil.
+	Forensics *obs.Forensics
+	// Recorder is the attached flight recorder, or nil.
+	Recorder *obs.Recorder
 }
 
 // NewMesh builds a W×H system.
@@ -166,6 +185,14 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 	if slo == nil {
 		slo = DefaultChannelSLO
 	}
+	fns := opts.Forensics
+	if fns == nil {
+		fns = DefaultForensics
+	}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = DefaultRecorder
+	}
 	for _, c := range net.Coords() {
 		p, err := rtc.NewPacer(fmt.Sprintf("pacer%s", c), net.Router(c), acfg.SourceWindow)
 		if err != nil {
@@ -191,13 +218,37 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 				slo.RecordLatency(name, conn, latency)
 			}
 		}
+		// Forensics enables blame collection; the recorder chains after
+		// everything else so triggers see the router's own counters only.
+		if fns != nil {
+			fns.Attach(net.Router(c))
+		}
+		if rec != nil {
+			rec.Attach(net.Router(c))
+		}
 	}
 	sys.Collector = col
 	sys.SLO = slo
+	sys.Forensics = fns
+	sys.Recorder = rec
+	if fns != nil && slo != nil {
+		fns.UseSLO(slo)
+	}
 	if reg != nil {
 		sys.Metrics = reg
 		if slo != nil {
 			reg.SetChannelSource(slo.Export)
+		}
+		if fns != nil {
+			reg.SetBlameSource(fns.ExportBlame)
+			fnsrc, recsrc := fns, rec
+			reg.SetForensicsSource(func() *metrics.ForensicsSnapshot {
+				fs := fnsrc.ExportStats()
+				if fs != nil && recsrc != nil {
+					fs.Triggers = recsrc.Count()
+				}
+				return fs
+			})
 		}
 		if opts.MetricsSampleEvery > 0 {
 			sys.Sampler = metrics.NewSampler("metrics-sampler", reg, opts.MetricsSampleEvery)

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BaselineRow mirrors one archived sweep row (the jsonRow shape rtbench
+// writes to BENCH_router.json).
+type BaselineRow struct {
+	Mesh              string  `json:"mesh"`
+	Cycles            int64   `json:"cycles"`
+	Workers           int     `json:"workers"`
+	SeqCyclesPerSec   float64 `json:"seq_cycles_per_sec"`
+	ParCyclesPerSec   float64 `json:"par_cycles_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	SeqAllocsPerCycle float64 `json:"seq_allocs_per_cycle"`
+	ParAllocsPerCycle float64 `json:"par_allocs_per_cycle"`
+}
+
+// SweepBaseline is an archived sweep result.
+type SweepBaseline struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Rows       []BaselineRow `json:"rows"`
+}
+
+// LoadSweepBaseline reads an archived BENCH_router.json.
+func LoadSweepBaseline(path string) (*SweepBaseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep baseline: %w", err)
+	}
+	var b SweepBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("sweep baseline %s: %w", path, err)
+	}
+	if len(b.Rows) == 0 {
+		return nil, fmt.Errorf("sweep baseline %s: no rows", path)
+	}
+	return &b, nil
+}
+
+// SweepDelta compares one measured row against its baseline
+// counterpart, matched by (mesh, workers). Ratios above 1 mean the
+// current run is better on speedup and worse on allocations.
+type SweepDelta struct {
+	Mesh         string
+	Workers      int
+	BaseSpeedup  float64
+	CurSpeedup   float64
+	SpeedupRatio float64 // cur/base; machine-rate independent
+	BaseAllocs   float64
+	CurAllocs    float64
+	AllocsRatio  float64 // cur/base parallel allocs per cycle
+}
+
+// Diff matches the sweep's rows against the baseline by (mesh,
+// workers); rows without a counterpart are skipped (the sweep shapes
+// may differ between machines or flag sets).
+func (s *SweepResult) Diff(base *SweepBaseline) []SweepDelta {
+	idx := make(map[string]BaselineRow, len(base.Rows))
+	for _, r := range base.Rows {
+		idx[fmt.Sprintf("%s/%d", r.Mesh, r.Workers)] = r
+	}
+	var out []SweepDelta
+	for _, r := range s.Rows {
+		mesh := fmt.Sprintf("%dx%d", r.W, r.H)
+		b, ok := idx[fmt.Sprintf("%s/%d", mesh, r.Workers)]
+		if !ok {
+			continue
+		}
+		d := SweepDelta{
+			Mesh: mesh, Workers: r.Workers,
+			BaseSpeedup: b.Speedup, CurSpeedup: r.Speedup,
+			BaseAllocs: b.ParAllocsPerCycle, CurAllocs: r.ParAllocsPerCycle,
+		}
+		if b.Speedup > 0 {
+			d.SpeedupRatio = r.Speedup / b.Speedup
+		}
+		if b.ParAllocsPerCycle > 0 {
+			d.AllocsRatio = r.ParAllocsPerCycle / b.ParAllocsPerCycle
+		} else if r.ParAllocsPerCycle == 0 {
+			d.AllocsRatio = 1
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// DeltaTable renders the baseline comparison.
+func DeltaTable(deltas []SweepDelta, baselinePath string) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Sweep vs baseline %s", baselinePath),
+		Header: []string{"mesh", "workers", "speedup", "base", "ratio", "allocs/cyc", "base", "ratio"},
+	}
+	for _, d := range deltas {
+		t.AddRow(
+			d.Mesh,
+			fmt.Sprintf("%d", d.Workers),
+			fmt.Sprintf("%.2fx", d.CurSpeedup),
+			fmt.Sprintf("%.2fx", d.BaseSpeedup),
+			fmt.Sprintf("%.2f", d.SpeedupRatio),
+			fmt.Sprintf("%.2f", d.CurAllocs),
+			fmt.Sprintf("%.2f", d.BaseAllocs),
+			fmt.Sprintf("%.2f", d.AllocsRatio),
+		)
+	}
+	return t
+}
+
+// CheckRegression returns an error naming the first row whose speedup
+// fell more than maxRegress (a fraction, e.g. 0.2 = 20%) below the
+// baseline, or whose parallel allocations per cycle grew more than
+// maxRegress above it. Single-worker rows are exempt from the speedup
+// floor (their ratio is 1.0 by construction and pure noise).
+func CheckRegression(deltas []SweepDelta, maxRegress float64) error {
+	if maxRegress <= 0 {
+		return nil
+	}
+	for _, d := range deltas {
+		if d.Workers > 1 && d.BaseSpeedup > 0 && d.SpeedupRatio < 1-maxRegress {
+			return fmt.Errorf("%s x%d: speedup %.2fx is %.0f%% below baseline %.2fx",
+				d.Mesh, d.Workers, d.CurSpeedup, (1-d.SpeedupRatio)*100, d.BaseSpeedup)
+		}
+		if d.BaseAllocs > 0 && d.AllocsRatio > 1+maxRegress {
+			return fmt.Errorf("%s x%d: allocs/cycle %.2f is %.0f%% above baseline %.2f",
+				d.Mesh, d.Workers, d.CurAllocs, (d.AllocsRatio-1)*100, d.BaseAllocs)
+		}
+	}
+	return nil
+}

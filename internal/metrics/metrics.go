@@ -308,6 +308,12 @@ type Registry struct {
 	// (see SetChannelSource); the obs package is the standard provider.
 	channels func() []ChannelSnapshot
 
+	// blame and forensics, when set, supply slack-attribution exports
+	// (see SetBlameSource/SetForensicsSource); obs.Forensics is the
+	// standard provider.
+	blame     func() []BlameSnapshot
+	forensics func() *ForensicsSnapshot
+
 	// Cycles, if set by the harness, records the measured cycle span
 	// for rate normalization in reports.
 	Cycles atomic.Int64
@@ -401,6 +407,48 @@ func (g *Registry) SetChannelSource(fn func() []ChannelSnapshot) {
 	g.mu.Unlock()
 }
 
+// BlameSnapshot is one aggregated blame-matrix cell: the victim channel
+// lost Cycles cycles to the blamed channel (arb_loss) or subsystem
+// (every other cause; Blamed is then empty).
+type BlameSnapshot struct {
+	Victim string `json:"victim"`
+	Cause  string `json:"cause"`
+	Blamed string `json:"blamed,omitempty"`
+	Cycles int64  `json:"cycles"`
+}
+
+// ForensicsSnapshot summarizes the slack-attribution engine's totals
+// and the flight recorder's trigger count.
+type ForensicsSnapshot struct {
+	// TCStallCycles is the total of attributed time-constrained stall
+	// cycles (all causes except credit_starved, which is best-effort).
+	TCStallCycles int64 `json:"tc_stall_cycles"`
+	// Unattributed counts stalled cycles the classifier could not
+	// explain; the CI gate requires zero.
+	Unattributed int64            `json:"unattributed_cycles"`
+	ByCause      map[string]int64 `json:"by_cause,omitempty"`
+	// Triggers counts flight-recorder trigger events (deadline misses,
+	// best-effort aborts, fault drops) observed so far.
+	Triggers int64 `json:"triggers"`
+}
+
+// SetBlameSource installs the function Snapshot calls to collect
+// aggregated blame-matrix cells (nil detaches). Rows must arrive
+// pre-sorted; Snapshot passes them through untouched.
+func (g *Registry) SetBlameSource(fn func() []BlameSnapshot) {
+	g.mu.Lock()
+	g.blame = fn
+	g.mu.Unlock()
+}
+
+// SetForensicsSource installs the function Snapshot calls to collect
+// the forensics summary (nil detaches).
+func (g *Registry) SetForensicsSource(fn func() *ForensicsSnapshot) {
+	g.mu.Lock()
+	g.forensics = fn
+	g.mu.Unlock()
+}
+
 // RouterSnapshot is a point-in-time copy of one router's counters in
 // export-friendly form.
 type RouterSnapshot struct {
@@ -433,10 +481,12 @@ type RouterSnapshot struct {
 // blocks plus network-wide totals (gauges aggregate by max for
 // high-waters and by sum for levels).
 type Snapshot struct {
-	Cycles   int64             `json:"cycles,omitempty"`
-	Totals   RouterSnapshot    `json:"totals"`
-	Routers  []RouterSnapshot  `json:"routers"`
-	Channels []ChannelSnapshot `json:"channels,omitempty"`
+	Cycles    int64              `json:"cycles,omitempty"`
+	Totals    RouterSnapshot     `json:"totals"`
+	Routers   []RouterSnapshot   `json:"routers"`
+	Channels  []ChannelSnapshot  `json:"channels,omitempty"`
+	Blame     []BlameSnapshot    `json:"blame,omitempty"`
+	Forensics *ForensicsSnapshot `json:"forensics,omitempty"`
 }
 
 func (m *RouterMetrics) snapshot() RouterSnapshot {
@@ -546,6 +596,12 @@ func (g *Registry) Snapshot() Snapshot {
 	}
 	if g.channels != nil {
 		snap.Channels = g.channels()
+	}
+	if g.blame != nil {
+		snap.Blame = g.blame()
+	}
+	if g.forensics != nil {
+		snap.Forensics = g.forensics()
 	}
 	return snap
 }
@@ -685,6 +741,23 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 			func(c ChannelSnapshot) int64 { return c.Latency.Max })
 		gaugeCh("rt_channel_slack_worst_slots", "Smallest observed end-to-end slack per channel.",
 			func(c ChannelSnapshot) int64 { return c.Slack.Min })
+	}
+
+	if len(snap.Blame) > 0 {
+		p("# HELP rt_blame_cycles_total Stall cycles the victim lost to the blamed channel or subsystem cause.\n# TYPE rt_blame_cycles_total counter\n")
+		for _, b := range snap.Blame {
+			p("rt_blame_cycles_total{victim=%q,cause=%q,blamed=%q} %d\n",
+				b.Victim, b.Cause, b.Blamed, b.Cycles)
+		}
+	}
+	if fs := snap.Forensics; fs != nil {
+		p("# HELP rt_forensics_tc_stall_cycles_total Attributed time-constrained stall cycles.\n# TYPE rt_forensics_tc_stall_cycles_total counter\nrt_forensics_tc_stall_cycles_total %d\n", fs.TCStallCycles)
+		p("# HELP rt_forensics_unattributed_cycles_total Stalled cycles the classifier could not explain (must be zero).\n# TYPE rt_forensics_unattributed_cycles_total counter\nrt_forensics_unattributed_cycles_total %d\n", fs.Unattributed)
+		p("# HELP rt_forensics_cause_cycles_total Stall cycles by attribution cause.\n# TYPE rt_forensics_cause_cycles_total counter\n")
+		for _, c := range sortedKeys(fs.ByCause) {
+			p("rt_forensics_cause_cycles_total{cause=%q} %d\n", c, fs.ByCause[c])
+		}
+		p("# HELP rt_forensics_triggers_total Flight-recorder trigger events.\n# TYPE rt_forensics_triggers_total counter\nrt_forensics_triggers_total %d\n", fs.Triggers)
 	}
 	return err
 }

@@ -91,13 +91,21 @@ func flowTable(slo *SLO) map[Endpoint]*flowPoint {
 // channel after eviction). Multicast channels share one flow id across
 // their delivery branches.
 func WriteChromeTrace(w io.Writer, c *Sharded, slo *SLO) error {
+	return WriteChromeEvents(w, c.NodeNames(), c.Merged(), slo)
+}
+
+// WriteChromeEvents renders an already-merged (and possibly filtered)
+// event slice as Chrome trace-event JSON. names[i] labels node i's
+// process track. The flight recorder uses it to dump trigger windows;
+// WriteChromeTrace feeds it a collector's full merged timeline.
+func WriteChromeEvents(w io.Writer, names []string, events []Event, slo *SLO) error {
 	flows := flowTable(slo)
 	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
-	for node := 0; node < c.Nodes(); node++ {
+	for node := 0; node < len(names); node++ {
 		pid := node + 1
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
-			Args: map[string]any{"name": "router " + c.RouterName(node)},
+			Args: map[string]any{"name": "router " + names[node]},
 		})
 		for p := 0; p < router.NumPorts; p++ {
 			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
@@ -151,7 +159,7 @@ func WriteChromeTrace(w io.Writer, c *Sharded, slo *SLO) error {
 		return ev
 	}
 
-	for _, e := range c.Merged() {
+	for _, e := range events {
 		pid := e.Node + 1
 		tid := nodeTid
 		if e.Port >= 0 {
@@ -195,6 +203,16 @@ func WriteChromeTrace(w io.Writer, c *Sharded, slo *SLO) error {
 		case router.EvDrop:
 			ce.Name, ce.Ph, ce.S = "drop", "i", "t"
 			args["reason"] = e.Reason.String()
+		case router.EvStall:
+			// The episode covered [Cycle-Wait, Cycle-1]: render it as a
+			// slice spanning exactly the stalled cycles.
+			ce.Name, ce.Ph, ce.Ts, ce.Dur = "tc-stall", "X", e.Cycle-e.Wait, e.Wait
+			args["cause"] = e.Cause.String()
+			args["cycles"] = e.Wait
+			if e.OutConn != 0 {
+				args["blamed_conn"] = e.OutConn
+				delete(args, "out_conn")
+			}
 		default:
 			continue
 		}
@@ -226,14 +244,22 @@ type jsonlEvent struct {
 	Stamp   uint32 `json:"stamp"`
 	Slack   int64  `json:"slack"`
 	Reason  string `json:"reason,omitempty"`
+	Cause   string `json:"cause,omitempty"`
 	BE      bool   `json:"be,omitempty"`
 }
 
 // WriteJSONL writes the merged timeline as one JSON object per line —
 // the machine-readable sibling of Dump, stable across worker counts.
 func WriteJSONL(w io.Writer, c *Sharded) error {
+	return WriteJSONLEvents(w, c.Merged())
+}
+
+// WriteJSONLEvents writes an already-merged (and possibly filtered)
+// event slice as JSONL; the flight recorder dumps trigger windows
+// through it.
+func WriteJSONLEvents(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
-	for _, e := range c.Merged() {
+	for _, e := range events {
 		le := jsonlEvent{
 			Cycle:  e.Cycle,
 			Node:   e.Node,
@@ -256,6 +282,8 @@ func WriteJSONL(w io.Writer, c *Sharded) error {
 			le.Class = e.Class.String()
 		case router.EvDrop:
 			le.Reason = e.Reason.String()
+		case router.EvStall:
+			le.Cause = e.Cause.String()
 		}
 		if err := enc.Encode(le); err != nil {
 			return err

@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/router"
+)
+
+// Forensics merges the per-router blame banks into channel-level
+// attribution: the blame matrix (channel i lost N cycles to channel j
+// or subsystem k), the per-channel slack waterfalls, and the cause
+// totals whose conservation the CI gate checks.
+//
+// Attach enables blame collection on each router and retains it for the
+// post-run merge. The banks are written lock-free during the owning
+// router's tick (the obs shard contract), so Forensics reads them only
+// after Flush — which the run driver calls once the kernel barrier has
+// ordered all writes. Until then the metrics-facing exporters return
+// nothing, keeping a live -listen scrape race-free.
+type Forensics struct {
+	routers []*router.Router
+	slo     *SLO
+	sealed  atomic.Bool
+}
+
+// NewForensics returns an empty aggregator.
+func NewForensics() *Forensics {
+	return &Forensics{}
+}
+
+// Attach enables blame collection on r and retains it for merging.
+// Attach before the simulation starts, in node order (core.NewMesh uses
+// row-major coordinate order) so merged output is deterministic.
+func (f *Forensics) Attach(r *router.Router) {
+	r.EnableBlame()
+	f.routers = append(f.routers, r)
+}
+
+// UseSLO supplies the channel-name resolver: blame rows label victims
+// and blamed parties by channel name where the SLO tracker knows the
+// (router, conn) endpoint, falling back to conn<id>@<router>.
+func (f *Forensics) UseSLO(s *SLO) { f.slo = s }
+
+// Routers returns how many routers are attached.
+func (f *Forensics) Routers() int { return len(f.routers) }
+
+// Flush closes every router's open stall episodes (emitting their
+// EvStall events into the lifecycle stream) and marks the banks
+// readable. Call after the run, before reading the merged timeline or
+// any exporter; idempotent.
+func (f *Forensics) Flush() {
+	for _, r := range f.routers {
+		r.FlushBlame()
+	}
+	f.sealed.Store(true)
+}
+
+// victimLabel resolves a bank cell's victim to a stable display label.
+func (f *Forensics) victimLabel(rname string, k router.BlameKey) string {
+	if k.BE {
+		return "be:" + rname + ":" + router.PortName(int(k.Port))
+	}
+	if f.slo != nil {
+		if n, ok := f.slo.ChannelName(rname, k.Victim); ok {
+			return n
+		}
+	}
+	return fmt.Sprintf("conn%d@%s", k.Victim, rname)
+}
+
+// blamedLabel resolves the blamed party: a channel label when the cell
+// names a competing connection, empty when the cycle went to a
+// subsystem (the cause string is the column then).
+func (f *Forensics) blamedLabel(rname string, k router.BlameKey) string {
+	if k.Blamed == 0 {
+		return ""
+	}
+	if f.slo != nil {
+		if n, ok := f.slo.ChannelName(rname, k.Blamed); ok {
+			return n
+		}
+	}
+	return fmt.Sprintf("conn%d@%s", k.Blamed, rname)
+}
+
+// Rows merges every router's bank into (victim, cause, blamed) rows,
+// summing cells that resolve to the same labels and sorting by victim,
+// cause, blamed — a total order independent of map iteration and worker
+// count.
+func (f *Forensics) Rows() []metrics.BlameSnapshot {
+	type rk struct{ victim, cause, blamed string }
+	agg := make(map[rk]int64)
+	for _, r := range f.routers {
+		name := r.Name()
+		r.ForEachBlame(func(k router.BlameKey, n int64) {
+			agg[rk{f.victimLabel(name, k), k.Cause.String(), f.blamedLabel(name, k)}] += n
+		})
+	}
+	out := make([]metrics.BlameSnapshot, 0, len(agg))
+	for k, n := range agg {
+		out = append(out, metrics.BlameSnapshot{
+			Victim: k.victim, Cause: k.cause, Blamed: k.blamed, Cycles: n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Victim != b.Victim {
+			return a.Victim < b.Victim
+		}
+		if a.Cause != b.Cause {
+			return a.Cause < b.Cause
+		}
+		return a.Blamed < b.Blamed
+	})
+	return out
+}
+
+// Stats sums every router's attribution totals.
+func (f *Forensics) Stats() metrics.ForensicsSnapshot {
+	var fs metrics.ForensicsSnapshot
+	by := make(map[string]int64)
+	for _, r := range f.routers {
+		st := r.BlameStats()
+		fs.TCStallCycles += st.TCStallCycles
+		for c := router.StallCause(1); c < router.NumStallCauses; c++ {
+			if st.ByCause[c] != 0 {
+				by[c.String()] += st.ByCause[c]
+			}
+		}
+	}
+	fs.Unattributed = by[router.CauseUnattributed.String()]
+	if len(by) > 0 {
+		fs.ByCause = by
+	}
+	return fs
+}
+
+// ExportBlame is the metrics.Registry blame source: nil until Flush so
+// a live scrape never races the compute phase.
+func (f *Forensics) ExportBlame() []metrics.BlameSnapshot {
+	if !f.sealed.Load() {
+		return nil
+	}
+	return f.Rows()
+}
+
+// ExportStats is the metrics.Registry forensics source: nil until
+// Flush. The caller may stamp Triggers (flight-recorder count) onto the
+// returned snapshot.
+func (f *Forensics) ExportStats() *metrics.ForensicsSnapshot {
+	if !f.sealed.Load() {
+		return nil
+	}
+	fs := f.Stats()
+	return &fs
+}
+
+// Waterfall is one victim channel's slack spend, reconstructed from the
+// retained stall episodes of the merged timeline: how many of its
+// non-advancing cycles went to each cause, and its single longest
+// episode.
+type Waterfall struct {
+	Victim  string
+	Total   int64
+	ByCause []CauseCycles
+	// Longest is the worst single episode observed.
+	Longest StallEpisode
+}
+
+// CauseCycles is one bar of a waterfall.
+type CauseCycles struct {
+	Cause  string
+	Cycles int64
+}
+
+// StallEpisode is one closed attribution episode lifted from the merged
+// timeline (an EvStall event): the victim spent Cycles consecutive
+// cycles ending exclusive at End not advancing on Router's Port.
+type StallEpisode struct {
+	End    int64
+	Router string
+	Port   int
+	Victim string
+	Cause  string
+	Blamed string
+	Cycles int64
+}
+
+// label resolves an event-side (router, conn) endpoint like the bank
+// merge does.
+func (f *Forensics) label(rname string, conn uint8) string {
+	if f.slo != nil {
+		if n, ok := f.slo.ChannelName(rname, conn); ok {
+			return n
+		}
+	}
+	return fmt.Sprintf("conn%d@%s", conn, rname)
+}
+
+// episode converts a merged EvStall event.
+func (f *Forensics) episode(e Event) StallEpisode {
+	blamed := ""
+	if e.OutConn != 0 {
+		blamed = f.label(e.Router, e.OutConn)
+	}
+	return StallEpisode{
+		End: e.Cycle, Router: e.Router, Port: e.Port,
+		Victim: f.label(e.Router, e.InConn), Cause: e.Cause.String(),
+		Blamed: blamed, Cycles: e.Wait,
+	}
+}
+
+// Waterfalls reconstructs per-victim waterfalls from the merged
+// timeline's stall episodes, sorted by total cycles descending (victim
+// label breaking ties). Only episodes still retained in the collector
+// contribute — size the shards to the run for complete waterfalls; the
+// bank-derived Rows and Stats are always complete.
+func (f *Forensics) Waterfalls(events []Event) []Waterfall {
+	type acc struct {
+		total   int64
+		by      map[string]int64
+		longest StallEpisode
+	}
+	accs := make(map[string]*acc)
+	for _, e := range events {
+		if e.Kind != router.EvStall {
+			continue
+		}
+		ep := f.episode(e)
+		a := accs[ep.Victim]
+		if a == nil {
+			a = &acc{by: make(map[string]int64)}
+			accs[ep.Victim] = a
+		}
+		a.total += ep.Cycles
+		a.by[ep.Cause] += ep.Cycles
+		if ep.Cycles > a.longest.Cycles {
+			a.longest = ep
+		}
+	}
+	out := make([]Waterfall, 0, len(accs))
+	for victim, a := range accs {
+		wf := Waterfall{Victim: victim, Total: a.total, Longest: a.longest}
+		for cause, n := range a.by {
+			wf.ByCause = append(wf.ByCause, CauseCycles{Cause: cause, Cycles: n})
+		}
+		sort.Slice(wf.ByCause, func(i, j int) bool {
+			a, b := wf.ByCause[i], wf.ByCause[j]
+			if a.Cycles != b.Cycles {
+				return a.Cycles > b.Cycles
+			}
+			return a.Cause < b.Cause
+		})
+		out = append(out, wf)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Total != b.Total {
+			return a.Total > b.Total
+		}
+		return a.Victim < b.Victim
+	})
+	return out
+}
+
+// Episodes lifts every retained stall episode from the merged timeline,
+// sorted longest-first (then by end cycle, router, port for a total
+// order).
+func (f *Forensics) Episodes(events []Event) []StallEpisode {
+	var out []StallEpisode
+	for _, e := range events {
+		if e.Kind == router.EvStall {
+			out = append(out, f.episode(e))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Cycles != b.Cycles {
+			return a.Cycles > b.Cycles
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Router != b.Router {
+			return a.Router < b.Router
+		}
+		return a.Port < b.Port
+	})
+	return out
+}
+
+// Report writes the full forensics summary: cause totals with the
+// conservation line, the blame matrix, per-victim slack waterfalls, and
+// the longest stall episodes. events is the merged timeline (pass
+// collector.Merged(), or nil to skip the timeline-derived sections).
+// Output is byte-identical across worker counts.
+func (f *Forensics) Report(w io.Writer, events []Event) {
+	st := f.Stats()
+	fmt.Fprintf(w, "=== stall attribution: cause totals ===\n")
+	type cc struct {
+		cause  string
+		cycles int64
+	}
+	var causes []cc
+	for c, n := range st.ByCause {
+		causes = append(causes, cc{c, n})
+	}
+	sort.Slice(causes, func(i, j int) bool {
+		if causes[i].cycles != causes[j].cycles {
+			return causes[i].cycles > causes[j].cycles
+		}
+		return causes[i].cause < causes[j].cause
+	})
+	for _, c := range causes {
+		fmt.Fprintf(w, "%-18s %12d\n", c.cause, c.cycles)
+	}
+	fmt.Fprintf(w, "tc stall cycles: %d  unattributed: %d\n",
+		st.TCStallCycles, st.Unattributed)
+
+	rows := f.Rows()
+	fmt.Fprintf(w, "\n=== blame matrix (victim x blamed) ===\n")
+	fmt.Fprintf(w, "%-24s %-18s %-24s %12s\n", "victim", "cause", "blamed", "cycles")
+	for _, r := range rows {
+		blamed := r.Blamed
+		if blamed == "" {
+			blamed = "-"
+		}
+		fmt.Fprintf(w, "%-24s %-18s %-24s %12d\n", r.Victim, r.Cause, blamed, r.Cycles)
+	}
+
+	if events == nil {
+		return
+	}
+	wfs := f.Waterfalls(events)
+	fmt.Fprintf(w, "\n=== slack waterfalls (retained episodes) ===\n")
+	for _, wf := range wfs {
+		fmt.Fprintf(w, "%s: %d stalled cycles\n", wf.Victim, wf.Total)
+		for _, b := range wf.ByCause {
+			pct := float64(b.Cycles) * 100 / float64(wf.Total)
+			fmt.Fprintf(w, "    %-18s %12d  %5.1f%%\n", b.Cause, b.Cycles, pct)
+		}
+	}
+
+	eps := f.Episodes(events)
+	const topN = 10
+	if len(eps) > topN {
+		eps = eps[:topN]
+	}
+	fmt.Fprintf(w, "\n=== longest stall episodes ===\n")
+	fmt.Fprintf(w, "%10s %-8s %-4s %-24s %-18s %-24s %8s\n",
+		"end", "router", "port", "victim", "cause", "blamed", "cycles")
+	for _, ep := range eps {
+		blamed := ep.Blamed
+		if blamed == "" {
+			blamed = "-"
+		}
+		fmt.Fprintf(w, "%10d %-8s %-4s %-24s %-18s %-24s %8d\n",
+			ep.End, ep.Router, router.PortName(ep.Port), ep.Victim, ep.Cause, blamed, ep.Cycles)
+	}
+}

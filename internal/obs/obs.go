@@ -131,6 +131,15 @@ func (c *Sharded) Nodes() int { return len(c.shards) }
 // RouterName returns the name of the router attached as node i.
 func (c *Sharded) RouterName(i int) string { return c.shards[i].name }
 
+// NodeNames returns every attached router's name in node order.
+func (c *Sharded) NodeNames() []string {
+	names := make([]string, len(c.shards))
+	for i, s := range c.shards {
+		names[i] = s.name
+	}
+	return names
+}
+
 // Cap returns the per-node buffer capacity.
 func (c *Sharded) Cap() int { return c.capPer }
 

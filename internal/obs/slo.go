@@ -202,6 +202,16 @@ func (s *SLO) lookup(rtr string, conn uint8) *ChannelStats {
 	return cs
 }
 
+// ChannelName resolves an endpoint to its channel's display name; ok is
+// false when no live channel owns the (router, conn) pair. The blame
+// matrix uses it to turn per-router connection ids into channel labels.
+func (s *SLO) ChannelName(rtr string, conn uint8) (string, bool) {
+	if cs := s.lookup(rtr, conn); cs != nil {
+		return cs.info.Name, true
+	}
+	return "", false
+}
+
 // Observe feeds one lifecycle event into the accounting. Transmit
 // events record per-hop slack, hop misses (the Missed flag, which
 // mirrors the hardware DeadlineMisses counter), and horizon-early

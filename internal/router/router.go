@@ -125,6 +125,10 @@ type Router struct {
 	idle      bool
 	idleTicks int64
 
+	// blame is the slack-attribution bank (nil = forensics off); see
+	// blame.go and EnableBlame.
+	blame *blameBank
+
 	// met is the attached telemetry block (nil = telemetry off); see
 	// AttachMetrics. prevSlot/slotSeen detect slot-clock rollovers.
 	met      *metrics.RouterMetrics
@@ -251,6 +255,7 @@ func (r *Router) OutputState(p int) PortState {
 func (r *Router) ResetStats() {
 	r.Stats = Stats{}
 	r.bus.grants = 0
+	r.resetBlame()
 	r.met.Reset()
 	if sr, ok := r.schedq.(interface{ ResetTelemetry() }); ok {
 		sr.ResetTelemetry()
@@ -566,16 +571,32 @@ func (r *Router) arbitrate(p int, nowSlot timing.Stamp) {
 		r.drainDeadPort(o)
 		r.beOut[p].drainDeadBE()
 		r.beIn[p].drainDropped()
+		if r.blame != nil {
+			r.blameClose(p)
+		}
 		return
 	}
 	r.beIn[p].drainDropped()
 
 	if o.txActive {
 		r.emitTC(o)
+		if r.blame != nil {
+			r.blameArbWin(p, nowSlot, o.txConn)
+		}
 		return
 	}
 	if o.cutIn != nil && o.cutIdx > 0 {
-		r.emitCut(o)
+		cutConn := o.cutLeaf.InConn
+		if r.emitCut(o) {
+			if r.blame != nil {
+				r.blameArbWin(p, nowSlot, cutConn)
+			}
+		} else if r.blame != nil {
+			// Cut-through bubble: the arrival stream has not caught up
+			// with the rewritten header, so the wire itself is the
+			// bottleneck.
+			r.blameNoteTC(p, cutConn, CauseLinkBusy, 0)
+		}
 		return
 	}
 
@@ -597,19 +618,39 @@ func (r *Router) arbitrate(p int, nowSlot timing.Stamp) {
 	case class == sched.ClassOnTime:
 		o.startTx(nowSlot, class)
 		r.emitTC(o)
+		if r.blame != nil {
+			r.blameArbWin(p, nowSlot, o.txConn)
+		}
 	case cutClass == sched.ClassOnTime:
+		cutConn := o.cutLeaf.InConn
 		r.emitCut(o)
+		if r.blame != nil {
+			r.blameArbWin(p, nowSlot, cutConn)
+		}
 	case be.hasFaultWork():
 		be.sendFaultFlit()
 		be.wasStalled = false
+		if r.blame != nil {
+			r.blameIdle(p, nowSlot, beSentFault)
+		}
 	case be.canSend():
 		be.sendByte()
 		be.wasStalled = false
+		if r.blame != nil {
+			r.blameIdle(p, nowSlot, beSentData)
+		}
 	case class == sched.ClassEarly:
 		o.startTx(nowSlot, class)
 		r.emitTC(o)
+		if r.blame != nil {
+			r.blameArbWin(p, nowSlot, o.txConn)
+		}
 	case cutClass == sched.ClassEarly:
+		cutConn := o.cutLeaf.InConn
 		r.emitCut(o)
+		if r.blame != nil {
+			r.blameArbWin(p, nowSlot, cutConn)
+		}
 	default:
 		// The port idles this cycle. If a best-effort flit is waiting
 		// but the downstream buffer owes no credit, that is a
@@ -623,8 +664,14 @@ func (r *Router) arbitrate(p int, nowSlot timing.Stamp) {
 				r.lifecycle(LifecycleEvent{Kind: EvBlock, Port: p, BE: true})
 			}
 			be.wasStalled = true
+			if r.blame != nil {
+				r.blameNoteBE(p)
+			}
 		} else {
 			be.wasStalled = false
+		}
+		if r.blame != nil {
+			r.blameIdle(p, nowSlot, beSentNone)
 		}
 	}
 }
@@ -665,15 +712,16 @@ func (r *Router) emitTC(o *tcOutput) {
 }
 
 // emitCut sends the next byte of a virtual cut-through stream; header
-// bytes come rewritten, payload bytes from the input's skew FIFO.
-func (r *Router) emitCut(o *tcOutput) {
+// bytes come rewritten, payload bytes from the input's skew FIFO. It
+// reports whether a byte actually went out (false on a skew bubble).
+func (r *Router) emitCut(o *tcOutput) bool {
 	var b byte
 	if o.cutIdx < packet.TCHeaderBytes {
 		b = o.cutHdr[o.cutIdx]
 	} else {
 		u := o.cutIn
 		if u.cutHead == len(u.cutFIFO) {
-			return // bubble: arrival stream has not caught up
+			return false // bubble: arrival stream has not caught up
 		}
 		b = u.cutFIFO[u.cutHead]
 		u.cutHead++
@@ -716,13 +764,14 @@ func (r *Router) emitCut(o *tcOutput) {
 			r.deliverLocalTC(o.rxBuf)
 			o.cutIn = nil
 		}
-		return
+		return true
 	}
 	o.cutIdx++
 	r.out[o.port].Drive(packet.Phit{Valid: true, VC: packet.VCTime, Data: b, Head: head, Tail: tail})
 	if tail {
 		o.cutIn = nil
 	}
+	return true
 }
 
 func (r *Router) deliverLocalTC(buf [packet.TCBytes]byte) {
@@ -831,4 +880,10 @@ func (r *Router) feedTCInjection() {
 	idx := packet.TCBytes - u.injCount
 	u.acceptByte(u.injPkt[idx], r.nowCycle)
 	u.injCount--
+	if r.blame != nil && r.tcInjHead < len(r.tcInjectQ) {
+		// A queued packet waits behind the one streaming across the
+		// injection port: the local link is the bottleneck. Byte 0 of an
+		// encoded packet is its connection id.
+		r.blameNoteAt(-1, r.tcInjectQ[r.tcInjHead][0], false, CauseLinkBusy, u.injPkt[0])
+	}
 }

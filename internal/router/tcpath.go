@@ -250,7 +250,16 @@ func (u *tcInput) tryCutThrough(now int64) bool {
 
 // launchWrite starts the memory write of the oldest pending packet.
 func (u *tcInput) launchWrite() {
-	if u.wActive || u.nPending == 0 {
+	if u.wActive {
+		if u.r.blame != nil && u.nPending > 0 {
+			// A fully assembled packet is staged behind another memory
+			// write: it burns a cycle waiting on the shared bus. Byte 0
+			// of the staged packet is its connection id.
+			u.r.blameNoteAt(-1, u.pending[0][0], false, CauseMemBusWait, 0)
+		}
+		return
+	}
+	if u.nPending == 0 {
 		return
 	}
 	slot, ok := u.r.mem.alloc()
@@ -346,7 +355,8 @@ type tcOutput struct {
 	txActive bool
 	txBuf    [packet.TCBytes]byte
 	txIdx    int
-	txCRC    byte // frame checksum for the tail phit (Integrity only)
+	txCRC    byte  // frame checksum for the tail phit (Integrity only)
+	txConn   uint8 // arriving conn id of the packet on the wire (blame)
 
 	// virtual cut-through source, when a packet streams directly from an
 	// input engine
@@ -488,6 +498,7 @@ func (o *tcOutput) startTx(nowSlot timing.Stamp, class sched.Class) {
 	}
 	o.txActive = true
 	o.txIdx = 0
+	o.txConn = o.sLeaf.InConn
 	o.staged = false
 }
 

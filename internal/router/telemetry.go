@@ -34,6 +34,14 @@ const (
 	EvDrop
 	// EvDeliver: the packet was handed to the local processor.
 	EvDeliver
+	// EvStall: a slack-attribution episode closed — a run of consecutive
+	// cycles one victim packet spent not advancing on a port for one
+	// cause. InConn is the victim, OutConn the blamed connection (zero
+	// for subsystem causes), Wait the episode length in cycles, and
+	// Cycle the end-exclusive boundary: the episode covered cycles
+	// [Cycle-Wait, Cycle-1]. Emitted only when blame collection is
+	// enabled (see blame.go).
+	EvStall
 )
 
 func (k LifecycleKind) String() string {
@@ -54,6 +62,8 @@ func (k LifecycleKind) String() string {
 		return "drop"
 	case EvDeliver:
 		return "deliver"
+	case EvStall:
+		return "stall"
 	default:
 		return "lifecycle(?)"
 	}
@@ -93,6 +103,8 @@ type LifecycleEvent struct {
 	Slack int64
 	// Reason is valid for EvDrop.
 	Reason metrics.DropReason
+	// Cause is valid for EvStall: why the victim failed to advance.
+	Cause StallCause
 	// BE marks best-effort events (block, drop, deliver); connection
 	// ids are meaningless for them.
 	BE bool

@@ -149,10 +149,19 @@ func (p *Pacer) Tick(now sim.Cycle) {
 	}
 	// Keeping at most one packet queued behind the one crossing the port
 	// leaves no idle cycles while preserving the release order.
+	nowSlot := timing.CyclesToSlot(int64(now), packet.TCBytes)
 	if p.r.TCInjectBacklog() > 1 {
+		if p.r.BlameEnabled() {
+			// Eligible heads held behind the injection backlog: slack
+			// burns at the source before the network ever sees it.
+			for _, c := range p.chans {
+				if len(c.queue) > 0 && int64(c.queue[0].l)-int64(nowSlot) <= p.window {
+					p.r.BlamePacerHold(c.conn, 0)
+				}
+			}
+		}
 		return
 	}
-	nowSlot := timing.CyclesToSlot(int64(now), packet.TCBytes)
 	var best *PacedChannel
 	var bestDl timing.Slot
 	for _, c := range p.chans {
@@ -170,6 +179,16 @@ func (p *Pacer) Tick(now sim.Cycle) {
 	}
 	if best == nil {
 		return
+	}
+	if p.r.BlameEnabled() {
+		// The EDF losers among eligible heads spend this cycle held; the
+		// released channel takes the blame (pacer ticks in the same node
+		// shard as the router, so the bank write is race-free).
+		for _, c := range p.chans {
+			if c != best && len(c.queue) > 0 && int64(c.queue[0].l)-int64(nowSlot) <= p.window {
+				p.r.BlamePacerHold(c.conn, best.conn)
+			}
+		}
 	}
 	m := best.queue[0]
 	stamp := packet.StampOf(p.wheel.Wrap(m.l))

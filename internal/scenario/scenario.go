@@ -260,6 +260,12 @@ type RunOpts struct {
 	// ChannelSLO, when non-nil, attaches per-channel SLO accounting to
 	// every channel the scenario opens.
 	ChannelSLO *obs.SLO
+	// Forensics, when non-nil, attaches the slack-attribution engine to
+	// every router (blame matrix, cause totals).
+	Forensics *obs.Forensics
+	// Recorder, when non-nil, attaches the flight recorder (trigger
+	// logs with occupancy snapshots, post-run window dumps).
+	Recorder *obs.Recorder
 	// Workers selects the kernel execution mode: 0 or 1 sequential,
 	// n > 1 parallel over per-node shards (bit-identical results),
 	// negative GOMAXPROCS. Parallel runs should Close the returned
@@ -313,6 +319,8 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 		MetricsSampleEvery: opts.SampleEvery,
 		Collector:          opts.Collector,
 		ChannelSLO:         opts.ChannelSLO,
+		Forensics:          opts.Forensics,
+		Recorder:           opts.Recorder,
 		Workers:            opts.Workers,
 	}.WithAdmission(acfg))
 	if err != nil {

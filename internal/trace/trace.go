@@ -38,6 +38,11 @@ const (
 	KindBlock
 	// KindDrop is a packet being discarded (Reason says why).
 	KindDrop
+	// KindStall is a closed slack-attribution episode: Wait consecutive
+	// cycles the victim (Conn) spent not advancing on the port for one
+	// cause (Reason), ending exclusive at Cycle. Present only when blame
+	// collection is enabled (router.EnableBlame).
+	KindStall
 )
 
 func (k Kind) String() string {
@@ -60,6 +65,8 @@ func (k Kind) String() string {
 		return "block"
 	case KindDrop:
 		return "drop"
+	case KindStall:
+		return "stall"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -165,6 +172,9 @@ func DumpEvents(w io.Writer, events []Event) {
 			fmt.Fprintf(w, "%10d  %s  %s conn=%d->%d\n", e.Cycle, e.Kind, e.Router, e.Conn, e.OutConn)
 		case KindDrop:
 			fmt.Fprintf(w, "%10d  %s  %s conn=%d reason=%s\n", e.Cycle, e.Kind, e.Router, e.Conn, e.Reason)
+		case KindStall:
+			fmt.Fprintf(w, "%10d  %s  %s %s conn=%d cause=%s blamed=%d cycles=%d\n",
+				e.Cycle, e.Kind, e.Router, router.PortName(e.Port), e.Conn, e.Reason, e.OutConn, e.Wait)
 		case KindBlock:
 			fmt.Fprintf(w, "%10d  %s  %s %s\n", e.Cycle, e.Kind, e.Router, router.PortName(e.Port))
 		case KindTCDeliver:
@@ -214,6 +224,9 @@ func FromLifecycle(ev router.LifecycleEvent) Event {
 		} else {
 			e.Kind = KindTCDeliver
 		}
+	case router.EvStall:
+		e.Kind = KindStall
+		e.Reason = ev.Cause.String()
 	}
 	return e
 }

@@ -49,7 +49,10 @@ func TestKindString(t *testing.T) {
 	if trace.KindTCTransmit.String() != "tc-tx" || trace.KindTCDeliver.String() != "tc-rx" || trace.KindBEDeliver.String() != "be-rx" {
 		t.Error("kind labels wrong")
 	}
-	if trace.Kind(9).String() != "kind(9)" {
+	if trace.KindStall.String() != "stall" {
+		t.Error("stall kind label wrong")
+	}
+	if trace.Kind(99).String() != "kind(99)" {
 		t.Error("unknown kind label wrong")
 	}
 }
