@@ -21,13 +21,15 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# bench runs the simulator-speed micro-benchmarks (cycle rate sequential
-# vs parallel, scheduler selection, sort keys) with allocation reporting,
-# then runs the full scaling sweep — mesh size × worker count, printing
-# the speedup table — and records machine-readable numbers (including
-# allocs/cycle and GOMAXPROCS) in $(BENCH_JSON).
+# bench runs the simulator-speed micro-benchmarks (router tick hot
+# paths, cycle rate sequential vs parallel, scheduler selection, sort
+# keys) with allocation reporting, then runs the full scaling sweep —
+# mesh size × worker count, printing the speedup table — and records
+# machine-readable numbers (including allocs/cycle, GOMAXPROCS and
+# NumCPU) in $(BENCH_JSON).
 BENCH_JSON ?= BENCH_router.json
 bench:
+	$(GO) test -run '^$$' -bench BenchmarkRouterTick -benchmem ./internal/router
 	$(GO) test -run '^$$' -bench 'BenchmarkRouterCycleRate|BenchmarkT4SchedulerThroughput|BenchmarkFig6SortKeys' -benchmem .
 	$(GO) run ./cmd/rtbench -exp sweep -benchjson $(BENCH_JSON)
 

@@ -321,12 +321,12 @@ func BenchmarkX11LeafSharing(b *testing.B) {
 	b.ReportMetric(missAt32*100, "tight-miss-%@32-sharing")
 }
 
-// buildLoadedMesh constructs the loaded 8×8 benchmark mesh — real-time
+// buildLoadedMesh constructs a loaded w×h benchmark mesh — real-time
 // channels crossing corner to corner plus a best-effort source on every
 // node. With traced set it carries the full observability stack: the
 // sharded lifecycle collector, the telemetry registry, and per-channel
 // SLO histograms.
-func buildLoadedMesh(tb testing.TB, workers int, traced bool) *core.System {
+func buildLoadedMesh(tb testing.TB, w, h, workers int, traced bool) *core.System {
 	tb.Helper()
 	opts := core.Options{Workers: workers}
 	if traced {
@@ -334,16 +334,16 @@ func buildLoadedMesh(tb testing.TB, workers int, traced bool) *core.System {
 		opts.Collector = obs.NewSharded(obs.DefaultShardCap)
 		opts.ChannelSLO = obs.NewSLO()
 	}
-	sys, err := core.NewMesh(8, 8, opts)
+	sys, err := core.NewMesh(w, h, opts)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	spec := rtc.Spec{Imin: 8, Smax: 18, D: 24 * 16}
+	spec := rtc.Spec{Imin: 8, Smax: 18, D: 24 * int64(w+h)}
 	for i, rt := range [][2]mesh.Coord{
-		{{X: 0, Y: 0}, {X: 7, Y: 7}},
-		{{X: 7, Y: 0}, {X: 0, Y: 7}},
-		{{X: 0, Y: 7}, {X: 7, Y: 0}},
-		{{X: 7, Y: 7}, {X: 0, Y: 0}},
+		{{X: 0, Y: 0}, {X: w - 1, Y: h - 1}},
+		{{X: w - 1, Y: 0}, {X: 0, Y: h - 1}},
+		{{X: 0, Y: h - 1}, {X: w - 1, Y: 0}},
+		{{X: w - 1, Y: h - 1}, {X: 0, Y: 0}},
 	} {
 		ch, err := sys.OpenChannel(rt[0], []mesh.Coord{rt[1]}, spec)
 		if err != nil {
@@ -378,7 +378,7 @@ func BenchmarkRouterCycleRate(b *testing.B) {
 	}
 	for _, workers := range []int{1, par} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			sys := buildLoadedMesh(b, workers, false)
+			sys := buildLoadedMesh(b, 8, 8, workers, false)
 			defer sys.Close()
 			sys.Run(2000) // warm up buffers and frame pools
 			b.ResetTimer()
@@ -400,7 +400,7 @@ func BenchmarkRouterCycleRateTraced(b *testing.B) {
 	}
 	for _, workers := range []int{1, par} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			sys := buildLoadedMesh(b, workers, true)
+			sys := buildLoadedMesh(b, 8, 8, workers, true)
 			defer sys.Close()
 			sys.Run(2000)
 			b.ResetTimer()
@@ -430,7 +430,7 @@ func TestTracingOverheadGate(t *testing.T) {
 	const cycles = 20000
 	const trials = 5
 	measure := func(traced bool) time.Duration {
-		sys := buildLoadedMesh(t, workers, traced)
+		sys := buildLoadedMesh(t, 8, 8, workers, traced)
 		defer sys.Close()
 		sys.Run(2000) // warm up
 		best := time.Duration(1<<63 - 1)
@@ -450,5 +450,49 @@ func TestTracingOverheadGate(t *testing.T) {
 	if ratio > 1.10 {
 		t.Errorf("tracing overhead %.1f%% exceeds the 10%% budget (untraced %v, traced %v)",
 			(ratio-1)*100, plain, traced)
+	}
+}
+
+// TestSteadyStateAllocs is the allocation regression gate locking in the
+// preallocated hot state: once the pools and arenas have warmed up, the
+// tick path of a loaded mesh must be allocation-free to within the
+// per-mesh budget, at every mesh size. The budgets are deliberately a
+// couple of orders of magnitude below where the pre-pooling code sat
+// (0.5 allocs/cycle at 8×8, 12+ at 32×32), so any new per-packet or
+// per-cycle heap traffic on the hot path trips the gate immediately.
+func TestSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate skipped in short mode")
+	}
+	budgets := []struct {
+		edge   int
+		budget float64 // allocs per simulated cycle
+	}{
+		{8, 0.05},
+		{16, 0.05},
+		{32, 0.10},
+	}
+	for _, bc := range budgets {
+		bc := bc
+		t.Run(fmt.Sprintf("mesh%dx%d", bc.edge, bc.edge), func(t *testing.T) {
+			sys := buildLoadedMesh(t, bc.edge, bc.edge, 1, false)
+			defer sys.Close()
+			// Warm-up must outlast every pool's growth phase: delivery
+			// double-buffers, frame pools, flit queues, and the BE arena all
+			// reach their working set within the first few thousand cycles.
+			sys.Run(8000)
+			const cycles = 4000
+			// AllocsPerRun calls the body once extra before measuring, so
+			// the measured window starts from an even warmer steady state.
+			perRun := testing.AllocsPerRun(1, func() {
+				sys.Run(cycles)
+			})
+			perCycle := perRun / float64(cycles)
+			t.Logf("%dx%d: %.4f allocs/cycle (budget %.2f)", bc.edge, bc.edge, perCycle, bc.budget)
+			if perCycle > bc.budget {
+				t.Errorf("%dx%d mesh: %.4f allocs/cycle exceeds the %.2f budget",
+					bc.edge, bc.edge, perCycle, bc.budget)
+			}
+		})
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -46,6 +47,7 @@ func main() {
 	baseline := flag.String("baseline", "", "archived sweep JSON (BENCH_router.json) to diff the fresh sweep against")
 	maxRegress := flag.Float64("max-regress", 0, "with -baseline: fail if any row's speedup drops (or allocs/cycle grows) more than this fraction vs the baseline (0 = report only)")
 	scenarioPath := flag.String("scenario", "scenarios/faulty.json", "scenario file for -exp forensics")
+	epoch := flag.Int("epoch", 1, "synchronization epoch for cyclerate/sweep/forensics: amortize the parallel kernel's barrier over this many cycles (links deepen to match; 1 = per-cycle barriers)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	metricsOut := flag.String("metrics", "", "write aggregate telemetry across all runs to this file (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
@@ -129,11 +131,11 @@ func main() {
 		"faults":    func() error { return runFaults(*seed) },
 		"ring":      func() error { return runRing(*cycles) },
 		"sharing":   func() error { return runSharing(*cycles) },
-		"cyclerate": func() error { return runCycleRate(*cycles, *workers, *benchJSON) },
+		"cyclerate": func() error { return runCycleRate(*cycles, *workers, *epoch, *benchJSON) },
 		"sweep": func() error {
-			return runSweep(*cycles, *workers, *meshList, *benchJSON, *minSpeedup, *baseline, *maxRegress)
+			return runSweep(*cycles, *workers, *epoch, *meshList, *benchJSON, *minSpeedup, *baseline, *maxRegress)
 		},
-		"forensics": func() error { return runForensics(*scenarioPath, *cycles) },
+		"forensics": func() error { return runForensics(*scenarioPath, *cycles, *epoch) },
 	}
 	// cyclerate, sweep and forensics probe the simulator rather than the
 	// paper and are run on request only, not as part of "all".
@@ -412,8 +414,8 @@ func runSharing(cycles int64) error {
 	return nil
 }
 
-func runCycleRate(cycles int64, workers int, benchJSON string) error {
-	res, err := experiments.RunCycleRate(8, 8, cycles, workers)
+func runCycleRate(cycles int64, workers, epoch int, benchJSON string) error {
+	res, err := experiments.RunCycleRate(8, 8, cycles, workers, epoch)
 	if err != nil {
 		return err
 	}
@@ -436,6 +438,8 @@ func runCycleRate(cycles int64, workers int, benchJSON string) error {
 		"mesh":                 fmt.Sprintf("%dx%d", res.W, res.H),
 		"cycles":               res.Cycles,
 		"workers":              res.Workers,
+		"epoch":                res.Epoch,
+		"num_cpu":              runtime.NumCPU(),
 		"seq_cycles_per_sec":   res.SeqRate,
 		"par_cycles_per_sec":   res.ParRate,
 		"speedup":              res.Speedup,
@@ -454,8 +458,8 @@ func runCycleRate(cycles int64, workers int, benchJSON string) error {
 // non-advancing time-constrained cycle must carry exactly one blame
 // cause (no unattributed cycles), and the blame totals must reconcile
 // with the independent hardware counters.
-func runForensics(scenarioPath string, cycles int64) error {
-	res, err := experiments.RunForensics(scenarioPath, cycles, nil)
+func runForensics(scenarioPath string, cycles int64, epoch int) error {
+	res, err := experiments.RunForensics(scenarioPath, cycles, nil, epoch)
 	if err != nil {
 		return err
 	}
@@ -471,7 +475,7 @@ func runForensics(scenarioPath string, cycles int64) error {
 // non-zero cycles overrides every mesh's budget, and minSpeedup turns
 // the sweep into a regression tripwire for CI. A baseline file adds a
 // per-row diff against the archived sweep, failing past maxRegress.
-func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup float64, baseline string, maxRegress float64) error {
+func runSweep(cycles int64, workers, epoch int, meshList, benchJSON string, minSpeedup float64, baseline string, maxRegress float64) error {
 	var meshes []int
 	if meshList != "" {
 		for _, s := range strings.Split(meshList, ",") {
@@ -490,7 +494,10 @@ func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup 
 	if cycles > 0 {
 		budget = func(int) int64 { return cycles }
 	}
-	res, err := experiments.RunScalingSweep(meshes, workerSet, budget)
+	if res := runtime.GOMAXPROCS(0); res == 1 {
+		fmt.Fprintf(os.Stderr, "rtbench: WARNING: GOMAXPROCS=1 (NumCPU=%d) — every parallel row runs its workers on a single OS thread, so speedups here measure overhead, not scaling\n", runtime.NumCPU())
+	}
+	res, err := experiments.RunScalingSweep(meshes, workerSet, budget, epoch)
 	if err != nil {
 		return err
 	}
@@ -500,6 +507,7 @@ func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup 
 		Mesh              string  `json:"mesh"`
 		Cycles            int64   `json:"cycles"`
 		Workers           int     `json:"workers"`
+		Epoch             int     `json:"epoch"`
 		SeqCyclesPerSec   float64 `json:"seq_cycles_per_sec"`
 		ParCyclesPerSec   float64 `json:"par_cycles_per_sec"`
 		Speedup           float64 `json:"speedup"`
@@ -516,6 +524,7 @@ func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup 
 			Mesh:            fmt.Sprintf("%dx%d", r.W, r.H),
 			Cycles:          r.Cycles,
 			Workers:         r.Workers,
+			Epoch:           r.Epoch,
 			SeqCyclesPerSec: r.SeqRate, ParCyclesPerSec: r.ParRate,
 			Speedup:           r.Speedup,
 			SeqAllocsPerCycle: r.SeqAllocsPerCycle, ParAllocsPerCycle: r.ParAllocsPerCycle,
@@ -523,10 +532,18 @@ func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup 
 		})
 	}
 	if minSpeedup > 0 {
-		for _, r := range res.Rows {
-			if r.Workers > 1 && r.Speedup < minSpeedup {
-				return fmt.Errorf("%dx%d x%d: speedup %.2fx below the %.2fx floor",
-					r.W, r.H, r.Workers, r.Speedup, minSpeedup)
+		if res.GOMAXPROCS == 1 || res.NumCPU == 1 {
+			// A single-CPU runner cannot demonstrate scaling; skipping the
+			// floor silently would let a real regression hide behind the
+			// hardware, so say exactly what was not enforced.
+			fmt.Fprintf(os.Stderr, "rtbench: SKIPPED -min-speedup %.2f gate: single-CPU runner (GOMAXPROCS=%d, NumCPU=%d) cannot measure parallel speedup\n",
+				minSpeedup, res.GOMAXPROCS, res.NumCPU)
+		} else {
+			for _, r := range res.Rows {
+				if r.Workers > 1 && r.Speedup < minSpeedup {
+					return fmt.Errorf("%dx%d x%d: speedup %.2fx below the %.2fx floor",
+						r.W, r.H, r.Workers, r.Speedup, minSpeedup)
+				}
 			}
 		}
 	}
@@ -551,6 +568,8 @@ func runSweep(cycles int64, workers int, meshList, benchJSON string, minSpeedup 
 	out := map[string]any{
 		"benchmark":  "router_scaling_sweep",
 		"gomaxprocs": res.GOMAXPROCS,
+		"num_cpu":    res.NumCPU,
+		"epoch":      epoch,
 		"rows":       rows,
 	}
 	// Headline: the 8×8 mesh at 4 workers, the configuration the older

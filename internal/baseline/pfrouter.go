@@ -207,7 +207,7 @@ func (r *PFRouter) arbitrate(p int) {
 			// Blocked: advertise the best waiting priority downstream so
 			// the full input buffer's head can inherit it.
 			q := r.inputs[in].queue
-			r.out[p].Drive(packet.Phit{SideValid: true, Side: q[0].prio})
+			r.out[p].Drive(r.nowCycle, packet.Phit{SideValid: true, Side: q[0].prio})
 			return
 		}
 		o.credits--
@@ -253,13 +253,13 @@ func (r *PFRouter) emit(p int) {
 	if tail {
 		o.txActive = false
 	}
-	r.out[p].Drive(packet.Phit{Valid: true, VC: packet.VCTime, Data: b, Head: head, Tail: tail})
+	r.out[p].Drive(r.nowCycle, packet.Phit{Valid: true, VC: packet.VCTime, Data: b, Head: head, Tail: tail})
 }
 
 func (r *PFRouter) sampleInputs() {
 	for p := 0; p < router.NumLinks; p++ {
 		if r.in[p] != nil {
-			ph := r.in[p].Phit()
+			ph := r.in[p].Phit(r.nowCycle)
 			if ph.Valid && ph.VC == packet.VCTime {
 				r.acceptByte(p, ph.Data)
 			}
@@ -271,7 +271,7 @@ func (r *PFRouter) sampleInputs() {
 				}
 			}
 		}
-		if r.out[p] != nil && r.out[p].Ack().TCCredit {
+		if r.out[p] != nil && r.out[p].Ack(r.nowCycle).TCCredit {
 			if o := r.outputs[p]; o.credits < PFQueueDepth {
 				o.credits++
 			}
@@ -337,7 +337,7 @@ func (r *PFRouter) driveAcks() {
 			continue
 		}
 		if u := r.inputs[p]; u.popped > 0 {
-			r.in[p].DriveAck(packet.Ack{TCCredit: true})
+			r.in[p].DriveAck(r.nowCycle, packet.Ack{TCCredit: true})
 			u.popped--
 		}
 	}

@@ -164,7 +164,7 @@ func (r *VCRouter) Tick(now sim.Cycle) {
 func (r *VCRouter) sampleInputs() {
 	for p := 0; p < router.NumLinks; p++ {
 		if r.in[p] != nil {
-			ph := r.in[p].Phit()
+			ph := r.in[p].Phit(r.nowCycle)
 			if ph.Valid {
 				vc := 1
 				if ph.VC == packet.VCTime {
@@ -174,7 +174,7 @@ func (r *VCRouter) sampleInputs() {
 			}
 		}
 		if r.out[p] != nil {
-			ack := r.out[p].Ack()
+			ack := r.out[p].Ack(r.nowCycle)
 			if ack.TCCredit {
 				r.vcs[0].outputs[p].credit()
 			}
@@ -206,7 +206,7 @@ func (r *VCRouter) driveAcks() {
 			u.consumed--
 		}
 		if ack.TCCredit || ack.BECredit {
-			r.in[p].DriveAck(ack)
+			r.in[p].DriveAck(r.nowCycle, ack)
 		}
 	}
 }
@@ -352,7 +352,7 @@ func (o *vcOutput) sendByte() {
 	if o.plane.id == 0 {
 		vcBit = packet.VCTime
 	}
-	r.out[o.port].Drive(packet.Phit{Valid: true, VC: vcBit, Data: by, Head: head, Tail: tail})
+	r.out[o.port].Drive(r.nowCycle, packet.Phit{Valid: true, VC: vcBit, Data: by, Head: head, Tail: tail})
 	if tail {
 		o.curIn = -1
 	}

@@ -97,6 +97,13 @@ type Options struct {
 	// mesh.DefaultTileSize; 1 is per-node grouping. Results are
 	// bit-identical for every tile size.
 	Tile int
+	// Epoch asks the parallel kernel to run workers for Epoch
+	// consecutive cycles between barrier rendezvous, amortizing the
+	// synchronization cost. 0 or 1 is the per-cycle default. The kernel
+	// clamps the request to what the wiring makes legal — the minimum
+	// cross-shard link latency — so results stay bit-identical at any
+	// epoch; raising Router.LinkLatency is what buys longer epochs.
+	Epoch int
 }
 
 // DefaultMetrics, when set, is attached by NewMesh to systems built
@@ -265,6 +272,9 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 	}
 	if opts.Workers != 0 && opts.Workers != 1 {
 		net.SetWorkers(opts.Workers)
+	}
+	if opts.Epoch > 1 {
+		net.Kernel.SetEpoch(int64(opts.Epoch))
 	}
 	return sys, nil
 }

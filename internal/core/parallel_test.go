@@ -18,31 +18,49 @@ import (
 // loadedRun is everything observable about one simulation run: the
 // per-router hardware counters, every packet delivered at every node in
 // delivery order, the telemetry registry totals, the merged lifecycle
-// trace, and the per-channel SLO snapshots.
+// trace, the per-channel SLO snapshots, and the epoch length the kernel
+// actually settled on.
 type loadedRun struct {
 	Stats      []router.Stats
 	Deliveries [][]string
 	Snapshot   metrics.Snapshot
 	Trace      string
 	Channels   []metrics.ChannelSnapshot
+	Epoch      int64
+}
+
+// loadedOpts selects the execution mode for one runLoaded call. The
+// zero value is the sequential per-cycle run on the paper's single-cycle
+// wires.
+type loadedOpts struct {
+	workers   int
+	tile      int
+	epoch     int
+	linkLat   int // router.Config.LinkLatency; 0 = the 1-cycle default
+	forcePool bool
+	cycles    int64
 }
 
 // runLoaded drives a loaded 8×8 mesh — unicast and multicast real-time
 // channels crossing the network plus a seeded best-effort source on
-// every node — for the given number of cycles with the given worker
-// count, tile size (0 = default), and pool forcing, and records the
-// complete observable outcome.
-func runLoaded(t *testing.T, workers, tile int, forcePool bool, cycles int64) loadedRun {
+// every node — under the given execution mode and records the complete
+// observable outcome.
+func runLoaded(t *testing.T, o loadedOpts) loadedRun {
 	t.Helper()
 	reg := metrics.NewRegistry()
 	col := obs.NewSharded(4096)
 	slo := obs.NewSLO()
-	sys, err := NewMesh(8, 8, Options{Workers: workers, Tile: tile, Metrics: reg, Collector: col, ChannelSLO: slo})
+	rcfg := router.DefaultConfig()
+	rcfg.LinkLatency = o.linkLat
+	sys, err := NewMesh(8, 8, Options{
+		Router: rcfg, Workers: o.workers, Tile: o.tile, Epoch: o.epoch,
+		Metrics: reg, Collector: col, ChannelSLO: slo,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sys.Close()
-	sys.Net.Kernel.ForcePool(forcePool)
+	sys.Net.Kernel.ForcePool(o.forcePool)
 
 	spec := rtc.Spec{Imin: 8, Smax: 18, D: 120}
 	routes := [][]mesh.Coord{
@@ -87,7 +105,7 @@ func runLoaded(t *testing.T, workers, tile int, forcePool bool, cycles int64) lo
 		}
 	}
 
-	sys.Run(cycles)
+	sys.Run(o.cycles)
 
 	var dump strings.Builder
 	col.Dump(&dump)
@@ -96,11 +114,72 @@ func runLoaded(t *testing.T, workers, tile int, forcePool bool, cycles int64) lo
 		Snapshot:   reg.Snapshot(),
 		Trace:      dump.String(),
 		Channels:   slo.Export(),
+		Epoch:      sys.Net.Kernel.EffectiveEpoch(),
 	}
 	for _, c := range coords {
 		run.Stats = append(run.Stats, sys.Router(c).Stats)
 	}
 	return run
+}
+
+// compareLoaded fails the test unless got reproduces want in every
+// observable dimension. label names the run under test in messages.
+func compareLoaded(t *testing.T, want, got loadedRun, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Stats, got.Stats) {
+		for i := range want.Stats {
+			if want.Stats[i] != got.Stats[i] {
+				t.Errorf("router %d: reference %+v\n%s %+v", i, want.Stats[i], label, got.Stats[i])
+			}
+		}
+		t.Fatalf("router stats diverged (%s)", label)
+	}
+	for i := range want.Deliveries {
+		s, p := want.Deliveries[i], got.Deliveries[i]
+		if len(s) != len(p) {
+			t.Fatalf("node %d: %d vs %d deliveries (%s)", i, len(s), len(p), label)
+		}
+		for j := range s {
+			if s[j] != p[j] {
+				t.Fatalf("node %d delivery %d: %q vs %q (%s)", i, j, s[j], p[j], label)
+			}
+		}
+	}
+	if !reflect.DeepEqual(want.Snapshot, got.Snapshot) {
+		t.Fatalf("metrics snapshots diverged (%s)", label)
+	}
+	if want.Trace != got.Trace {
+		t.Fatalf("merged lifecycle traces diverged (%s)", label)
+	}
+	if !reflect.DeepEqual(want.Channels, got.Channels) {
+		t.Fatalf("per-channel SLO snapshots diverged (%s)", label)
+	}
+}
+
+// checkLoadedVacuity guards against a vacuous pass: the workload must
+// actually have exercised both traffic classes end to end, produced a
+// non-empty merged trace, and recorded latency samples on every channel.
+func checkLoadedVacuity(t *testing.T, run loadedRun) {
+	t.Helper()
+	var tc, be int64
+	for _, st := range run.Stats {
+		tc += st.TCDelivered
+		be += st.BEDelivered
+	}
+	if tc == 0 || be == 0 {
+		t.Fatalf("degenerate workload: tc=%d be=%d deliveries", tc, be)
+	}
+	if run.Trace == "" {
+		t.Fatal("degenerate workload: empty merged trace")
+	}
+	if len(run.Channels) == 0 {
+		t.Fatal("degenerate workload: no SLO channels registered")
+	}
+	for _, ch := range run.Channels {
+		if ch.Delivered == 0 || ch.Latency.Count == 0 || ch.Slack.Count == 0 {
+			t.Fatalf("channel %q recorded no SLO samples: %+v", ch.Name, ch)
+		}
+	}
 }
 
 // TestParallelEquivalence is the parallel kernel's contract: a loaded
@@ -116,84 +195,68 @@ func TestParallelEquivalence(t *testing.T) {
 	if testing.Short() {
 		cycles = 3000
 	}
-	seq := runLoaded(t, 1, 0, false, cycles)
-	par := runLoaded(t, 4, 0, false, cycles)
-
-	if !reflect.DeepEqual(seq.Stats, par.Stats) {
-		for i := range seq.Stats {
-			if seq.Stats[i] != par.Stats[i] {
-				t.Errorf("router %d: sequential %+v\nparallel %+v", i, seq.Stats[i], par.Stats[i])
-			}
-		}
-		t.Fatal("router stats diverged between sequential and parallel runs")
-	}
-	for i := range seq.Deliveries {
-		s, p := seq.Deliveries[i], par.Deliveries[i]
-		if len(s) != len(p) {
-			t.Fatalf("node %d: %d vs %d deliveries", i, len(s), len(p))
-		}
-		for j := range s {
-			if s[j] != p[j] {
-				t.Fatalf("node %d delivery %d: %q vs %q", i, j, s[j], p[j])
-			}
-		}
-	}
-	if !reflect.DeepEqual(seq.Snapshot, par.Snapshot) {
-		t.Fatal("metrics snapshots diverged between sequential and parallel runs")
-	}
-	if seq.Trace != par.Trace {
-		t.Fatal("merged lifecycle traces diverged between sequential and parallel runs")
-	}
-	if !reflect.DeepEqual(seq.Channels, par.Channels) {
-		t.Fatal("per-channel SLO snapshots diverged between sequential and parallel runs")
-	}
-
-	// Guard against a vacuous pass: the workload must actually have
-	// exercised both traffic classes end to end, produced a non-empty
-	// merged trace, and recorded latency samples on every channel.
-	var tc, be int64
-	for _, st := range seq.Stats {
-		tc += st.TCDelivered
-		be += st.BEDelivered
-	}
-	if tc == 0 || be == 0 {
-		t.Fatalf("degenerate workload: tc=%d be=%d deliveries", tc, be)
-	}
-	if seq.Trace == "" {
-		t.Fatal("degenerate workload: empty merged trace")
-	}
-	if len(seq.Channels) == 0 {
-		t.Fatal("degenerate workload: no SLO channels registered")
-	}
-	for _, ch := range seq.Channels {
-		if ch.Delivered == 0 || ch.Latency.Count == 0 || ch.Slack.Count == 0 {
-			t.Fatalf("channel %q recorded no SLO samples: %+v", ch.Name, ch)
-		}
-	}
+	seq := runLoaded(t, loadedOpts{workers: 1, cycles: cycles})
+	par := runLoaded(t, loadedOpts{workers: 4, cycles: cycles})
+	compareLoaded(t, seq, par, "parallel")
+	checkLoadedVacuity(t, seq)
 
 	// The tile size only regroups the plan; every choice must reproduce
 	// the same run, through the real pooled rendezvous path.
 	for _, tile := range []int{1, 2, 4} {
 		tile := tile
 		t.Run(fmt.Sprintf("tile%d", tile), func(t *testing.T) {
-			tiled := runLoaded(t, 4, tile, true, cycles)
-			if !reflect.DeepEqual(seq.Stats, tiled.Stats) {
-				t.Fatal("router stats diverged with tile size", tile)
-			}
-			if !reflect.DeepEqual(seq.Deliveries, tiled.Deliveries) {
-				t.Fatal("deliveries diverged with tile size", tile)
-			}
-			if !reflect.DeepEqual(seq.Snapshot, tiled.Snapshot) {
-				t.Fatal("metrics snapshots diverged with tile size", tile)
-			}
-			if seq.Trace != tiled.Trace {
-				t.Fatal("merged traces diverged with tile size", tile)
-			}
-			if !reflect.DeepEqual(seq.Channels, tiled.Channels) {
-				t.Fatal("SLO snapshots diverged with tile size", tile)
-			}
+			tiled := runLoaded(t, loadedOpts{workers: 4, tile: tile, forcePool: true, cycles: cycles})
+			compareLoaded(t, seq, tiled, fmt.Sprintf("tile%d", tile))
 		})
 	}
+}
+
+// TestEpochEquivalenceLoaded extends the parallel contract to the
+// epoch-synchronized mode: with 4-cycle wires (the minimum cross-shard
+// latency that legalizes epochs up to 4), the same loaded mesh must be
+// byte-identical across epoch lengths 1, 2, and 4 at several worker
+// counts — and the kernel must actually have run at the requested epoch,
+// not silently clamped it away.
+func TestEpochEquivalenceLoaded(t *testing.T) {
+	const linkLat = 4
+	cycles := int64(6000)
+	if testing.Short() {
+		cycles = 3000
+	}
+	// Longer wires change the behavior (arrivals shift), so the epoch
+	// matrix needs its own sequential reference at the same latency.
+	seq := runLoaded(t, loadedOpts{workers: 1, linkLat: linkLat, cycles: cycles})
+	checkLoadedVacuity(t, seq)
+
+	for _, workers := range []int{2, 4} {
+		for _, epoch := range []int{1, 2, 4} {
+			workers, epoch := workers, epoch
+			t.Run(fmt.Sprintf("w%d-k%d", workers, epoch), func(t *testing.T) {
+				run := runLoaded(t, loadedOpts{
+					workers: workers, epoch: epoch, linkLat: linkLat,
+					forcePool: true, cycles: cycles,
+				})
+				if epoch > 1 && run.Epoch != int64(epoch) {
+					t.Fatalf("kernel clamped epoch to %d, want %d — the matrix leg is vacuous", run.Epoch, epoch)
+				}
+				compareLoaded(t, seq, run, fmt.Sprintf("w%d-k%d", workers, epoch))
+			})
+		}
+	}
+}
+
+// TestEpochClampLoaded pins the legality clamp at the system level: on
+// the paper's single-cycle wires a requested epoch of 4 must fall back
+// to per-cycle execution (1-cycle cross-shard pipes cannot legally hide
+// multi-cycle batches) and still reproduce the sequential run exactly.
+func TestEpochClampLoaded(t *testing.T) {
+	cycles := int64(3000)
+	seq := runLoaded(t, loadedOpts{workers: 1, cycles: cycles})
+	run := runLoaded(t, loadedOpts{workers: 4, epoch: 4, forcePool: true, cycles: cycles})
+	if run.Epoch != 1 {
+		t.Fatalf("effective epoch %d on 1-cycle wires, want clamp to 1", run.Epoch)
+	}
+	compareLoaded(t, seq, run, "clamped-epoch")
 }
 
 // TestParallelTracingRace is the observability side of the parallel
@@ -216,8 +279,8 @@ func TestParallelTracingRace(t *testing.T) {
 	// ForcePool makes the parallel run take the real worker-pool
 	// rendezvous even on a single-CPU machine, so the race detector
 	// always sees the cross-goroutine path.
-	seq := runLoaded(t, 1, 0, false, cycles)
-	par := runLoaded(t, workers, 0, true, cycles)
+	seq := runLoaded(t, loadedOpts{workers: 1, cycles: cycles})
+	par := runLoaded(t, loadedOpts{workers: workers, forcePool: true, cycles: cycles})
 
 	if seq.Trace == "" {
 		t.Fatal("degenerate workload: empty merged trace")
@@ -230,5 +293,17 @@ func TestParallelTracingRace(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq.Snapshot, par.Snapshot) {
 		t.Fatalf("metrics snapshots diverged between 1 and %d workers", workers)
+	}
+
+	// The epoch path batches the compute phase differently (per-tile
+	// inner loops, no per-cycle barrier), so it gets its own race leg
+	// on 4-cycle wires where epoch 4 is legal.
+	epoch := runLoaded(t, loadedOpts{workers: workers, epoch: 4, linkLat: 4, forcePool: true, cycles: cycles})
+	seqLat := runLoaded(t, loadedOpts{workers: 1, linkLat: 4, cycles: cycles})
+	if seqLat.Trace != epoch.Trace {
+		t.Fatalf("merged traces diverged between sequential and epoch-4 runs")
+	}
+	if !reflect.DeepEqual(seqLat.Snapshot, epoch.Snapshot) {
+		t.Fatalf("metrics snapshots diverged between sequential and epoch-4 runs")
 	}
 }

@@ -22,6 +22,10 @@ type CycleRateResult struct {
 	W, H    int
 	Cycles  int64
 	Workers int
+	// Epoch is the synchronization epoch requested for the parallel
+	// mode (1 = per-cycle barriers). Epochs above 1 deepen the link
+	// latency to match, on both modes, so the comparison stays honest.
+	Epoch int
 
 	SeqRate float64 // cycles per second, sequential kernel
 	ParRate float64 // cycles per second, parallel kernel
@@ -37,9 +41,16 @@ type CycleRateResult struct {
 
 // loadCycleRateSystem builds the measured workload: real-time channels
 // crossing the mesh corner to corner plus a best-effort source on every
-// node, all registered into per-node shards.
-func loadCycleRateSystem(w, h, workers int) (*core.System, error) {
-	sys, err := core.NewMesh(w, h, core.Options{Workers: workers})
+// node, all registered into per-node shards. linkLat deepens the mesh
+// wires (epoch legality requires latency >= epoch), epoch > 1 turns on
+// epoch-synchronized execution.
+func loadCycleRateSystem(w, h, workers, linkLat, epoch int) (*core.System, error) {
+	opts := core.Options{Workers: workers, Epoch: epoch}
+	if linkLat > 1 {
+		opts.Router = router.DefaultConfig()
+		opts.Router.LinkLatency = linkLat
+	}
+	sys, err := core.NewMesh(w, h, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -79,29 +90,52 @@ const timingReps = 5
 
 // measurement is one mode's timing outcome.
 type measurement struct {
-	Rate   float64   // cycles per second, best repetition
-	Allocs float64   // heap allocations per cycle, lowest repetition
-	Reps   []float64 // cycles per second of every repetition, in order
-	Stats  []router.Stats
+	Rate  float64   // cycles per second, best repetition
+	Reps  []float64 // cycles per second of every repetition, in order
+	Stats []router.Stats
 }
 
 // timeSegment times one already-warm system over cycles and folds the
 // repetition into m.
-func timeSegment(sys *core.System, cycles int64, rep int, m *measurement) {
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
+func timeSegment(sys *core.System, cycles int64, m *measurement) {
 	start := time.Now()
 	sys.Run(cycles)
 	elapsed := time.Since(start)
-	runtime.ReadMemStats(&m1)
 	r := float64(cycles) / elapsed.Seconds()
 	m.Reps = append(m.Reps, r)
 	if r > m.Rate {
 		m.Rate = r
 	}
-	if a := float64(m1.Mallocs-m0.Mallocs) / float64(cycles); rep == 0 || a < m.Allocs {
-		m.Allocs = a
+}
+
+// allocWarmup is how long a fresh system must run before its heap goes
+// quiet. The best-effort frame pools refill from *received* frames, so
+// every source keeps allocating until traffic has round-tripped the
+// mesh — O(diameter × frame serialization) cycles. 125·(w+h) puts
+// 32x32 at 8000 cycles, the warm-up the allocation regression gate
+// (TestSteadyStateAllocs) validated against.
+func allocWarmup(w, h int) int64 {
+	return 125 * int64(w+h)
+}
+
+// steadyAllocs measures heap allocations per cycle in the steady state:
+// one fresh system, warmed past the pool-filling transient, then a
+// clean measured window. Timing repetitions can't reuse this number —
+// their warm-up is sized for rate stability, not pool circulation, so
+// folding allocation reads into them would report the transient.
+func steadyAllocs(w, h, workers, linkLat, epoch int, window int64) (float64, error) {
+	sys, err := loadCycleRateSystem(w, h, workers, linkLat, epoch)
+	if err != nil {
+		return 0, err
 	}
+	defer sys.Close()
+	sys.Run(allocWarmup(w, h))
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	sys.Run(window)
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(window), nil
 }
 
 // timePair measures the sequential and the parallel kernel on identical
@@ -111,13 +145,20 @@ func timeSegment(sys *core.System, cycles int64, rep int, m *measurement) {
 // percent bias for any single instance, and only re-drawing it per
 // repetition lets the median expose the code's real difference. The
 // returned speedup is the median of the per-repetition par/seq ratios.
-func timePair(w, h, workers int, cycles int64) (seq, par measurement, speedup float64, err error) {
+// epoch > 1 runs the parallel mode epoch-synchronized; both modes then
+// share the deepened link latency the epoch requires, so the sequential
+// baseline simulates the identical machine.
+func timePair(w, h, workers, epoch int, cycles int64) (seq, par measurement, speedup float64, err error) {
+	linkLat := 1
+	if epoch > 1 {
+		linkLat = epoch
+	}
 	for rep := 0; rep < timingReps; rep++ {
-		seqSys, err := loadCycleRateSystem(w, h, 1)
+		seqSys, err := loadCycleRateSystem(w, h, 1, linkLat, 0)
 		if err != nil {
 			return seq, par, 0, err
 		}
-		parSys, err := loadCycleRateSystem(w, h, workers)
+		parSys, err := loadCycleRateSystem(w, h, workers, linkLat, epoch)
 		if err != nil {
 			seqSys.Close()
 			return seq, par, 0, err
@@ -127,8 +168,8 @@ func timePair(w, h, workers int, cycles int64) (seq, par measurement, speedup fl
 		seqSys.Run(cycles / 10)
 		parSys.Run(cycles / 10)
 		runtime.GC()
-		timeSegment(seqSys, cycles, rep, &seq)
-		timeSegment(parSys, cycles, rep, &par)
+		timeSegment(seqSys, cycles, &seq)
+		timeSegment(parSys, cycles, &par)
 		if rep == timingReps-1 {
 			for _, c := range seqSys.Net.Coords() {
 				seq.Stats = append(seq.Stats, seqSys.Router(c).Stats)
@@ -156,20 +197,37 @@ func timePair(w, h, workers int, cycles int64) (seq, par measurement, speedup fl
 // RunCycleRate measures simulator throughput on a loaded w×h mesh with
 // the sequential kernel and with the parallel kernel at the given
 // worker count (<= 0 picks GOMAXPROCS), and cross-checks that both
-// modes produce identical router counters.
-func RunCycleRate(w, h int, cycles int64, workers int) (*CycleRateResult, error) {
+// modes produce identical router counters. epoch > 1 amortizes the
+// parallel kernel's barrier over that many cycles (the links deepen to
+// match, in both modes).
+func RunCycleRate(w, h int, cycles int64, workers, epoch int) (*CycleRateResult, error) {
 	workers = sim.ResolveWorkers(workers)
+	if epoch < 1 {
+		epoch = 1
+	}
 	if cycles <= 0 {
 		cycles = 50000
 	}
-	seq, par, speedup, err := timePair(w, h, workers, cycles)
+	seq, par, speedup, err := timePair(w, h, workers, epoch, cycles)
+	if err != nil {
+		return nil, err
+	}
+	linkLat := 1
+	if epoch > 1 {
+		linkLat = epoch
+	}
+	seqAllocs, err := steadyAllocs(w, h, 1, linkLat, 0, cycles)
+	if err != nil {
+		return nil, err
+	}
+	parAllocs, err := steadyAllocs(w, h, workers, linkLat, epoch, cycles)
 	if err != nil {
 		return nil, err
 	}
 	return &CycleRateResult{
-		W: w, H: h, Cycles: cycles, Workers: workers,
+		W: w, H: h, Cycles: cycles, Workers: workers, Epoch: epoch,
 		SeqRate: seq.Rate, ParRate: par.Rate, Speedup: speedup,
-		SeqAllocsPerCycle: seq.Allocs, ParAllocsPerCycle: par.Allocs,
+		SeqAllocsPerCycle: seqAllocs, ParAllocsPerCycle: parAllocs,
 		StatsMatch: reflect.DeepEqual(seq.Stats, par.Stats),
 	}, nil
 }
@@ -181,7 +239,11 @@ func (r *CycleRateResult) Table() *Table {
 		Header: []string{"kernel", "cycles/sec", "allocs/cycle"},
 	}
 	t.AddRow("sequential", fmt.Sprintf("%.0f", r.SeqRate), fmt.Sprintf("%.2f", r.SeqAllocsPerCycle))
-	t.AddRow(fmt.Sprintf("parallel x%d", r.Workers), fmt.Sprintf("%.0f", r.ParRate), fmt.Sprintf("%.2f", r.ParAllocsPerCycle))
+	par := fmt.Sprintf("parallel x%d", r.Workers)
+	if r.Epoch > 1 {
+		par += fmt.Sprintf(" epoch %d", r.Epoch)
+	}
+	t.AddRow(par, fmt.Sprintf("%.0f", r.ParRate), fmt.Sprintf("%.2f", r.ParAllocsPerCycle))
 	t.AddNote("speedup %.2fx; router counters bit-identical: %v", r.Speedup, r.StatsMatch)
 	return t
 }

@@ -25,6 +25,9 @@ type ForensicsResult struct {
 	Scenario string
 	Cycles   int64
 	Workers  []int
+	// Epoch is the synchronization epoch every run used (1 = per-cycle
+	// barriers; above 1 the mesh links deepen to match).
+	Epoch int
 	// Identical reports whether every worker count produced a
 	// byte-identical forensics report (attribution + recorder summary).
 	Identical bool
@@ -64,7 +67,7 @@ type forensicsRun struct {
 	summary scenario.Result
 }
 
-func runForensicsOnce(path string, cycles int64, workers int, shardCap int) (*forensicsRun, error) {
+func runForensicsOnce(path string, cycles int64, workers, epoch, shardCap int) (*forensicsRun, error) {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		return nil, err
@@ -92,7 +95,7 @@ func runForensicsOnce(path string, cycles int64, workers int, shardCap int) (*fo
 	rec := obs.NewRecorder(0, 0)
 	res, sys, err := sc.RunWith(scenario.RunOpts{
 		Metrics: reg, Collector: col, ChannelSLO: slo,
-		Forensics: fns, Recorder: rec, Workers: workers,
+		Forensics: fns, Recorder: rec, Workers: workers, Epoch: epoch,
 	})
 	if err != nil {
 		return nil, err
@@ -125,15 +128,20 @@ func runForensicsOnce(path string, cycles int64, workers int, shardCap int) (*fo
 //     machinery actually retransmitted or aborted.
 //
 // cycles > 0 caps the scenario's run length (the -short test mode).
-func RunForensics(path string, cycles int64, workers []int) (*ForensicsResult, error) {
+// epoch > 1 runs every worker count epoch-synchronized over deepened
+// links, so the byte-identical gate covers the epoch path too.
+func RunForensics(path string, cycles int64, workers []int, epoch int) (*ForensicsResult, error) {
 	if len(workers) == 0 {
 		workers = DefaultForensicsWorkers
 	}
+	if epoch < 1 {
+		epoch = 1
+	}
 	const shardCap = 1 << 15
-	res := &ForensicsResult{Scenario: path, Workers: workers, Identical: true}
+	res := &ForensicsResult{Scenario: path, Workers: workers, Epoch: epoch, Identical: true}
 	var ref *forensicsRun
 	for i, wk := range workers {
-		run, err := runForensicsOnce(path, cycles, wk, shardCap)
+		run, err := runForensicsOnce(path, cycles, wk, epoch, shardCap)
 		if err != nil {
 			return nil, fmt.Errorf("forensics %s x%d: %w", path, wk, err)
 		}
@@ -200,7 +208,7 @@ func RunForensics(path string, cycles int64, workers []int) (*ForensicsResult, e
 // Table renders the check list.
 func (r *ForensicsResult) Table() *Table {
 	t := &Table{
-		Title:  fmt.Sprintf("Forensics gate: %s (%d cycles)", r.Scenario, r.Cycles),
+		Title:  fmt.Sprintf("Forensics gate: %s (%d cycles, epoch %d)", r.Scenario, r.Cycles, r.Epoch),
 		Header: []string{"check", "ok", "detail"},
 	}
 	t.AddRow("byte_identical_reports", fmt.Sprintf("%v", r.Identical),

@@ -18,7 +18,12 @@ func gateCycles(short, full int64) int64 {
 
 func runGate(t *testing.T, path string, cycles int64) *ForensicsResult {
 	t.Helper()
-	res, err := RunForensics(path, cycles, nil)
+	return runGateEpoch(t, path, cycles, 1)
+}
+
+func runGateEpoch(t *testing.T, path string, cycles int64, epoch int) *ForensicsResult {
+	t.Helper()
+	res, err := RunForensics(path, cycles, nil, epoch)
 	if err != nil {
 		t.Fatalf("RunForensics(%s): %v", path, err)
 	}
@@ -64,6 +69,17 @@ func TestForensicsGateFaulty(t *testing.T) {
 	// Trigger firing itself is covered deterministically by the core
 	// tiny-ring recorder test; faulty.json's 0.002 corruption rate is
 	// too sparse to guarantee a hit inside the capped window.
+}
+
+// TestForensicsGateEpoch runs the gate epoch-synchronized: with the
+// links deepened to 4 cycles and the barrier amortized over 4-cycle
+// epochs, the report must still be byte-identical at workers {1,2,4}
+// and every invariant must still reconcile.
+func TestForensicsGateEpoch(t *testing.T) {
+	res := runGateEpoch(t, "../../scenarios/fig6.json", gateCycles(4000, 10000), 4)
+	if res.Stats.TCStallCycles == 0 {
+		t.Error("epoch-4 fig6 produced no attributed TC stall cycles; the engine saw nothing")
+	}
 }
 
 // TestSweepDiff covers the baseline matcher and the regression gate on

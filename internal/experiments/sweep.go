@@ -16,6 +16,10 @@ type SweepRow struct {
 	W, H    int
 	Cycles  int64
 	Workers int
+	// Epoch is the synchronization epoch of the parallel mode (1 =
+	// per-cycle barriers); epochs above 1 deepen the link latency to
+	// match on both modes.
+	Epoch int
 
 	SeqRate float64 // cycles per second, sequential kernel
 	ParRate float64 // cycles per second, parallel kernel
@@ -29,17 +33,19 @@ type SweepRow struct {
 	StatsMatch bool
 }
 
-// SweepResult is the full scaling matrix. GOMAXPROCS records the
-// machine parallelism the sweep actually had available, so a reader of
-// the archived numbers can tell a single-core inline-path result from
-// a real multicore one.
+// SweepResult is the full scaling matrix. GOMAXPROCS and NumCPU record
+// the machine parallelism the sweep actually had available, so a reader
+// of the archived numbers can tell a single-core inline-path result
+// from a real multicore one (GOMAXPROCS can be capped below the CPU
+// count by the environment; NumCPU is the hardware's own figure).
 type SweepResult struct {
 	GOMAXPROCS int
+	NumCPU     int
 	Rows       []SweepRow
 }
 
 // DefaultSweepMeshes are the square mesh edges the sweep covers.
-var DefaultSweepMeshes = []int{8, 16, 32}
+var DefaultSweepMeshes = []int{8, 16, 32, 64, 128}
 
 // DefaultSweepWorkers returns the worker counts to sweep: 1, 2, 4 and
 // GOMAXPROCS, deduplicated and sorted.
@@ -62,16 +68,22 @@ func DefaultSweepCycles(edge int) int64 {
 		return 20000
 	case edge <= 16:
 		return 8000
-	default:
+	case edge <= 32:
 		return 3000
+	case edge <= 64:
+		return 1000
+	default:
+		return 400
 	}
 }
 
 // RunScalingSweep measures simulator throughput for every mesh edge ×
 // worker count combination. Each mesh's sequential baseline is timed
 // once and shared across its rows. Nil or empty arguments select the
-// defaults; worker counts <= 0 resolve to GOMAXPROCS.
-func RunScalingSweep(meshes []int, workers []int, cycles func(edge int) int64) (*SweepResult, error) {
+// defaults; worker counts <= 0 resolve to GOMAXPROCS. epoch > 1 runs
+// the parallel mode epoch-synchronized (links deepened to match on
+// both modes).
+func RunScalingSweep(meshes []int, workers []int, cycles func(edge int) int64, epoch int) (*SweepResult, error) {
 	if len(meshes) == 0 {
 		meshes = DefaultSweepMeshes
 	}
@@ -81,21 +93,48 @@ func RunScalingSweep(meshes []int, workers []int, cycles func(edge int) int64) (
 	if cycles == nil {
 		cycles = DefaultSweepCycles
 	}
-	res := &SweepResult{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if epoch < 1 {
+		epoch = 1
+	}
+	linkLat := 1
+	if epoch > 1 {
+		linkLat = epoch
+	}
+	res := &SweepResult{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	for _, edge := range meshes {
 		n := cycles(edge)
+		// Steady-state allocations are deterministic and independent of
+		// the worker count (the parallel kernel reproduces the sequential
+		// machine bit for bit), so measure each mode once per mesh and
+		// share the number across the mesh's rows. The measurement warms
+		// up past the pool-filling transient, which the short timing
+		// warm-up deliberately does not wait for.
+		wkAlloc := 1
+		for _, wk := range workers {
+			if r := sim.ResolveWorkers(wk); r > wkAlloc {
+				wkAlloc = r
+			}
+		}
+		seqAllocs, err := steadyAllocs(edge, edge, 1, linkLat, 0, n)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %dx%d seq allocs: %w", edge, edge, err)
+		}
+		parAllocs, err := steadyAllocs(edge, edge, wkAlloc, linkLat, epoch, n)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %dx%d par allocs: %w", edge, edge, err)
+		}
 		for _, wk := range workers {
 			wk = sim.ResolveWorkers(wk)
 			// Each row carries its own interleaved sequential baseline so
 			// the ratio is taken under the same machine conditions.
-			seq, par, speedup, err := timePair(edge, edge, wk, n)
+			seq, par, speedup, err := timePair(edge, edge, wk, epoch, n)
 			if err != nil {
 				return nil, fmt.Errorf("sweep %dx%d x%d: %w", edge, edge, wk, err)
 			}
 			res.Rows = append(res.Rows, SweepRow{
-				W: edge, H: edge, Cycles: n, Workers: wk,
+				W: edge, H: edge, Cycles: n, Workers: wk, Epoch: epoch,
 				SeqRate: seq.Rate, ParRate: par.Rate, Speedup: speedup,
-				SeqAllocsPerCycle: seq.Allocs, ParAllocsPerCycle: par.Allocs,
+				SeqAllocsPerCycle: seqAllocs, ParAllocsPerCycle: parAllocs,
 				StatsMatch: reflect.DeepEqual(seq.Stats, par.Stats),
 			})
 		}
@@ -118,13 +157,14 @@ func (s *SweepResult) Row(edge, workers int) *SweepRow {
 // Table renders the scaling matrix.
 func (s *SweepResult) Table() *Table {
 	t := &Table{
-		Title:  fmt.Sprintf("Parallel kernel scaling sweep (GOMAXPROCS=%d)", s.GOMAXPROCS),
-		Header: []string{"mesh", "workers", "cycles", "seq c/s", "par c/s", "speedup", "allocs/cyc", "match"},
+		Title:  fmt.Sprintf("Parallel kernel scaling sweep (GOMAXPROCS=%d, NumCPU=%d)", s.GOMAXPROCS, s.NumCPU),
+		Header: []string{"mesh", "workers", "epoch", "cycles", "seq c/s", "par c/s", "speedup", "allocs/cyc", "match"},
 	}
 	for _, r := range s.Rows {
 		t.AddRow(
 			fmt.Sprintf("%dx%d", r.W, r.H),
 			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%d", r.Epoch),
 			fmt.Sprintf("%d", r.Cycles),
 			fmt.Sprintf("%.0f", r.SeqRate),
 			fmt.Sprintf("%.0f", r.ParRate),

@@ -139,28 +139,36 @@ func (ls *linkState) step() bool {
 // garble returns a guaranteed-nonzero XOR mask.
 func (ls *linkState) garble() byte { return byte(1 + ls.rng.Intn(255)) }
 
-// offer applies the fault process to one sampled phit. Returning false
-// erases the phit from the wire.
-func (ls *linkState) offer(ph *packet.Phit, met func(lost bool)) bool {
+// hitKind tells the hook which telemetry counter a fault touched.
+type hitKind int
+
+const (
+	hitNone hitKind = iota
+	hitCorrupt
+	hitLost
+)
+
+// offer applies the fault process to one sampled phit, value in, value
+// out so the hot sampling loop stays allocation-free. Returning
+// ok=false erases the phit from the wire.
+func (ls *linkState) offer(ph packet.Phit) (out packet.Phit, ok bool, hit hitKind) {
 	if !ls.step() {
-		return true
+		return ph, true, hitNone
 	}
 	if ls.cfg.Kind == Lose {
 		ls.stats.LostPhits++
-		met(true)
 		if ph.VC == packet.VCTime {
-			return false
+			return ph, false, hitLost
 		}
 		// Best-effort loss: mangle instead of erase, so the byte stream
 		// keeps its cadence and the flit checksum rejects the wreck.
 		ph.Data ^= ls.garble()
 		ph.SideValid = false
-		return true
+		return ph, true, hitLost
 	}
 	ls.stats.CorruptedPhits++
-	met(false)
 	ph.Data ^= ls.garble()
-	return true
+	return ph, true, hitCorrupt
 }
 
 // Injector owns the fault processes of a mesh and installs them through
@@ -253,22 +261,22 @@ func (in *Injector) arm(n *mesh.Network, rx mesh.Coord, rxPort int, cfg Config) 
 		states = new([router.NumLinks]*linkState)
 		in.nodes[rx] = states
 		r := n.Router(rx)
-		r.LinkFault = func(port int, ph *packet.Phit) bool {
+		r.LinkFault = func(port int, ph packet.Phit) (packet.Phit, bool) {
 			ls := states[port]
 			if ls == nil {
-				return true
+				return ph, true
 			}
-			met := r.Metrics()
-			return ls.offer(ph, func(lost bool) {
-				if met == nil {
-					return
+			out, ok, hit := ls.offer(ph)
+			if hit != hitNone {
+				if met := r.Metrics(); met != nil {
+					if hit == hitLost {
+						met.FaultLostPhits.Inc()
+					} else {
+						met.FaultCorruptPhits.Inc()
+					}
 				}
-				if lost {
-					met.FaultLostPhits.Inc()
-				} else {
-					met.FaultCorruptPhits.Inc()
-				}
-			})
+			}
+			return out, ok
 		}
 	}
 	states[rxPort] = newLinkState(cfg, in.linkSeed(rx, rxPort))

@@ -38,6 +38,7 @@ func (c Coord) Add(port int) Coord {
 type Network struct {
 	Kernel  *sim.Kernel
 	W, H    int
+	cfg     router.Config
 	routers map[Coord]*router.Router
 	order   []Coord // deterministic iteration order
 	failed  map[linkID]bool
@@ -64,13 +65,16 @@ func New(w, h int, cfg router.Config) (*Network, error) {
 	if w < 1 || h < 1 {
 		return nil, fmt.Errorf("mesh: dimensions %dx%d invalid", w, h)
 	}
-	if w > 120 || h > 120 {
+	if w > 128 || h > 128 {
+		// A 128-edge mesh is the largest whose dimension offsets (at most
+		// ±127) still fit the best-effort header's signed bytes.
 		return nil, fmt.Errorf("mesh: dimensions %dx%d exceed the signed-byte offset range", w, h)
 	}
 	n := &Network{
 		Kernel:  sim.NewKernel(),
 		W:       w,
 		H:       h,
+		cfg:     cfg,
 		routers: make(map[Coord]*router.Router, w*h),
 		failed:  make(map[linkID]bool),
 	}
@@ -114,13 +118,21 @@ func MustNew(w, h int, cfg router.Config) *Network {
 	return n
 }
 
-// wire connects a and b bidirectionally: a's outPort to b, b's
-// reverse port back to a.
+// wire connects a and b bidirectionally: a's outPort to b, b's reverse
+// port back to a. The channels carry the configured link latency and
+// tell the kernel which shards they bridge, which is what licenses
+// epoch-synchronized parallel execution (the epoch length is bounded by
+// the minimum cross-shard wire latency).
 func (n *Network) wire(a, b Coord, aPort, bPort int) {
-	fw := router.NewChannel(n.Kernel)
+	lat := int64(n.cfg.LinkLatency)
+	if lat <= 0 {
+		lat = 1
+	}
+	sa, sb := n.Shard(a), n.Shard(b)
+	fw := router.NewChannelShards(n.Kernel, lat, sa, sb)
 	n.routers[a].ConnectOut(aPort, fw.Out())
 	n.routers[b].ConnectIn(bPort, fw.In())
-	bw := router.NewChannel(n.Kernel)
+	bw := router.NewChannelShards(n.Kernel, lat, sb, sa)
 	n.routers[b].ConnectOut(bPort, bw.Out())
 	n.routers[a].ConnectIn(aPort, bw.In())
 }
@@ -295,8 +307,8 @@ func (n *Network) FailLink(from Coord, port int) error {
 }
 
 // RepairLink restores a link previously severed by FailLink, rewiring
-// both directions with fresh channels. The dead channels' latches stay
-// registered with the kernel but are permanently clean, so the cost of a
+// both directions with fresh channels. The dead channels' wires stay
+// attached to the kernel but their stamps age out, so the cost of a
 // flap is bounded and the parallel plan simply rebuilds. Repairing a
 // link that is up is an error. Pair with Controller.MarkRepaired so new
 // admissions may use the link again.

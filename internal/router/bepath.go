@@ -283,16 +283,6 @@ func (u *beInput) discardFrame() {
 	u.nackPending = false
 }
 
-// nackWindow is how far back a nack reaches: the corrupted flit left
-// two cycles before the sender reads the nack (one cycle out on the
-// data wire, one back on the acknowledgement wire), and every flit sent
-// since must be resent too so the stream stays in order.
-const nackWindow = 2
-
-// beHistLen sizes the sent-flit history ring; at one flit per cycle the
-// nack window plus slack covers every flit a nack can reach.
-const beHistLen = nackWindow + 2
-
 type beHist struct {
 	cycle int64
 	ph    packet.Phit
@@ -314,14 +304,20 @@ type beOutput struct {
 	// block event per episode rather than one per cycle.
 	wasStalled bool
 
-	// Integrity transmit state: hist remembers recently sent flits so a
-	// nack can replay them; replay holds flits awaiting retransmission
-	// (sent before any fresh byte, first one marked Rexmit); resumeAt
-	// delays the replay by an exponential backoff; retryCount bounds the
-	// episode against Config.BERetryLimit. abortPending requests an
-	// Abort tail flit — also used without Integrity to release a
-	// downstream worm segment after a link failure.
-	hist         [beHistLen]beHist
+	// Integrity transmit state: nackWin is how far back a nack reaches —
+	// the link round trip (2·latency: the corrupted flit travelled one
+	// way before its nack came back), and every flit sent since must be
+	// resent too so the stream stays in order. hist remembers recently
+	// sent flits so a nack can replay them, sized to the window plus
+	// slack at one flit per cycle; replay holds flits awaiting
+	// retransmission (sent before any fresh byte, first one marked
+	// Rexmit); resumeAt delays the replay by an exponential backoff;
+	// retryCount bounds the episode against Config.BERetryLimit.
+	// abortPending requests an Abort tail flit — also used without
+	// Integrity to release a downstream worm segment after a link
+	// failure.
+	nackWin      int64
+	hist         []beHist
 	histIdx      int
 	replay       []packet.Phit
 	replayHead   int
@@ -340,7 +336,7 @@ type beOutput struct {
 func (b *beOutput) record(ph packet.Phit) {
 	ph.Rexmit = false
 	b.hist[b.histIdx] = beHist{cycle: b.r.nowCycle, ph: ph, valid: true}
-	b.histIdx = (b.histIdx + 1) % beHistLen
+	b.histIdx = (b.histIdx + 1) % len(b.hist)
 }
 
 // handleNack reacts to a nack read from the reverse wire: every flit
@@ -349,9 +345,9 @@ func (b *beOutput) record(ph packet.Phit) {
 // backoff, and an exhausted retry budget aborts the frame.
 func (b *beOutput) handleNack(now int64) {
 	var win []packet.Phit
-	for i := 0; i < beHistLen; i++ {
-		e := b.hist[(b.histIdx+i)%beHistLen] // oldest → newest
-		if e.valid && e.cycle >= now-nackWindow {
+	for i := 0; i < len(b.hist); i++ {
+		e := b.hist[(b.histIdx+i)%len(b.hist)] // oldest → newest
+		if e.valid && e.cycle >= now-b.nackWin {
 			win = append(win, e.ph)
 		}
 	}
@@ -456,7 +452,7 @@ func (b *beOutput) sendFaultFlit() {
 	b.credits--
 	if b.abortPending {
 		b.abortPending = false
-		b.r.out[b.port].Drive(packet.Phit{Valid: true, VC: packet.VCBest, Tail: true, Abort: true})
+		b.r.out[b.port].Drive(b.r.nowCycle, packet.Phit{Valid: true, VC: packet.VCBest, Tail: true, Abort: true})
 		return
 	}
 	ph := b.replay[b.replayHead]
@@ -474,7 +470,7 @@ func (b *beOutput) sendFaultFlit() {
 	if b.r.met != nil {
 		b.r.met.BEFlitRetransmits.Inc()
 	}
-	b.r.out[b.port].Drive(ph)
+	b.r.out[b.port].Drive(b.r.nowCycle, ph)
 }
 
 // bind picks a waiting input if none is bound, scanning round-robin.
@@ -548,7 +544,7 @@ func (b *beOutput) sendByte() {
 		b.record(ph)
 		b.retryCount = 0 // a fresh flit went out: the error episode is over
 	}
-	b.r.out[b.port].Drive(ph)
+	b.r.out[b.port].Drive(b.r.nowCycle, ph)
 	if tail {
 		b.curIn = -1
 		b.r.Stats.BEPacketsSent[b.port]++
@@ -556,9 +552,10 @@ func (b *beOutput) sendByte() {
 }
 
 func (b *beOutput) deliverLocal() {
-	payload := make([]byte, 0, len(b.rxBuf))
-	if len(b.rxBuf) > packet.BEHeaderBytes {
-		payload = append(payload, b.rxBuf[packet.BEHeaderBytes:]...)
+	var payload []byte
+	if n := len(b.rxBuf) - packet.BEHeaderBytes; n > 0 {
+		payload = b.r.beArena.alloc(n)
+		copy(payload, b.rxBuf[packet.BEHeaderBytes:])
 	}
 	b.r.beDelivered = append(b.r.beDelivered, DeliveredBE{
 		Payload: payload,
@@ -572,4 +569,55 @@ func (b *beOutput) deliverLocal() {
 		b.r.lifecycle(LifecycleEvent{Kind: EvDeliver, Port: -1, BE: true})
 	}
 	b.rxBuf = b.rxBuf[:0]
+}
+
+// beArena is a chunked bump allocator backing the payloads of
+// delivered best-effort packets: one amortized chunk allocation
+// replaces one heap allocation per delivery. reset retains the chunks
+// for reuse, so steady-state delivery is allocation-free once the
+// working set is covered. The router double-buffers two arenas in step
+// with the beDelivered queues (see DrainBE), so a drained payload stays
+// valid until the DrainBE call after next.
+type beArena struct {
+	chunks [][]byte
+	live   int // chunks currently in use; the rest are retained spares
+}
+
+// beArenaChunk is the default chunk size; oversized payloads get a
+// dedicated chunk of their own length.
+const beArenaChunk = 4096
+
+// alloc returns an owned, uninitialized slice of length n.
+func (a *beArena) alloc(n int) []byte {
+	if a.live > 0 {
+		c := a.chunks[a.live-1]
+		if len(c)+n <= cap(c) {
+			c = c[:len(c)+n]
+			a.chunks[a.live-1] = c
+			return c[len(c)-n:]
+		}
+	}
+	size := beArenaChunk
+	if n > size {
+		size = n
+	}
+	if a.live == len(a.chunks) {
+		a.chunks = append(a.chunks, nil)
+	}
+	c := a.chunks[a.live]
+	if cap(c) < n {
+		c = make([]byte, 0, size)
+	}
+	c = c[:n]
+	a.chunks[a.live] = c
+	a.live++
+	return c
+}
+
+// reset marks every chunk free for reuse without releasing its memory.
+func (a *beArena) reset() {
+	for i := range a.chunks {
+		a.chunks[i] = a.chunks[i][:0]
+	}
+	a.live = 0
 }

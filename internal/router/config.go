@@ -157,9 +157,25 @@ type Config struct {
 	// Abort tail flit. Zero means the default (8). Ignored unless
 	// Integrity is set.
 	BERetryLimit int
+	// LinkLatency is the one-way mesh-wire latency in cycles (phit and
+	// acknowledgement alike). Zero means the default of 1, the paper's
+	// single-cycle wire. Longer wires model pipelined board-level links;
+	// they also raise the parallel kernel's legal epoch length, which is
+	// derived from the minimum cross-shard wire latency. The best-effort
+	// nack window scales with the round trip automatically.
+	LinkLatency int
 	// Horizons are the initial per-output-port horizon parameters (in
 	// slots); the control interface can rewrite them at run time.
 	Horizons [NumPorts]uint32
+}
+
+// linkLatency returns the effective wire latency (the zero value means
+// the paper's single-cycle link).
+func (c Config) linkLatency() int64 {
+	if c.LinkLatency <= 0 {
+		return 1
+	}
+	return int64(c.LinkLatency)
 }
 
 // DefaultConfig returns the paper's chip configuration.
@@ -200,6 +216,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("router: BEHeadDelay must be non-negative, got %d", c.BEHeadDelay)
 	case c.BERetryLimit < 0:
 		return fmt.Errorf("router: BERetryLimit must be non-negative, got %d", c.BERetryLimit)
+	case c.LinkLatency < 0 || c.LinkLatency > 64:
+		return fmt.Errorf("router: LinkLatency must be in [0,64], got %d", c.LinkLatency)
 	case c.Scheduler == SchedApproxEDF && c.ApproxShift >= c.ClockBits:
 		return fmt.Errorf("router: ApproxShift %d leaves no key bits on a %d-bit clock",
 			c.ApproxShift, c.ClockBits)

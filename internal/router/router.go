@@ -150,13 +150,25 @@ type Router struct {
 	// state (trace rings) rotates together with the counters.
 	OnReset func()
 	// LinkFault, if set, intercepts every valid phit sampled from a mesh
-	// input wire before the receive engines see it. The hook may mutate
-	// the phit in place (corruption) or return false to erase it entirely
-	// (loss). Abort flits are never offered to the hook: they are the
-	// recovery protocol itself. The hook runs inside this router's tick,
-	// so per-link injector state needs no locking under the parallel
-	// kernel. See internal/fault.
-	LinkFault func(port int, ph *packet.Phit) bool
+	// input wire before the receive engines see it. The hook returns the
+	// (possibly corrupted) phit to deliver, or ok=false to erase it
+	// entirely (loss). Abort flits are never offered to the hook: they
+	// are the recovery protocol itself. The hook runs inside this
+	// router's tick, so per-link injector state needs no locking under
+	// the parallel kernel. Value in, value out keeps the sampling loop
+	// allocation-free. See internal/fault.
+	LinkFault func(port int, ph packet.Phit) (out packet.Phit, ok bool)
+
+	// schedSkip caches the scheduler's IdleSkipper view; non-nil is a
+	// precondition for the quiescence fast-forward (Skip).
+	schedSkip sched.IdleSkipper
+
+	// beArena backs the payloads of delivered best-effort packets:
+	// chunked bump allocation instead of one heap allocation per
+	// delivery. Double-buffered in step with the beDelivered queues, so
+	// payloads stay valid until the DrainBE call after next.
+	beArena      beArena
+	beArenaSpare beArena
 }
 
 // New constructs a router with the given configuration. The name appears
@@ -173,13 +185,22 @@ func New(name string, cfg Config) (*Router, error) {
 		mem:      newPacketMemory(cfg.Slots),
 		schedq:   cfg.newScheduler(),
 		horizons: cfg.Horizons,
+		beFree:   make([][]byte, 0, beFreeCap),
 	}
+	// The nack window scales with the link round trip: a corrupted flit
+	// left 2·latency cycles before its nack reaches the sender, and at
+	// one flit per cycle the history must cover that window plus slack.
+	nackWin := 2 * cfg.linkLatency()
 	for i := 0; i < NumPorts; i++ {
 		r.tcIn[i] = &tcInput{r: r, id: i}
 		r.tcOut[i] = &tcOutput{r: r, port: i}
 		r.beIn[i] = &beInput{r: r, id: i, buf: make([]byte, 0, cfg.FlitBufBytes)}
-		r.beOut[i] = &beOutput{r: r, port: i, curIn: -1, credits: cfg.FlitBufBytes}
+		r.beOut[i] = &beOutput{
+			r: r, port: i, curIn: -1, credits: cfg.FlitBufBytes,
+			nackWin: nackWin, hist: make([]beHist, nackWin+2),
+		}
 	}
+	r.schedSkip, _ = r.schedq.(sched.IdleSkipper)
 	// Bus polling order mirrors the chip's ten port engines: five
 	// receive engines then five transmit engines.
 	for i := 0; i < NumPorts; i++ {
@@ -342,6 +363,16 @@ func (r *Router) recycleBEFrame(frame []byte) {
 	}
 }
 
+// BEInjectBacklog returns the number of best-effort frames queued
+// behind the injection port, including the frame currently streaming
+// across it. Sources use it to hold injection when the port is
+// congested, which keeps the set of frame buffers in circulation
+// bounded (and the BEFrameBuf pool warm).
+func (r *Router) BEInjectBacklog() int {
+	u := r.beIn[PortLocal]
+	return len(u.injQ) - u.injHead
+}
+
 // TCInjectBacklog returns the number of packets queued at the
 // time-constrained injection port.
 func (r *Router) TCInjectBacklog() int {
@@ -363,12 +394,17 @@ func (r *Router) DrainTC() []DeliveredTC {
 }
 
 // DrainBE returns and clears the best-effort deliveries. The returned
-// slice is reused by the call after next — iterate or copy it before
-// draining again (the per-delivery Payload buffers are never reused).
+// slice — including the per-delivery Payload buffers, which live in a
+// recycled arena — is reused by the call after next; iterate or copy
+// before draining again.
 func (r *Router) DrainBE() []DeliveredBE {
 	d := r.beDelivered
 	r.beDelivered = r.beDrainSpare[:0]
 	r.beDrainSpare = d
+	// The spare arena holds payloads from two drains ago (out of
+	// contract); recycle it for the deliveries now starting to accrue.
+	r.beArenaSpare.reset()
+	r.beArena, r.beArenaSpare = r.beArenaSpare, r.beArena
 	return d
 }
 
@@ -398,7 +434,7 @@ func (r *Router) SlotNow(now int64) timing.Stamp { return r.slotNow(now) }
 //  5. acknowledgements return flit credits upstream.
 func (r *Router) Tick(now sim.Cycle) {
 	nowSlot := r.slotNow(int64(now))
-	if r.idle && r.inputsClear() {
+	if r.idle && r.inputsClear(int64(now)) {
 		r.tickIdle(int64(now), nowSlot)
 		return
 	}
@@ -450,7 +486,7 @@ func (r *Router) Tick(now sim.Cycle) {
 			u.nackPending = false
 		}
 		if a.BECredit || a.BENack {
-			r.in[p].DriveAck(a)
+			r.in[p].DriveAck(r.nowCycle, a)
 		}
 	}
 
@@ -482,13 +518,13 @@ func (r *Router) tickIdle(now int64, nowSlot timing.Stamp) {
 // inputsClear reports that nothing arrived on the link wires this
 // cycle: no valid phit to sample and no returning best-effort credit.
 // Together with the cached quiescence summary this licenses tickIdle.
-func (r *Router) inputsClear() bool {
+func (r *Router) inputsClear(now int64) bool {
 	for p := 0; p < NumLinks; p++ {
-		if r.in[p] != nil && r.in[p].Phit().Valid {
+		if r.in[p] != nil && r.in[p].Phit(now).Valid {
 			return false
 		}
 		if r.out[p] != nil {
-			if a := r.out[p].Ack(); a.BECredit || a.BENack {
+			if a := r.out[p].Ack(now); a.BECredit || a.BENack {
 				return false
 			}
 		}
@@ -533,6 +569,78 @@ func (r *Router) quiescent() bool {
 // the quiescence fast path — a diagnostic for tests and benchmarks, not
 // a hardware counter.
 func (r *Router) IdleTicks() int64 { return r.idleTicks }
+
+// NextWork implements sim.Skipper. While the router is quiescent and
+// its scheduler supports closed-form idle accounting, every future idle
+// cycle's observable effects can be replayed in O(1), so the kernel may
+// fast-forward arbitrarily far — arriving wire traffic is tracked
+// separately, by the link pipes' stamps. A busy router, or one whose
+// scheduler lacks SkipIdleSelects, must tick every cycle.
+func (r *Router) NextWork(now sim.Cycle) sim.Cycle {
+	if !r.idle || r.schedSkip == nil {
+		return now
+	}
+	return sim.Never
+}
+
+// Skip implements sim.Skipper: replay the idle ticks for cycles
+// [now, target) in closed form, bit-identical to running tickIdle
+// target−now times. The replayed effects are exactly tickIdle's: slot
+// rollover telemetry, the scheduler countdown with its empty-tree
+// selection beats (round-robin pointer, Select-side accounting, the
+// occupancy gauge), and the idle-cycle counter.
+func (r *Router) Skip(now, target sim.Cycle) {
+	n := int64(target - now)
+	if n <= 0 {
+		return
+	}
+	last := int64(target) - 1
+
+	// Slot-clock rollovers: the wrapped stamp decreases exactly when the
+	// monotone slot count crosses a multiple of the wheel range. Idleness
+	// implies a prior full Tick, so slotSeen holds and prevSlot covers
+	// cycle now−1.
+	if r.met != nil {
+		rng := int64(r.wheel.Range())
+		if roll := r.unwrappedSlot(last)/rng - r.unwrappedSlot(int64(now)-1)/rng; roll > 0 {
+			r.met.SlotRollovers.Add(roll)
+		}
+	}
+	r.prevSlot, r.slotSeen = r.slotNow(last), true
+
+	// Scheduler beats: the countdown decrements every cycle and fires a
+	// beat at zero. On a quiescent router a beat advances the round-robin
+	// pointer, runs one empty selection, and refreshes the occupancy
+	// gauge (idempotent at zero occupancy) — all replayed in closed form.
+	// A prior Tick guarantees schedCountdown ∈ [1, period].
+	period := int64(r.cfg.SchedPeriod * r.cfg.LeafSharing)
+	if c0 := int64(r.schedCountdown); n >= c0 {
+		beats := 1 + (n-c0)/period
+		rem := n - (c0 + (beats-1)*period)
+		r.schedCountdown = int(period - rem)
+		r.schedRR = (r.schedRR%NumPorts+int((beats-1)%int64(NumPorts)))%NumPorts + 1
+		r.schedSkip.SkipIdleSelects(beats)
+		if r.met != nil {
+			r.met.SchedSelects.Add(beats)
+			r.noteSchedOccupancy()
+		}
+	} else {
+		r.schedCountdown = int(c0 - n)
+	}
+
+	r.idleTicks += n
+	r.nowCycle = last
+}
+
+// unwrappedSlot is slotNow before wrapping: the monotone slot count
+// used to tally rollovers across a skipped span.
+func (r *Router) unwrappedSlot(now int64) int64 {
+	local := now + r.cfg.SkewCycles
+	if local < 0 {
+		local = 0
+	}
+	return int64(timing.CyclesToSlot(local, packet.TCBytes))
+}
 
 // HasDeliveries reports whether any delivered packets await DrainTC or
 // DrainBE, letting sinks skip the drain entirely on idle cycles.
@@ -708,7 +816,7 @@ func (r *Router) emitTC(o *tcOutput) {
 		ph.SideValid = true
 		ph.Side = o.txCRC
 	}
-	r.out[o.port].Drive(ph)
+	r.out[o.port].Drive(r.nowCycle, ph)
 }
 
 // emitCut sends the next byte of a virtual cut-through stream; header
@@ -767,7 +875,7 @@ func (r *Router) emitCut(o *tcOutput) bool {
 		return true
 	}
 	o.cutIdx++
-	r.out[o.port].Drive(packet.Phit{Valid: true, VC: packet.VCTime, Data: b, Head: head, Tail: tail})
+	r.out[o.port].Drive(r.nowCycle, packet.Phit{Valid: true, VC: packet.VCTime, Data: b, Head: head, Tail: tail})
 	if tail {
 		o.cutIn = nil
 	}
@@ -810,9 +918,10 @@ func (r *Router) sampleInputs() {
 			}
 		}
 		if r.in[p] != nil {
-			ph := r.in[p].Phit()
+			ph := r.in[p].Phit(r.nowCycle)
 			if ph.Valid && r.LinkFault != nil && !ph.Abort {
-				if !r.LinkFault(p, &ph) {
+				var ok bool
+				if ph, ok = r.LinkFault(p, ph); !ok {
 					ph = packet.Phit{}
 				}
 			}
@@ -842,7 +951,7 @@ func (r *Router) sampleInputs() {
 			}
 		}
 		if r.out[p] != nil {
-			a := r.out[p].Ack()
+			a := r.out[p].Ack(r.nowCycle)
 			if a.BECredit {
 				be := r.beOut[p]
 				if be.credits < r.cfg.FlitBufBytes {

@@ -1,0 +1,120 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// newBenchPair wires two routers A↔B over one bidirectional channel,
+// the minimal fixture that exercises real link traversal.
+func newBenchPair(b *testing.B) (*sim.Kernel, *Router, *Router) {
+	b.Helper()
+	k := sim.NewKernel()
+	ra := MustNew("A", DefaultConfig())
+	rb := MustNew("B", DefaultConfig())
+	k.Register(ra)
+	k.Register(rb)
+	ab := NewChannel(k)
+	ra.ConnectOut(PortXPlus, ab.Out())
+	rb.ConnectIn(PortXMinus, ab.In())
+	ba := NewChannel(k)
+	rb.ConnectOut(PortXMinus, ba.Out())
+	ra.ConnectIn(PortXPlus, ba.In())
+	return k, ra, rb
+}
+
+// BenchmarkRouterTick measures the router's per-cycle cost on the three
+// hot paths the simulator spends its time in: the quiescent fast path,
+// saturated time-constrained forwarding, and best-effort wormhole
+// traffic contending in both directions. One iteration is one simulated
+// cycle, so ns/op reads directly as ns/cycle and allocs/op as
+// allocs/cycle (the steady-state figure TestSteadyStateAllocs gates at
+// the mesh level).
+func BenchmarkRouterTick(b *testing.B) {
+	b.Run("idle", func(b *testing.B) {
+		k := sim.NewKernel()
+		r := MustNew("A", DefaultConfig())
+		k.Register(r)
+		k.Run(16) // settle into the quiescent fast path
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.Step()
+		}
+		if r.Stats.TCDelivered != 0 {
+			b.Fatal("idle benchmark delivered packets")
+		}
+	})
+
+	b.Run("tc_forward", func(b *testing.B) {
+		k, ra, rb := newBenchPair(b)
+		if err := ra.SetConnection(1, 2, 5, 1<<PortXPlus); err != nil {
+			b.Fatal(err)
+		}
+		if err := rb.SetConnection(2, 7, 5, 1<<PortLocal); err != nil {
+			b.Fatal(err)
+		}
+		pkt := packet.TCPacket{Conn: 1}
+		step := func(cycle int) {
+			// One packet per slot keeps the scheduler, the shared memory,
+			// and the transmit engines busy every single cycle.
+			if cycle%packet.TCBytes == 0 && ra.FreeSlots() > 0 {
+				ra.InjectTC(pkt)
+			}
+			k.Step()
+			rb.DrainTC()
+		}
+		// Warm-up must outlast the connection's scheduling delay (d=5
+		// slots at each hop) so deliveries are already flowing when the
+		// measured window starts.
+		for c := 0; c < 32*packet.TCBytes; c++ {
+			step(c)
+		}
+		if rb.Stats.TCDelivered == 0 {
+			b.Fatal("tc_forward benchmark forwarded nothing during warm-up")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step(i)
+		}
+	})
+
+	b.Run("be_contention", func(b *testing.B) {
+		k, ra, rb := newBenchPair(b)
+		payload := make([]byte, 64)
+		topUp := func(r *Router, xoff int) {
+			// Mirror a backpressured source: keep the injection port fed
+			// from the recycled frame pool without queueing unboundedly.
+			if r.BEInjectBacklog() >= 4 {
+				return
+			}
+			frame, err := packet.AppendBE(r.BEFrameBuf(), xoff, 0, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.InjectBE(frame)
+		}
+		step := func() {
+			topUp(ra, 1)
+			topUp(rb, -1)
+			k.Step()
+			ra.DrainBE()
+			rb.DrainBE()
+		}
+		for c := 0; c < 512; c++ {
+			step() // fill the wormholes and warm the frame pools
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+		b.StopTimer()
+		if ra.Stats.BEDelivered == 0 || rb.Stats.BEDelivered == 0 {
+			b.Fatal("be_contention benchmark delivered nothing")
+		}
+	})
+}

@@ -65,7 +65,15 @@ type PacedChannel struct {
 	spec   Spec
 	localD int64
 	src    *Source
-	queue  []queuedMsg
+
+	// queue is head-indexed: releases advance qHead instead of
+	// reslicing, so the backing array is reused rather than regrown in
+	// steady state; pool recycles the packet slices of fully injected
+	// messages (InjectTC copies the payloads), so a periodic source
+	// stops allocating once the pool warms up.
+	queue []queuedMsg
+	qHead int
+	pool  [][][packet.TCPayloadBytes]byte
 
 	closed bool
 
@@ -108,19 +116,35 @@ func (c *PacedChannel) Submit(now timing.Slot, payload []byte) error {
 		c.ContractViolations++
 	}
 	n := c.spec.PacketsPerMessage()
-	msg := queuedMsg{l: l, packets: make([][packet.TCPayloadBytes]byte, n)}
-	for i := 0; i < n; i++ {
-		lo := i * packet.TCPayloadBytes
-		if lo < len(payload) {
-			copy(msg.packets[i][:], payload[lo:])
-		}
+	var pks [][packet.TCPayloadBytes]byte
+	if l := len(c.pool); l > 0 && cap(c.pool[l-1]) >= n {
+		pks = c.pool[l-1][:n]
+		c.pool[l-1] = nil
+		c.pool = c.pool[:l-1]
+	} else {
+		pks = make([][packet.TCPayloadBytes]byte, n)
 	}
-	c.queue = append(c.queue, msg)
+	for i := 0; i < n; i++ {
+		var m int
+		if lo := i * packet.TCPayloadBytes; lo < len(payload) {
+			m = copy(pks[i][:], payload[lo:])
+		}
+		clear(pks[i][m:]) // recycled buffers must read as zero padding
+	}
+	if c.qHead > 0 && len(c.queue) == cap(c.queue) {
+		k := copy(c.queue, c.queue[c.qHead:])
+		for i := k; i < len(c.queue); i++ {
+			c.queue[i] = queuedMsg{}
+		}
+		c.queue = c.queue[:k]
+		c.qHead = 0
+	}
+	c.queue = append(c.queue, queuedMsg{l: l, packets: pks})
 	return nil
 }
 
 // Pending returns the number of queued (not yet injected) messages.
-func (c *PacedChannel) Pending() int { return len(c.queue) }
+func (c *PacedChannel) Pending() int { return len(c.queue) - c.qHead }
 
 // Remove unbinds a channel from the regulator; queued messages are
 // dropped. Used at teardown and re-establishment.
@@ -155,7 +179,7 @@ func (p *Pacer) Tick(now sim.Cycle) {
 			// Eligible heads held behind the injection backlog: slack
 			// burns at the source before the network ever sees it.
 			for _, c := range p.chans {
-				if len(c.queue) > 0 && int64(c.queue[0].l)-int64(nowSlot) <= p.window {
+				if c.Pending() > 0 && int64(c.queue[c.qHead].l)-int64(nowSlot) <= p.window {
 					p.r.BlamePacerHold(c.conn, 0)
 				}
 			}
@@ -165,10 +189,10 @@ func (p *Pacer) Tick(now sim.Cycle) {
 	var best *PacedChannel
 	var bestDl timing.Slot
 	for _, c := range p.chans {
-		if len(c.queue) == 0 {
+		if c.Pending() == 0 {
 			continue
 		}
-		m := c.queue[0]
+		m := c.queue[c.qHead]
 		if int64(m.l)-int64(nowSlot) > p.window {
 			continue
 		}
@@ -185,16 +209,42 @@ func (p *Pacer) Tick(now sim.Cycle) {
 		// released channel takes the blame (pacer ticks in the same node
 		// shard as the router, so the bank write is race-free).
 		for _, c := range p.chans {
-			if c != best && len(c.queue) > 0 && int64(c.queue[0].l)-int64(nowSlot) <= p.window {
+			if c != best && c.Pending() > 0 && int64(c.queue[c.qHead].l)-int64(nowSlot) <= p.window {
 				p.r.BlamePacerHold(c.conn, best.conn)
 			}
 		}
 	}
-	m := best.queue[0]
+	m := best.queue[best.qHead]
 	stamp := packet.StampOf(p.wheel.Wrap(m.l))
 	for _, body := range m.packets {
 		p.r.InjectTC(packet.TCPacket{Conn: best.conn, Stamp: stamp, Payload: body})
 	}
-	best.queue = best.queue[1:]
+	best.queue[best.qHead] = queuedMsg{}
+	best.qHead++
+	if best.qHead == len(best.queue) {
+		best.queue = best.queue[:0]
+		best.qHead = 0
+	}
+	best.pool = append(best.pool, m.packets)
 	best.Sent++
 }
+
+// NextWork implements sim.Skipper: with every channel queue empty a
+// tick is pure (the eligibility scan finds nothing and writes nothing),
+// and nothing can enqueue during a skipped span — Submit happens from
+// generators, which the kernel also holds idle. Any queued message
+// makes the pacer immediate work: eligibility depends on the moving
+// slot clock, so it is re-examined every cycle.
+func (p *Pacer) NextWork(now sim.Cycle) sim.Cycle {
+	for _, c := range p.chans {
+		if c.Pending() > 0 {
+			return now
+		}
+	}
+	return sim.Never
+}
+
+// Skip implements sim.Skipper; idle pacer cycles have no effects.
+func (p *Pacer) Skip(now, target sim.Cycle) {}
+
+var _ sim.Skipper = (*Pacer)(nil)

@@ -271,6 +271,12 @@ type RunOpts struct {
 	// negative GOMAXPROCS. Parallel runs should Close the returned
 	// System when done with it.
 	Workers int
+	// Epoch > 1 amortizes the parallel kernel's rendezvous over that
+	// many cycles. Epoch legality requires every cross-shard wire to
+	// carry at least that much latency, so the mesh links are deepened
+	// to the epoch — a scenario run with Epoch n simulates a machine
+	// with n-cycle links, identically at every worker count.
+	Epoch int
 }
 
 // Run builds the system, opens every channel, attaches the generators,
@@ -289,6 +295,9 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 	}
 	rcfg := router.DefaultConfig()
 	rcfg.VCT = sc.Router.VCT
+	if opts.Epoch > 1 {
+		rcfg.LinkLatency = opts.Epoch
+	}
 	for _, f := range sc.Failures {
 		if !f.outage() {
 			// Transient wire faults need link-level detection to matter.
@@ -322,6 +331,7 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 		Forensics:          opts.Forensics,
 		Recorder:           opts.Recorder,
 		Workers:            opts.Workers,
+		Epoch:              opts.Epoch,
 	}.WithAdmission(acfg))
 	if err != nil {
 		return nil, nil, err

@@ -131,4 +131,8 @@ func (a *ApproxEDF) Occupancy() int { return a.inUse }
 // Slots implements Scheduler.
 func (a *ApproxEDF) Slots() int { return len(a.leaves) }
 
+// SkipIdleSelects implements IdleSkipper: an empty-tree Select is a
+// pure scan with no telemetry, so skipping beats changes nothing.
+func (a *ApproxEDF) SkipIdleSelects(int64) {}
+
 var _ Scheduler = (*ApproxEDF)(nil)

@@ -92,6 +92,9 @@ func (f *FIFO) Occupancy() int { return f.inUse }
 // Slots implements Scheduler.
 func (f *FIFO) Slots() int { return len(f.leaves) }
 
+// SkipIdleSelects implements IdleSkipper: FIFO Select is pure.
+func (f *FIFO) SkipIdleSelects(int64) {}
+
 // StaticPriority is an ablation scheduler that serves time-constrained
 // packets by a fixed per-connection priority rather than per-packet
 // deadlines — the priority-resolution approach of priority-forwarding
@@ -187,10 +190,19 @@ func (s *StaticPriority) Occupancy() int { return s.inUse }
 // Slots implements Scheduler.
 func (s *StaticPriority) Slots() int { return len(s.leaves) }
 
+// SkipIdleSelects implements IdleSkipper: an empty scan is pure.
+func (s *StaticPriority) SkipIdleSelects(int64) {}
+
 // Compile-time interface checks.
 var (
 	_ Scheduler = (*EDFTree)(nil)
 	_ Scheduler = (*FIFO)(nil)
 	_ Scheduler = (*StaticPriority)(nil)
 	_ Scheduler = (*Tournament)(nil)
+
+	_ IdleSkipper = (*EDFTree)(nil)
+	_ IdleSkipper = (*FIFO)(nil)
+	_ IdleSkipper = (*StaticPriority)(nil)
+	_ IdleSkipper = (*Tournament)(nil)
+	_ IdleSkipper = (*ApproxEDF)(nil)
 )

@@ -122,6 +122,15 @@ type Scheduler interface {
 	Slots() int
 }
 
+// IdleSkipper is implemented by schedulers whose empty-tree Select has
+// closed-form side effects: SkipIdleSelects(n) must leave the scheduler
+// bit-identical to n Select calls on an empty tree. The router's
+// quiescence fast-forward requires it — a scheduler without the method
+// disables cycle skipping for its router.
+type IdleSkipper interface {
+	SkipIdleSelects(n int64)
+}
+
 // EDFTree is the paper's scheduler: a comparator tree over all leaves
 // with Figure 4 keys. The software model scans linearly; Tournament (in
 // tree.go) mirrors the hardware structure and is tested equivalent.
@@ -233,3 +242,7 @@ func (t *EDFTree) ResetTelemetry() {
 	t.Selects = 0
 	t.Overdue = 0
 }
+
+// SkipIdleSelects implements IdleSkipper: an empty-tree Select only
+// increments the beat counter (no leaf, no Overdue).
+func (t *EDFTree) SkipIdleSelects(n int64) { t.Selects += n }

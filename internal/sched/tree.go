@@ -138,6 +138,14 @@ func (t *Tournament) ResetTelemetry() {
 	t.Selects = 0
 }
 
+// SkipIdleSelects implements IdleSkipper: the tournament runs its full
+// reduction even over an empty tree, so each skipped beat accounts one
+// Select and 2^levels−1 comparator evaluations.
+func (t *Tournament) SkipIdleSelects(n int64) {
+	t.Selects += n
+	t.CompareOps += n * int64(1<<t.levels-1)
+}
+
 // Occupancy implements Scheduler.
 func (t *Tournament) Occupancy() int {
 	n := 0

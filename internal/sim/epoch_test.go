@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPipeSemantics pins the delay-line contract: a value written at t
+// arrives exactly at t+latency, for that one cycle only, and a latency-1
+// pipe behaves like the single-edge Reg wire.
+func TestPipeSemantics(t *testing.T) {
+	for _, lat := range []int64{1, 2, 4, 7} {
+		p := NewPipe[int](lat)
+		if p.Latency() != lat {
+			t.Fatalf("latency %d reported as %d", lat, p.Latency())
+		}
+		p.Write(10, 42)
+		for c := Cycle(10); c < Cycle(10+2*lat+2); c++ {
+			got := p.Read(c)
+			want := 0
+			if c == Cycle(10+lat) {
+				want = 42
+			}
+			if got != want {
+				t.Fatalf("lat %d: read at %d = %d, want %d", lat, c, got, want)
+			}
+		}
+	}
+	if NewPipe[int](3).NextStamp(0) != Never {
+		t.Fatal("empty pipe reports pending arrival")
+	}
+	p := NewPipe[int](4)
+	p.Write(5, 1)
+	if got := p.NextStamp(0); got != 9 {
+		t.Fatalf("NextStamp = %d, want 9", got)
+	}
+	if p.HasStampIn(5, 9) {
+		t.Fatal("HasStampIn [5,9) true, arrival is at 9")
+	}
+	if !p.HasStampIn(9, 10) {
+		t.Fatal("HasStampIn [9,10) false, arrival is at 9")
+	}
+}
+
+// TestEpochLegality pins the clamp rules: the effective epoch is the
+// requested length bounded by the minimum cross-shard pipe latency;
+// same-shard wires are exempt; unknown-shard wires, 1-cycle wires,
+// latches, and barrier components all force per-cycle stepping.
+func TestEpochLegality(t *testing.T) {
+	mk := func() *Kernel {
+		k := NewKernel()
+		k.RegisterShard(0, &funcComp{"a", func(Cycle) {}})
+		k.RegisterShard(1, &funcComp{"b", func(Cycle) {}})
+		return k
+	}
+
+	k := mk()
+	k.AttachPipe(NewPipe[int](4), 0, 1)
+	k.SetEpoch(8)
+	if got := k.EffectiveEpoch(); got != 4 {
+		t.Fatalf("cross-shard latency 4: effective epoch %d, want 4", got)
+	}
+
+	// A same-shard wire of any latency never constrains the epoch.
+	k.AttachPipe(NewPipe[int](1), 1, 1)
+	if got := k.EffectiveEpoch(); got != 4 {
+		t.Fatalf("same-shard 1-cycle wire clamped epoch to %d", got)
+	}
+
+	// A 1-cycle cross-shard wire refuses any epoch beyond 1.
+	k.AttachPipe(NewPipe[int](1), 1, 0)
+	if got := k.EffectiveEpoch(); got != 1 {
+		t.Fatalf("1-cycle cross-shard wire: effective epoch %d, want 1", got)
+	}
+
+	// Unknown endpoint shards must be treated as cross-shard.
+	k = mk()
+	k.AttachPipe(NewPipe[int](4), 0, 1)
+	k.AttachPipe(NewPipe[int](2), -1, -1)
+	k.SetEpoch(8)
+	if got := k.EffectiveEpoch(); got != 2 {
+		t.Fatalf("unknown-shard latency 2: effective epoch %d, want 2", got)
+	}
+
+	// Latches need their commit every edge.
+	k = mk()
+	k.AttachPipe(NewPipe[int](4), 0, 1)
+	k.AddLatch(NewReg[int]())
+	k.SetEpoch(4)
+	if got := k.EffectiveEpoch(); got != 1 {
+		t.Fatalf("latched kernel: effective epoch %d, want 1", got)
+	}
+
+	// Barrier components need the per-cycle rendezvous.
+	k = mk()
+	k.AttachPipe(NewPipe[int](4), 0, 1)
+	k.Register(&funcComp{"barrier", func(Cycle) {}})
+	k.SetEpoch(4)
+	if got := k.EffectiveEpoch(); got != 1 {
+		t.Fatalf("barrier kernel: effective epoch %d, want 1", got)
+	}
+
+	// The request itself is respected when lower than the wires allow.
+	k = mk()
+	k.AttachPipe(NewPipe[int](8), 0, 1)
+	k.SetEpoch(2)
+	if got := k.EffectiveEpoch(); got != 2 {
+		t.Fatalf("requested 2 under latency 8: effective epoch %d", got)
+	}
+}
+
+// TestEpochMidRunBarrierFlush: registering a barrier component mid-run
+// collapses the effective epoch before the next Run iteration, so the
+// new component never misses a rendezvous.
+func TestEpochMidRunBarrierFlush(t *testing.T) {
+	k := NewKernel()
+	k.SetWorkers(2)
+	k.ForcePool(true)
+	defer k.Close()
+	k.RegisterShard(0, &funcComp{"a", func(Cycle) {}})
+	k.RegisterShard(1, &funcComp{"b", func(Cycle) {}})
+	k.AttachPipe(NewPipe[int](4), 0, 1)
+	k.SetEpoch(4)
+	k.Run(8)
+	if got := k.EffectiveEpoch(); got != 4 {
+		t.Fatalf("effective epoch %d before barrier, want 4", got)
+	}
+	var ticks []Cycle
+	k.Register(&funcComp{"late-barrier", func(now Cycle) { ticks = append(ticks, now) }})
+	if got := k.EffectiveEpoch(); got != 1 {
+		t.Fatalf("effective epoch %d after barrier, want 1", got)
+	}
+	k.Run(4)
+	if len(ticks) != 4 {
+		t.Fatalf("late barrier ticked %d times in 4 cycles, want 4", len(ticks))
+	}
+	for i, c := range ticks {
+		if c != Cycle(8+i) {
+			t.Fatalf("late barrier tick %d at cycle %d, want %d", i, c, 8+i)
+		}
+	}
+}
+
+// pipeStage is a ring stage coupled through delay-line wires: an
+// arriving token with remaining hop budget is recorded and forwarded
+// with the budget decremented. Between tokens the stage is pure, which
+// its Skipper view reports.
+type pipeStage struct {
+	name    string
+	in, out *Pipe[int]
+	seen    []string
+}
+
+func (s *pipeStage) Name() string { return s.name }
+func (s *pipeStage) Tick(now Cycle) {
+	if v := s.in.Read(now); v > 0 {
+		s.seen = append(s.seen, fmt.Sprintf("@%d:%d", now, v))
+		s.out.Write(now, v-1)
+	}
+}
+func (s *pipeStage) NextWork(now Cycle) Cycle { return Never }
+func (s *pipeStage) Skip(now, target Cycle)   {}
+
+// pipeDriver injects a fresh token into the ring every period cycles.
+type pipeDriver struct {
+	out    *Pipe[int]
+	period int64
+	count  int64
+}
+
+func (d *pipeDriver) Name() string { return "driver" }
+func (d *pipeDriver) Tick(now Cycle) {
+	if int64(now)%d.period == 0 {
+		d.out.Write(now, 9)
+		d.count++
+	}
+}
+func (d *pipeDriver) NextWork(now Cycle) Cycle {
+	if int64(now)%d.period == 0 {
+		return now
+	}
+	return now + Cycle(d.period-int64(now)%d.period)
+}
+func (d *pipeDriver) Skip(now, target Cycle) {}
+
+// buildPipeRing wires n stages into a ring of pipes with the given
+// latency, one shard per stage, driven from stage 0's shard.
+func buildPipeRing(k *Kernel, n int, lat int64) []*pipeStage {
+	wires := make([]*Pipe[int], n)
+	for i := range wires {
+		wires[i] = NewPipe[int](lat)
+	}
+	stages := make([]*pipeStage, n)
+	for i := range stages {
+		stages[i] = &pipeStage{name: "stage", in: wires[i], out: wires[(i+1)%n]}
+	}
+	// Stage i reads wire i (written by stage i-1 in shard i-1).
+	for i := range wires {
+		k.AttachPipe(wires[i], (i-1+n)%n, i)
+	}
+	k.RegisterShard(0, &pipeDriver{out: wires[0], period: 37})
+	// The driver shares stage n-1's output wire into shard 0; re-attach
+	// it as unknown-writer? No: the driver writes wire 0 from shard 0
+	// while stage n-1 also writes it cross-shard — the wire is already
+	// attached with the cross-shard (slower) endpoint, which is the
+	// conservative direction.
+	for i, s := range stages {
+		k.RegisterShard(i, s)
+	}
+	return stages
+}
+
+// TestEpochEquivalence is the kernel-level bit-identity contract: a
+// pipe-coupled ring produces identical per-stage histories whether it
+// runs sequentially, per-cycle parallel, or epoch-synchronized, at any
+// worker count and epoch length the wires allow.
+func TestEpochEquivalence(t *testing.T) {
+	const n, lat, cycles = 12, 4, 600
+	ref := NewKernel()
+	refStages := buildPipeRing(ref, n, lat)
+	ref.Run(cycles)
+
+	for _, workers := range []int{1, 2, 4} {
+		for _, epoch := range []int64{1, 2, 4} {
+			k := NewKernel()
+			stages := buildPipeRing(k, n, lat)
+			k.SetWorkers(workers)
+			k.ForcePool(workers > 1)
+			k.SetEpoch(epoch)
+			if workers > 1 {
+				want := epoch
+				if got := k.EffectiveEpoch(); got != want {
+					t.Fatalf("workers %d epoch %d: effective %d", workers, epoch, got)
+				}
+			}
+			k.Run(cycles)
+			k.Close()
+			if k.Now() != ref.Now() {
+				t.Fatalf("workers %d epoch %d: clock at %d, want %d", workers, epoch, k.Now(), ref.Now())
+			}
+			for i := range stages {
+				if len(stages[i].seen) != len(refStages[i].seen) {
+					t.Fatalf("workers %d epoch %d stage %d: %d events, want %d",
+						workers, epoch, i, len(stages[i].seen), len(refStages[i].seen))
+				}
+				for j := range stages[i].seen {
+					if stages[i].seen[j] != refStages[i].seen[j] {
+						t.Fatalf("workers %d epoch %d stage %d event %d: %q vs %q",
+							workers, epoch, i, j, stages[i].seen[j], refStages[i].seen[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// skipComp has an observable per-cycle side effect (a tick counter) and
+// a closed-form Skip; it works only every period-th cycle.
+type skipComp struct {
+	period  int64
+	ticks   int64
+	works   int64
+	skips   int64
+	skipped int64
+}
+
+func (s *skipComp) Name() string { return "skipper" }
+func (s *skipComp) Tick(now Cycle) {
+	s.ticks++
+	if int64(now)%s.period == 0 {
+		s.works++
+	}
+}
+func (s *skipComp) NextWork(now Cycle) Cycle {
+	if int64(now)%s.period == 0 {
+		return now
+	}
+	return now + Cycle(s.period-int64(now)%s.period)
+}
+func (s *skipComp) Skip(now, target Cycle) {
+	s.skips++
+	s.skipped += int64(target - now)
+	s.ticks += int64(target - now)
+}
+
+// TestQuiescenceSkip: when every component can fast-forward, Run jumps
+// the idle gaps — and the replayed state is identical to stepping every
+// cycle.
+func TestQuiescenceSkip(t *testing.T) {
+	const cycles = 1000
+	ref := NewKernel()
+	refComps := []*skipComp{{period: 7}, {period: 13}}
+	for i, c := range refComps {
+		ref.RegisterShard(i, c)
+	}
+	for i := int64(0); i < cycles; i++ {
+		ref.Step() // Step never skips
+	}
+
+	k := NewKernel()
+	comps := []*skipComp{{period: 7}, {period: 13}}
+	for i, c := range comps {
+		k.RegisterShard(i, c)
+	}
+	k.Run(cycles)
+	if k.Now() != ref.Now() {
+		t.Fatalf("clock at %d, want %d", k.Now(), ref.Now())
+	}
+	for i := range comps {
+		if comps[i].ticks != refComps[i].ticks || comps[i].works != refComps[i].works {
+			t.Fatalf("comp %d: ticks %d works %d, want ticks %d works %d",
+				i, comps[i].ticks, comps[i].works, refComps[i].ticks, refComps[i].works)
+		}
+		if comps[i].skips == 0 {
+			t.Fatalf("comp %d: quiescence skip never engaged", i)
+		}
+	}
+
+}
+
+// TestSkipRespectsPipeArrivals: the whole-system jump stops at a wire
+// delivery so the receiving component ticks exactly on the arrival
+// cycle.
+func TestSkipRespectsPipeArrivals(t *testing.T) {
+	k := NewKernel()
+	var seen []Cycle
+	p := NewPipe[int](16)
+	recv := &funcSkipComp{
+		tick: func(now Cycle) {
+			if p.Read(now) != 0 {
+				seen = append(seen, now)
+			}
+		},
+		next: func(now Cycle) Cycle { return Never },
+	}
+	k.RegisterShard(0, recv)
+	k.AttachPipe(p, 0, 0)
+	p.Write(0, 7)
+	k.Run(100)
+	if len(seen) != 1 || seen[0] != 16 {
+		t.Fatalf("arrival observed at %v, want exactly [16]", seen)
+	}
+}
+
+// funcSkipComp adapts closures into a Skipper for tests.
+type funcSkipComp struct {
+	tick func(Cycle)
+	next func(Cycle) Cycle
+}
+
+func (f *funcSkipComp) Name() string { return "funcskip" }
+func (f *funcSkipComp) Tick(now Cycle) {
+	if f.tick != nil {
+		f.tick(now)
+	}
+}
+func (f *funcSkipComp) NextWork(now Cycle) Cycle { return f.next(now) }
+func (f *funcSkipComp) Skip(now, target Cycle)   {}

@@ -92,10 +92,44 @@ func (k *Kernel) stopPool() {
 }
 
 // planSeg is one step of the parallel schedule: either one barrier
-// component or one batch of per-worker component groups.
+// component or one batch of per-worker tile lists.
 type planSeg struct {
 	barrier Component
-	groups  [][]Component
+	groups  [][]planTile
+}
+
+// planTile is one spatial tile of one worker's share: its components in
+// tick order, plus what the epoch mode's per-tile skip needs — the
+// components' Skipper views (nil when any component cannot skip) and
+// the pipes whose reader lives in this tile.
+type planTile struct {
+	comps    []Component
+	skippers []Skipper
+	pipes    []PipeState
+}
+
+// trySkip fast-forwards one tile across a whole epoch when every
+// component in it is idle past end and no inbound wire delivers before
+// then. The pipe probe touches only ring slots in [now, end), which the
+// epoch legality bound keeps disjoint from any concurrent writer's.
+func (t *planTile) trySkip(now, end Cycle) bool {
+	if t.skippers == nil {
+		return false
+	}
+	for _, s := range t.skippers {
+		if s.NextWork(now) < end {
+			return false
+		}
+	}
+	for _, p := range t.pipes {
+		if p.HasStampIn(now, end) {
+			return false
+		}
+	}
+	for _, s := range t.skippers {
+		s.Skip(now, end)
+	}
+	return true
 }
 
 // latchSpan is one contiguous slice of one commit bank (or, for
@@ -129,12 +163,14 @@ func (k *Kernel) buildPlan() {
 	k.planDirty = false
 }
 
-// groupRun turns one run of sharded registrations into per-worker
-// groups: shards collapse into tiles (registration order preserved
+// groupRun turns one run of sharded registrations into per-worker tile
+// lists: shards collapse into tiles (registration order preserved
 // within each tile, which subsumes the per-shard order), tiles sort by
 // id so the assignment is stable and spatially contiguous, and a greedy
-// contiguous deal balances component counts across the workers.
-func (k *Kernel) groupRun(run []entry) [][]Component {
+// contiguous deal balances component counts across the workers. Each
+// tile also learns its Skipper roster and inbound pipes, which is what
+// the epoch mode's per-tile quiescence skip consults.
+func (k *Kernel) groupRun(run []entry) [][]planTile {
 	tileOf := func(shard int) int {
 		if k.tiling != nil {
 			return k.tiling(shard)
@@ -142,8 +178,9 @@ func (k *Kernel) groupRun(run []entry) [][]Component {
 		return shard
 	}
 	type tile struct {
-		id    int
-		comps []Component
+		id     int
+		shards map[int]bool
+		comps  []Component
 	}
 	idx := make(map[int]int)
 	var tiles []tile
@@ -153,22 +190,55 @@ func (k *Kernel) groupRun(run []entry) [][]Component {
 		if !ok {
 			i = len(tiles)
 			idx[t] = i
-			tiles = append(tiles, tile{id: t})
+			tiles = append(tiles, tile{id: t, shards: make(map[int]bool)})
 		}
 		tiles[i].comps = append(tiles[i].comps, e.c)
+		tiles[i].shards[e.shard] = true
 	}
 	sort.Slice(tiles, func(i, j int) bool { return tiles[i].id < tiles[j].id })
+
+	// A pipe with an unknown reader shard cannot be assigned to a tile,
+	// so no tile may skip past it: disable tile skipping plan-wide.
+	tileSkipOK := true
+	for _, pe := range k.pipes {
+		if pe.reader < 0 {
+			tileSkipOK = false
+			break
+		}
+	}
+	build := func(t *tile) planTile {
+		pt := planTile{comps: t.comps}
+		if !tileSkipOK {
+			return pt
+		}
+		skippers := make([]Skipper, 0, len(t.comps))
+		for _, c := range t.comps {
+			s, ok := c.(Skipper)
+			if !ok {
+				return pt
+			}
+			skippers = append(skippers, s)
+		}
+		pt.skippers = skippers
+		for _, pe := range k.pipes {
+			if t.shards[pe.reader] {
+				pt.pipes = append(pt.pipes, pe.p)
+			}
+		}
+		return pt
+	}
 
 	n := k.workers
 	if n > len(tiles) {
 		n = len(tiles)
 	}
-	groups := make([][]Component, 0, n)
+	groups := make([][]planTile, 0, n)
 	total := len(run)
 	done := 0
-	var cur []Component
-	for _, t := range tiles {
-		cur = append(cur, t.comps...)
+	var cur []planTile
+	for i := range tiles {
+		t := &tiles[i]
+		cur = append(cur, build(t))
 		done += len(t.comps)
 		if len(groups) < n-1 && done >= (len(groups)+1)*total/n {
 			groups = append(groups, cur)
@@ -254,10 +324,39 @@ func (k *Kernel) stepParallel() {
 		k.pool = newWorkerPool(k)
 	}
 	p := k.pool
-	p.plan, p.spans, p.now = k.plan, k.spans, k.now
+	p.plan, p.spans, p.now, p.epoch = k.plan, k.spans, k.now, 1
 	p.enter.await()
 	p.runCycle(0)
 	k.now++
+}
+
+// stepEpoch executes e consecutive cycles with a single rendezvous.
+// Callers guarantee e ≤ EffectiveEpoch, which implies the plan has no
+// barrier segments and the kernel no latches — so the epoch needs no
+// commit phases and no mid-epoch synchronization at all.
+func (k *Kernel) stepEpoch(e int64) {
+	if k.planDirty {
+		k.buildPlan()
+	}
+	if !k.forcePool && (runtime.GOMAXPROCS(0) == 1 || k.singleGroup()) {
+		// No parallelism to amortize for; per-cycle stepping is the same
+		// work without the plan bookkeeping.
+		for i := int64(0); i < e; i++ {
+			k.Step()
+		}
+		return
+	}
+	if k.dirtyOn {
+		k.disableDirty()
+	}
+	if k.pool == nil {
+		k.pool = newWorkerPool(k)
+	}
+	p := k.pool
+	p.plan, p.spans, p.now, p.epoch = k.plan, k.spans, k.now, e
+	p.enter.await()
+	p.runCycle(0)
+	k.now += Cycle(e)
 }
 
 // singleGroup reports a plan with no parallelism to extract: no segment
@@ -387,6 +486,7 @@ type workerPool struct {
 	plan     []planSeg
 	spans    [][]latchSpan
 	now      Cycle
+	epoch    int64
 	wg       sync.WaitGroup
 }
 
@@ -427,6 +527,10 @@ func (p *workerPool) workerLoop(id int) {
 // spans — the commit has no dispatch of its own.
 func (p *workerPool) runCycle(id int) {
 	now := p.now
+	if e := p.epoch; e > 1 {
+		p.runEpoch(id, now, now+Cycle(e))
+		return
+	}
 	for i := range p.plan {
 		s := &p.plan[i]
 		if s.barrier != nil {
@@ -438,8 +542,40 @@ func (p *workerPool) runCycle(id int) {
 			continue
 		}
 		if id < len(s.groups) {
-			for _, c := range s.groups[id] {
-				c.Tick(now)
+			for ti := range s.groups[id] {
+				for _, c := range s.groups[id][ti].comps {
+					c.Tick(now)
+				}
+			}
+		}
+	}
+	p.join.await()
+	p.k.commitSpans(p.spans[id])
+	p.leave.await()
+}
+
+// runEpoch is one worker's share of one epoch: each of its tiles runs
+// [now, end) to completion — or skips the whole span when quiescent —
+// before the next tile starts. Tile-serial order is safe for the same
+// reason the epoch is: anything a tile writes toward another lands at
+// least a full epoch later, so within the epoch no tile can observe a
+// sibling's progress. The epoch legality check guarantees the plan
+// holds no barrier segments and the kernel no latches, so the single
+// join covers the (empty) commit spans.
+func (p *workerPool) runEpoch(id int, now, end Cycle) {
+	for i := range p.plan {
+		s := &p.plan[i]
+		if id < len(s.groups) {
+			for ti := range s.groups[id] {
+				t := &s.groups[id][ti]
+				if t.trySkip(now, end) {
+					continue
+				}
+				for c := now; c < end; c++ {
+					for _, comp := range t.comps {
+						comp.Tick(c)
+					}
+				}
 			}
 		}
 	}

@@ -117,11 +117,15 @@ func TestTiledPlanGroups(t *testing.T) {
 	}
 	wantGroups := [][]int{{4, 5, 6, 7}, {0, 1, 2, 3}}
 	for g, want := range wantGroups {
-		if len(groups[g]) != len(want) {
-			t.Fatalf("group %d has %d components, want %d", g, len(groups[g]), len(want))
+		var flat []Component
+		for _, tl := range groups[g] {
+			flat = append(flat, tl.comps...)
+		}
+		if len(flat) != len(want) {
+			t.Fatalf("group %d has %d components, want %d", g, len(flat), len(want))
 		}
 		for i, shard := range want {
-			if groups[g][i] != comps[shard] {
+			if flat[i] != comps[shard] {
 				t.Errorf("group %d slot %d is not shard %d's component", g, i, shard)
 			}
 		}

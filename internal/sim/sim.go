@@ -95,6 +95,16 @@ type Kernel struct {
 	plan      []planSeg
 	spans     [][]latchSpan
 	planDirty bool
+
+	// Epoch synchronization and quiescence skipping (see epoch.go).
+	// syncDirty marks the derived fields stale after any registration.
+	pipes     []pipeEntry
+	epochReq  int64 // requested epoch length (SetEpoch)
+	effEpoch  int64 // legal epoch length, derived from wires/latches
+	skipOK    bool  // every component is a Skipper and no latches exist
+	skippers  []Skipper
+	skipBlock int // index of the most recent skip-blocking component
+	syncDirty bool
 }
 
 // entry is one registered component with its shard tag.
@@ -108,7 +118,9 @@ type entry struct {
 const globalShard = -1
 
 // NewKernel returns an empty kernel at cycle 0.
-func NewKernel() *Kernel { return &Kernel{workers: 1} }
+func NewKernel() *Kernel {
+	return &Kernel{workers: 1, epochReq: 1, effEpoch: 1, skipBlock: -1}
+}
 
 // Register adds a component. Components tick in registration order. In
 // parallel mode an unsharded component is a barrier: every component
@@ -119,6 +131,7 @@ func (k *Kernel) Register(c Component) {
 	}
 	k.entries = append(k.entries, entry{c: c, shard: globalShard})
 	k.planDirty = true
+	k.syncDirty = true
 }
 
 // RegisterShard adds a component to a shard. Components of the same
@@ -137,6 +150,7 @@ func (k *Kernel) RegisterShard(shard int, c Component) {
 	}
 	k.entries = append(k.entries, entry{c: c, shard: shard})
 	k.planDirty = true
+	k.syncDirty = true
 }
 
 // SetTiling installs the shard→tile map used by the parallel engine to
@@ -176,6 +190,7 @@ func (k *Kernel) AddLatch(l Latchable) {
 		k.disableDirty()
 	}
 	k.planDirty = true
+	k.syncDirty = true
 }
 
 // Now returns the current cycle (the cycle about to be executed by Step).
@@ -199,10 +214,31 @@ func (k *Kernel) Step() {
 	k.now++
 }
 
-// Run executes n cycles.
+// Run executes n cycles. Between cycles it applies the two schedule
+// optimizations that never change results: whole-system quiescence
+// skips (when every component is a Skipper with no pending work) and,
+// in parallel mode, epoch-length steps that amortize the worker
+// rendezvous over EffectiveEpoch consecutive cycles.
 func (k *Kernel) Run(n int64) {
-	for i := int64(0); i < n; i++ {
-		k.Step()
+	end := k.now + Cycle(n)
+	for k.now < end {
+		k.refreshSync()
+		if k.trySkipTo(end) {
+			continue
+		}
+		e := k.effEpoch
+		if k.workers > 1 && e > 1 {
+			if rem := int64(end - k.now); e > rem {
+				e = rem
+			}
+		} else {
+			e = 1
+		}
+		if e > 1 {
+			k.stepEpoch(e)
+		} else {
+			k.Step()
+		}
 	}
 }
 

@@ -18,8 +18,20 @@ type Hist struct {
 	sum     float64
 }
 
-// Add records one sample.
+// Add records one sample. Growth is chunkier than append's doubling
+// (4× steps from a 256-sample floor) so a simulation with thousands of
+// live histograms crosses reallocation boundaries rarely — the
+// steady-state allocation gate counts every one of those events.
 func (h *Hist) Add(v float64) {
+	if len(h.samples) == cap(h.samples) {
+		next := 4 * cap(h.samples)
+		if next < 256 {
+			next = 256
+		}
+		grown := make([]float64, len(h.samples), next)
+		copy(grown, h.samples)
+		h.samples = grown
+	}
 	h.samples = append(h.samples, v)
 	h.sorted = false
 	h.sum += v

@@ -76,6 +76,7 @@ type TCApp struct {
 	pattern TCPattern
 	size    int
 	seq     uint32
+	body    []byte // scratch payload buffer, reused across messages
 
 	nextSlot timing.Slot
 	stopped  bool
@@ -132,8 +133,36 @@ func (a *TCApp) Tick(now sim.Cycle) {
 	}
 }
 
+// NextWork implements sim.Skipper: a stopped generator never works
+// again; a backlogged one must tick every cycle to keep its queue
+// topped up; periodic and bursty sources next act at the first cycle of
+// their next submission slot. Idle cycles before that are pure, so Skip
+// has nothing to replay.
+func (a *TCApp) NextWork(now sim.Cycle) sim.Cycle {
+	if a.stopped {
+		return sim.Never
+	}
+	if a.pattern == Backlogged {
+		return now
+	}
+	next := sim.Cycle(int64(a.nextSlot) * packet.TCBytes)
+	if next <= now {
+		return now
+	}
+	return next
+}
+
+// Skip implements sim.Skipper; idle generator cycles have no effects.
+func (a *TCApp) Skip(now, target sim.Cycle) {}
+
 func (a *TCApp) submit(cycle int64, nowSlot timing.Slot) {
-	body := make([]byte, a.size)
+	// Submit copies the payload into the channel's pooled packet arrays,
+	// so a single scratch buffer serves every message.
+	if cap(a.body) < a.size {
+		a.body = make([]byte, a.size)
+	}
+	body := a.body[:a.size]
+	clear(body[ProbeBytes:]) // zero padding, as a fresh buffer would carry
 	EncodeProbe(body, cycle, a.seq)
 	a.seq++
 	if err := a.ch.Submit(nowSlot, body); err != nil {
@@ -223,6 +252,12 @@ type BEApp struct {
 	InjectedBytes int64
 }
 
+// beMaxBacklog bounds how many frames a source keeps queued behind the
+// injection port. Small enough that circulation stays within the
+// router's frame pool, large enough to keep the port busy through
+// short arbitration stalls.
+const beMaxBacklog = 4
+
 // NewBEApp creates a best-effort source at src on the given network.
 func NewBEApp(name string, net *mesh.Network, src mesh.Coord, dst DstPicker, size SizePicker, rate float64, seed int64) (*BEApp, error) {
 	r := net.Router(src)
@@ -262,6 +297,18 @@ func (a *BEApp) Tick(now sim.Cycle) {
 	if a.tokens < float64(frameLen) {
 		return
 	}
+	// Closed-loop injection: when the router's injection port is backed
+	// up, hold the frame instead of queueing unboundedly behind it. The
+	// bucket is clamped to exactly the frame cost so the stall does not
+	// bank a burst, and the bounded backlog keeps the router's recycled
+	// frame pool warm — a saturated source stops allocating rather than
+	// growing an infinite queue.
+	if a.r.BEInjectBacklog() >= beMaxBacklog {
+		if a.tokens > float64(frameLen) {
+			a.tokens = float64(frameLen)
+		}
+		return
+	}
 	a.tokens -= float64(frameLen)
 	if cap(a.body) < a.pending {
 		a.body = make([]byte, a.pending)
@@ -281,6 +328,40 @@ func (a *BEApp) Tick(now sim.Cycle) {
 	a.Injected++
 	a.InjectedBytes += int64(len(frame))
 	a.pending = 0
+}
+
+// NextWork implements sim.Skipper: the token bucket accrues every
+// cycle, so the source next acts when the bucket could cover the
+// pending frame. The estimate deliberately undershoots by two cycles to
+// absorb floating-point accumulation error — an underestimate only
+// shortens a skip, never changes behaviour. With no frame pending the
+// very next tick picks one, so the source is immediate work.
+func (a *BEApp) NextWork(now sim.Cycle) sim.Cycle {
+	if a.pending == 0 {
+		return now
+	}
+	need := float64(a.pending+packet.BEHeaderBytes) - a.tokens
+	if need <= 0 {
+		return now
+	}
+	wait := int64(need/a.rate) - 2
+	if wait <= 0 {
+		return now
+	}
+	return now + sim.Cycle(wait)
+}
+
+// Skip implements sim.Skipper: replay the skipped cycles' token
+// accrual one step at a time — floating-point addition is not
+// associative, so a closed-form n·rate would diverge from the ticked
+// run. The idle-bucket cap never engages here (it applies only with no
+// frame pending, when NextWork forbids skipping), and NextWork's
+// undershoot guarantees the bucket stays short of the frame throughout
+// the span.
+func (a *BEApp) Skip(now, target sim.Cycle) {
+	for c := now; c < target; c++ {
+		a.tokens += a.rate
+	}
 }
 
 // Sink drains a router's delivery queues every cycle and accumulates
@@ -323,6 +404,19 @@ func (s *Sink) Reset() {
 	s.BECount = 0
 }
 
+// NextWork implements sim.Skipper: with nothing delivered the drain is
+// a no-op, and during a skipped span the (also idle) router cannot
+// deliver anything new.
+func (s *Sink) NextWork(now sim.Cycle) sim.Cycle {
+	if s.r.HasDeliveries() {
+		return now
+	}
+	return sim.Never
+}
+
+// Skip implements sim.Skipper; idle sink cycles have no effects.
+func (s *Sink) Skip(now, target sim.Cycle) {}
+
 // Tick implements sim.Component.
 func (s *Sink) Tick(now sim.Cycle) {
 	// Idle-cycle fast path: the double-buffered drains are cheap, but on
@@ -355,3 +449,11 @@ func (s *Sink) Tick(now sim.Cycle) {
 		}
 	}
 }
+
+// Compile-time checks: every generator and sink supports the kernel's
+// quiescence fast-forward.
+var (
+	_ sim.Skipper = (*TCApp)(nil)
+	_ sim.Skipper = (*BEApp)(nil)
+	_ sim.Skipper = (*Sink)(nil)
+)
