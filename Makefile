@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test fmt bench benchall trace
+.PHONY: check build vet test fmt capacity bench benchall trace
 
-# check is the tier-1 gate: vet, build, race tests, and formatting.
-check: vet build test fmt
+# check is the tier-1 gate: vet, build, race tests, formatting, and the
+# capacity gate.
+check: vet build test fmt capacity
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,13 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# capacity runs the capacity-probe campaign on a small mesh plus the
+# admission audit byte-identity gate; it exits nonzero on a ledger
+# conservation violation, an unexplained rejection, or an audit log
+# that differs across worker counts.
+capacity:
+	$(GO) run ./cmd/rtbench -exp capacity -mesh 6 -scenario scenarios/faulty.json -cycles 35000
 
 # bench runs the simulator-speed micro-benchmarks (router tick hot
 # paths, cycle rate sequential vs parallel, scheduler selection, sort

@@ -11,8 +11,10 @@
 // admit, all; plus cyclerate and sweep, which benchmark the simulator
 // itself (sequential vs parallel kernel; -workers, -mesh, -benchjson,
 // -min-speedup, and -baseline/-max-regress for regression diffing
-// against an archived sweep), and forensics, which gates the slack
-// attribution engine on a scenario (-scenario).
+// against an archived sweep), forensics, which gates the slack
+// attribution engine on a scenario (-scenario), and capacity, which
+// probes each scenario family's max admissible channel count and gates
+// the reservation ledger's conservation and audit byte-identity.
 package main
 
 import (
@@ -36,17 +38,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|faults|ring|sharing|cyclerate|sweep|forensics|all)")
+	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|faults|ring|sharing|cyclerate|sweep|forensics|capacity|all)")
 	seed := flag.Int64("seed", 1, "seed for the faults campaign's fault placement")
 	cycles := flag.Int64("cycles", 0, "override simulated cycles where applicable (0 = experiment default)")
 	chart := flag.Bool("chart", false, "render ASCII charts where available")
 	workers := flag.Int("workers", 0, "parallel kernel workers for cyclerate, or the single worker count for sweep (0 = GOMAXPROCS for cyclerate, default worker set for sweep)")
 	benchJSON := flag.String("benchjson", "", "write the cyclerate/sweep result as JSON to this file (e.g. BENCH_router.json)")
-	meshList := flag.String("mesh", "", "comma-separated square mesh edges for the sweep (default 8,16,32)")
+	meshList := flag.String("mesh", "", "comma-separated square mesh edges for the sweep (default 8,16,32); the first entry sizes the -exp capacity mesh (default 8)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail the sweep if any parallel row is slower than this fraction of sequential (0 = don't enforce)")
 	baseline := flag.String("baseline", "", "archived sweep JSON (BENCH_router.json) to diff the fresh sweep against")
 	maxRegress := flag.Float64("max-regress", 0, "with -baseline: fail if any row's speedup drops (or allocs/cycle grows) more than this fraction vs the baseline (0 = report only)")
-	scenarioPath := flag.String("scenario", "scenarios/faulty.json", "scenario file for -exp forensics")
+	scenarioPath := flag.String("scenario", "scenarios/faulty.json", "scenario file for -exp forensics and the audit-identity leg of -exp capacity")
 	epoch := flag.Int("epoch", 1, "synchronization epoch for cyclerate/sweep/forensics: amortize the parallel kernel's barrier over this many cycles (links deepen to match; 1 = per-cycle barriers)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -136,9 +138,10 @@ func main() {
 			return runSweep(*cycles, *workers, *epoch, *meshList, *benchJSON, *minSpeedup, *baseline, *maxRegress)
 		},
 		"forensics": func() error { return runForensics(*scenarioPath, *cycles, *epoch) },
+		"capacity":  func() error { return runCapacity(*meshList, *scenarioPath, *cycles) },
 	}
-	// cyclerate, sweep and forensics probe the simulator rather than the
-	// paper and are run on request only, not as part of "all".
+	// cyclerate, sweep, forensics and capacity probe the simulator rather
+	// than the paper and are run on request only, not as part of "all".
 	order := []string{"e1", "fig7", "fig6", "chip", "horizon", "compare", "approx", "vct", "multicast", "admit", "load", "skew", "failover", "faults", "ring", "sharing"}
 
 	if *exp == "all" {
@@ -466,6 +469,48 @@ func runForensics(scenarioPath string, cycles int64, epoch int) error {
 	res.Table().Fprint(os.Stdout)
 	if !res.OK() {
 		return fmt.Errorf("forensics gate failed on %s", scenarioPath)
+	}
+	return nil
+}
+
+// runCapacity runs the capacity-probe campaign: per scenario family it
+// binary-searches the max admissible channel count on a square mesh,
+// prints the saturation table, utilization heatmaps, and per-link
+// headroom tables, then runs the audit byte-identity gate on the
+// scenario. Any conservation violation or unexplained rejection fails
+// the run — the CI capacity gate.
+func runCapacity(meshList, scenarioPath string, cycles int64) error {
+	edge := 8
+	if meshList != "" {
+		first := strings.TrimSpace(strings.Split(meshList, ",")[0])
+		e, err := strconv.Atoi(first)
+		if err != nil || e < 2 {
+			return fmt.Errorf("bad -mesh entry %q", first)
+		}
+		edge = e
+	}
+	res, err := experiments.RunCapacity(edge, edge, nil)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	for i := range res.Families {
+		f := &res.Families[i]
+		fmt.Printf("\n%s utilization heatmap (%dx%d, digit = floor(10*max link util at node), . = idle):\n%s",
+			f.Name, res.W, res.H, f.Heatmap)
+		f.HeadroomTable(8).Fprint(os.Stdout)
+	}
+	if !res.OK() {
+		return fmt.Errorf("capacity gate failed on the %dx%d mesh", edge, edge)
+	}
+	aud, err := experiments.RunAuditIdentity(scenarioPath, cycles, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\naudit identity: %s, %d decisions, workers %v, byte-identical: %v\n",
+		aud.Scenario, aud.Decisions, aud.Workers, aud.Identical)
+	if !aud.Identical {
+		return fmt.Errorf("audit log diverged across worker counts on %s", scenarioPath)
 	}
 	return nil
 }

@@ -65,6 +65,7 @@ func main() {
 		explain    = flag.Bool("explain", false, "print the slack-attribution report after the run: cause totals, blame matrix, per-channel waterfalls, longest stall episodes")
 		flight     = flag.String("flight", "", "write the flight-recorder dump to this file after the run: the merged events of the last -flight-cycles cycles before the final trigger (.jsonl = JSON lines with trigger records, otherwise Chrome trace-event JSON for Perfetto)")
 		flightN    = flag.Int64("flight-cycles", 0, "flight-recorder dump window in cycles (0 = 4096); the dump draws on the -trace-buf event retention, so windows deeper than the per-node buffer covers come back truncated")
+		admitRep   = flag.Bool("admit-report", false, "print the capacity ledger (per-link reservations, EDF headroom, buffer/id usage) and the admission audit trail after the run")
 		memProfile = flag.String("memprofile", "", "write a heap (allocs) profile to this file at exit")
 	)
 	flag.Parse()
@@ -112,8 +113,13 @@ func main() {
 		rec = obs.NewRecorder(*flightN, 0)
 	}
 
+	var aud *obs.AuditLog
+	if *admitRep {
+		aud = obs.NewAuditLog()
+	}
+
 	if *scenPath != "" {
-		runScenario(*scenPath, reg, *sample, *metricsOut, *workers, col, slo, fns, rec,
+		runScenario(*scenPath, reg, *sample, *metricsOut, *workers, col, slo, fns, rec, aud,
 			*traceN, *traceOut, *explain, *flight)
 		return
 	}
@@ -145,6 +151,7 @@ func main() {
 		ChannelSLO:         slo,
 		Forensics:          fns,
 		Recorder:           rec,
+		Audit:              aud,
 		Workers:            *workers,
 	}.WithAdmission(admission.Config{
 		Policy:       policy,
@@ -178,6 +185,9 @@ func main() {
 	}
 	fmt.Printf("opened %d/%d real-time channels (Imin=%d slots, D=%d slots, Smax=%dB)\n",
 		opened, *channels, *imin, *deadline, *smax)
+	// The admission phase is over: publish the reservation ledger so a
+	// live -listen scrape and the final telemetry report both carry it.
+	sys.SealCapacity()
 
 	if *beRate > 0 {
 		for i, c := range sys.Net.Coords() {
@@ -204,10 +214,47 @@ func main() {
 		printLinkTable(sys, *cycles)
 	}
 	printForensics(fns, rec, col, *explain)
+	printAdmitReport(sys, aud)
 	dumpTraceTail(col, *traceN)
 	writeTraceFile(col, slo, *traceOut)
 	writeFlightFile(rec, col, slo, *flight)
 	finishTelemetry(reg, sys.Now(), *metricsOut)
+}
+
+// printAdmitReport writes the sealed capacity ledger (per-link
+// reservations with EDF headroom, per-node buffer and id usage) and the
+// admission audit trail, as -admit-report requests.
+func printAdmitReport(sys *core.System, aud *obs.AuditLog) {
+	if aud == nil {
+		return
+	}
+	snap := sys.SealCapacity()
+	fmt.Printf("\ncapacity ledger: %d admitted channels", snap.Channels)
+	if snap.WorstLink != "" {
+		fmt.Printf("; worst link %s at %.2f utilization; min EDF headroom %d slots",
+			snap.WorstLink, snap.WorstUtilization, snap.MinHeadroomSlots)
+	}
+	fmt.Println()
+	if len(snap.Links) > 0 {
+		fmt.Printf("  %-14s %8s %6s %9s %9s %7s\n",
+			"link", "channels", "util", "reserved", "headroom", "margin")
+		for _, lc := range snap.Links {
+			fmt.Printf("  %-14s %8d %6.2f %9d %9d %7d\n",
+				lc.Link, lc.Channels, lc.Utilization, lc.ReservedSlots,
+				lc.HeadroomSlots, lc.WorstMarginSlots)
+		}
+	}
+	if len(snap.Nodes) > 0 {
+		fmt.Printf("  %-8s %9s %9s %7s %7s\n", "node", "buffers", "buflimit", "conns", "connlim")
+		for _, nc := range snap.Nodes {
+			fmt.Printf("  %-8s %9d %9d %7d %7d\n",
+				nc.Node, nc.BuffersUsed, nc.BuffersLimit, nc.ConnsUsed, nc.ConnsLimit)
+		}
+	}
+	fmt.Printf("\nadmission audit trail (%d decisions):\n", aud.Len())
+	if err := aud.Dump(os.Stdout); err != nil {
+		fail(err)
+	}
 }
 
 // printForensics writes the slack-attribution report and the flight
@@ -380,7 +427,7 @@ func writeMetrics(reg *metrics.Registry, path string) error {
 // runScenario plays a declarative workload file (see scenarios/ and the
 // scenario package).
 func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut string, workers int,
-	col *obs.Sharded, slo *obs.SLO, fns *obs.Forensics, rec *obs.Recorder,
+	col *obs.Sharded, slo *obs.SLO, fns *obs.Forensics, rec *obs.Recorder, aud *obs.AuditLog,
 	traceN int, traceOut string, explain bool, flight string) {
 	sc, err := scenario.Load(path)
 	if err != nil {
@@ -388,7 +435,7 @@ func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut st
 	}
 	res, sys, err := sc.RunWith(scenario.RunOpts{
 		Metrics: reg, SampleEvery: sample, Workers: workers,
-		Collector: col, ChannelSLO: slo, Forensics: fns, Recorder: rec,
+		Collector: col, ChannelSLO: slo, Forensics: fns, Recorder: rec, Audit: aud,
 	})
 	if err != nil {
 		fail(err)
@@ -416,6 +463,7 @@ func runScenario(path string, reg *metrics.Registry, sample int64, metricsOut st
 	printSummary(sys, res.Cycles, workers)
 	printChannelReport(slo)
 	printForensics(fns, rec, col, explain)
+	printAdmitReport(sys, aud)
 	dumpTraceTail(col, traceN)
 	writeTraceFile(col, slo, traceOut)
 	writeFlightFile(rec, col, slo, flight)

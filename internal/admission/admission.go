@@ -15,8 +15,12 @@ package admission
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync/atomic"
 
 	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/rtc"
 	"repro/internal/sched"
@@ -71,7 +75,19 @@ type Controller struct {
 	chans  map[int]*Channel
 	failed map[linkKey]bool
 	seq    int
+
+	// audit, when attached, receives one record per control-plane
+	// decision (see AttachAudit).
+	audit *obs.AuditLog
+	// sealed holds the last published capacity snapshot (see Seal in
+	// ledger.go); atomic so a live HTTP scrape never races a seal.
+	sealed atomic.Pointer[metrics.CapacitySnapshot]
 }
+
+// AttachAudit wires an audit log to receive every Admit, Teardown,
+// restore and Reroute decision. Admission runs host-side between kernel
+// runs, so no synchronization is needed; pass nil to detach.
+func (c *Controller) AttachAudit(log *obs.AuditLog) { c.audit = log }
 
 // portInject is the pseudo-port of a node's time-constrained injection
 // link: one byte per cycle shared by every channel sourced there, EDF-
@@ -144,6 +160,13 @@ type Channel struct {
 	SrcConn uint8   // connection id to stamp on injected packets
 	DstConn []uint8 // delivery id at each destination, parallel to Dsts
 	LocalD  int64   // uniform per-router delay bound d
+
+	// Margin is the admission-time EDF headroom in slots: the minimum
+	// t−dbf(t) over every link the schedulability test checked with this
+	// channel included. It is fixed at admission and survives
+	// teardown/restore verbatim, so ledger exports of "worst admitted
+	// margin" are stable across reroute refusals.
+	Margin int64
 
 	hops []hopRef
 }
@@ -233,6 +256,34 @@ func (c *Controller) buildTree(src mesh.Coord, dsts []mesh.Coord, route routeFn)
 // the route(s) are programmed and resources are debited; the returned
 // Channel carries the connection id the source must stamp.
 func (c *Controller) Admit(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec) (*Channel, error) {
+	ch, err := c.admit(src, dsts, spec)
+	if c.audit != nil {
+		rec := obs.AuditRecord{
+			Op: "admit", Channel: -1,
+			Src: src.String(), Dst: dstString(dsts), Spec: specString(spec),
+		}
+		if err != nil {
+			rec.Outcome = "rejected"
+			rec.Err = err.Error()
+			if rej, ok := Explain(err); ok {
+				rec.Binding = rej.BindingResource()
+				rec.Test = rej.FailingTest()
+				rec.Margin = rej.FailMargin()
+			}
+		} else {
+			rec.Outcome = "admitted"
+			rec.Channel = ch.ID
+			rec.Route = ch.Route()
+			rec.LocalD = ch.LocalD
+			rec.Hops = ch.Hops()
+			rec.Margin = float64(ch.Margin)
+		}
+		c.audit.Record(c.net.Shard(src), rec)
+	}
+	return ch, err
+}
+
+func (c *Controller) admit(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec) (*Channel, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -249,6 +300,23 @@ func (c *Controller) Admit(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec) (*C
 		}
 	}
 	return nil, errXY
+}
+
+// dstString renders a destination set for audit records.
+func dstString(dsts []mesh.Coord) string {
+	if len(dsts) == 1 {
+		return dsts[0].String()
+	}
+	parts := make([]string, len(dsts))
+	for i, d := range dsts {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// specString renders a traffic contract for audit records.
+func specString(s rtc.Spec) string {
+	return fmt.Sprintf("spec[Imin=%d Smax=%d Bmax=%d D=%d]", s.Imin, s.Smax, s.Bmax, s.D)
 }
 
 // admitVia attempts admission along one routing order.
@@ -279,11 +347,17 @@ func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, 
 			c.cfg.Horizon, d)
 	}
 
-	// Phase 1: check every resource without mutating anything.
+	// Phase 1: check every resource without mutating anything. The
+	// channel's admission margin is the minimum EDF headroom across
+	// every link checked, candidate included.
 	newTask := task{C: spec.MessageSlots(), T: spec.Imin, D: d, chanID: c.seq}
-	if !c.linkFeasible(linkKey{src, portInject}, newTask) {
-		return nil, fmt.Errorf("admission: injection port at %s fails the schedulability test", src)
+	injKey := linkKey{src, portInject}
+	rep := c.linkCheck(injKey, newTask)
+	if !rep.feasible {
+		return nil, overloadError(injKey, rep,
+			fmt.Sprintf("admission: injection port at %s fails the schedulability test", src))
 	}
+	margin := rep.headroom
 	buffers := make(map[mesh.Coord]int, len(nodes))
 	for _, n := range nodes {
 		for p := 0; p < router.NumPorts; p++ {
@@ -291,8 +365,13 @@ func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, 
 				continue
 			}
 			key := linkKey{n.coord, p}
-			if !c.linkFeasible(key, newTask) {
-				return nil, fmt.Errorf("admission: link %s fails the schedulability test", key)
+			rep := c.linkCheck(key, newTask)
+			if !rep.feasible {
+				return nil, overloadError(key, rep,
+					fmt.Sprintf("admission: link %s fails the schedulability test", key))
+			}
+			if rep.headroom < margin {
+				margin = rep.headroom
 			}
 		}
 		prev := int64(c.cfg.Horizon) + d
@@ -317,6 +396,7 @@ func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, 
 		Dsts:   append([]mesh.Coord(nil), dsts...),
 		Spec:   spec,
 		LocalD: d,
+		Margin: margin,
 	}
 	c.seq++
 	for _, n := range nodes {
@@ -356,6 +436,20 @@ func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, 
 // Teardown releases an admitted channel's resources and invalidates its
 // table entries.
 func (c *Controller) Teardown(ch *Channel) error {
+	if err := c.teardown(ch); err != nil {
+		return err
+	}
+	if c.audit != nil {
+		c.audit.Record(c.net.Shard(ch.Src), obs.AuditRecord{
+			Op: "teardown", Outcome: "released", Channel: ch.ID,
+			Src: ch.Src.String(), Dst: dstString(ch.Dsts), Spec: specString(ch.Spec),
+			Margin: float64(ch.Margin),
+		})
+	}
+	return nil
+}
+
+func (c *Controller) teardown(ch *Channel) error {
 	if _, ok := c.chans[ch.ID]; !ok {
 		return fmt.Errorf("admission: channel %d not active", ch.ID)
 	}
@@ -452,6 +546,14 @@ func (c *Controller) restore(ch *Channel) error {
 	inj := c.link(linkKey{ch.Src, portInject})
 	inj.tasks = append(inj.tasks, newTask)
 	c.chans[ch.ID] = ch
+	if c.audit != nil {
+		c.audit.Record(c.net.Shard(ch.Src), obs.AuditRecord{
+			Op: "restore", Outcome: "restored", Channel: ch.ID,
+			Src: ch.Src.String(), Dst: dstString(ch.Dsts), Spec: specString(ch.Spec),
+			Route: ch.Route(), LocalD: ch.LocalD, Hops: ch.Hops(),
+			Margin: float64(ch.Margin),
+		})
+	}
 	return nil
 }
 
@@ -467,17 +569,18 @@ func (c *Controller) link(k linkKey) *linkState {
 	return ls
 }
 
-// linkFeasible runs the EDF schedulability test for the link with the
-// candidate task added; failed links are never feasible.
-func (c *Controller) linkFeasible(k linkKey, cand task) bool {
+// linkCheck runs the EDF schedulability analysis for the link with the
+// candidate task added; failed links are never feasible and report the
+// "link_failed" pseudo-test.
+func (c *Controller) linkCheck(k linkKey, cand task) edfReport {
 	if c.failed[k] {
-		return false
+		return edfReport{test: "link_failed", margin: -1}
 	}
 	ls := c.link(k)
 	tasks := make([]task, 0, len(ls.tasks)+1)
 	tasks = append(tasks, ls.tasks...)
 	tasks = append(tasks, cand)
-	return edfFeasible(tasks)
+	return edfAnalyze(tasks)
 }
 
 // buffersAvailable checks the packet-memory reservation at one router.
@@ -488,15 +591,22 @@ func (c *Controller) buffersAvailable(n *treeNode, need int) error {
 	switch c.cfg.Policy {
 	case SharedPool:
 		if ns.total+need > slots {
-			return fmt.Errorf("admission: %s out of packet buffers (%d used + %d needed > %d)",
-				n.coord, ns.total, need, slots)
+			return &ErrBufferExhausted{
+				Node: n.coord.String(), Used: ns.total, Need: need, Limit: slots,
+				msg: fmt.Sprintf("admission: %s out of packet buffers (%d used + %d needed > %d)",
+					n.coord, ns.total, need, slots),
+			}
 		}
 	default:
 		per := slots / router.NumPorts
 		for p := 0; p < router.NumPorts; p++ {
 			if n.mask.Has(p) && ns.portBuffers[p]+need > per {
-				return fmt.Errorf("admission: %s port %s partition full (%d used + %d needed > %d)",
-					n.coord, router.PortName(p), ns.portBuffers[p], need, per)
+				return &ErrBufferExhausted{
+					Node: n.coord.String(), Port: router.PortName(p),
+					Used: ns.portBuffers[p], Need: need, Limit: per,
+					msg: fmt.Sprintf("admission: %s port %s partition full (%d used + %d needed > %d)",
+						n.coord, router.PortName(p), ns.portBuffers[p], need, per),
+				}
 			}
 		}
 	}
@@ -546,7 +656,10 @@ func (c *Controller) assignIDs(nodes []*treeNode) (map[mesh.Coord]idPair, error)
 				}
 			}
 			if !found {
-				return nil, fmt.Errorf("admission: %s out of connection identifiers", n.coord)
+				return nil, &ErrIDExhausted{
+					Node: n.coord.String(),
+					msg:  fmt.Sprintf("admission: %s out of connection identifiers", n.coord),
+				}
 			}
 			claim(n.coord)[in] = true
 		} else {
@@ -588,7 +701,10 @@ func (c *Controller) assignIDs(nodes []*treeNode) (map[mesh.Coord]idPair, error)
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("admission: no common free id across children of %s", n.coord)
+			return nil, &ErrIDExhausted{
+				Node: n.coord.String(), Common: true,
+				msg: fmt.Sprintf("admission: no common free id across children of %s", n.coord),
+			}
 		}
 		if local {
 			claim(n.coord)[out] = true
@@ -698,6 +814,31 @@ func (ch *Channel) HopIDs() []HopID {
 	return ids
 }
 
+// Route renders the channel's route tree hop by hop: each traversed
+// router in breadth-first order with the output ports its packets fan
+// out on, e.g. "(0,0)[+x] (1,0)[+x local]". Deterministic given the
+// same admitted route, so audit lines are byte-stable.
+func (ch *Channel) Route() string {
+	var b strings.Builder
+	var ports []int
+	for i, h := range ch.hops {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(h.node.String())
+		b.WriteByte('[')
+		ports = h.mask.Ports(ports[:0])
+		for j, p := range ports {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(router.PortName(p))
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
 // Uses reports whether the channel's route crosses the given directed
 // link.
 func (ch *Channel) Uses(node mesh.Coord, port int) bool {
@@ -717,6 +858,34 @@ func (ch *Channel) Uses(node mesh.Coord, port int) bool {
 // regulator. On failure the old channel's reservations are restored
 // verbatim, so a refused reroute leaves the channel exactly as it was.
 func (c *Controller) Reroute(ch *Channel) (*Channel, error) {
+	nch, err := c.reroute(ch)
+	if c.audit != nil {
+		rec := obs.AuditRecord{
+			Op: "reroute", Channel: ch.ID,
+			Src: ch.Src.String(), Dst: dstString(ch.Dsts), Spec: specString(ch.Spec),
+		}
+		if err != nil {
+			rec.Outcome = "refused"
+			rec.Err = err.Error()
+			if rej, ok := Explain(err); ok {
+				rec.Binding = rej.BindingResource()
+				rec.Test = rej.FailingTest()
+				rec.Margin = rej.FailMargin()
+			}
+		} else {
+			rec.Outcome = "rerouted"
+			rec.Channel = nch.ID
+			rec.Route = nch.Route()
+			rec.LocalD = nch.LocalD
+			rec.Hops = nch.Hops()
+			rec.Margin = float64(nch.Margin)
+		}
+		c.audit.Record(c.net.Shard(ch.Src), rec)
+	}
+	return nch, err
+}
+
+func (c *Controller) reroute(ch *Channel) (*Channel, error) {
 	if err := c.Teardown(ch); err != nil {
 		return nil, err
 	}

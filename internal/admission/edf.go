@@ -22,34 +22,74 @@ package admission
 // bound at a hyper-horizon sufficient for the router's 7-bit parameter
 // range and rejects (conservatively) anything that would need more.
 func edfFeasible(tasks []task) bool {
+	return edfAnalyze(tasks).feasible
+}
+
+// edfReport is the full outcome of one link analysis: the verdict plus
+// the numbers the audit trail and capacity ledger surface — which
+// sub-test failed and by how much, or how much slack survives.
+type edfReport struct {
+	feasible bool
+	// util is ΣC/T over the analyzed set (valid in every outcome except
+	// a "validity" failure, where summation stops at the bad task).
+	util float64
+	// headroom is the minimum over all checked step points of
+	// t − dbf(t), in slots: how many more slots of demand the link could
+	// absorb at its tightest deadline. Valid only when feasible.
+	headroom int64
+	// test names the failed sub-test when infeasible: "utilization",
+	// "busy_period", or "validity".
+	test string
+	// at is the failing step point t and demand the dbf(t) there
+	// (busy_period failures only).
+	at, demand int64
+	// margin is signed: the failure margin (≤ 0) when infeasible —
+	// 1−util for the utilization test, t−dbf(t) for the busy-period
+	// test — or the headroom (≥ 0) when feasible.
+	margin float64
+}
+
+// edfAnalyze runs the processor-demand criterion and reports the
+// verdict with its margins. The test order matches the original
+// edfFeasible exactly — validity, then utilization, then dbf at every
+// step point t = D_i + k·T_i ≤ busy-period bound — so the first failing
+// test is the one reported.
+func edfAnalyze(tasks []task) edfReport {
 	if len(tasks) == 0 {
-		return true
+		return edfReport{feasible: true, headroom: maxAnalysisHorizon,
+			margin: maxAnalysisHorizon}
 	}
 	var sumC int64
 	var util float64
 	for _, tk := range tasks {
-		if tk.C < 1 || tk.T < 1 || tk.D < 1 {
-			return false
-		}
-		if tk.C > tk.D {
-			return false // a message cannot finish inside its own bound
+		if tk.C < 1 || tk.T < 1 || tk.D < 1 || tk.C > tk.D {
+			// Invalid parameters, or a message that cannot finish inside
+			// its own bound.
+			return edfReport{test: "validity", util: util, margin: -1}
 		}
 		sumC += tk.C
 		util += float64(tk.C) / float64(tk.T)
 	}
 	if util > 1.0+1e-9 {
-		return false
+		return edfReport{test: "utilization", util: util, margin: 1.0 - util}
 	}
 	limit := busyPeriodBound(tasks, sumC, util)
+	headroom := int64(maxAnalysisHorizon)
 	// Check dbf at every step point t = D_i + k·T_i ≤ limit.
 	for _, tk := range tasks {
 		for t := tk.D; t <= limit; t += tk.T {
-			if demandAt(tasks, t) > t {
-				return false
+			slack := t - demandAt(tasks, t)
+			if slack < 0 {
+				return edfReport{test: "busy_period", util: util,
+					at: t, demand: t - slack, margin: float64(slack)}
+			}
+			if slack < headroom {
+				headroom = slack
 			}
 		}
 	}
-	return true
+	return edfReport{feasible: true, util: util, headroom: headroom,
+		margin: float64(headroom)}
 }
 
 // maxAnalysisHorizon caps the busy-period bound. Task parameters are

@@ -1,0 +1,148 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Rejection is the typed explanation every admission refusal carries:
+// which resource was the binding constraint, which admission test it
+// failed, and by how much. Callers match with errors.As (or Explain)
+// instead of parsing message text; the message text itself stays stable
+// for humans and logs.
+type Rejection interface {
+	error
+	// BindingResource names the resource that refused the channel: a
+	// directed link ("(1,0)→+x", "(0,0)→inject"), a router node, or a
+	// node's port partition.
+	BindingResource() string
+	// FailingTest names the admission test that failed: "utilization",
+	// "busy_period", "link_failed", "buffers", or "conn_ids".
+	FailingTest() string
+	// FailMargin is the signed margin of the failure — how far past the
+	// limit the request landed, in the test's own unit (utilization
+	// fraction, demand slots, buffer slots). Always ≤ 0 on a rejection.
+	FailMargin() float64
+}
+
+// Explain extracts the typed rejection from an admission error chain.
+// The second return is false for errors that are not resource
+// rejections (bad input, rollover violations, programming failures).
+func Explain(err error) (Rejection, bool) {
+	var r Rejection
+	if errors.As(err, &r) {
+		return r, true
+	}
+	return nil, false
+}
+
+// ErrLinkOverload reports a failed per-link schedulability test: the
+// candidate task set on Link exceeds the EDF budget.
+type ErrLinkOverload struct {
+	// Link is the directed link that refused the channel.
+	Link string
+	// Test is the sub-test that failed: "utilization" (ΣC/T > 1),
+	// "busy_period" (dbf(t) > t at some step point), or "link_failed"
+	// (the link is administratively down).
+	Test string
+	// At is the failing step point t and Demand the dbf(t) there
+	// (busy_period only).
+	At, Demand int64
+	// Util is the task-set utilization with the candidate included.
+	Util float64
+	// Margin is the signed failure margin: 1−Util for the utilization
+	// test, t−dbf(t) in slots for the busy-period test.
+	Margin float64
+
+	msg string
+}
+
+func (e *ErrLinkOverload) Error() string {
+	switch e.Test {
+	case "utilization":
+		return fmt.Sprintf("%s (utilization %.4g > 1, margin %+.4g)", e.msg, e.Util, e.Margin)
+	case "busy_period":
+		return fmt.Sprintf("%s (busy_period at t=%d: demand %d > %d, margin %+g)",
+			e.msg, e.At, e.Demand, e.At, e.Margin)
+	default:
+		return fmt.Sprintf("%s (%s)", e.msg, e.Test)
+	}
+}
+
+// BindingResource implements Rejection.
+func (e *ErrLinkOverload) BindingResource() string { return e.Link }
+
+// FailingTest implements Rejection.
+func (e *ErrLinkOverload) FailingTest() string { return e.Test }
+
+// FailMargin implements Rejection.
+func (e *ErrLinkOverload) FailMargin() float64 { return e.Margin }
+
+// ErrBufferExhausted reports a failed packet-memory reservation at one
+// router: the channel's buffer bound does not fit the shared pool (Port
+// empty) or a port's partition.
+type ErrBufferExhausted struct {
+	// Node is the router whose memory ran out.
+	Node string
+	// Port names the binding partition under Partitioned accounting;
+	// empty under SharedPool.
+	Port string
+	// Used slots were already reserved, Need more were requested, Limit
+	// is the pool or partition size.
+	Used, Need, Limit int
+
+	msg string
+}
+
+func (e *ErrBufferExhausted) Error() string { return e.msg }
+
+// BindingResource implements Rejection.
+func (e *ErrBufferExhausted) BindingResource() string {
+	if e.Port == "" {
+		return e.Node
+	}
+	return e.Node + "→" + e.Port
+}
+
+// FailingTest implements Rejection.
+func (e *ErrBufferExhausted) FailingTest() string { return "buffers" }
+
+// FailMargin implements Rejection: free slots minus needed slots,
+// negative by the shortfall.
+func (e *ErrBufferExhausted) FailMargin() float64 {
+	return float64(e.Limit - e.Used - e.Need)
+}
+
+// ErrIDExhausted reports connection-identifier exhaustion during id
+// assignment along the route tree.
+type ErrIDExhausted struct {
+	// Node is the router that had no free identifier.
+	Node string
+	// Common is true when the failure was finding one id free across
+	// every child of Node (the multicast rewrite constraint), rather
+	// than any free id at Node itself.
+	Common bool
+
+	msg string
+}
+
+func (e *ErrIDExhausted) Error() string { return e.msg }
+
+// BindingResource implements Rejection.
+func (e *ErrIDExhausted) BindingResource() string { return e.Node }
+
+// FailingTest implements Rejection.
+func (e *ErrIDExhausted) FailingTest() string { return "conn_ids" }
+
+// FailMargin implements Rejection: one more identifier than the table
+// holds was needed.
+func (e *ErrIDExhausted) FailMargin() float64 { return -1 }
+
+// overloadError builds the typed link rejection for one analysis
+// report, keeping the legacy message verbatim as the prefix.
+func overloadError(k linkKey, rep edfReport, msg string) *ErrLinkOverload {
+	return &ErrLinkOverload{
+		Link: k.String(), Test: rep.test, At: rep.at, Demand: rep.demand,
+		Util: rep.util, Margin: rep.margin, msg: msg,
+	}
+}

@@ -63,6 +63,14 @@ func TestAdmitTeardownFuzz(t *testing.T) {
 				continue // rejections are fine
 			}
 			live = append(live, ch)
+			if op%8 == 0 {
+				if err := c.VerifyLedger(); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+			}
+		}
+		if err := c.VerifyLedger(); err != nil {
+			t.Fatalf("seed %d: conservation before drain: %v", seed, err)
 		}
 		for _, ch := range live {
 			if err := c.Teardown(ch); err != nil {
@@ -71,6 +79,13 @@ func TestAdmitTeardownFuzz(t *testing.T) {
 		}
 		if c.Active() != 0 {
 			t.Fatalf("seed %d: %d channels still active", seed, c.Active())
+		}
+		if err := c.VerifyLedger(); err != nil {
+			t.Fatalf("seed %d: conservation after drain: %v", seed, err)
+		}
+		if snap := c.Seal(); len(snap.Links) != 0 || snap.Channels != 0 {
+			t.Fatalf("seed %d: drained ledger still holds %d links, %d channels",
+				seed, len(snap.Links), snap.Channels)
 		}
 		// Every router table empty again.
 		for _, coord := range n.Coords() {

@@ -1,0 +1,214 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/router"
+)
+
+// Seal builds an immutable capacity snapshot of the reservation ledger
+// and publishes it as the controller's sealed state, returning it. The
+// build is fully deterministic: links are ordered by (node, port), and
+// per-link float sums run over tasks sorted by channel id, so two
+// ledgers holding the same reservations render byte-identically no
+// matter what admit/teardown/reroute history produced them.
+//
+// Seal is a host-side control-plane call (like Admit); the published
+// pointer is what concurrent scrapers read via Sealed.
+func (c *Controller) Seal() *metrics.CapacitySnapshot {
+	snap := c.buildSnapshot()
+	c.sealed.Store(snap)
+	return snap
+}
+
+// Sealed returns the last snapshot published by Seal, nil before the
+// first seal. This is the PR-6 scrape-safety contract: a live HTTP
+// scrape observes only explicitly published ledger states, never a
+// half-updated one. Wire it with metrics.Registry.SetCapacitySource.
+func (c *Controller) Sealed() *metrics.CapacitySnapshot {
+	return c.sealed.Load()
+}
+
+func (c *Controller) buildSnapshot() *metrics.CapacitySnapshot {
+	snap := &metrics.CapacitySnapshot{Channels: len(c.chans)}
+	keys := make([]linkKey, 0, len(c.links))
+	for k, ls := range c.links {
+		if len(ls.tasks) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.node.Y != b.node.Y {
+			return a.node.Y < b.node.Y
+		}
+		if a.node.X != b.node.X {
+			return a.node.X < b.node.X
+		}
+		return a.port < b.port
+	})
+	minHead := int64(-1)
+	for _, k := range keys {
+		tasks := append([]task(nil), c.links[k].tasks...)
+		sort.Slice(tasks, func(i, j int) bool { return tasks[i].chanID < tasks[j].chanID })
+		rep := edfAnalyze(tasks)
+		var reserved int64
+		worst := int64(math.MaxInt64)
+		for _, tk := range tasks {
+			reserved += tk.C
+			if ch := c.chans[tk.chanID]; ch != nil && ch.Margin < worst {
+				worst = ch.Margin
+			}
+		}
+		if worst == math.MaxInt64 {
+			worst = 0
+		}
+		port := "inject"
+		if k.port != portInject {
+			port = router.PortName(k.port)
+		}
+		lc := metrics.LinkCapacity{
+			Link: k.String(), NodeX: k.node.X, NodeY: k.node.Y, Port: port,
+			Channels: len(tasks), Utilization: rep.util,
+			ReservedSlots: reserved, HeadroomSlots: rep.headroom,
+			WorstMarginSlots: worst,
+		}
+		snap.Links = append(snap.Links, lc)
+		if lc.Utilization > snap.WorstUtilization {
+			snap.WorstUtilization = lc.Utilization
+			snap.WorstLink = lc.Link
+		}
+		if minHead < 0 || lc.HeadroomSlots < minHead {
+			minHead = lc.HeadroomSlots
+		}
+	}
+	if minHead >= 0 {
+		snap.MinHeadroomSlots = minHead
+	}
+	for _, coord := range c.net.Coords() {
+		ns := c.nodes[coord]
+		used := len(ns.usedIDs)
+		if ns.total == 0 && used == 0 {
+			continue
+		}
+		cfg := c.net.Router(coord).Config()
+		nc := metrics.NodeCapacity{
+			Node: coord.String(), BuffersUsed: ns.total, BuffersLimit: cfg.Slots,
+			ConnsUsed: used, ConnsLimit: cfg.Conns,
+		}
+		for p := 0; p < router.NumPorts; p++ {
+			if ns.portBuffers[p] != 0 {
+				if nc.PortBuffers == nil {
+					nc.PortBuffers = make(map[string]int)
+				}
+				nc.PortBuffers[router.PortName(p)] = ns.portBuffers[p]
+			}
+		}
+		snap.Nodes = append(snap.Nodes, nc)
+	}
+	return snap
+}
+
+// VerifyLedger checks the conservation invariant: the per-link task
+// lists, per-node buffer debits, and identifier reservations must equal
+// exactly the sum of the active channels' recorded reservations —
+// nothing leaked on teardown, nothing double-counted on restore. It
+// returns nil or the first discrepancy found.
+func (c *Controller) VerifyLedger() error {
+	type nodeWant struct {
+		ports [router.NumPorts]int
+		total int
+		ids   map[uint8]bool
+	}
+	wantLink := make(map[linkKey]map[int]task)
+	want := make(map[mesh.Coord]*nodeWant)
+	reserve := func(k linkKey, tk task) {
+		m := wantLink[k]
+		if m == nil {
+			m = make(map[int]task)
+			wantLink[k] = m
+		}
+		m[tk.chanID] = tk
+	}
+	getNode := func(co mesh.Coord) *nodeWant {
+		n := want[co]
+		if n == nil {
+			n = &nodeWant{ids: make(map[uint8]bool)}
+			want[co] = n
+		}
+		return n
+	}
+	for id, ch := range c.chans {
+		if id != ch.ID {
+			return fmt.Errorf("admission: ledger: channel %d keyed as %d", ch.ID, id)
+		}
+		tk := task{C: ch.Spec.MessageSlots(), T: ch.Spec.Imin, D: ch.LocalD, chanID: ch.ID}
+		reserve(linkKey{ch.Src, portInject}, tk)
+		for _, h := range ch.hops {
+			n := getNode(h.node)
+			n.total += h.buffers
+			n.ids[h.inConn] = true
+			if h.mask.Has(router.PortLocal) {
+				n.ids[h.outConn] = true
+			}
+			for p := 0; p < router.NumPorts; p++ {
+				if !h.mask.Has(p) {
+					continue
+				}
+				n.ports[p] += h.buffers
+				reserve(linkKey{h.node, p}, tk)
+			}
+		}
+	}
+	for k, ls := range c.links {
+		seen := make(map[int]bool, len(ls.tasks))
+		for _, tk := range ls.tasks {
+			w, ok := wantLink[k][tk.chanID]
+			if !ok {
+				return fmt.Errorf("admission: ledger: link %s carries a task for channel %d with no matching reservation", k, tk.chanID)
+			}
+			if seen[tk.chanID] {
+				return fmt.Errorf("admission: ledger: link %s counts channel %d twice", k, tk.chanID)
+			}
+			seen[tk.chanID] = true
+			if w != tk {
+				return fmt.Errorf("admission: ledger: link %s channel %d holds task %+v, reservations say %+v", k, tk.chanID, tk, w)
+			}
+		}
+		if len(seen) != len(wantLink[k]) {
+			return fmt.Errorf("admission: ledger: link %s holds %d tasks, reservations say %d", k, len(seen), len(wantLink[k]))
+		}
+	}
+	for k, m := range wantLink {
+		if len(m) > 0 && (c.links[k] == nil || len(c.links[k].tasks) == 0) {
+			return fmt.Errorf("admission: ledger: link %s reservation missing from the ledger", k)
+		}
+	}
+	for co, ns := range c.nodes {
+		var wantTotal int
+		var wantPorts [router.NumPorts]int
+		var wantIDs map[uint8]bool
+		if w := want[co]; w != nil {
+			wantTotal, wantPorts, wantIDs = w.total, w.ports, w.ids
+		}
+		if ns.total != wantTotal {
+			return fmt.Errorf("admission: ledger: %s buffer total %d, reservations say %d", co, ns.total, wantTotal)
+		}
+		if ns.portBuffers != wantPorts {
+			return fmt.Errorf("admission: ledger: %s port buffers %v, reservations say %v", co, ns.portBuffers, wantPorts)
+		}
+		if len(ns.usedIDs) != len(wantIDs) {
+			return fmt.Errorf("admission: ledger: %s holds %d connection ids, reservations say %d", co, len(ns.usedIDs), len(wantIDs))
+		}
+		for id := range wantIDs {
+			if !ns.usedIDs[id] {
+				return fmt.Errorf("admission: ledger: %s id %d reserved by a channel but not held", co, id)
+			}
+		}
+	}
+	return nil
+}

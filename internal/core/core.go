@@ -75,6 +75,12 @@ type Options struct {
 	// DefaultRecorder. A recorder without a Collector still counts and
 	// logs triggers; only the timeline dump needs the collector.
 	Recorder *obs.Recorder
+	// Audit attaches an admission audit log: every Admit, Teardown and
+	// Reroute decision the controller makes is recorded with its
+	// contract, route, margin, and (on rejection) the typed explanation
+	// (obs.AuditLog). Nil falls back to DefaultAudit; when that is nil
+	// too, auditing is off.
+	Audit *obs.AuditLog
 	// Workers selects the kernel execution mode: 0 or 1 runs the
 	// simulation sequentially (the default); n > 1 ticks the per-node
 	// shards on n workers with bit-identical results; negative picks
@@ -122,6 +128,7 @@ var (
 	DefaultChannelSLO *obs.SLO
 	DefaultForensics  *obs.Forensics
 	DefaultRecorder   *obs.Recorder
+	DefaultAudit      *obs.AuditLog
 )
 
 // WithAdmission returns o with the admission configuration set.
@@ -153,6 +160,8 @@ type System struct {
 	Forensics *obs.Forensics
 	// Recorder is the attached flight recorder, or nil.
 	Recorder *obs.Recorder
+	// Audit is the attached admission audit log, or nil.
+	Audit *obs.AuditLog
 }
 
 // NewMesh builds a W×H system.
@@ -267,6 +276,20 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Adm = adm
+	aud := opts.Audit
+	if aud == nil {
+		aud = DefaultAudit
+	}
+	if aud != nil {
+		adm.AttachAudit(aud)
+	}
+	sys.Audit = aud
+	if reg != nil {
+		// The capacity ledger rides the same exports; Sealed returns nil
+		// until the first Seal, so scrapes before any admission see no
+		// capacity section rather than a half-built one.
+		reg.SetCapacitySource(adm.Sealed)
+	}
 	if opts.Tile != 0 {
 		net.SetTileSize(opts.Tile)
 	}
@@ -410,6 +433,14 @@ func (s *System) RepairLink(from mesh.Coord, port int) error {
 		return err
 	}
 	return s.Adm.MarkRepaired(from, port)
+}
+
+// SealCapacity publishes the admission controller's current reservation
+// ledger as an immutable capacity snapshot and returns it. Sealed
+// snapshots ride the metrics exports (rt_capacity_*); call after any
+// batch of control-plane changes so live scrapes see the new state.
+func (s *System) SealCapacity() *metrics.CapacitySnapshot {
+	return s.Adm.Seal()
 }
 
 // Reroute re-establishes the channel around failures and congestion:

@@ -72,22 +72,7 @@ func runForensicsOnce(path string, cycles int64, workers, epoch, shardCap int) (
 	if err != nil {
 		return nil, err
 	}
-	if cycles > 0 && cycles < sc.Cycles {
-		// Clip the failure timeline to the shortened run: episodes that
-		// start past the end vanish, repairs past the end clamp to it.
-		sc.Cycles = cycles
-		kept := sc.Failures[:0]
-		for _, f := range sc.Failures {
-			if f.At >= cycles {
-				continue
-			}
-			if f.RepairAt > cycles {
-				f.RepairAt = cycles
-			}
-			kept = append(kept, f)
-		}
-		sc.Failures = kept
-	}
+	clipScenario(sc, cycles)
 	reg := metrics.NewRegistry()
 	col := obs.NewSharded(shardCap)
 	slo := obs.NewSLO()

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleCapacity() *CapacitySnapshot {
+	return &CapacitySnapshot{
+		Channels: 2,
+		Links: []LinkCapacity{
+			{Link: "(0,0)→inject", NodeX: 0, NodeY: 0, Port: "inject",
+				Channels: 2, Utilization: 0.375, ReservedSlots: 2,
+				HeadroomSlots: 3, WorstMarginSlots: 3},
+			{Link: "(0,0)→+x", NodeX: 0, NodeY: 0, Port: "+x",
+				Channels: 2, Utilization: 0.375, ReservedSlots: 2,
+				HeadroomSlots: 3, WorstMarginSlots: 3},
+		},
+		Nodes: []NodeCapacity{
+			{Node: "(0,0)", BuffersUsed: 6, BuffersLimit: 256,
+				PortBuffers: map[string]int{"+x": 6}, ConnsUsed: 2, ConnsLimit: 256},
+		},
+		WorstLink: "(0,0)→inject", WorstUtilization: 0.375, MinHeadroomSlots: 3,
+	}
+}
+
+func TestCapacityJSONExport(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetCapacitySource(sampleCapacity)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if snap.Capacity == nil {
+		t.Fatal("capacity section missing from JSON export")
+	}
+	if snap.Capacity.Channels != 2 || len(snap.Capacity.Links) != 2 {
+		t.Errorf("decoded capacity %+v", snap.Capacity)
+	}
+	if snap.Capacity.Links[0].Port != "inject" || snap.Capacity.Links[0].Utilization != 0.375 {
+		t.Errorf("decoded link %+v", snap.Capacity.Links[0])
+	}
+	if snap.Capacity.Nodes[0].PortBuffers["+x"] != 6 {
+		t.Errorf("decoded node %+v", snap.Capacity.Nodes[0])
+	}
+}
+
+func TestCapacityJSONOmittedWithoutSource(t *testing.T) {
+	reg := NewRegistry()
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"capacity"`) {
+		t.Error("capacity section present with no source attached")
+	}
+}
+
+func TestCapacityPrometheusExport(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetCapacitySource(sampleCapacity)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"rt_capacity_channels 2",
+		"rt_capacity_worst_utilization 0.375",
+		"rt_capacity_min_headroom_slots 3",
+		`rt_capacity_link_utilization{link="(0,0)→inject"} 0.375`,
+		`rt_capacity_link_channels{link="(0,0)→+x"} 2`,
+		`rt_capacity_link_headroom_slots{link="(0,0)→+x"} 3`,
+		`rt_capacity_node_buffers_used{node="(0,0)"} 6`,
+		`rt_capacity_node_conns_limit{node="(0,0)"} 256`,
+		"# TYPE rt_capacity_link_utilization gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}

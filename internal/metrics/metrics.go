@@ -314,6 +314,11 @@ type Registry struct {
 	blame     func() []BlameSnapshot
 	forensics func() *ForensicsSnapshot
 
+	// capacity, when set, supplies the admission-plane reservation
+	// ledger (see SetCapacitySource); the admission controller's Sealed
+	// method is the standard provider.
+	capacity func() *CapacitySnapshot
+
 	// Cycles, if set by the harness, records the measured cycle span
 	// for rate normalization in reports.
 	Cycles atomic.Int64
@@ -449,6 +454,74 @@ func (g *Registry) SetForensicsSource(fn func() *ForensicsSnapshot) {
 	g.mu.Unlock()
 }
 
+// LinkCapacity is the reservation ledger's view of one directed link:
+// how much of the link's EDF budget the admitted channels hold and how
+// much slack remains. Links with no reservations are omitted from the
+// snapshot.
+type LinkCapacity struct {
+	// Link is the display name ("(1,0)→+x", "(0,0)→inject"); NodeX,
+	// NodeY and Port are the same identity in structured form.
+	Link  string `json:"link"`
+	NodeX int    `json:"x"`
+	NodeY int    `json:"y"`
+	Port  string `json:"port"`
+	// Channels is the number of channels reserving slots on this link.
+	Channels int `json:"channels"`
+	// Utilization is ΣC/T over the link's reserved task set.
+	Utilization float64 `json:"utilization"`
+	// ReservedSlots is ΣC: slots per message reserved across channels.
+	ReservedSlots int64 `json:"reserved_slots"`
+	// HeadroomSlots is the minimum t−dbf(t) over the EDF analysis step
+	// points: slots of extra demand the link could absorb at its
+	// tightest deadline.
+	HeadroomSlots int64 `json:"edf_headroom_slots"`
+	// WorstMarginSlots is the smallest admission-time margin among the
+	// channels crossing this link.
+	WorstMarginSlots int64 `json:"worst_admitted_margin_slots"`
+}
+
+// NodeCapacity is the ledger's view of one router's finite tables:
+// packet-memory slots and connection identifiers. Nodes holding no
+// reservations are omitted.
+type NodeCapacity struct {
+	Node string `json:"node"`
+	// BuffersUsed of BuffersLimit packet-memory slots are reserved;
+	// PortBuffers splits the usage by output-port partition (only
+	// meaningful under Partitioned accounting, populated always).
+	BuffersUsed  int            `json:"buffers_used"`
+	BuffersLimit int            `json:"buffers_limit"`
+	PortBuffers  map[string]int `json:"port_buffers,omitempty"`
+	// ConnsUsed of ConnsLimit connection-table identifiers are held.
+	ConnsUsed  int `json:"conns_used"`
+	ConnsLimit int `json:"conns_limit"`
+}
+
+// CapacitySnapshot is a sealed point-in-time copy of the admission
+// plane's reservation ledger. It is immutable once published: the
+// admission controller seals a fresh snapshot after every control-plane
+// phase, so a live HTTP scrape never observes a half-updated ledger.
+type CapacitySnapshot struct {
+	// Channels is the number of admitted channels backing the ledger.
+	Channels int            `json:"channels"`
+	Links    []LinkCapacity `json:"links,omitempty"`
+	Nodes    []NodeCapacity `json:"nodes,omitempty"`
+	// WorstLink is the most utilized link and WorstUtilization its
+	// load; MinHeadroomSlots is the tightest EDF headroom anywhere.
+	WorstLink        string  `json:"worst_link,omitempty"`
+	WorstUtilization float64 `json:"worst_utilization"`
+	MinHeadroomSlots int64   `json:"min_edf_headroom_slots"`
+}
+
+// SetCapacitySource installs the function Snapshot calls to collect the
+// admission capacity ledger (nil detaches). The source must tolerate
+// concurrent calls during the simulation; returning nil (nothing sealed
+// yet) omits the section.
+func (g *Registry) SetCapacitySource(fn func() *CapacitySnapshot) {
+	g.mu.Lock()
+	g.capacity = fn
+	g.mu.Unlock()
+}
+
 // RouterSnapshot is a point-in-time copy of one router's counters in
 // export-friendly form.
 type RouterSnapshot struct {
@@ -487,6 +560,7 @@ type Snapshot struct {
 	Channels  []ChannelSnapshot  `json:"channels,omitempty"`
 	Blame     []BlameSnapshot    `json:"blame,omitempty"`
 	Forensics *ForensicsSnapshot `json:"forensics,omitempty"`
+	Capacity  *CapacitySnapshot  `json:"capacity,omitempty"`
 }
 
 func (m *RouterMetrics) snapshot() RouterSnapshot {
@@ -602,6 +676,9 @@ func (g *Registry) Snapshot() Snapshot {
 	}
 	if g.forensics != nil {
 		snap.Forensics = g.forensics()
+	}
+	if g.capacity != nil {
+		snap.Capacity = g.capacity()
 	}
 	return snap
 }
@@ -758,6 +835,41 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 			p("rt_forensics_cause_cycles_total{cause=%q} %d\n", c, fs.ByCause[c])
 		}
 		p("# HELP rt_forensics_triggers_total Flight-recorder trigger events.\n# TYPE rt_forensics_triggers_total counter\nrt_forensics_triggers_total %d\n", fs.Triggers)
+	}
+	if cs := snap.Capacity; cs != nil {
+		p("# HELP rt_capacity_channels Admitted real-time channels backing the reservation ledger.\n# TYPE rt_capacity_channels gauge\nrt_capacity_channels %d\n", cs.Channels)
+		p("# HELP rt_capacity_worst_utilization EDF utilization of the most loaded link.\n# TYPE rt_capacity_worst_utilization gauge\nrt_capacity_worst_utilization %g\n", cs.WorstUtilization)
+		p("# HELP rt_capacity_min_headroom_slots Tightest EDF headroom across all reserved links.\n# TYPE rt_capacity_min_headroom_slots gauge\nrt_capacity_min_headroom_slots %d\n", cs.MinHeadroomSlots)
+		linkGauge := func(metric, help string, emit func(LinkCapacity) string) {
+			p("# HELP %s %s\n# TYPE %s gauge\n", metric, help, metric)
+			for _, lc := range cs.Links {
+				p("%s{link=%q} %s\n", metric, lc.Link, emit(lc))
+			}
+		}
+		linkGauge("rt_capacity_link_utilization", "EDF utilization reserved on the link.",
+			func(l LinkCapacity) string { return fmt.Sprintf("%g", l.Utilization) })
+		linkGauge("rt_capacity_link_channels", "Channels holding a reservation on the link.",
+			func(l LinkCapacity) string { return fmt.Sprintf("%d", l.Channels) })
+		linkGauge("rt_capacity_link_reserved_slots", "Slots per message reserved across the link's channels.",
+			func(l LinkCapacity) string { return fmt.Sprintf("%d", l.ReservedSlots) })
+		linkGauge("rt_capacity_link_headroom_slots", "Minimum EDF slack t-dbf(t) on the link.",
+			func(l LinkCapacity) string { return fmt.Sprintf("%d", l.HeadroomSlots) })
+		linkGauge("rt_capacity_link_worst_margin_slots", "Smallest admission-time margin among the link's channels.",
+			func(l LinkCapacity) string { return fmt.Sprintf("%d", l.WorstMarginSlots) })
+		nodeGauge := func(metric, help string, get func(NodeCapacity) int) {
+			p("# HELP %s %s\n# TYPE %s gauge\n", metric, help, metric)
+			for _, nc := range cs.Nodes {
+				p("%s{node=%q} %d\n", metric, nc.Node, get(nc))
+			}
+		}
+		nodeGauge("rt_capacity_node_buffers_used", "Packet-memory slots reserved at the node.",
+			func(n NodeCapacity) int { return n.BuffersUsed })
+		nodeGauge("rt_capacity_node_buffers_limit", "Packet-memory slots available at the node.",
+			func(n NodeCapacity) int { return n.BuffersLimit })
+		nodeGauge("rt_capacity_node_conns_used", "Connection identifiers held at the node.",
+			func(n NodeCapacity) int { return n.ConnsUsed })
+		nodeGauge("rt_capacity_node_conns_limit", "Connection-table size at the node.",
+			func(n NodeCapacity) int { return n.ConnsLimit })
 	}
 	return err
 }

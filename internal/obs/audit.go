@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// AuditRecord is one admission-plane decision: an admit, teardown,
+// restore, or reroute, successful or refused, with the channel's
+// contract, route, and margins — or the typed explanation of why it was
+// turned away.
+type AuditRecord struct {
+	// Seq is the global decision sequence number: admission runs
+	// host-side (sequentially, outside the cycle kernel), so Seq totals
+	// all decisions in the order they were made.
+	Seq uint64
+	// Node is the shard index of the deciding channel's source node;
+	// NodeSeq the record's position within that shard.
+	Node    int
+	NodeSeq uint64
+	// Op is the control-plane verb: "admit", "teardown", "restore", or
+	// "reroute". Outcome is its result: "admitted", "rejected",
+	// "released", "restored", "rerouted", or "refused".
+	Op      string
+	Outcome string
+	// Channel is the channel id, -1 when no channel was created.
+	Channel int
+	// Src and Dst are the endpoints; Spec the rendered traffic contract.
+	Src, Dst, Spec string
+	// Route is the hop-by-hop route with output ports; LocalD the
+	// uniform per-hop delay split d_j; Hops the tree size.
+	Route  string
+	LocalD int64
+	Hops   int
+	// Margin is the admission margin in slots (min EDF headroom across
+	// every link the test checked, candidate included) for successful
+	// decisions, or the signed failure margin for refusals.
+	Margin float64
+	// Binding names the resource that refused the channel and Test the
+	// failed admission test; Err carries the rejection message.
+	Binding, Test, Err string
+}
+
+// String renders the record as one fixed-format line. The format is
+// part of the byte-identity contract: identical decisions render
+// identically regardless of worker count.
+func (r AuditRecord) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d n%d.%d %s", r.Seq, r.Node, r.NodeSeq, r.Op)
+	if r.Channel >= 0 {
+		fmt.Fprintf(&b, " ch%d", r.Channel)
+	}
+	fmt.Fprintf(&b, " %s %s->%s", r.Outcome, r.Src, r.Dst)
+	if r.Spec != "" {
+		b.WriteByte(' ')
+		b.WriteString(r.Spec)
+	}
+	if r.Route != "" {
+		fmt.Fprintf(&b, " d=%d hops=%d route=%s", r.LocalD, r.Hops, r.Route)
+	}
+	fmt.Fprintf(&b, " margin=%+g", r.Margin)
+	if r.Binding != "" {
+		fmt.Fprintf(&b, " binding=%s test=%s", r.Binding, r.Test)
+	}
+	if r.Err != "" {
+		fmt.Fprintf(&b, " err=%q", r.Err)
+	}
+	return b.String()
+}
+
+type auditShard struct {
+	recs []AuditRecord
+	seq  uint64
+}
+
+// AuditLog collects admission-plane decisions per source node under the
+// sharded contract: records live in the shard of the channel's source
+// coordinate and Merged interleaves shards into the global decision
+// order. Admission decisions are made host-side between kernel runs —
+// never from worker goroutines — so recording needs no synchronization
+// and the merged log is byte-identical at any worker count by
+// construction; the per-node layout exists so audits slice the same way
+// traces and SLO accounts do.
+type AuditLog struct {
+	shards map[int]*auditShard
+	seq    uint64
+}
+
+// NewAuditLog returns an empty audit log.
+func NewAuditLog() *AuditLog {
+	return &AuditLog{shards: make(map[int]*auditShard)}
+}
+
+// Record appends one decision to node's shard, stamping the global and
+// per-node sequence numbers.
+func (l *AuditLog) Record(node int, rec AuditRecord) {
+	s := l.shards[node]
+	if s == nil {
+		s = &auditShard{}
+		l.shards[node] = s
+	}
+	rec.Seq = l.seq
+	rec.Node = node
+	rec.NodeSeq = s.seq
+	l.seq++
+	s.seq++
+	s.recs = append(s.recs, rec)
+}
+
+// Len returns the total number of recorded decisions.
+func (l *AuditLog) Len() int {
+	return int(l.seq)
+}
+
+// Merged returns every shard's records interleaved into the global
+// decision order.
+func (l *AuditLog) Merged() []AuditRecord {
+	out := make([]AuditRecord, 0, l.seq)
+	for _, s := range l.shards {
+		out = append(out, s.recs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump writes the merged log one line per record.
+func (l *AuditLog) Dump(w io.Writer) error {
+	for _, r := range l.Merged() {
+		if _, err := fmt.Fprintln(w, r.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset discards all records and restarts the sequence numbering.
+func (l *AuditLog) Reset() {
+	l.shards = make(map[int]*auditShard)
+	l.seq = 0
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAuditLogMergeOrder(t *testing.T) {
+	l := NewAuditLog()
+	// Records land on interleaved shards; the global Seq must win.
+	l.Record(3, AuditRecord{Op: "admit", Outcome: "admitted", Channel: 0})
+	l.Record(1, AuditRecord{Op: "admit", Outcome: "admitted", Channel: 1})
+	l.Record(3, AuditRecord{Op: "teardown", Outcome: "released", Channel: 0})
+	l.Record(0, AuditRecord{Op: "admit", Outcome: "rejected", Channel: -1})
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	recs := l.Merged()
+	for i, r := range recs {
+		if int(r.Seq) != i {
+			t.Errorf("position %d holds Seq %d", i, r.Seq)
+		}
+	}
+	if recs[0].Node != 3 || recs[0].NodeSeq != 0 {
+		t.Errorf("first record %+v", recs[0])
+	}
+	if recs[2].Node != 3 || recs[2].NodeSeq != 1 {
+		t.Errorf("third record on shard 3 has NodeSeq %d, want 1", recs[2].NodeSeq)
+	}
+	l.Reset()
+	if l.Len() != 0 || len(l.Merged()) != 0 {
+		t.Error("Reset did not clear the log")
+	}
+	l.Record(0, AuditRecord{Op: "admit"})
+	if got := l.Merged(); len(got) != 1 || got[0].Seq != 0 {
+		t.Errorf("sequence after Reset: %+v", got)
+	}
+}
+
+func TestAuditRecordString(t *testing.T) {
+	full := AuditRecord{
+		Seq: 7, Node: 2, NodeSeq: 3, Op: "admit", Outcome: "admitted",
+		Channel: 5, Src: "(0,0)", Dst: "(2,1)", Spec: "spec[Imin=8 Smax=18 Bmax=0 D=40]",
+		Route: "(0,0)[+x] (1,0)[+x local]", LocalD: 10, Hops: 4, Margin: 3,
+	}
+	want := `#7 n2.3 admit ch5 admitted (0,0)->(2,1) spec[Imin=8 Smax=18 Bmax=0 D=40] d=10 hops=4 route=(0,0)[+x] (1,0)[+x local] margin=+3`
+	if got := full.String(); got != want {
+		t.Errorf("String()\n got %q\nwant %q", got, want)
+	}
+	rej := AuditRecord{
+		Seq: 8, Op: "admit", Outcome: "rejected", Channel: -1,
+		Src: "(0,0)", Dst: "(1,0)", Margin: -0.25,
+		Binding: "(0,0)→inject", Test: "utilization", Err: "overloaded",
+	}
+	s := rej.String()
+	for _, frag := range []string{"margin=-0.25", "binding=(0,0)→inject", "test=utilization", `err="overloaded"`} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rejection line %q missing %q", s, frag)
+		}
+	}
+	if strings.Contains(s, "ch-1") {
+		t.Errorf("rejection line renders a channel id: %q", s)
+	}
+
+	var buf bytes.Buffer
+	l := NewAuditLog()
+	l.Record(0, full)
+	if err := l.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "#0 n0.0 admit ch5") {
+		t.Errorf("dump restamps wrongly: %q", buf.String())
+	}
+}

@@ -65,6 +65,13 @@ func (s Spec) PacketsPerMessage() int {
 // the per-link admission test.
 func (s Spec) MessageSlots() int64 { return int64(s.PacketsPerMessage()) }
 
+// Utilization is the fraction of one link's slots the contract reserves
+// in the worst case: C/Imin, the per-connection term the admission
+// test's utilization check sums.
+func (s Spec) Utilization() float64 {
+	return float64(s.MessageSlots()) / float64(s.Imin)
+}
+
 // Source computes logical arrival times at the connection's source node:
 //
 //	ℓ0(m_i) = t_i                          if i = 0

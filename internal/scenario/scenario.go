@@ -266,6 +266,10 @@ type RunOpts struct {
 	// Recorder, when non-nil, attaches the flight recorder (trigger
 	// logs with occupancy snapshots, post-run window dumps).
 	Recorder *obs.Recorder
+	// Audit, when non-nil, receives one record per admission-plane
+	// decision the scenario drives (channel opens, failure-driven
+	// reroutes, failbacks).
+	Audit *obs.AuditLog
 	// Workers selects the kernel execution mode: 0 or 1 sequential,
 	// n > 1 parallel over per-node shards (bit-identical results),
 	// negative GOMAXPROCS. Parallel runs should Close the returned
@@ -330,6 +334,7 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 		ChannelSLO:         opts.ChannelSLO,
 		Forensics:          opts.Forensics,
 		Recorder:           opts.Recorder,
+		Audit:              opts.Audit,
 		Workers:            opts.Workers,
 		Epoch:              opts.Epoch,
 	}.WithAdmission(acfg))
@@ -378,6 +383,9 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 		opened = append(opened, openChan{ch, def})
 		res.Opened++
 	}
+	// The admission phase is over: publish the reservation ledger so a
+	// live scrape during the run sees the admitted state.
+	sys.SealCapacity()
 	for i, f := range sc.BestEffort {
 		var dst traffic.DstPicker
 		if f.Dst != nil {
@@ -492,6 +500,9 @@ func (sc *Scenario) RunWith(opts RunOpts) (*Result, *core.System, error) {
 				}
 			}
 		}
+		// Each event may have moved reservations; re-seal so the live
+		// ledger tracks the outage/repair state.
+		sys.SealCapacity()
 	}
 	sys.Run(sc.Cycles - at)
 	res.Summary = sys.Summarize()

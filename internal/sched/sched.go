@@ -53,6 +53,18 @@ func (m PortMask) Clear(p int) PortMask { return m &^ (1 << p) }
 // Count returns the number of set bits.
 func (m PortMask) Count() int { return bits.OnesCount8(uint8(m)) }
 
+// Ports appends the set port indices to dst in ascending order and
+// returns it. Pass dst[:0] to reuse a scratch slice without allocating.
+func (m PortMask) Ports(dst []int) []int {
+	for p := 0; m != 0; p++ {
+		if m&1 != 0 {
+			dst = append(dst, p)
+		}
+		m >>= 1
+	}
+	return dst
+}
+
 // Class is the service class a selection falls in (Table 1).
 type Class int
 

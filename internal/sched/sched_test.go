@@ -25,6 +25,19 @@ func TestPortMask(t *testing.T) {
 	if m.Count() != 4 {
 		t.Errorf("Count after clear = %d, want 4", m.Count())
 	}
+	got := m.Ports(nil)
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Ports = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ports = %v, want %v", got, want)
+		}
+	}
+	if p := PortMask(0).Ports(got[:0]); len(p) != 0 {
+		t.Errorf("empty mask lists ports %v", p)
+	}
 }
 
 func TestEDFInstallErrors(t *testing.T) {
