@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test fmt capacity bench benchall trace
+.PHONY: check build vet test fmt capacity admission bench benchall trace
 
 # check is the tier-1 gate: vet, build, race tests, formatting, and the
 # capacity gate.
@@ -29,16 +29,31 @@ fmt:
 capacity:
 	$(GO) run ./cmd/rtbench -exp capacity -mesh 6 -scenario scenarios/faulty.json -cycles 35000
 
+# admission runs the mass-admission throughput campaign: 100k-request
+# uniform/hotspot/transpose batches on a 16×16 mesh, timing the
+# pre-cache reference path against the incremental-EDF path in the
+# same run (serial vs serial, so the speedup floor is enforceable on
+# any hardware), checking batch byte-identity at workers 1/2/4, and
+# churning teardown/re-admit against the ledger verifier. Results land
+# in $(ADMIT_JSON).
+ADMIT_JSON ?= BENCH_admission.json
+admission:
+	$(GO) run ./cmd/rtbench -exp admission -requests 100000 -min-admit-speedup 5 -benchjson $(ADMIT_JSON)
+
 # bench runs the simulator-speed micro-benchmarks (router tick hot
 # paths, cycle rate sequential vs parallel, scheduler selection, sort
-# keys) with allocation reporting, then runs the full scaling sweep —
-# mesh size × worker count, printing the speedup table — and records
-# machine-readable numbers (including allocs/cycle, GOMAXPROCS and
-# NumCPU) in $(BENCH_JSON).
+# keys) with allocation reporting, the admission-path benchmarks with
+# their allocs-per-admit ceiling (TestAdmitAllocs fails the run if the
+# steady-state admit path starts allocating), then runs the full
+# scaling sweep — mesh size × worker count, printing the speedup table
+# — and records machine-readable numbers (including allocs/cycle,
+# GOMAXPROCS and NumCPU) in $(BENCH_JSON).
 BENCH_JSON ?= BENCH_router.json
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkRouterTick -benchmem ./internal/router
 	$(GO) test -run '^$$' -bench 'BenchmarkRouterCycleRate|BenchmarkT4SchedulerThroughput|BenchmarkFig6SortKeys' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkAdmit$$|BenchmarkAdmitBatch$$|BenchmarkLinkCheckCached$$' -benchmem ./internal/admission
+	$(GO) test -run TestAdmitAllocs -count=1 ./internal/admission
 	$(GO) run ./cmd/rtbench -exp sweep -benchjson $(BENCH_JSON)
 
 # benchall runs every benchmark, including the full experiment replays.

@@ -12,9 +12,12 @@
 // itself (sequential vs parallel kernel; -workers, -mesh, -benchjson,
 // -min-speedup, and -baseline/-max-regress for regression diffing
 // against an archived sweep), forensics, which gates the slack
-// attribution engine on a scenario (-scenario), and capacity, which
+// attribution engine on a scenario (-scenario), capacity, which
 // probes each scenario family's max admissible channel count and gates
-// the reservation ledger's conservation and audit byte-identity.
+// the reservation ledger's conservation and audit byte-identity, and
+// admission, the mass-admission campaign (-requests, -workers,
+// -min-admit-speedup, -min-admit-rate, -benchjson, and
+// -baseline/-max-regress against an archived BENCH_admission.json).
 package main
 
 import (
@@ -38,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|faults|ring|sharing|cyclerate|sweep|forensics|capacity|all)")
+	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|faults|ring|sharing|cyclerate|sweep|forensics|capacity|admission|all)")
 	seed := flag.Int64("seed", 1, "seed for the faults campaign's fault placement")
 	cycles := flag.Int64("cycles", 0, "override simulated cycles where applicable (0 = experiment default)")
 	chart := flag.Bool("chart", false, "render ASCII charts where available")
@@ -49,6 +52,9 @@ func main() {
 	baseline := flag.String("baseline", "", "archived sweep JSON (BENCH_router.json) to diff the fresh sweep against")
 	maxRegress := flag.Float64("max-regress", 0, "with -baseline: fail if any row's speedup drops (or allocs/cycle grows) more than this fraction vs the baseline (0 = report only)")
 	scenarioPath := flag.String("scenario", "scenarios/faulty.json", "scenario file for -exp forensics and the audit-identity leg of -exp capacity")
+	requests := flag.Int("requests", 100000, "request count per family for -exp admission")
+	minAdmitSpeedup := flag.Float64("min-admit-speedup", 0, "fail -exp admission if any family's incremental-vs-reference sequential speedup (timed in-run, serial vs serial) is below this (0 = don't enforce)")
+	minAdmitRate := flag.Float64("min-admit-rate", 0, "fail -exp admission if the best AdmitBatch decisions/sec is below this floor; loudly skipped on a single-CPU runner (0 = don't enforce)")
 	epoch := flag.Int("epoch", 1, "synchronization epoch for cyclerate/sweep/forensics: amortize the parallel kernel's barrier over this many cycles (links deepen to match; 1 = per-cycle barriers)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -139,9 +145,14 @@ func main() {
 		},
 		"forensics": func() error { return runForensics(*scenarioPath, *cycles, *epoch) },
 		"capacity":  func() error { return runCapacity(*meshList, *scenarioPath, *cycles) },
+		"admission": func() error {
+			return runAdmissionCampaign(*meshList, *requests, *benchJSON,
+				*minAdmitSpeedup, *minAdmitRate, *baseline, *maxRegress)
+		},
 	}
-	// cyclerate, sweep, forensics and capacity probe the simulator rather
-	// than the paper and are run on request only, not as part of "all".
+	// cyclerate, sweep, forensics, capacity and admission probe the
+	// simulator rather than the paper and are run on request only, not as
+	// part of "all".
 	order := []string{"e1", "fig7", "fig6", "chip", "horizon", "compare", "approx", "vct", "multicast", "admit", "load", "skew", "failover", "faults", "ring", "sharing"}
 
 	if *exp == "all" {
@@ -539,7 +550,11 @@ func runSweep(cycles int64, workers, epoch int, meshList, benchJSON string, minS
 	if cycles > 0 {
 		budget = func(int) int64 { return cycles }
 	}
-	if res := runtime.GOMAXPROCS(0); res == 1 {
+	// Always say what parallelism the gate actually ran with — a CI log
+	// that never states the effective GOMAXPROCS can hide a single-CPU
+	// runner silently passing (or skipping) a scaling floor.
+	fmt.Printf("sweep parallelism: GOMAXPROCS=%d, NumCPU=%d\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	if runtime.GOMAXPROCS(0) == 1 {
 		fmt.Fprintf(os.Stderr, "rtbench: WARNING: GOMAXPROCS=1 (NumCPU=%d) — every parallel row runs its workers on a single OS thread, so speedups here measure overhead, not scaling\n", runtime.NumCPU())
 	}
 	res, err := experiments.RunScalingSweep(meshes, workerSet, budget, epoch)
@@ -651,4 +666,95 @@ func runAdmit() error {
 	}
 	res.Table().Fprint(os.Stdout)
 	return nil
+}
+
+// runAdmissionCampaign runs the mass-admission campaign: per request
+// family it times the reference (pre-incremental) sequential admission
+// path against the incremental one over the same request sequence —
+// both serial, so the speedup gate holds on any runner — then measures
+// AdmitBatch at workers {1,2,4} with byte-identity checks and a churn
+// phase. The -mesh flag's first entry sizes the square mesh (default
+// 16, the acceptance configuration).
+func runAdmissionCampaign(meshList string, requests int, benchJSON string, minSpeedup, minRate float64, baseline string, maxRegress float64) error {
+	edge := 16
+	if meshList != "" {
+		first := strings.TrimSpace(strings.Split(meshList, ",")[0])
+		e, err := strconv.Atoi(first)
+		if err != nil || e < 2 {
+			return fmt.Errorf("bad -mesh entry %q", first)
+		}
+		edge = e
+	}
+	// Same contract as the sweep gate: the effective parallelism is
+	// printed unconditionally so a CI log always shows what the batch
+	// rows could possibly demonstrate.
+	fmt.Printf("admission parallelism: GOMAXPROCS=%d, NumCPU=%d\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	res, err := experiments.RunAdmission(edge, edge, requests, nil)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	if !res.OK() {
+		for _, c := range res.Checks {
+			if !c.OK {
+				fmt.Fprintf(os.Stderr, "rtbench: admission check %s failed: %s\n", c.Name, c.Detail)
+			}
+		}
+		return fmt.Errorf("admission identity/ledger checks failed on the %dx%d mesh", edge, edge)
+	}
+	if minSpeedup > 0 {
+		// Serial vs serial, both timed in this very run — enforceable on
+		// any hardware, single-CPU runners included.
+		if got := res.MinSpeedup(); got < minSpeedup {
+			return fmt.Errorf("incremental speedup %.2fx below the %.2fx floor (reference vs incremental, both sequential)",
+				got, minSpeedup)
+		}
+	}
+	if minRate > 0 {
+		if res.GOMAXPROCS == 1 || res.NumCPU == 1 {
+			fmt.Fprintf(os.Stderr, "rtbench: SKIPPED -min-admit-rate %.0f gate: single-CPU runner (GOMAXPROCS=%d, NumCPU=%d) cannot demonstrate parallel batch throughput\n",
+				minRate, res.GOMAXPROCS, res.NumCPU)
+		} else if got := res.BestBatchRate(); got < minRate {
+			return fmt.Errorf("best AdmitBatch rate %.0f decisions/sec below the %.0f floor", got, minRate)
+		}
+	}
+	var regress error
+	if baseline != "" {
+		base, err := experiments.LoadAdmissionBaseline(baseline)
+		if err != nil {
+			return err
+		}
+		deltas := res.Diff(base)
+		if len(deltas) == 0 {
+			return fmt.Errorf("baseline %s shares no families with this campaign", baseline)
+		}
+		experiments.AdmissionDeltaTable(deltas, baseline).Fprint(os.Stdout)
+		// Write the fresh campaign (the next baseline / CI artifact)
+		// before failing, so a regression still leaves evidence behind.
+		regress = experiments.CheckAdmissionRegression(deltas, maxRegress)
+	}
+	if benchJSON == "" {
+		return regress
+	}
+	f, err := os.Create(benchJSON)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{
+		"benchmark":  "mass_admission",
+		"mesh":       fmt.Sprintf("%dx%d", res.W, res.H),
+		"requests":   res.Requests,
+		"gomaxprocs": res.GOMAXPROCS,
+		"num_cpu":    res.NumCPU,
+		"workers":    res.WorkerSet,
+		"rows":       res.BaselineRows(),
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark result written to %s\n", benchJSON)
+	return regress
 }

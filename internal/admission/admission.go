@@ -15,6 +15,7 @@ package admission
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/rtc"
 	"repro/internal/sched"
+	"repro/internal/timing"
 )
 
 // BufferPolicy selects how a router's shared packet memory is accounted
@@ -57,6 +59,14 @@ type Config struct {
 	SourceWindow int64
 	// Horizon is the horizon parameter programmed on every output port.
 	Horizon uint32
+	// Reference disables every admission fast path — the incremental EDF
+	// cache, the unicast planner, route memoization, and batched
+	// speculation — so the controller runs the original from-scratch
+	// analysis on every check. A Reference controller must make exactly
+	// the same decisions as a standard one (the fuzz harness diffs them);
+	// it exists as the differential-testing oracle and as the honest
+	// "pre-PR sequential path" the admission campaign times against.
+	Reference bool
 }
 
 // DefaultConfig returns partitioned buffers, a modest source window and
@@ -68,13 +78,20 @@ func DefaultConfig() Config {
 // Controller owns the reservation state of one mesh and admits or
 // rejects real-time channels against it.
 type Controller struct {
-	net    *mesh.Network
-	cfg    Config
-	links  map[linkKey]*linkState
-	nodes  map[mesh.Coord]*nodeState
+	net *mesh.Network
+	cfg Config
+	// links and failed are dense tables indexed by linkIdx — the mesh is
+	// a full W×H rectangle, so a slice beats a map on the admission hot
+	// path (linkCheckIn runs once per route hop per plan attempt).
+	links  []*linkState
+	nodes  []*nodeState
 	chans  map[int]*Channel
-	failed map[linkKey]bool
+	failed []bool
 	seq    int
+	// linkNames and nodeNames lazily cache rendered link/node names for
+	// audit records (dense, same indexing as links/nodes).
+	linkNames []string
+	nodeNames []string
 
 	// audit, when attached, receives one record per control-plane
 	// decision (see AttachAudit).
@@ -82,6 +99,26 @@ type Controller struct {
 	// sealed holds the last published capacity snapshot (see Seal in
 	// ledger.go); atomic so a live HTTP scrape never races a seal.
 	sealed atomic.Pointer[metrics.CapacitySnapshot]
+	// memo caches the deterministic planners' port sequences (pure
+	// functions of endpoints, so entries never invalidate).
+	memo routeMemo
+	// sc is the serial control path's evaluation scratch; AdmitBatch's
+	// concurrent evaluators carry their own.
+	sc evalScratch
+	// mut counts reservation-state mutations (commits, teardowns, link
+	// failure transitions); rejMemo caches whole admit() rejections
+	// keyed by request and mut. Mass admission replays the same few
+	// (src, dst, spec) rejections thousands of times against unchanged
+	// state, and a rejection leaves no state behind, so replaying the
+	// stored error is exact — same value, same rendered bytes.
+	mut     uint64
+	rejMemo map[rejKey]error
+	// lastSpec/lastSpecStr memoize the last audit spec rendering: a mass
+	// admission run replays one traffic contract thousands of times.
+	lastSpec    rtc.Spec
+	lastSpecStr string
+	// stats counts control-plane decisions for telemetry (see Stats).
+	stats admStats
 }
 
 // AttachAudit wires an audit log to receive every Admit, Teardown,
@@ -102,9 +139,9 @@ type linkKey struct {
 
 func (k linkKey) String() string {
 	if k.port == portInject {
-		return fmt.Sprintf("%s→inject", k.node)
+		return k.node.String() + "→inject"
 	}
-	return fmt.Sprintf("%s→%s", k.node, router.PortName(k.port))
+	return k.node.String() + "→" + router.PortName(k.port)
 }
 
 // task is one connection's demand on a link: C slots every T slots with
@@ -116,12 +153,22 @@ type task struct {
 
 type linkState struct {
 	tasks []task
+	// cache is the incremental EDF digest of tasks (edfcache.go), kept
+	// current by every commit/teardown/restore/unwind; unused (left
+	// unbuilt) when the controller runs in Reference mode.
+	cache edfCache
 }
 
 type nodeState struct {
 	usedIDs     map[uint8]bool
 	portBuffers [router.NumPorts]int
 	total       int
+	// wheel, slots and conns cache the router's static configuration so
+	// the per-hop admission checks never touch the router map or copy a
+	// Config struct.
+	wheel timing.Wheel
+	slots int
+	conns int
 }
 
 // New creates a controller for the given network and programs the
@@ -133,11 +180,13 @@ func New(net *mesh.Network, cfg Config) (*Controller, error) {
 	c := &Controller{
 		net:    net,
 		cfg:    cfg,
-		links:  make(map[linkKey]*linkState),
-		nodes:  make(map[mesh.Coord]*nodeState),
+		links:  make([]*linkState, net.W*net.H*(router.NumPorts+1)),
+		nodes:  make([]*nodeState, net.W*net.H),
 		chans:  make(map[int]*Channel),
-		failed: make(map[linkKey]bool),
+		failed: make([]bool, net.W*net.H*(router.NumPorts+1)),
 	}
+	c.linkNames = make([]string, len(c.links))
+	c.nodeNames = make([]string, len(c.nodes))
 	for _, coord := range net.Coords() {
 		r := net.Router(coord)
 		if !r.Wheel().ValidDelay(int64(cfg.Horizon)) {
@@ -146,10 +195,57 @@ func New(net *mesh.Network, cfg Config) (*Controller, error) {
 		if err := r.SetHorizon(sched.AllPortsMask(router.NumPorts), uint8(cfg.Horizon)); err != nil {
 			return nil, err
 		}
-		c.nodes[coord] = &nodeState{usedIDs: make(map[uint8]bool)}
+		cfgR := r.Config()
+		c.nodes[net.Shard(coord)] = &nodeState{
+			usedIDs: make(map[uint8]bool),
+			wheel:   r.Wheel(), slots: cfgR.Slots, conns: cfgR.Conns,
+		}
 	}
 	return c, nil
 }
+
+// linkIdx maps a directed link to its slot in the dense link/failed
+// tables; the injection pseudo-port (−1) occupies slot 0 of each node's
+// NumPorts+1 stride.
+func (c *Controller) linkIdx(k linkKey) int {
+	return c.net.Shard(k.node)*(router.NumPorts+1) + k.port + 1
+}
+
+// linkKeyAt inverts linkIdx for table iteration. Ascending index order
+// is (node.Y, node.X, port) order with inject first — exactly the
+// deterministic link order Seal publishes.
+func (c *Controller) linkKeyAt(i int) linkKey {
+	n, p := i/(router.NumPorts+1), i%(router.NumPorts+1)-1
+	return linkKey{mesh.Coord{X: n % c.net.W, Y: n / c.net.W}, p}
+}
+
+// linkAt returns the link's state without materializing one, nil if the
+// link has never held a reservation.
+func (c *Controller) linkAt(k linkKey) *linkState { return c.links[c.linkIdx(k)] }
+
+// linkName returns k.String() through a lazily filled dense cache: the
+// rejection path stamps a link name on every audited refusal, and there
+// are only W×H×(NumPorts+1) distinct names.
+func (c *Controller) linkName(k linkKey) string {
+	i := c.linkIdx(k)
+	if c.linkNames[i] == "" {
+		c.linkNames[i] = k.String()
+	}
+	return c.linkNames[i]
+}
+
+// nodeName is linkName's per-router twin.
+func (c *Controller) nodeName(co mesh.Coord) string {
+	i := c.net.Shard(co)
+	if c.nodeNames[i] == "" {
+		c.nodeNames[i] = co.String()
+	}
+	return c.nodeNames[i]
+}
+
+// node returns the router's reservation state (always materialized by
+// the constructor).
+func (c *Controller) node(co mesh.Coord) *nodeState { return c.nodes[c.net.Shard(co)] }
 
 // Channel is an admitted real-time channel.
 type Channel struct {
@@ -257,31 +353,62 @@ func (c *Controller) buildTree(src mesh.Coord, dsts []mesh.Coord, route routeFn)
 // Channel carries the connection id the source must stamp.
 func (c *Controller) Admit(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec) (*Channel, error) {
 	ch, err := c.admit(src, dsts, spec)
-	if c.audit != nil {
-		rec := obs.AuditRecord{
-			Op: "admit", Channel: -1,
-			Src: src.String(), Dst: dstString(dsts), Spec: specString(spec),
-		}
-		if err != nil {
-			rec.Outcome = "rejected"
-			rec.Err = err.Error()
-			if rej, ok := Explain(err); ok {
-				rec.Binding = rej.BindingResource()
-				rec.Test = rej.FailingTest()
-				rec.Margin = rej.FailMargin()
-			}
-		} else {
-			rec.Outcome = "admitted"
-			rec.Channel = ch.ID
-			rec.Route = ch.Route()
-			rec.LocalD = ch.LocalD
-			rec.Hops = ch.Hops()
-			rec.Margin = float64(ch.Margin)
-		}
-		c.audit.Record(c.net.Shard(src), rec)
-	}
+	c.recordAdmit(src, dsts, spec, ch, err)
 	return ch, err
 }
+
+// recordAdmit counts one admission decision and, when an audit log is
+// attached, records it. Shared between Admit and AdmitBatch's serial
+// finalize, so a batched request leaves exactly the trail a sequential
+// one does.
+func (c *Controller) recordAdmit(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, ch *Channel, err error) {
+	if err != nil {
+		c.stats.rejects.Add(1)
+	} else {
+		c.stats.admits.Add(1)
+	}
+	if c.audit == nil {
+		return
+	}
+	srcName := src.String()
+	if c.net.Contains(src) {
+		srcName = c.nodeName(src)
+	}
+	rec := obs.AuditRecord{
+		Op: "admit", Channel: -1,
+		Src: srcName, Dst: c.dstName(dsts), Spec: c.specStr(spec),
+	}
+	if err != nil {
+		rec.Outcome = "rejected"
+		rec.Err = err.Error()
+		if rej, ok := Explain(err); ok {
+			rec.Binding = rej.BindingResource()
+			rec.Test = rej.FailingTest()
+			rec.Margin = rej.FailMargin()
+		}
+	} else {
+		rec.Outcome = "admitted"
+		rec.Channel = ch.ID
+		rec.Route = ch.Route()
+		rec.LocalD = ch.LocalD
+		rec.Hops = ch.Hops()
+		rec.Margin = float64(ch.Margin)
+	}
+	c.audit.Record(c.net.Shard(src), rec)
+}
+
+// rejKey names one memoizable unicast rejection: the request plus the
+// controller's mutation count, which pins the exact reservation state
+// the decision was made against.
+type rejKey struct {
+	src, dst mesh.Coord
+	spec     rtc.Spec
+	mut      uint64
+}
+
+// rejMemoCap bounds the rejection memo; on overflow the map is cleared
+// in place (buckets are kept, so steady state stays allocation-free).
+const rejMemoCap = 1 << 14
 
 func (c *Controller) admit(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec) (*Channel, error) {
 	if err := spec.Validate(); err != nil {
@@ -290,16 +417,83 @@ func (c *Controller) admit(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec) (*C
 	if len(dsts) == 0 {
 		return nil, fmt.Errorf("admission: no destinations")
 	}
-	ch, errXY := c.admitVia(src, dsts, spec, mesh.XYRoute)
+	memoable := len(dsts) == 1 && !c.cfg.Reference
+	var key rejKey
+	if memoable {
+		key = rejKey{src: src, dst: dsts[0], spec: spec, mut: c.mut}
+		if err, ok := c.rejMemo[key]; ok {
+			return nil, err
+		}
+	}
+	ch, errXY := c.tryVia(src, dsts, spec, xyOrder)
 	if errXY == nil {
 		return ch, nil
 	}
 	if len(dsts) == 1 && src.X != dsts[0].X && src.Y != dsts[0].Y {
-		if ch, errYX := c.admitVia(src, dsts, spec, mesh.YXRoute); errYX == nil {
+		if ch, errYX := c.tryVia(src, dsts, spec, yxOrder); errYX == nil {
 			return ch, nil
 		}
 	}
+	if memoable {
+		if c.rejMemo == nil {
+			c.rejMemo = make(map[rejKey]error, 1<<10)
+		} else if len(c.rejMemo) >= rejMemoCap {
+			clear(c.rejMemo)
+		}
+		c.rejMemo[key] = errXY
+	}
 	return nil, errXY
+}
+
+// tryVia plans and immediately commits along one routing order.
+func (c *Controller) tryVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, order routeOrder) (*Channel, error) {
+	p, err := c.planVia(src, dsts, spec, order, &c.sc)
+	if err != nil {
+		return nil, err
+	}
+	return c.commitPlan(p)
+}
+
+// plan runs admission phase 1 only — route, delay split, schedulability,
+// buffers, identifiers, with the XY→YX fallback Admit applies — without
+// mutating any controller state. In incremental (non-Reference) mode it
+// is safe to call from many goroutines concurrently against a frozen
+// controller, each with its own scratch; that is AdmitBatch's
+// speculative evaluation.
+func (c *Controller) plan(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, sc *evalScratch) (*admitPlan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dsts) == 0 {
+		return nil, fmt.Errorf("admission: no destinations")
+	}
+	p, errXY := c.planVia(src, dsts, spec, xyOrder, sc)
+	if errXY == nil {
+		return p, nil
+	}
+	if len(dsts) == 1 && src.X != dsts[0].X && src.Y != dsts[0].Y {
+		if p, errYX := c.planVia(src, dsts, spec, yxOrder, sc); errYX == nil {
+			return p, nil
+		}
+	}
+	return nil, errXY
+}
+
+// dstName is dstString through the controller's rendered-name cache
+// (identical bytes: nodeName caches Coord.String itself).
+func (c *Controller) dstName(dsts []mesh.Coord) string {
+	if len(dsts) == 1 && c.net.Contains(dsts[0]) {
+		return c.nodeName(dsts[0])
+	}
+	return dstString(dsts)
+}
+
+// specStr is specString through the controller's single-entry memo.
+func (c *Controller) specStr(spec rtc.Spec) string {
+	if c.lastSpecStr == "" || spec != c.lastSpec {
+		c.lastSpec, c.lastSpecStr = spec, specString(spec)
+	}
+	return c.lastSpecStr
 }
 
 // dstString renders a destination set for audit records.
@@ -314,18 +508,78 @@ func dstString(dsts []mesh.Coord) string {
 	return strings.Join(parts, "+")
 }
 
-// specString renders a traffic contract for audit records.
+// specString renders a traffic contract for audit records. strconv
+// instead of fmt — one of these renders on every audited decision.
 func specString(s rtc.Spec) string {
-	return fmt.Sprintf("spec[Imin=%d Smax=%d Bmax=%d D=%d]", s.Imin, s.Smax, s.Bmax, s.D)
+	b := make([]byte, 0, 48)
+	b = append(b, "spec[Imin="...)
+	b = strconv.AppendInt(b, s.Imin, 10)
+	b = append(b, " Smax="...)
+	b = strconv.AppendInt(b, int64(s.Smax), 10)
+	b = append(b, " Bmax="...)
+	b = strconv.AppendInt(b, int64(s.Bmax), 10)
+	b = append(b, " D="...)
+	b = strconv.AppendInt(b, s.D, 10)
+	b = append(b, ']')
+	return string(b)
 }
 
-// admitVia attempts admission along one routing order.
-func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, route routeFn) (*Channel, error) {
+// routeOrder selects the dimension order of the deterministic planner.
+type routeOrder uint8
+
+const (
+	xyOrder routeOrder = iota
+	yxOrder
+)
+
+// routeFor returns the (memoized) port sequence for one routing order.
+// Reference mode bypasses the memo so the pre-PR cost model stays
+// honest.
+func (c *Controller) routeFor(src, dst mesh.Coord, order routeOrder) []int {
+	if c.cfg.Reference {
+		if order == yxOrder {
+			return mesh.YXRoute(src, dst)
+		}
+		return mesh.XYRoute(src, dst)
+	}
+	return c.memo.route(src, dst, order)
+}
+
+// admitPlan is the read-only product of admission phase 1: everything
+// phase 2 needs to debit resources and program the chips. The plan's
+// task carries no channel id yet — commitPlan stamps the id when the
+// plan actually lands, so a plan computed speculatively (before earlier
+// batched requests settled) commits with the right id.
+type admitPlan struct {
+	src     mesh.Coord
+	dsts    []mesh.Coord
+	spec    rtc.Spec
+	d       int64
+	margin  int64
+	task    task
+	hops    []planHop
+	srcIn   uint8
+	dstConn []uint8
+}
+
+type planHop struct {
+	node    mesh.Coord
+	mask    sched.PortMask
+	in, out uint8
+	buffers int
+}
+
+// planVia runs admission phase 1 along one routing order.
+func (c *Controller) planVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, order routeOrder, sc *evalScratch) (*admitPlan, error) {
+	if len(dsts) == 1 && !c.cfg.Reference {
+		return c.planUnicast(src, dsts, spec, order, sc)
+	}
+	route := func(s, d mesh.Coord) []int { return c.routeFor(s, d, order) }
 	nodes, maxSegs, err := c.buildTree(src, dsts, route)
 	if err != nil {
 		return nil, err
 	}
-	wheel := c.net.Router(src).Wheel()
+	wheel := c.node(src).wheel
 	// The hardware uses one d per router shared by all branches; use the
 	// deepest path to size it, so every branch meets its bound.
 	ds, err := rtc.Decompose(spec, maxSegs, wheel)
@@ -347,15 +601,14 @@ func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, 
 			c.cfg.Horizon, d)
 	}
 
-	// Phase 1: check every resource without mutating anything. The
-	// channel's admission margin is the minimum EDF headroom across
-	// every link checked, candidate included.
-	newTask := task{C: spec.MessageSlots(), T: spec.Imin, D: d, chanID: c.seq}
+	// Check every resource without mutating anything. The channel's
+	// admission margin is the minimum EDF headroom across every link
+	// checked, candidate included.
+	newTask := task{C: spec.MessageSlots(), T: spec.Imin, D: d}
 	injKey := linkKey{src, portInject}
-	rep := c.linkCheck(injKey, newTask)
+	rep := c.linkCheckIn(injKey, newTask, sc)
 	if !rep.feasible {
-		return nil, overloadError(injKey, rep,
-			fmt.Sprintf("admission: injection port at %s fails the schedulability test", src))
+		return nil, overloadError(c.linkName(injKey), c.nodeName(injKey.node), rep, true)
 	}
 	margin := rep.headroom
 	buffers := make(map[mesh.Coord]int, len(nodes))
@@ -365,10 +618,9 @@ func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, 
 				continue
 			}
 			key := linkKey{n.coord, p}
-			rep := c.linkCheck(key, newTask)
+			rep := c.linkCheckIn(key, newTask, sc)
 			if !rep.feasible {
-				return nil, overloadError(key, rep,
-					fmt.Sprintf("admission: link %s fails the schedulability test", key))
+				return nil, overloadError(c.linkName(key), "", rep, false)
 			}
 			if rep.headroom < margin {
 				margin = rep.headroom
@@ -380,7 +632,7 @@ func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, 
 		}
 		need := rtc.BufferBound(prev, d, spec)
 		buffers[n.coord] = need
-		if err := c.buffersAvailable(n, need); err != nil {
+		if err := c.buffersFit(n.coord, n.mask, need); err != nil {
 			return nil, err
 		}
 	}
@@ -388,49 +640,205 @@ func (c *Controller) admitVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, 
 	if err != nil {
 		return nil, err
 	}
+	p := &admitPlan{src: src, dsts: dsts, spec: spec, d: d, margin: margin, task: newTask}
+	p.hops = make([]planHop, len(nodes))
+	for i, n := range nodes {
+		p.hops[i] = planHop{node: n.coord, mask: n.mask,
+			in: ids[n.coord].in, out: ids[n.coord].out, buffers: buffers[n.coord]}
+	}
+	p.srcIn = ids[src].in
+	p.dstConn = make([]uint8, len(dsts))
+	for i, dst := range dsts {
+		p.dstConn[i] = ids[dst].out
+	}
+	return p, nil
+}
 
-	// Phase 2: commit — debit resources and program the chips.
+// planUnicast is the allocation-light phase 1 for single-destination
+// requests: the route tree degenerates to a path, so no tree maps and no
+// claim maps are needed — each router appears once and hands its
+// outgoing id straight to the next. It mirrors the generic planner
+// decision for decision (same check order, same first-fit id scans, same
+// error values); the admission fuzz harness diffs the two via a
+// Reference-mode shadow controller.
+func (c *Controller) planUnicast(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, order routeOrder, sc *evalScratch) (*admitPlan, error) {
+	dst := dsts[0]
+	if !c.net.Contains(src) {
+		return nil, fmt.Errorf("admission: source %s outside mesh", src)
+	}
+	if !c.net.Contains(dst) {
+		return nil, fmt.Errorf("admission: destination %s outside mesh", dst)
+	}
+	ports := c.routeFor(src, dst, order)
+	wheel := c.node(src).wheel
+	d, err := rtc.DecomposeUniform(spec, len(ports), wheel)
+	if err != nil {
+		return nil, err
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("admission: empty delay budget")
+	}
+	if !wheel.ValidDelay(c.cfg.SourceWindow + d) {
+		return nil, fmt.Errorf("admission: source window %d + d %d exceeds half clock range",
+			c.cfg.SourceWindow, d)
+	}
+	if !wheel.ValidDelay(int64(c.cfg.Horizon) + d) {
+		return nil, fmt.Errorf("admission: horizon %d + d %d exceeds half clock range",
+			c.cfg.Horizon, d)
+	}
+
+	newTask := task{C: spec.MessageSlots(), T: spec.Imin, D: d}
+	injKey := linkKey{src, portInject}
+	rep := c.linkCheckIn(injKey, newTask, sc)
+	if !rep.feasible {
+		return nil, overloadError(c.linkName(injKey), c.nodeName(injKey.node), rep, true)
+	}
+	margin := rep.headroom
+	// Check every hop into the scratch hop buffer first; the plan (and
+	// its hops slice) only materializes once the route passes, so a
+	// rejected attempt allocates nothing here.
+	hops := sc.hops[:0]
+	at := src
+	for i, port := range ports {
+		key := linkKey{at, port}
+		rep := c.linkCheckIn(key, newTask, sc)
+		if !rep.feasible {
+			sc.hops = hops
+			return nil, overloadError(c.linkName(key), "", rep, false)
+		}
+		if rep.headroom < margin {
+			margin = rep.headroom
+		}
+		prev := int64(c.cfg.Horizon) + d
+		if i == 0 {
+			prev = c.cfg.SourceWindow
+		}
+		need := rtc.BufferBound(prev, d, spec)
+		mask := sched.PortMask(1) << port
+		if err := c.buffersFit(at, mask, need); err != nil {
+			sc.hops = hops
+			return nil, err
+		}
+		hops = append(hops, planHop{node: at, mask: mask, buffers: need})
+		if port != router.PortLocal {
+			at = at.Add(port)
+		}
+	}
+	sc.hops = hops
+	p := &admitPlan{src: src, dsts: dsts, spec: spec, d: d, task: newTask, margin: margin}
+	p.hops = make([]planHop, len(hops))
+	copy(p.hops, hops)
+
+	// Identifier assignment down the path: the source picks its lowest
+	// free id; each hop's outgoing id is the lowest free at the next
+	// router (the generic assigner's claim set is empty there, since a
+	// path visits every router once); the delivery id at the destination
+	// additionally avoids the incoming id it just claimed.
+	conns := c.node(src).conns
+	cur, ok := firstFreeID(c.node(src), conns, -1)
+	if !ok {
+		return nil, &ErrIDExhausted{
+			Node: src.String(),
+			msg:  fmt.Sprintf("admission: %s out of connection identifiers", src),
+		}
+	}
+	p.srcIn = cur
+	for i, port := range ports {
+		h := &p.hops[i]
+		h.in = cur
+		var out uint8
+		if port == router.PortLocal {
+			out, ok = firstFreeID(c.node(h.node), conns, int(cur))
+		} else {
+			out, ok = firstFreeID(c.node(h.node.Add(port)), conns, -1)
+		}
+		if !ok {
+			return nil, &ErrIDExhausted{
+				Node: h.node.String(), Common: true,
+				msg: fmt.Sprintf("admission: no common free id across children of %s", h.node),
+			}
+		}
+		h.out = out
+		cur = out
+	}
+	p.dstConn = []uint8{p.hops[len(ports)-1].out}
+	return p, nil
+}
+
+// firstFreeID returns the lowest connection id free at ns, skipping
+// except (-1 for none) — the same id the generic assigner's first-fit
+// scan lands on.
+func firstFreeID(ns *nodeState, conns int, except int) (uint8, bool) {
+	for v := 0; v < conns; v++ {
+		if v == except || ns.usedIDs[uint8(v)] {
+			continue
+		}
+		return uint8(v), true
+	}
+	return 0, false
+}
+
+// commitPlan is admission phase 2: debit resources and program the
+// chips exactly as the plan says. The plan must describe the
+// controller's current state — AdmitBatch guarantees that by re-planning
+// any request whose footprint an earlier commit touched.
+func (c *Controller) commitPlan(p *admitPlan) (*Channel, error) {
+	c.mut++
 	ch := &Channel{
 		ID:     c.seq,
-		Src:    src,
-		Dsts:   append([]mesh.Coord(nil), dsts...),
-		Spec:   spec,
-		LocalD: d,
-		Margin: margin,
+		Src:    p.src,
+		Dsts:   append([]mesh.Coord(nil), p.dsts...),
+		Spec:   p.spec,
+		LocalD: p.d,
+		Margin: p.margin,
 	}
 	c.seq++
-	for _, n := range nodes {
-		in, out := ids[n.coord].in, ids[n.coord].out
-		if err := c.net.Router(n.coord).SetConnection(in, out, uint8(d), n.mask); err != nil {
+	newTask := p.task
+	newTask.chanID = ch.ID
+	for _, h := range p.hops {
+		if err := c.net.Router(h.node).SetConnection(h.in, h.out, uint8(p.d), h.mask); err != nil {
 			// A control write failed mid-commit; unwind the hops already
 			// programmed so a refused admission leaves no debris.
 			c.unwindCommit(ch)
-			return nil, fmt.Errorf("admission: programming %s: %w", n.coord, err)
+			return nil, fmt.Errorf("admission: programming %s: %w", h.node, err)
 		}
-		ns := c.nodes[n.coord]
-		ns.usedIDs[in] = true
-		if n.mask.Has(router.PortLocal) {
-			ns.usedIDs[out] = true
+		ns := c.node(h.node)
+		ns.usedIDs[h.in] = true
+		if h.mask.Has(router.PortLocal) {
+			ns.usedIDs[h.out] = true
 		}
-		need := buffers[n.coord]
-		ns.total += need
-		for p := 0; p < router.NumPorts; p++ {
-			if n.mask.Has(p) {
-				ns.portBuffers[p] += need
-				ls := c.link(linkKey{n.coord, p})
+		ns.total += h.buffers
+		for pt := 0; pt < router.NumPorts; pt++ {
+			if h.mask.Has(pt) {
+				ns.portBuffers[pt] += h.buffers
+				ls := c.link(linkKey{h.node, pt})
 				ls.tasks = append(ls.tasks, newTask)
+				c.noteAdd(ls, newTask)
 			}
 		}
-		ch.hops = append(ch.hops, hopRef{node: n.coord, inConn: in, outConn: out, mask: n.mask, buffers: need})
+		ch.hops = append(ch.hops, hopRef{node: h.node, inConn: h.in, outConn: h.out, mask: h.mask, buffers: h.buffers})
 	}
-	inj := c.link(linkKey{src, portInject})
+	inj := c.link(linkKey{p.src, portInject})
 	inj.tasks = append(inj.tasks, newTask)
-	ch.SrcConn = ids[src].in
-	for _, dst := range dsts {
-		ch.DstConn = append(ch.DstConn, ids[dst].out)
-	}
+	c.noteAdd(inj, newTask)
+	ch.SrcConn = p.srcIn
+	ch.DstConn = append([]uint8(nil), p.dstConn...)
 	c.chans[ch.ID] = ch
 	return ch, nil
+}
+
+// noteAdd and noteRemove keep a link's incremental EDF cache in step
+// with its task list; Reference mode leaves caches unbuilt.
+func (c *Controller) noteAdd(ls *linkState, tk task) {
+	if !c.cfg.Reference {
+		ls.cache.addTask(ls.tasks, tk)
+	}
+}
+
+func (c *Controller) noteRemove(ls *linkState, tk task) {
+	if !c.cfg.Reference {
+		ls.cache.removeTask(ls.tasks, tk)
+	}
 }
 
 // Teardown releases an admitted channel's resources and invalidates its
@@ -439,6 +847,7 @@ func (c *Controller) Teardown(ch *Channel) error {
 	if err := c.teardown(ch); err != nil {
 		return err
 	}
+	c.stats.teardowns.Add(1)
 	if c.audit != nil {
 		c.audit.Record(c.net.Shard(ch.Src), obs.AuditRecord{
 			Op: "teardown", Outcome: "released", Channel: ch.ID,
@@ -453,11 +862,14 @@ func (c *Controller) teardown(ch *Channel) error {
 	if _, ok := c.chans[ch.ID]; !ok {
 		return fmt.Errorf("admission: channel %d not active", ch.ID)
 	}
+	c.mut++
 	delete(c.chans, ch.ID)
 	inj := c.link(linkKey{ch.Src, portInject})
 	for i := range inj.tasks {
 		if inj.tasks[i].chanID == ch.ID {
+			tk := inj.tasks[i]
 			inj.tasks = append(inj.tasks[:i], inj.tasks[i+1:]...)
+			c.noteRemove(inj, tk)
 			break
 		}
 	}
@@ -465,7 +877,7 @@ func (c *Controller) teardown(ch *Channel) error {
 		if err := c.net.Router(h.node).ClearConnection(h.inConn); err != nil {
 			return err
 		}
-		ns := c.nodes[h.node]
+		ns := c.node(h.node)
 		delete(ns.usedIDs, h.inConn)
 		if h.mask.Has(router.PortLocal) {
 			delete(ns.usedIDs, h.outConn)
@@ -478,7 +890,9 @@ func (c *Controller) teardown(ch *Channel) error {
 				ls := c.link(key)
 				for i := range ls.tasks {
 					if ls.tasks[i].chanID == ch.ID {
+						tk := ls.tasks[i]
 						ls.tasks = append(ls.tasks[:i], ls.tasks[i+1:]...)
+						c.noteRemove(ls, tk)
 						break
 					}
 				}
@@ -492,9 +906,10 @@ func (c *Controller) teardown(ch *Channel) error {
 // when a later control write fails: table entries are cleared and the
 // resource debits reversed, hop by hop.
 func (c *Controller) unwindCommit(ch *Channel) {
+	c.mut++
 	for _, h := range ch.hops {
 		_ = c.net.Router(h.node).ClearConnection(h.inConn)
-		ns := c.nodes[h.node]
+		ns := c.node(h.node)
 		delete(ns.usedIDs, h.inConn)
 		if h.mask.Has(router.PortLocal) {
 			delete(ns.usedIDs, h.outConn)
@@ -506,7 +921,9 @@ func (c *Controller) unwindCommit(ch *Channel) {
 				ls := c.link(linkKey{h.node, p})
 				for i := range ls.tasks {
 					if ls.tasks[i].chanID == ch.ID {
+						tk := ls.tasks[i]
 						ls.tasks = append(ls.tasks[:i], ls.tasks[i+1:]...)
+						c.noteRemove(ls, tk)
 						break
 					}
 				}
@@ -529,7 +946,7 @@ func (c *Controller) restore(ch *Channel) error {
 		if err := c.net.Router(h.node).SetConnection(h.inConn, h.outConn, uint8(ch.LocalD), h.mask); err != nil {
 			return fmt.Errorf("admission: restoring channel %d at %s: %w", ch.ID, h.node, err)
 		}
-		ns := c.nodes[h.node]
+		ns := c.node(h.node)
 		ns.usedIDs[h.inConn] = true
 		if h.mask.Has(router.PortLocal) {
 			ns.usedIDs[h.outConn] = true
@@ -540,12 +957,15 @@ func (c *Controller) restore(ch *Channel) error {
 				ns.portBuffers[p] += h.buffers
 				ls := c.link(linkKey{h.node, p})
 				ls.tasks = append(ls.tasks, newTask)
+				c.noteAdd(ls, newTask)
 			}
 		}
 	}
 	inj := c.link(linkKey{ch.Src, portInject})
 	inj.tasks = append(inj.tasks, newTask)
+	c.noteAdd(inj, newTask)
 	c.chans[ch.ID] = ch
+	c.stats.restores.Add(1)
 	if c.audit != nil {
 		c.audit.Record(c.net.Shard(ch.Src), obs.AuditRecord{
 			Op: "restore", Outcome: "restored", Channel: ch.ID,
@@ -561,10 +981,17 @@ func (c *Controller) restore(ch *Channel) error {
 func (c *Controller) Active() int { return len(c.chans) }
 
 func (c *Controller) link(k linkKey) *linkState {
-	ls, ok := c.links[k]
-	if !ok {
+	i := c.linkIdx(k)
+	ls := c.links[i]
+	if ls == nil {
 		ls = &linkState{}
-		c.links[k] = ls
+		if !c.cfg.Reference {
+			// Invariant of the incremental mode: every linkState the table
+			// holds has a built cache, so concurrent (read-only) batch
+			// evaluation never has to build one.
+			ls.cache.rebuild(nil)
+		}
+		c.links[i] = ls
 	}
 	return ls
 }
@@ -573,39 +1000,51 @@ func (c *Controller) link(k linkKey) *linkState {
 // candidate task added; failed links are never feasible and report the
 // "link_failed" pseudo-test.
 func (c *Controller) linkCheck(k linkKey, cand task) edfReport {
-	if c.failed[k] {
-		return edfReport{test: "link_failed", margin: -1}
-	}
-	ls := c.link(k)
-	tasks := make([]task, 0, len(ls.tasks)+1)
-	tasks = append(tasks, ls.tasks...)
-	tasks = append(tasks, cand)
-	return edfAnalyze(tasks)
+	return c.linkCheckIn(k, cand, &c.sc)
 }
 
-// buffersAvailable checks the packet-memory reservation at one router.
-func (c *Controller) buffersAvailable(n *treeNode, need int) error {
-	ns := c.nodes[n.coord]
-	r := c.net.Router(n.coord)
-	slots := r.Config().Slots
+// linkCheckIn is linkCheck with an explicit evaluation scratch, so
+// AdmitBatch's concurrent planners don't share buffers. It never mutates
+// controller state: links with no reservations are analyzed against a
+// shared pre-built empty cache instead of materializing a linkState.
+func (c *Controller) linkCheckIn(k linkKey, cand task, sc *evalScratch) edfReport {
+	i := c.linkIdx(k)
+	if c.failed[i] {
+		return edfReport{test: "link_failed", margin: -1}
+	}
+	if c.cfg.Reference {
+		ls := c.link(k)
+		tasks := make([]task, 0, len(ls.tasks)+1)
+		tasks = append(tasks, ls.tasks...)
+		tasks = append(tasks, cand)
+		return edfAnalyze(tasks)
+	}
+	ls := c.links[i]
+	if ls == nil {
+		return sc.emptyCheck(cand)
+	}
+	return ls.cache.check(ls.tasks, cand, sc)
+}
+
+// buffersFit checks the packet-memory reservation at one router for a
+// channel using the masked output ports.
+func (c *Controller) buffersFit(co mesh.Coord, mask sched.PortMask, need int) error {
+	ns := c.node(co)
+	slots := ns.slots
 	switch c.cfg.Policy {
 	case SharedPool:
 		if ns.total+need > slots {
 			return &ErrBufferExhausted{
-				Node: n.coord.String(), Used: ns.total, Need: need, Limit: slots,
-				msg: fmt.Sprintf("admission: %s out of packet buffers (%d used + %d needed > %d)",
-					n.coord, ns.total, need, slots),
+				node: c.nodeName(co), port: -1, Used: ns.total, Need: need, Limit: slots,
 			}
 		}
 	default:
 		per := slots / router.NumPorts
 		for p := 0; p < router.NumPorts; p++ {
-			if n.mask.Has(p) && ns.portBuffers[p]+need > per {
+			if mask.Has(p) && ns.portBuffers[p]+need > per {
 				return &ErrBufferExhausted{
-					Node: n.coord.String(), Port: router.PortName(p),
+					node: c.nodeName(co), port: p,
 					Used: ns.portBuffers[p], Need: need, Limit: per,
-					msg: fmt.Sprintf("admission: %s port %s partition full (%d used + %d needed > %d)",
-						n.coord, router.PortName(p), ns.portBuffers[p], need, per),
 				}
 			}
 		}
@@ -639,9 +1078,9 @@ func (c *Controller) assignIDs(nodes []*treeNode) (map[mesh.Coord]idPair, error)
 		return m
 	}
 	freeAt := func(at mesh.Coord, id uint8) bool {
-		return !c.nodes[at].usedIDs[id] && !claim(at)[id]
+		return !c.node(at).usedIDs[id] && !claim(at)[id]
 	}
-	conns := c.net.Router(nodes[0].coord).Config().Conns
+	conns := c.node(nodes[0].coord).conns
 	for i, n := range nodes {
 		// Incoming id: for the source (depth 0) pick any free id; for
 		// others it was fixed by the parent via claimed[].
@@ -730,8 +1169,9 @@ func (c *Controller) MarkFailed(from mesh.Coord, port int) error {
 	if !c.net.Contains(from) || !c.net.Contains(to) {
 		return fmt.Errorf("admission: no link %s→%s", from, router.PortName(port))
 	}
-	c.failed[linkKey{from, port}] = true
-	c.failed[linkKey{to, reverse(port)}] = true
+	c.mut++
+	c.failed[c.linkIdx(linkKey{from, port})] = true
+	c.failed[c.linkIdx(linkKey{to, reverse(port)})] = true
 	return nil
 }
 
@@ -746,8 +1186,9 @@ func (c *Controller) MarkRepaired(from mesh.Coord, port int) error {
 	if !c.net.Contains(from) || !c.net.Contains(to) {
 		return fmt.Errorf("admission: no link %s→%s", from, router.PortName(port))
 	}
-	delete(c.failed, linkKey{from, port})
-	delete(c.failed, linkKey{to, reverse(port)})
+	c.mut++
+	c.failed[c.linkIdx(linkKey{from, port})] = false
+	c.failed[c.linkIdx(linkKey{to, reverse(port)})] = false
 	return nil
 }
 
@@ -859,6 +1300,7 @@ func (ch *Channel) Uses(node mesh.Coord, port int) bool {
 // verbatim, so a refused reroute leaves the channel exactly as it was.
 func (c *Controller) Reroute(ch *Channel) (*Channel, error) {
 	nch, err := c.reroute(ch)
+	c.stats.reroutes.Add(1)
 	if c.audit != nil {
 		rec := obs.AuditRecord{
 			Op: "reroute", Channel: ch.ID,

@@ -230,14 +230,15 @@ func TestVerifyLedgerDetectsTamper(t *testing.T) {
 		t.Fatalf("clean ledger flagged: %v", err)
 	}
 	k := linkKey{mesh.Coord{X: 0, Y: 0}, portInject}
-	if c.links[k] == nil || len(c.links[k].tasks) == 0 {
+	ls := c.linkAt(k)
+	if ls == nil || len(ls.tasks) == 0 {
 		t.Fatal("injection ledger empty after admission")
 	}
-	c.links[k].tasks[0].C++
+	ls.tasks[0].C++
 	if err := c.VerifyLedger(); err == nil {
 		t.Error("tampered reservation not detected")
 	}
-	c.links[k].tasks[0].C--
+	ls.tasks[0].C--
 	if err := c.VerifyLedger(); err != nil {
 		t.Errorf("restored ledger still flagged: %v", err)
 	}

@@ -104,18 +104,9 @@ func busyPeriodBound(tasks []task, sumC int64, util float64) int64 {
 			maxD = tk.D
 		}
 	}
-	if util >= 1.0-1e-9 {
-		// Fully loaded: fall back to the capped hyper-horizon.
-		return maxAnalysisHorizon
-	}
-	bp := int64(float64(sumC)/(1.0-util)) + 1
-	if bp < maxD {
-		bp = maxD
-	}
-	if bp > maxAnalysisHorizon {
-		bp = maxAnalysisHorizon
-	}
-	return bp
+	// busyBoundFrom (edfcache.go) holds the shared arithmetic so the
+	// incremental path computes a bit-identical bound.
+	return busyBoundFrom(maxD, sumC, util)
 }
 
 // demandAt computes dbf(t).

@@ -1,0 +1,701 @@
+package admission
+
+// Incremental EDF analysis. edfAnalyze re-enumerates every step point of
+// every committed task on every check, which makes admission cost grow
+// superlinearly with admitted channels. The edfCache keeps, per link, the
+// committed task set's analysis pre-digested — the sorted union of its
+// step points t = D_i + k·T_i with the demand-bound function dbf(t)
+// prefix-summed at each — so checking a candidate costs O(cached points +
+// candidate's own steps) instead of O(points × tasks).
+//
+// The cache is bound by the byte-identity contract: for any committed set
+// and candidate, check() must return exactly the edfReport that
+// edfAnalyze(append(tasks, cand)) would — same verdict, same headroom,
+// same failing step point, and a bitwise-equal utilization float. That
+// last part dictates the update discipline: util is a float sum in task-
+// slice order, so removals re-sum the survivors in order rather than
+// subtracting (float subtraction does not invert float addition).
+//
+// check() is strictly read-only on both the cache and the controller, so
+// batch admission can evaluate many candidates concurrently against one
+// frozen ledger; all mutation happens in addTask/removeTask, called only
+// from the serial commit/teardown paths.
+
+// stepPoint is one absolute deadline in the committed set's analysis
+// window: w is the demand that arrives exactly at t (the sum of C over
+// tasks with a step there).
+type stepPoint struct {
+	t, w int64
+}
+
+// evalScratch holds the per-caller scratch buffers a check needs, so the
+// hot path allocates nothing and concurrent checkers never share state.
+type evalScratch struct {
+	next  []int64 // per-task next release, for the tail merge in check
+	tasks []task
+	// hops is the unicast planner's hop buffer; plans only copy it out
+	// once a route passes every check.
+	hops []planHop
+	// tailT/tailP extend the cache's points/prefix past its coverage for
+	// one failReport call: merged committed step points in (cover,
+	// tailHi] with the running demand at each. tailBase carries the
+	// min-scan's running demand so the merge resumes where it stopped —
+	// the tail grows lazily to the largest t the rescan actually visits.
+	tailT    []int64
+	tailP    []int64
+	tailBase int64
+	tailHi   int64
+	// memo caches full check verdicts keyed by (cache identity, cache
+	// epoch, candidate parameters). Mass admission re-checks the same few
+	// candidate shapes against the same committed sets thousands of times
+	// — every request in a traffic family shares one Spec, and per-hop
+	// deadlines only take a handful of values — so most checks become one
+	// map probe. Exact by construction: check is a pure function of the
+	// committed set (named by cache+epoch) and the candidate.
+	memo map[checkKey]edfReport
+	// candRep memoizes the empty-link analysis of the current candidate:
+	// a route visits many links with no reservations, and their verdict
+	// depends only on the candidate's (C, T, D). candValid gates the memo
+	// and candC/candT/candD key it.
+	candValid           bool
+	candC, candT, candD int64
+	candRep             edfReport
+}
+
+// emptyCheck returns emptyLinkCache.check(nil, cand, sc) through the
+// scratch's single-entry memo. Exact: the empty-link report is a pure
+// function of the candidate's timing parameters.
+func (sc *evalScratch) emptyCheck(cand task) edfReport {
+	if !sc.candValid || sc.candC != cand.C || sc.candT != cand.T || sc.candD != cand.D {
+		sc.candRep = emptyLinkCache.check(nil, cand, sc)
+		sc.candC, sc.candT, sc.candD = cand.C, cand.T, cand.D
+		sc.candValid = true
+	}
+	return sc.candRep
+}
+
+type edfCache struct {
+	built bool
+	// epoch counts mutations (rebuild/addTask/removeTask). Together with
+	// the cache's identity it names one exact committed set, which is
+	// what lets evalScratch memoize check verdicts across calls.
+	epoch uint64
+	// degenerate marks a committed set that failed task validity; every
+	// check falls back to the from-scratch analysis until a rebuild. It
+	// cannot happen through the normal admit path (only valid tasks
+	// commit) and exists purely as a safety net.
+	degenerate bool
+	sumC       int64
+	util       float64 // ΣC/T in task-slice order, bit-exact vs edfAnalyze
+	maxD       int64
+	// points/prefix cover every committed step point in (0, cover], with
+	// prefix[i] = dbf(points[i].t) over the committed set. cover is kept
+	// ahead of the committed busy-period bound so candidate checks, whose
+	// bound is necessarily larger, usually stay inside the cache.
+	cover  int64
+	points []stepPoint
+	prefix []int64
+	// spare and raw are mutation-path scratch (mergeIn double-buffers
+	// points through spare; add/rebuild gather new steps into raw), so a
+	// warm cache's updates allocate nothing. check() never touches them —
+	// concurrent checkers use their own evalScratch.
+	spare []stepPoint
+	raw   []stepPoint
+}
+
+// busyBoundFrom is busyPeriodBound with the scalars already in hand.
+func busyBoundFrom(maxD, sumC int64, util float64) int64 {
+	if util >= 1.0-1e-9 {
+		return maxAnalysisHorizon
+	}
+	bp := int64(float64(sumC)/(1.0-util)) + 1
+	if bp < maxD {
+		bp = maxD
+	}
+	if bp > maxAnalysisHorizon {
+		bp = maxAnalysisHorizon
+	}
+	return bp
+}
+
+// coverCap bounds the cached coverage. Near utilization 1 the busy-period
+// bound explodes toward maxAnalysisHorizon, and materializing that many
+// step points makes every commit-time re-merge O(tasks × horizon / T) —
+// while candidate checks rarely reach that deep (a rejection stops at its
+// first violated step point). Beyond the cap, check and committedReport
+// merge the committed ladders on the fly instead — an O(tasks) min-scan
+// per point, far cheaper than keeping (and re-sorting) the points
+// resident.
+const coverCap = 4096
+
+// coverFor picks the cache coverage for a committed busy-period bound:
+// doubled (within the cap) so the typical candidate check — whose own
+// bound exceeds the committed one — finds every point it needs already
+// cached instead of gathering a tail.
+func coverFor(limit int64) int64 {
+	c := 2 * limit
+	if c < 256 {
+		c = 256
+	}
+	if c > coverCap {
+		c = coverCap
+	}
+	return c
+}
+
+func validTask(tk task) bool {
+	return tk.C >= 1 && tk.T >= 1 && tk.D >= 1 && tk.C <= tk.D
+}
+
+// stepsInto appends every step point t = D + k·T of tk with lo < t ≤ hi.
+func stepsInto(buf []stepPoint, tk task, lo, hi int64) []stepPoint {
+	t := tk.D
+	if lo >= tk.D {
+		t = tk.D + ((lo-tk.D)/tk.T+1)*tk.T
+	}
+	for ; t <= hi; t += tk.T {
+		buf = append(buf, stepPoint{t, tk.C})
+	}
+	return buf
+}
+
+// sortSteps orders points by t without allocating (heapsort; the inputs
+// are concatenations of short ascending runs, and sizes stay small).
+func sortSteps(s []stepPoint) {
+	n := len(s)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftStep(s, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		s[0], s[i] = s[i], s[0]
+		siftStep(s, 0, i)
+	}
+}
+
+func siftStep(s []stepPoint, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && s[child+1].t > s[child].t {
+			child++
+		}
+		if s[root].t >= s[child].t {
+			return
+		}
+		s[root], s[child] = s[child], s[root]
+		root = child
+	}
+}
+
+// rebuild computes the cache from scratch off the committed set.
+func (ec *edfCache) rebuild(tasks []task) {
+	ec.epoch++
+	ec.built = true
+	ec.degenerate = false
+	ec.sumC, ec.util, ec.maxD = 0, 0, 0
+	ec.points = ec.points[:0]
+	ec.prefix = ec.prefix[:0]
+	for _, tk := range tasks {
+		if !validTask(tk) {
+			ec.degenerate = true
+			return
+		}
+		ec.sumC += tk.C
+		ec.util += float64(tk.C) / float64(tk.T)
+		if tk.D > ec.maxD {
+			ec.maxD = tk.D
+		}
+	}
+	ec.cover = coverFor(busyBoundFrom(ec.maxD, ec.sumC, ec.util))
+	raw := ec.raw[:0]
+	for i := range tasks {
+		raw = stepsInto(raw, tasks[i], 0, ec.cover)
+	}
+	ec.raw = raw
+	ec.mergeIn(raw)
+}
+
+// mergeIn folds raw (unsorted) step points into the sorted unique
+// points/prefix arrays, summing weights at equal t.
+func (ec *edfCache) mergeIn(raw []stepPoint) {
+	if len(raw) > 0 {
+		sortSteps(raw)
+		merged := ec.spare[:0]
+		i, j := 0, 0
+		for i < len(ec.points) || j < len(raw) {
+			switch {
+			case j == len(raw) || (i < len(ec.points) && ec.points[i].t < raw[j].t):
+				merged = append(merged, ec.points[i])
+				i++
+			case i == len(ec.points) || raw[j].t < ec.points[i].t:
+				p := raw[j]
+				j++
+				for j < len(raw) && raw[j].t == p.t {
+					p.w += raw[j].w
+					j++
+				}
+				merged = append(merged, p)
+			default: // equal t
+				p := ec.points[i]
+				i++
+				for j < len(raw) && raw[j].t == p.t {
+					p.w += raw[j].w
+					j++
+				}
+				merged = append(merged, p)
+			}
+		}
+		ec.points, ec.spare = merged, ec.points[:0]
+	}
+	ec.prefix = ec.prefix[:0]
+	var run int64
+	for _, p := range ec.points {
+		run += p.w
+		ec.prefix = append(ec.prefix, run)
+	}
+}
+
+// addTask updates the cache after tk was appended to the committed set;
+// tasks is the post-append slice (tk last).
+func (ec *edfCache) addTask(tasks []task, tk task) {
+	ec.epoch++
+	if !ec.built {
+		ec.rebuild(tasks)
+		return
+	}
+	if ec.degenerate {
+		return
+	}
+	if !validTask(tk) {
+		ec.degenerate = true
+		return
+	}
+	ec.sumC += tk.C
+	ec.util += float64(tk.C) / float64(tk.T)
+	if tk.D > ec.maxD {
+		ec.maxD = tk.D
+	}
+	// Extend coverage only when the committed bound actually outgrows it,
+	// and then jump to double the bound (coverFor). Tracking coverFor
+	// continuously would re-merge the whole point array on every admit as
+	// the bound creeps upward; extending geometrically amortizes those
+	// re-merges the way a growing slice amortizes appends.
+	target := ec.cover
+	if need := busyBoundFrom(ec.maxD, ec.sumC, ec.util); need > ec.cover {
+		target = coverFor(need)
+	}
+	raw := ec.raw[:0]
+	if target > ec.cover {
+		// Extend the survivors' coverage first, then lay in the new task.
+		for i := range tasks[:len(tasks)-1] {
+			raw = stepsInto(raw, tasks[i], ec.cover, target)
+		}
+	}
+	raw = stepsInto(raw, tk, 0, target)
+	ec.raw = raw
+	ec.cover = target
+	ec.mergeIn(raw)
+}
+
+// removeTask updates the cache after tk was removed from the committed
+// set; tasks is the post-removal slice. Zero-weight points are compacted
+// out: a stale point would otherwise surface a slack value edfAnalyze
+// never evaluates, corrupting the headroom minimum.
+func (ec *edfCache) removeTask(tasks []task, tk task) {
+	ec.epoch++
+	if !ec.built {
+		return
+	}
+	if ec.degenerate {
+		ec.rebuild(tasks)
+		return
+	}
+	ec.sumC -= tk.C
+	ec.util, ec.maxD = 0, 0
+	for _, t := range tasks {
+		ec.util += float64(t.C) / float64(t.T)
+		if t.D > ec.maxD {
+			ec.maxD = t.D
+		}
+	}
+	out := ec.points[:0]
+	next := tk.D
+	for _, p := range ec.points {
+		if p.t == next {
+			p.w -= tk.C
+			next += tk.T
+		}
+		if p.w > 0 {
+			out = append(out, p)
+		}
+	}
+	ec.points = out
+	ec.mergeIn(nil) // rebuild prefix
+	// cover only ever shrinks the committed bound, so coverage stays valid.
+}
+
+// candSteps counts the candidate's releases due by t: max(0, ⌊(t−D)/T⌋+1).
+func candContrib(cand task, t int64) int64 {
+	if t < cand.D {
+		return 0
+	}
+	return ((t-cand.D)/cand.T + 1) * cand.C
+}
+
+// checkKey names one memoizable check: the cache pointer plus its
+// mutation epoch pin the committed set, the three integers pin the
+// candidate.
+type checkKey struct {
+	ec      *edfCache
+	epoch   uint64
+	c, t, d int64
+}
+
+// memoCap bounds the scratch memo; on overflow the map is cleared (the
+// builtin keeps its buckets, so steady state stays allocation-free).
+const memoCap = 1 << 15
+
+// check analyzes the committed set plus one candidate, returning exactly
+// what edfAnalyze(append(tasks, cand)) returns. Read-only on the cache
+// and the task slice; sc supplies the scratch buffers and the verdict
+// memo.
+func (ec *edfCache) check(tasks []task, cand task, sc *evalScratch) edfReport {
+	if ec.built && !ec.degenerate && sc != nil {
+		key := checkKey{ec, ec.epoch, cand.C, cand.T, cand.D}
+		if rep, ok := sc.memo[key]; ok {
+			return rep
+		}
+		rep := ec.checkFull(tasks, cand, sc)
+		if sc.memo == nil {
+			sc.memo = make(map[checkKey]edfReport, 1<<10)
+		} else if len(sc.memo) >= memoCap {
+			clear(sc.memo)
+		}
+		sc.memo[key] = rep
+		return rep
+	}
+	return ec.checkFull(tasks, cand, sc)
+}
+
+// checkFull is the uncached analysis behind check.
+func (ec *edfCache) checkFull(tasks []task, cand task, sc *evalScratch) edfReport {
+	if !ec.built || ec.degenerate {
+		sc.tasks = append(append(sc.tasks[:0], tasks...), cand)
+		rep := edfAnalyze(sc.tasks)
+		return rep
+	}
+	if !validTask(cand) {
+		// edfAnalyze sums utilization up to (not including) the bad task;
+		// the candidate is last, so that sum is the full committed util.
+		return edfReport{test: "validity", util: ec.util, margin: -1}
+	}
+	sumC := ec.sumC + cand.C
+	util := ec.util + float64(cand.C)/float64(cand.T)
+	if util > 1.0+1e-9 {
+		return edfReport{test: "utilization", util: util, margin: 1.0 - util}
+	}
+	maxD := ec.maxD
+	if cand.D > maxD {
+		maxD = cand.D
+	}
+	limit := busyBoundFrom(maxD, sumC, util)
+
+	// One pass over the union of committed and candidate step points ≤
+	// limit. dbf at a committed point is the cached prefix (plus the tail
+	// running sum); the candidate's own contribution is a running sum —
+	// both walks advance in ascending t, so each candidate step adds one
+	// C instead of paying candContrib's division per point. Headroom is
+	// the minimum slack over the union — the same point set edfAnalyze
+	// visits, so the minimum is identical.
+	headroom := int64(maxAnalysisHorizon)
+	infeasible := false
+	dbfC := int64(0) // committed dbf at the last committed point visited
+	nc := cand.D     // next candidate step not yet visited
+	cc := int64(0)   // candidate demand from steps before nc
+	visit := func(t, committed int64) bool {
+		for nc < t && nc <= limit {
+			cc += cand.C
+			if s := nc - dbfC - cc; s < 0 {
+				infeasible = true
+				return true
+			} else if s < headroom {
+				headroom = s
+			}
+			nc += cand.T
+		}
+		dbfC = committed
+		ct := cc
+		if nc == t {
+			// The candidate also steps exactly at t; count it, but leave
+			// nc for the next catch-up so its own visit still happens.
+			ct += cand.C
+		}
+		if s := t - committed - ct; s < 0 {
+			infeasible = true
+			return true
+		} else if s < headroom {
+			headroom = s
+		}
+		return false
+	}
+	for i := range ec.points {
+		if ec.points[i].t > limit {
+			break
+		}
+		if visit(ec.points[i].t, ec.prefix[i]) {
+			break
+		}
+	}
+	if !infeasible && limit > ec.cover {
+		// Committed step points past the cache coverage: a candidate near
+		// the utilization ceiling drives the bound far past the committed
+		// coverage. Rather than materializing and sorting that tail (it
+		// can hold tens of thousands of points), merge the tasks' ladders
+		// on the fly — each ladder is ascending, and per-link task counts
+		// are small, so an O(tasks) min-scan per point beats any sort.
+		next := sc.next[:0]
+		for i := range tasks {
+			t := tasks[i].D
+			if ec.cover >= t {
+				t = tasks[i].D + ((ec.cover-tasks[i].D)/tasks[i].T+1)*tasks[i].T
+			}
+			next = append(next, t)
+		}
+		sc.next = next
+		base := int64(0)
+		if n := len(ec.prefix); n > 0 {
+			base = ec.prefix[n-1]
+		}
+		for {
+			mt := limit + 1
+			for _, t := range next {
+				if t < mt {
+					mt = t
+				}
+			}
+			if mt > limit {
+				break
+			}
+			for i := range next {
+				if next[i] == mt {
+					base += tasks[i].C
+					next[i] += tasks[i].T
+				}
+			}
+			if visit(mt, base) {
+				break
+			}
+		}
+	}
+	if !infeasible {
+		for nc <= limit {
+			cc += cand.C
+			if s := nc - dbfC - cc; s < 0 {
+				infeasible = true
+				break
+			} else if s < headroom {
+				headroom = s
+			}
+			nc += cand.T
+		}
+	}
+	if infeasible {
+		return ec.failReport(tasks, cand, limit, util, sc)
+	}
+	return edfReport{feasible: true, util: util, headroom: headroom,
+		margin: float64(headroom)}
+}
+
+// resetTail arms the lazy tail merge: the committed ladders' k-way
+// min-scan is positioned just past the cache coverage, with nothing
+// materialized yet. demandVia extends it on demand, so a rescan that
+// finds its violation early never walks the deep tail at all.
+func (ec *edfCache) resetTail(tasks []task, sc *evalScratch) {
+	sc.tailT, sc.tailP = sc.tailT[:0], sc.tailP[:0]
+	next := sc.next[:0]
+	for i := range tasks {
+		t := tasks[i].D
+		if ec.cover >= t {
+			t = tasks[i].D + ((ec.cover-tasks[i].D)/tasks[i].T+1)*tasks[i].T
+		}
+		next = append(next, t)
+	}
+	sc.next = next
+	sc.tailBase = 0
+	if n := len(ec.prefix); n > 0 {
+		sc.tailBase = ec.prefix[n-1]
+	}
+	sc.tailHi = ec.cover
+}
+
+// extendTail advances the min-scan until every committed step point ≤ t
+// is materialized in tailT/tailP.
+func (ec *edfCache) extendTail(tasks []task, t int64, sc *evalScratch) {
+	next := sc.next
+	for {
+		mt := t + 1
+		for _, nt := range next {
+			if nt < mt {
+				mt = nt
+			}
+		}
+		if mt > t {
+			sc.tailHi = t
+			return
+		}
+		for i := range next {
+			if next[i] == mt {
+				sc.tailBase += tasks[i].C
+				next[i] += tasks[i].T
+			}
+		}
+		sc.tailT = append(sc.tailT, mt)
+		sc.tailP = append(sc.tailP, sc.tailBase)
+	}
+}
+
+// demandVia is dbf(t) over the committed set: the cached prefix inside
+// the coverage, the lazily merged scratch tail past it. Exact for any t
+// once resetTail has armed the scratch.
+func (ec *edfCache) demandVia(tasks []task, t int64, sc *evalScratch) int64 {
+	pts, pre := ec.points, ec.prefix
+	if t > ec.cover {
+		if t > sc.tailHi {
+			ec.extendTail(tasks, t, sc)
+		}
+		lo, hi := 0, len(sc.tailT)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if sc.tailT[mid] <= t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			return sc.tailP[lo-1]
+		}
+		// No committed step in (cover, t]: demand equals the full prefix.
+		if n := len(pre); n > 0 {
+			return pre[n-1]
+		}
+		return 0
+	}
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[mid].t <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return pre[lo-1]
+}
+
+// failReport reproduces edfAnalyze's busy-period failure byte for byte:
+// the violation reported is the first one in edfAnalyze's own iteration
+// order (task slice order, then k ascending), which is not necessarily
+// the earliest t. Called only after check proved a violation exists, so
+// the scan always finds one. Each demand evaluation costs a binary
+// search against the cache (lazily extended past its coverage by
+// extendTail) instead of a full pass over the committed set.
+func (ec *edfCache) failReport(tasks []task, cand task, limit int64, util float64, sc *evalScratch) edfReport {
+	ec.resetTail(tasks, sc)
+	for i := 0; i <= len(tasks); i++ {
+		tk := cand
+		if i < len(tasks) {
+			tk = tasks[i]
+		}
+		for t := tk.D; t <= limit; t += tk.T {
+			d := ec.demandVia(tasks, t, sc) + candContrib(cand, t)
+			if slack := t - d; slack < 0 {
+				return edfReport{test: "busy_period", util: util,
+					at: t, demand: d, margin: float64(slack)}
+			}
+		}
+	}
+	// Unreachable: check's scan found a negative-slack point over the
+	// same union of steps.
+	return edfReport{test: "busy_period", util: util, margin: -1}
+}
+
+// committedReport analyzes the committed set alone off the cache,
+// returning what edfAnalyze(tasks) would. Used by VerifyLedger's
+// cross-check and anywhere a from-scratch recompute would be wasteful.
+func (ec *edfCache) committedReport(tasks []task) edfReport {
+	if !ec.built || ec.degenerate || len(tasks) == 0 {
+		return edfAnalyze(tasks)
+	}
+	if ec.util > 1.0+1e-9 {
+		return edfReport{test: "utilization", util: ec.util, margin: 1.0 - ec.util}
+	}
+	limit := busyBoundFrom(ec.maxD, ec.sumC, ec.util)
+	headroom := int64(maxAnalysisHorizon)
+	for i := range ec.points {
+		if ec.points[i].t > limit {
+			break
+		}
+		if s := ec.points[i].t - ec.prefix[i]; s < 0 {
+			// A committed set is feasible by construction; if one ever is
+			// not, defer to the exact scan for the failure report.
+			return edfAnalyze(tasks)
+		} else if s < headroom {
+			headroom = s
+		}
+	}
+	if limit > ec.cover {
+		// Merge the ladders past the coverage cap on the fly, as check
+		// does. Cold path (snapshots and ledger verification), so the
+		// scratch allocation is fine.
+		next := make([]int64, len(tasks))
+		for i := range tasks {
+			t := tasks[i].D
+			if ec.cover >= t {
+				t = tasks[i].D + ((ec.cover-tasks[i].D)/tasks[i].T+1)*tasks[i].T
+			}
+			next[i] = t
+		}
+		base := int64(0)
+		if n := len(ec.prefix); n > 0 {
+			base = ec.prefix[n-1]
+		}
+		for {
+			mt := limit + 1
+			for _, t := range next {
+				if t < mt {
+					mt = t
+				}
+			}
+			if mt > limit {
+				break
+			}
+			for i := range next {
+				if next[i] == mt {
+					base += tasks[i].C
+					next[i] += tasks[i].T
+				}
+			}
+			if s := mt - base; s < 0 {
+				return edfAnalyze(tasks)
+			} else if s < headroom {
+				headroom = s
+			}
+		}
+	}
+	return edfReport{feasible: true, util: ec.util, headroom: headroom,
+		margin: float64(headroom)}
+}
+
+// emptyLinkCache is the shared read-only cache for links with no
+// reservations (a nil linkState); check on it never mutates.
+var emptyLinkCache = func() *edfCache {
+	ec := &edfCache{}
+	ec.rebuild(nil)
+	return ec
+}()

@@ -1,0 +1,148 @@
+package admission
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randTask draws parameters inside the router's 7-bit range, skewed so
+// feasible, utilization-failing, and busy-period-failing candidates all
+// occur.
+func randTask(rng *rand.Rand) task {
+	c := int64(1 + rng.Intn(12))
+	d := c + int64(rng.Intn(100))
+	return task{C: c, T: c + int64(rng.Intn(120)), D: d}
+}
+
+// TestEDFCacheDifferential drives an edfCache through random add/remove
+// sequences and, after every mutation, checks random candidates against
+// the from-scratch analysis. The contract is exact equality of the whole
+// report: verdict, bitwise utilization, headroom, and the failing step
+// point in edfAnalyze's own iteration order.
+func TestEDFCacheDifferential(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var ec edfCache
+		ec.rebuild(nil)
+		var tasks []task
+		var sc evalScratch
+		for op := 0; op < 80; op++ {
+			if len(tasks) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(tasks))
+				tk := tasks[i]
+				tasks = append(tasks[:i], tasks[i+1:]...)
+				ec.removeTask(tasks, tk)
+			} else {
+				tk := randTask(rng)
+				if !edfFeasible(append(append([]task(nil), tasks...), tk)) && rng.Intn(2) == 0 {
+					continue // keep the committed set mostly feasible, like real ledgers
+				}
+				tasks = append(tasks, tk)
+				ec.addTask(tasks, tk)
+			}
+			for trial := 0; trial < 4; trial++ {
+				cand := randTask(rng)
+				if trial == 3 {
+					// An invalid candidate must reproduce the "validity"
+					// failure with util summed over the committed set only.
+					cand = task{C: 5, T: 4, D: 3}
+				}
+				got := ec.check(tasks, cand, &sc)
+				want := edfAnalyze(append(append([]task(nil), tasks...), cand))
+				if got != want {
+					t.Fatalf("seed %d op %d: cache check %+v, edfAnalyze %+v\ntasks=%v cand=%+v",
+						seed, op, got, want, tasks, cand)
+				}
+			}
+		}
+	}
+}
+
+// TestEDFCacheRemoveCompaction pins the stale-point hazard: after the
+// only committed task is removed, its leftover step points must not
+// surface slack values edfAnalyze never evaluates.
+func TestEDFCacheRemoveCompaction(t *testing.T) {
+	var ec edfCache
+	tk := task{C: 2, T: 10, D: 5}
+	tasks := []task{tk}
+	ec.rebuild(tasks)
+	tasks = tasks[:0]
+	ec.removeTask(tasks, tk)
+	if len(ec.points) != 0 {
+		t.Fatalf("removed task left %d step points in the cache", len(ec.points))
+	}
+	var sc evalScratch
+	cand := task{C: 1, T: 200, D: 100}
+	got := ec.check(tasks, cand, &sc)
+	want := edfAnalyze([]task{cand})
+	if got != want {
+		t.Fatalf("post-removal check %+v, edfAnalyze %+v", got, want)
+	}
+	if got.headroom != 99 {
+		t.Fatalf("headroom %d contaminated by stale points, want 99", got.headroom)
+	}
+}
+
+// TestEDFCacheUtilBitExact removes tasks in an order that would diverge
+// under subtract-style float updates and checks the utilization float
+// stays bitwise equal to the in-order sum.
+func TestEDFCacheUtilBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ec edfCache
+	ec.rebuild(nil)
+	var tasks []task
+	for i := 0; i < 30; i++ {
+		tk := task{C: 1 + int64(rng.Intn(3)), T: 3 + int64(rng.Intn(97)), D: 3 + int64(rng.Intn(60))}
+		if tk.C > tk.D {
+			tk.D = tk.C
+		}
+		tasks = append(tasks, tk)
+		ec.addTask(tasks, tk)
+	}
+	for len(tasks) > 0 {
+		i := rng.Intn(len(tasks))
+		tk := tasks[i]
+		tasks = append(tasks[:i], tasks[i+1:]...)
+		ec.removeTask(tasks, tk)
+		var want float64
+		for _, s := range tasks {
+			want += float64(s.C) / float64(s.T)
+		}
+		if ec.util != want {
+			t.Fatalf("after %d removals: cache util %v, in-order sum %v", 30-len(tasks), ec.util, want)
+		}
+	}
+}
+
+// BenchmarkLinkCheckCached measures one candidate check against a link
+// holding many committed channels — the operation the incremental cache
+// exists to flatten — with the from-scratch path as the contrast.
+func BenchmarkLinkCheckCached(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var tasks []task
+	var ec edfCache
+	ec.rebuild(nil)
+	for len(tasks) < 24 {
+		tk := task{C: 1, T: 40 + int64(rng.Intn(80)), D: 30 + int64(rng.Intn(60))}
+		if !edfFeasible(append(append([]task(nil), tasks...), tk)) {
+			continue
+		}
+		tasks = append(tasks, tk)
+		ec.addTask(tasks, tk)
+	}
+	cand := task{C: 1, T: 96, D: 48}
+	var sc evalScratch
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ec.check(tasks, cand, &sc)
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.tasks = append(append(sc.tasks[:0], tasks...), cand)
+			edfAnalyze(sc.tasks)
+		}
+	})
+}

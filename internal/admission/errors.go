@@ -2,7 +2,9 @@ package admission
 
 import (
 	"errors"
-	"fmt"
+	"strconv"
+
+	"repro/internal/router"
 )
 
 // Rejection is the typed explanation every admission refusal carries:
@@ -29,6 +31,16 @@ type Rejection interface {
 // The second return is false for errors that are not resource
 // rejections (bad input, rollover violations, programming failures).
 func Explain(err error) (Rejection, bool) {
+	// Fast path: the controller's own rejections are never wrapped, and
+	// errors.As pays for reflection on every audited rejection.
+	switch r := err.(type) {
+	case *ErrLinkOverload:
+		return r, true
+	case *ErrBufferExhausted:
+		return r, true
+	case *ErrIDExhausted:
+		return r, true
+	}
 	var r Rejection
 	if errors.As(err, &r) {
 		return r, true
@@ -37,10 +49,18 @@ func Explain(err error) (Rejection, bool) {
 }
 
 // ErrLinkOverload reports a failed per-link schedulability test: the
-// candidate task set on Link exceeds the EDF budget.
+// candidate task set on the link exceeds the EDF budget. The message and
+// binding-resource strings render lazily from the stored key — admission
+// rejections are the mass-admission hot path, and most of these errors
+// (the losing half of an XY/YX fallback pair) are never rendered at all.
 type ErrLinkOverload struct {
-	// Link is the directed link that refused the channel.
-	Link string
+	// link is the rendered name of the directed link that refused the
+	// channel (the controller caches these); node the source router's,
+	// set only when inject marks the injection pseudo-port (message
+	// wording differs).
+	link   string
+	node   string
+	inject bool
 	// Test is the sub-test that failed: "utilization" (ΣC/T > 1),
 	// "busy_period" (dbf(t) > t at some step point), or "link_failed"
 	// (the link is administratively down).
@@ -53,24 +73,57 @@ type ErrLinkOverload struct {
 	// Margin is the signed failure margin: 1−Util for the utilization
 	// test, t−dbf(t) in slots for the busy-period test.
 	Margin float64
+}
 
-	msg string
+// appendSignedFloat renders f the way fmt's %+.<prec>g would: an
+// explicit sign, then strconv's 'g' formatting (which is what fmt uses
+// underneath). TestRejectionMessageFormats pins the equivalence.
+func appendSignedFloat(b []byte, f float64, prec int) []byte {
+	if f >= 0 {
+		b = append(b, '+')
+	}
+	return strconv.AppendFloat(b, f, 'g', prec, 64)
 }
 
 func (e *ErrLinkOverload) Error() string {
+	// Manual strconv rendering instead of fmt: one of these renders on
+	// every audited rejection, and rejections dominate a saturated
+	// mass-admission run. The bytes match the original fmt formats
+	// exactly (see TestRejectionMessageFormats).
+	b := make([]byte, 0, 128)
+	if e.inject {
+		b = append(b, "admission: injection port at "...)
+		b = append(b, e.node...)
+	} else {
+		b = append(b, "admission: link "...)
+		b = append(b, e.link...)
+	}
+	b = append(b, " fails the schedulability test"...)
 	switch e.Test {
 	case "utilization":
-		return fmt.Sprintf("%s (utilization %.4g > 1, margin %+.4g)", e.msg, e.Util, e.Margin)
+		b = append(b, " (utilization "...)
+		b = strconv.AppendFloat(b, e.Util, 'g', 4, 64)
+		b = append(b, " > 1, margin "...)
+		b = appendSignedFloat(b, e.Margin, 4)
 	case "busy_period":
-		return fmt.Sprintf("%s (busy_period at t=%d: demand %d > %d, margin %+g)",
-			e.msg, e.At, e.Demand, e.At, e.Margin)
+		b = append(b, " (busy_period at t="...)
+		b = strconv.AppendInt(b, e.At, 10)
+		b = append(b, ": demand "...)
+		b = strconv.AppendInt(b, e.Demand, 10)
+		b = append(b, " > "...)
+		b = strconv.AppendInt(b, e.At, 10)
+		b = append(b, ", margin "...)
+		b = appendSignedFloat(b, e.Margin, -1)
 	default:
-		return fmt.Sprintf("%s (%s)", e.msg, e.Test)
+		b = append(b, " ("...)
+		b = append(b, e.Test...)
 	}
+	b = append(b, ')')
+	return string(b)
 }
 
 // BindingResource implements Rejection.
-func (e *ErrLinkOverload) BindingResource() string { return e.Link }
+func (e *ErrLinkOverload) BindingResource() string { return e.link }
 
 // FailingTest implements Rejection.
 func (e *ErrLinkOverload) FailingTest() string { return e.Test }
@@ -79,29 +132,46 @@ func (e *ErrLinkOverload) FailingTest() string { return e.Test }
 func (e *ErrLinkOverload) FailMargin() float64 { return e.Margin }
 
 // ErrBufferExhausted reports a failed packet-memory reservation at one
-// router: the channel's buffer bound does not fit the shared pool (Port
-// empty) or a port's partition.
+// router: the channel's buffer bound does not fit the shared pool (port
+// negative) or a port's partition. Like ErrLinkOverload, the strings
+// render lazily from the stored coordinates.
 type ErrBufferExhausted struct {
-	// Node is the router whose memory ran out.
-	Node string
-	// Port names the binding partition under Partitioned accounting;
-	// empty under SharedPool.
-	Port string
+	// node is the rendered name of the router whose memory ran out; port
+	// the binding partition under Partitioned accounting (negative under
+	// SharedPool).
+	node string
+	port int
 	// Used slots were already reserved, Need more were requested, Limit
 	// is the pool or partition size.
 	Used, Need, Limit int
-
-	msg string
 }
 
-func (e *ErrBufferExhausted) Error() string { return e.msg }
+func (e *ErrBufferExhausted) Error() string {
+	b := make([]byte, 0, 96)
+	b = append(b, "admission: "...)
+	b = append(b, e.node...)
+	if e.port < 0 {
+		b = append(b, " out of packet buffers ("...)
+	} else {
+		b = append(b, " port "...)
+		b = append(b, router.PortName(e.port)...)
+		b = append(b, " partition full ("...)
+	}
+	b = strconv.AppendInt(b, int64(e.Used), 10)
+	b = append(b, " used + "...)
+	b = strconv.AppendInt(b, int64(e.Need), 10)
+	b = append(b, " needed > "...)
+	b = strconv.AppendInt(b, int64(e.Limit), 10)
+	b = append(b, ')')
+	return string(b)
+}
 
 // BindingResource implements Rejection.
 func (e *ErrBufferExhausted) BindingResource() string {
-	if e.Port == "" {
-		return e.Node
+	if e.port < 0 {
+		return e.node
 	}
-	return e.Node + "→" + e.Port
+	return e.node + "→" + router.PortName(e.port)
 }
 
 // FailingTest implements Rejection.
@@ -139,10 +209,12 @@ func (e *ErrIDExhausted) FailingTest() string { return "conn_ids" }
 func (e *ErrIDExhausted) FailMargin() float64 { return -1 }
 
 // overloadError builds the typed link rejection for one analysis
-// report, keeping the legacy message verbatim as the prefix.
-func overloadError(k linkKey, rep edfReport, msg string) *ErrLinkOverload {
+// report; inject selects the injection-port message wording (node is
+// only consulted then). The legacy message renders byte-identically,
+// just lazily.
+func overloadError(link, node string, rep edfReport, inject bool) *ErrLinkOverload {
 	return &ErrLinkOverload{
-		Link: k.String(), Test: rep.test, At: rep.at, Demand: rep.demand,
-		Util: rep.util, Margin: rep.margin, msg: msg,
+		link: link, node: node, inject: inject, Test: rep.test, At: rep.at,
+		Demand: rep.demand, Util: rep.util, Margin: rep.margin,
 	}
 }

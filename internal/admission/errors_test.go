@@ -1,0 +1,91 @@
+package admission
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/router"
+)
+
+// TestRejectionMessageFormats pins the hand-rolled strconv rendering in
+// errors.go to the fmt formats it replaced: the audit log's byte
+// identity across reference and incremental runs rides on these strings
+// never drifting.
+func TestRejectionMessageFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	coords := []mesh.Coord{{X: 0, Y: 0}, {X: 3, Y: 11}, {X: 15, Y: 7}}
+	for i := 0; i < 500; i++ {
+		node := coords[rng.Intn(len(coords))]
+		port := rng.Intn(router.NumPorts+1) - 1
+		k := linkKey{node, port}
+		util := rng.Float64() * 2
+		margin := 1 - util
+		at := rng.Int63n(1 << 16)
+		demand := at + rng.Int63n(64) + 1
+
+		var wantPrefix string
+		inject := rng.Intn(2) == 0
+		if inject {
+			wantPrefix = fmt.Sprintf("admission: injection port at %s fails the schedulability test", k.node)
+		} else {
+			wantPrefix = fmt.Sprintf("admission: link %s fails the schedulability test", k)
+		}
+
+		cases := []struct {
+			err  *ErrLinkOverload
+			want string
+		}{
+			{
+				&ErrLinkOverload{link: k.String(), node: k.node.String(), inject: inject, Test: "utilization", Util: util, Margin: margin},
+				fmt.Sprintf("%s (utilization %.4g > 1, margin %+.4g)", wantPrefix, util, margin),
+			},
+			{
+				&ErrLinkOverload{link: k.String(), node: k.node.String(), inject: inject, Test: "busy_period", At: at, Demand: demand, Margin: float64(at - demand)},
+				fmt.Sprintf("%s (busy_period at t=%d: demand %d > %d, margin %+g)", wantPrefix, at, demand, at, float64(at-demand)),
+			},
+			{
+				&ErrLinkOverload{link: k.String(), node: k.node.String(), inject: inject, Test: "link_failed", Margin: -1},
+				fmt.Sprintf("%s (link_failed)", wantPrefix),
+			},
+		}
+		for _, tc := range cases {
+			if got := tc.err.Error(); got != tc.want {
+				t.Fatalf("ErrLinkOverload rendering drifted:\n got %q\nwant %q", got, tc.want)
+			}
+		}
+
+		used, need, limit := rng.Intn(1000), rng.Intn(100)+1, rng.Intn(1000)
+		shared := &ErrBufferExhausted{node: node.String(), port: -1, Used: used, Need: need, Limit: limit}
+		if want := fmt.Sprintf("admission: %s out of packet buffers (%d used + %d needed > %d)",
+			node, used, need, limit); shared.Error() != want {
+			t.Fatalf("shared-pool rendering drifted:\n got %q\nwant %q", shared.Error(), want)
+		}
+		p := rng.Intn(router.NumPorts)
+		part := &ErrBufferExhausted{node: node.String(), port: p, Used: used, Need: need, Limit: limit}
+		if want := fmt.Sprintf("admission: %s port %s partition full (%d used + %d needed > %d)",
+			node, router.PortName(p), used, need, limit); part.Error() != want {
+			t.Fatalf("partition rendering drifted:\n got %q\nwant %q", part.Error(), want)
+		}
+	}
+}
+
+// TestLinkKeyString pins the strconv link rendering to the fmt format.
+func TestLinkKeyString(t *testing.T) {
+	for _, k := range []linkKey{
+		{mesh.Coord{X: 0, Y: 0}, portInject},
+		{mesh.Coord{X: 12, Y: 3}, 0},
+		{mesh.Coord{X: 7, Y: 15}, router.NumPorts - 1},
+	} {
+		var want string
+		if k.port == portInject {
+			want = fmt.Sprintf("%s→inject", k.node)
+		} else {
+			want = fmt.Sprintf("%s→%s", k.node, router.PortName(k.port))
+		}
+		if got := k.String(); got != want {
+			t.Fatalf("linkKey rendering drifted: got %q want %q", got, want)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package admission
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"testing"
 
@@ -108,6 +110,161 @@ func TestAdmitTeardownFuzz(t *testing.T) {
 		}
 		if got != 4 {
 			t.Fatalf("seed %d: capacity after churn = %d channels, want 4", seed, got)
+		}
+	}
+}
+
+// TestAdmissionDifferentialFuzz drives a standard controller and a
+// Reference-mode shadow (every fast path disabled: no EDF cache, no
+// unicast planner, no route memo, no batch speculation) through the same
+// random op sequence — admissions, teardowns, reroutes, link
+// failures/repairs, and AdmitBatch rounds — and demands identical
+// decisions, errors, channel parameters, and sealed ledger bytes
+// throughout. This is the oracle for the whole incremental machinery.
+func TestAdmissionDifferentialFuzz(t *testing.T) {
+	defer func(n int) { batchChunkSize = n }(batchChunkSize)
+	batchChunkSize = 8
+
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		fast, err := New(mesh.MustNew(4, 4, router.DefaultConfig()), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		refCfg := DefaultConfig()
+		refCfg.Reference = true
+		ref, err := New(mesh.MustNew(4, 4, router.DefaultConfig()), refCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		randSpec := func() rtc.Spec {
+			return rtc.Spec{
+				Imin: int64(4 + rng.Intn(28)),
+				Smax: 1 + rng.Intn(36),
+				D:    int64(5+rng.Intn(20)) * int64(4+rng.Intn(6)),
+			}
+		}
+		randEndpoints := func() (mesh.Coord, []mesh.Coord) {
+			src := mesh.Coord{X: rng.Intn(4), Y: rng.Intn(4)}
+			nd := 1
+			if rng.Intn(5) == 0 {
+				nd = 2 + rng.Intn(2)
+			}
+			var dsts []mesh.Coord
+			seen := map[mesh.Coord]bool{src: true}
+			for len(dsts) < nd {
+				d := mesh.Coord{X: rng.Intn(4), Y: rng.Intn(4)}
+				if seen[d] {
+					break
+				}
+				seen[d] = true
+				dsts = append(dsts, d)
+			}
+			return src, dsts
+		}
+		sameOutcome := func(op string, fc, rc *Channel, fe, re error) {
+			t.Helper()
+			if (fe == nil) != (re == nil) {
+				t.Fatalf("seed %d %s: fast err=%v, reference err=%v", seed, op, fe, re)
+			}
+			if fe != nil {
+				if fe.Error() != re.Error() {
+					t.Fatalf("seed %d %s: fast rejection %q, reference %q", seed, op, fe, re)
+				}
+				return
+			}
+			if fc.ID != rc.ID || fc.Margin != rc.Margin || fc.LocalD != rc.LocalD ||
+				fc.SrcConn != rc.SrcConn || fc.Route() != rc.Route() {
+				t.Fatalf("seed %d %s: fast channel %+v, reference %+v", seed, op, fc, rc)
+			}
+		}
+
+		var fastLive, refLive []*Channel
+		var failedLinks []linkKey
+		for op := 0; op < 150; op++ {
+			switch k := rng.Intn(10); {
+			case k == 0 && len(fastLive) > 0: // teardown
+				i := rng.Intn(len(fastLive))
+				fe, re := fast.Teardown(fastLive[i]), ref.Teardown(refLive[i])
+				if (fe == nil) != (re == nil) {
+					t.Fatalf("seed %d op %d teardown: fast %v, reference %v", seed, op, fe, re)
+				}
+				fastLive = append(fastLive[:i], fastLive[i+1:]...)
+				refLive = append(refLive[:i], refLive[i+1:]...)
+			case k == 1 && len(fastLive) > 0: // reroute
+				i := rng.Intn(len(fastLive))
+				fc, fe := fast.Reroute(fastLive[i])
+				rc, re := ref.Reroute(refLive[i])
+				sameOutcome("reroute", fc, rc, fe, re)
+				if fe == nil {
+					fastLive[i], refLive[i] = fc, rc
+				}
+			case k == 2: // flip one link's failure state on both
+				lk := linkKey{mesh.Coord{X: rng.Intn(3), Y: rng.Intn(3)}, router.PortXPlus}
+				if rng.Intn(2) == 0 {
+					lk.port = router.PortYPlus
+				}
+				if len(failedLinks) > 0 && rng.Intn(2) == 0 {
+					lk = failedLinks[rng.Intn(len(failedLinks))]
+					if fast.MarkRepaired(lk.node, lk.port) == nil {
+						_ = ref.MarkRepaired(lk.node, lk.port)
+					}
+				} else if fast.MarkFailed(lk.node, lk.port) == nil {
+					_ = ref.MarkFailed(lk.node, lk.port)
+					failedLinks = append(failedLinks, lk)
+				}
+			case k == 3: // AdmitBatch round vs sequential reference loop
+				var reqs []Request
+				for len(reqs) < 12 {
+					src, dsts := randEndpoints()
+					if len(dsts) == 0 {
+						continue
+					}
+					reqs = append(reqs, Request{Src: src, Dsts: dsts, Spec: randSpec()})
+				}
+				res := fast.AdmitBatch(reqs, 1+rng.Intn(4))
+				for i, r := range reqs {
+					rc, re := ref.Admit(r.Src, r.Dsts, r.Spec)
+					sameOutcome("batch", res.Channels[i], rc, res.Errs[i], re)
+					if re == nil {
+						fastLive = append(fastLive, res.Channels[i])
+						refLive = append(refLive, rc)
+					}
+				}
+			default: // single admit
+				src, dsts := randEndpoints()
+				if len(dsts) == 0 {
+					continue
+				}
+				spec := randSpec()
+				fc, fe := fast.Admit(src, dsts, spec)
+				rc, re := ref.Admit(src, dsts, spec)
+				sameOutcome("admit", fc, rc, fe, re)
+				if fe == nil {
+					fastLive = append(fastLive, fc)
+					refLive = append(refLive, rc)
+				}
+			}
+			if op%10 == 0 {
+				if err := fast.VerifyLedger(); err != nil {
+					t.Fatalf("seed %d op %d: fast ledger: %v", seed, op, err)
+				}
+				if err := ref.VerifyLedger(); err != nil {
+					t.Fatalf("seed %d op %d: reference ledger: %v", seed, op, err)
+				}
+				fj, err := json.Marshal(fast.Seal())
+				if err != nil {
+					t.Fatal(err)
+				}
+				rj, err := json.Marshal(ref.Seal())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fj, rj) {
+					t.Fatalf("seed %d op %d: sealed ledgers diverge:\nfast %s\nref  %s", seed, op, fj, rj)
+				}
+			}
 		}
 	}
 }

@@ -35,25 +35,17 @@ func (c *Controller) Sealed() *metrics.CapacitySnapshot {
 
 func (c *Controller) buildSnapshot() *metrics.CapacitySnapshot {
 	snap := &metrics.CapacitySnapshot{Channels: len(c.chans)}
-	keys := make([]linkKey, 0, len(c.links))
-	for k, ls := range c.links {
-		if len(ls.tasks) > 0 {
-			keys = append(keys, k)
+	// The dense link table ascends in (node.Y, node.X, port) order with
+	// inject first — already the snapshot's publish order, no sort needed.
+	keys := make([]linkKey, 0, 64)
+	for i, ls := range c.links {
+		if ls != nil && len(ls.tasks) > 0 {
+			keys = append(keys, c.linkKeyAt(i))
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.node.Y != b.node.Y {
-			return a.node.Y < b.node.Y
-		}
-		if a.node.X != b.node.X {
-			return a.node.X < b.node.X
-		}
-		return a.port < b.port
-	})
 	minHead := int64(-1)
 	for _, k := range keys {
-		tasks := append([]task(nil), c.links[k].tasks...)
+		tasks := append([]task(nil), c.linkAt(k).tasks...)
 		sort.Slice(tasks, func(i, j int) bool { return tasks[i].chanID < tasks[j].chanID })
 		rep := edfAnalyze(tasks)
 		var reserved int64
@@ -90,7 +82,7 @@ func (c *Controller) buildSnapshot() *metrics.CapacitySnapshot {
 		snap.MinHeadroomSlots = minHead
 	}
 	for _, coord := range c.net.Coords() {
-		ns := c.nodes[coord]
+		ns := c.node(coord)
 		used := len(ns.usedIDs)
 		if ns.total == 0 && used == 0 {
 			continue
@@ -164,7 +156,11 @@ func (c *Controller) VerifyLedger() error {
 			}
 		}
 	}
-	for k, ls := range c.links {
+	for i, ls := range c.links {
+		if ls == nil {
+			continue
+		}
+		k := c.linkKeyAt(i)
 		seen := make(map[int]bool, len(ls.tasks))
 		for _, tk := range ls.tasks {
 			w, ok := wantLink[k][tk.chanID]
@@ -184,11 +180,12 @@ func (c *Controller) VerifyLedger() error {
 		}
 	}
 	for k, m := range wantLink {
-		if len(m) > 0 && (c.links[k] == nil || len(c.links[k].tasks) == 0) {
+		if ls := c.linkAt(k); len(m) > 0 && (ls == nil || len(ls.tasks) == 0) {
 			return fmt.Errorf("admission: ledger: link %s reservation missing from the ledger", k)
 		}
 	}
-	for co, ns := range c.nodes {
+	for i, ns := range c.nodes {
+		co := mesh.Coord{X: i % c.net.W, Y: i / c.net.W}
 		var wantTotal int
 		var wantPorts [router.NumPorts]int
 		var wantIDs map[uint8]bool
@@ -209,6 +206,82 @@ func (c *Controller) VerifyLedger() error {
 				return fmt.Errorf("admission: ledger: %s id %d reserved by a channel but not held", co, id)
 			}
 		}
+	}
+	for i, ls := range c.links {
+		if ls == nil {
+			continue
+		}
+		if err := c.verifyCache(c.linkKeyAt(i), ls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyCache cross-checks one link's incremental EDF cache against a
+// from-scratch recompute: scalars bit-exact (including the float
+// utilization sum), the point set exactly the union of the committed
+// tasks' step ladders over the cache's coverage, and the committed
+// analysis verdict identical to edfAnalyze's.
+func (c *Controller) verifyCache(k linkKey, ls *linkState) error {
+	ec := &ls.cache
+	if c.cfg.Reference {
+		if ec.built {
+			return fmt.Errorf("admission: ledger: link %s built an EDF cache in reference mode", k)
+		}
+		return nil
+	}
+	if !ec.built {
+		return fmt.Errorf("admission: ledger: link %s has no built EDF cache", k)
+	}
+	if ec.degenerate {
+		return fmt.Errorf("admission: ledger: link %s EDF cache degenerate (invalid committed task)", k)
+	}
+	var sumC int64
+	var util float64
+	var maxD int64
+	for _, tk := range ls.tasks {
+		if !validTask(tk) {
+			return fmt.Errorf("admission: ledger: link %s committed invalid task %+v", k, tk)
+		}
+		sumC += tk.C
+		util += float64(tk.C) / float64(tk.T)
+		if tk.D > maxD {
+			maxD = tk.D
+		}
+	}
+	if ec.sumC != sumC {
+		return fmt.Errorf("admission: ledger: link %s cache ΣC %d, tasks say %d", k, ec.sumC, sumC)
+	}
+	if ec.util != util {
+		return fmt.Errorf("admission: ledger: link %s cache utilization %v, tasks say %v (bit-exact sum required)", k, ec.util, util)
+	}
+	if ec.maxD != maxD {
+		return fmt.Errorf("admission: ledger: link %s cache maxD %d, tasks say %d", k, ec.maxD, maxD)
+	}
+	if want := busyBoundFrom(maxD, sumC, util); ec.cover < want && ec.cover < coverCap {
+		return fmt.Errorf("admission: ledger: link %s cache covers (0,%d], committed busy-period bound is %d (cap %d)", k, ec.cover, want, coverCap)
+	}
+	var raw []stepPoint
+	for i := range ls.tasks {
+		raw = stepsInto(raw, ls.tasks[i], 0, ec.cover)
+	}
+	var want edfCache
+	want.built = true
+	want.mergeIn(raw)
+	if len(want.points) != len(ec.points) {
+		return fmt.Errorf("admission: ledger: link %s caches %d step points, tasks generate %d", k, len(ec.points), len(want.points))
+	}
+	for i := range want.points {
+		if want.points[i] != ec.points[i] {
+			return fmt.Errorf("admission: ledger: link %s step point %d is %+v, tasks say %+v", k, i, ec.points[i], want.points[i])
+		}
+		if want.prefix[i] != ec.prefix[i] {
+			return fmt.Errorf("admission: ledger: link %s dbf prefix at t=%d is %d, tasks say %d", k, ec.points[i].t, ec.prefix[i], want.prefix[i])
+		}
+	}
+	if got, ref := ec.committedReport(ls.tasks), edfAnalyze(ls.tasks); got != ref {
+		return fmt.Errorf("admission: ledger: link %s cached analysis %+v, edfAnalyze says %+v", k, got, ref)
 	}
 	return nil
 }

@@ -1,0 +1,52 @@
+package admission
+
+import (
+	"sync"
+
+	"repro/internal/mesh"
+)
+
+// routeMemo caches the deterministic planners' port sequences. XY and YX
+// routes are pure functions of the endpoint pair, so entries never
+// invalidate; under a 100k-request batch the same few thousand pairs
+// recur constantly and the memo turns route computation into one map
+// probe. Concurrent-safe: AdmitBatch's speculative planners share it.
+type routeMemo struct {
+	mu sync.RWMutex
+	m  map[routeMemoKey][]int
+}
+
+type routeMemoKey struct {
+	src, dst mesh.Coord
+	order    routeOrder
+}
+
+// route returns the memoized port sequence, computing and caching it on
+// first use. Callers must not mutate the returned slice.
+func (rm *routeMemo) route(src, dst mesh.Coord, order routeOrder) []int {
+	k := routeMemoKey{src, dst, order}
+	rm.mu.RLock()
+	ports, ok := rm.m[k]
+	rm.mu.RUnlock()
+	if ok {
+		return ports
+	}
+	if order == yxOrder {
+		ports = mesh.YXRoute(src, dst)
+	} else {
+		ports = mesh.XYRoute(src, dst)
+	}
+	rm.mu.Lock()
+	if rm.m == nil {
+		rm.m = make(map[routeMemoKey][]int)
+	}
+	// A racing writer may have stored the same pure-function result
+	// already; keep the first so callers can alias-compare if they like.
+	if prev, ok := rm.m[k]; ok {
+		ports = prev
+	} else {
+		rm.m[k] = ports
+	}
+	rm.mu.Unlock()
+	return ports
+}

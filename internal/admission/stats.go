@@ -1,0 +1,36 @@
+package admission
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// admStats counts control-plane decisions. Atomic because AdmitBatch's
+// bookkeeping and a live HTTP scrape of Stats may overlap; the decision
+// paths themselves stay single-threaded.
+type admStats struct {
+	admits        atomic.Int64
+	rejects       atomic.Int64
+	teardowns     atomic.Int64
+	restores      atomic.Int64
+	reroutes      atomic.Int64
+	batchRequests atomic.Int64
+	batchChunks   atomic.Int64
+	batchReplans  atomic.Int64
+}
+
+// Stats returns the controller's decision counters in export form; pass
+// it to metrics.Registry.SetAdmissionSource.
+func (c *Controller) Stats() *metrics.AdmissionStats {
+	return &metrics.AdmissionStats{
+		Admits:        c.stats.admits.Load(),
+		Rejects:       c.stats.rejects.Load(),
+		Teardowns:     c.stats.teardowns.Load(),
+		Restores:      c.stats.restores.Load(),
+		Reroutes:      c.stats.reroutes.Load(),
+		BatchRequests: c.stats.batchRequests.Load(),
+		BatchChunks:   c.stats.batchChunks.Load(),
+		BatchReplans:  c.stats.batchReplans.Load(),
+	}
+}

@@ -287,8 +287,11 @@ func NewMesh(w, h int, opts Options) (*System, error) {
 	if reg != nil {
 		// The capacity ledger rides the same exports; Sealed returns nil
 		// until the first Seal, so scrapes before any admission see no
-		// capacity section rather than a half-built one.
+		// capacity section rather than a half-built one. Decision counters
+		// live in their own section because they move on rejections while
+		// the sealed ledger must not.
 		reg.SetCapacitySource(adm.Sealed)
+		reg.SetAdmissionSource(adm.Stats)
 	}
 	if opts.Tile != 0 {
 		net.SetTileSize(opts.Tile)

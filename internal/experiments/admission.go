@@ -1,0 +1,538 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/mesh"
+	"repro/internal/obs"
+	"repro/internal/router"
+)
+
+// AdmissionBatchRow is one AdmitBatch measurement at a fixed worker
+// count: throughput plus the byte-identity verdict against the
+// incremental sequential run.
+type AdmissionBatchRow struct {
+	Workers         int
+	Secs            float64
+	DecisionsPerSec float64
+	Replans         int64
+	Identical       bool
+}
+
+// AdmissionFamilyResult is one request family's mass-admission
+// measurements: the reference (pre-incremental) sequential path, the
+// incremental sequential path, AdmitBatch at each worker count, and the
+// churn phase that tears down and re-admits a third of the admitted set.
+type AdmissionFamilyResult struct {
+	Name     string
+	Requests int
+	Admitted int
+	Rejected int
+	// RefSecs times the Reference-mode controller (every fast path
+	// disabled: from-scratch EDF per link, no unicast planner, no route
+	// memo) over the same request sequence — the pre-PR sequential path,
+	// measured in-run so the speedup never compares across machines.
+	RefSecs            float64
+	RefDecisionsPerSec float64
+	// SeqSecs times the incremental sequential Admit loop.
+	SeqSecs            float64
+	SeqDecisionsPerSec float64
+	// Speedup is incremental-sequential over reference-sequential —
+	// serial versus serial, so it holds on a single-CPU runner too.
+	Speedup float64
+	// P99AdmitMicros is the 99th-percentile single-decision latency of
+	// the incremental sequential run (admissions and rejections both).
+	P99AdmitMicros float64
+	Batch          []AdmissionBatchRow
+	// Churn phase: every third admitted channel torn down and re-admitted
+	// on the live controller, then the ledger re-verified.
+	ChurnOps       int
+	ChurnOpsPerSec float64
+}
+
+// AdmissionResult is the outcome of RunAdmission across all families.
+type AdmissionResult struct {
+	W, H       int
+	Requests   int
+	WorkerSet  []int
+	NumCPU     int
+	GOMAXPROCS int
+	Families   []AdmissionFamilyResult
+	Checks     []CapacityCheck
+}
+
+// OK reports whether every identity and ledger check passed.
+func (r *AdmissionResult) OK() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// MinSpeedup returns the smallest per-family incremental-vs-reference
+// speedup, the number the CI gate floors.
+func (r *AdmissionResult) MinSpeedup() float64 {
+	min := 0.0
+	for i, f := range r.Families {
+		if i == 0 || f.Speedup < min {
+			min = f.Speedup
+		}
+	}
+	return min
+}
+
+// BestBatchRate returns the highest AdmitBatch decisions/sec observed
+// across families and worker counts.
+func (r *AdmissionResult) BestBatchRate() float64 {
+	best := 0.0
+	for _, f := range r.Families {
+		for _, b := range f.Batch {
+			if b.DecisionsPerSec > best {
+				best = b.DecisionsPerSec
+			}
+		}
+	}
+	return best
+}
+
+// admissionRequests expands a capacity family into its first n requests.
+func admissionRequests(fam CapacityFamily, w, h, n int) []admission.Request {
+	reqs := make([]admission.Request, n)
+	for i := 0; i < n; i++ {
+		src, dst := fam.Place(i, w, h)
+		reqs[i] = admission.Request{Src: src, Dsts: []mesh.Coord{dst}, Spec: fam.Spec}
+	}
+	return reqs
+}
+
+// admissionRun is one controller's pass over a request sequence: the
+// outcome counts, the sealed-ledger bytes, and the audit-log fingerprint
+// that the identity checks compare.
+type admissionRun struct {
+	secs      float64
+	admitted  int
+	rejected  int
+	seal      []byte
+	auditLen  int
+	auditHash uint64
+	// chans[i] is the channel admitted for request i (nil if rejected);
+	// only the incremental sequential run keeps it, for the churn phase.
+	chans []*admission.Channel
+	ctl   *admission.Controller
+}
+
+func newAdmissionController(w, h int, reference bool) (*admission.Controller, *obs.AuditLog, error) {
+	net, err := mesh.New(w, h, router.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := admission.DefaultConfig()
+	cfg.Reference = reference
+	ctl, err := admission.New(net, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	aud := obs.NewAuditLog()
+	ctl.AttachAudit(aud)
+	return ctl, aud, nil
+}
+
+// sequentialRun admits the sequence one request at a time. latencies, if
+// non-nil, receives one duration per decision (for the p99 figure).
+func sequentialRun(w, h int, reference bool, reqs []admission.Request, latencies *[]time.Duration) (*admissionRun, error) {
+	ctl, aud, err := newAdmissionController(w, h, reference)
+	if err != nil {
+		return nil, err
+	}
+	run := &admissionRun{chans: make([]*admission.Channel, len(reqs)), ctl: ctl}
+	start := time.Now()
+	for i, r := range reqs {
+		var t0 time.Time
+		if latencies != nil {
+			t0 = time.Now()
+		}
+		ch, err := ctl.Admit(r.Src, r.Dsts, r.Spec)
+		if latencies != nil {
+			*latencies = append(*latencies, time.Since(t0))
+		}
+		if err != nil {
+			run.rejected++
+			continue
+		}
+		run.chans[i] = ch
+		run.admitted++
+	}
+	run.secs = time.Since(start).Seconds()
+	return run, finishAdmissionRun(run, aud)
+}
+
+// batchRun admits the sequence through AdmitBatch at the given worker
+// count.
+func batchRun(w, h, workers int, reqs []admission.Request) (*admissionRun, int64, error) {
+	ctl, aud, err := newAdmissionController(w, h, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	res := ctl.AdmitBatch(reqs, workers)
+	run := &admissionRun{
+		secs:     time.Since(start).Seconds(),
+		admitted: res.Admitted,
+		rejected: res.Rejected,
+		chans:    res.Channels,
+		ctl:      ctl,
+	}
+	return run, ctl.Stats().BatchReplans, finishAdmissionRun(run, aud)
+}
+
+func finishAdmissionRun(run *admissionRun, aud *obs.AuditLog) error {
+	if err := run.ctl.VerifyLedger(); err != nil {
+		return fmt.Errorf("ledger after run: %w", err)
+	}
+	seal, err := json.Marshal(run.ctl.Seal())
+	if err != nil {
+		return err
+	}
+	run.seal = seal
+	run.auditLen = aud.Len()
+	run.auditHash = aud.DumpHash()
+	return nil
+}
+
+// sameRun compares two runs' decisions, sealed ledgers, and audit logs.
+func sameRun(a, b *admissionRun) (bool, string) {
+	if a.admitted != b.admitted || a.rejected != b.rejected {
+		return false, fmt.Sprintf("decisions %d/%d vs %d/%d", a.admitted, a.rejected, b.admitted, b.rejected)
+	}
+	if !bytes.Equal(a.seal, b.seal) {
+		return false, "sealed ledger bytes differ"
+	}
+	if a.auditLen != b.auditLen || a.auditHash != b.auditHash {
+		return false, fmt.Sprintf("audit log differs (%d records hash %x vs %d records hash %x)",
+			a.auditLen, a.auditHash, b.auditLen, b.auditHash)
+	}
+	return true, ""
+}
+
+func p99Micros(lat []time.Duration) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (99*len(sorted) + 99) / 100 // ceil(0.99*n)
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return float64(sorted[idx-1]) / float64(time.Microsecond)
+}
+
+// RunAdmission runs the mass-admission campaign on a w×h mesh: per
+// request family it times the reference sequential path against the
+// incremental sequential path over the same `requests`-long sequence
+// (the in-run speedup the CI gate floors), measures AdmitBatch at each
+// worker count with byte-identity checks against the sequential run,
+// and finishes with a teardown/re-admit churn phase on the live
+// controller. requests defaults to 100000, workers to {1, 2, 4}.
+func RunAdmission(w, h, requests int, workers []int) (*AdmissionResult, error) {
+	if requests <= 0 {
+		requests = 100000
+	}
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4}
+	}
+	res := &AdmissionResult{
+		W: w, H: h, Requests: requests, WorkerSet: workers,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	check := func(name string, ok bool, format string, args ...any) {
+		res.Checks = append(res.Checks, CapacityCheck{
+			Name: name, OK: ok, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, fam := range DefaultCapacityFamilies() {
+		reqs := admissionRequests(fam, w, h, requests)
+		fr := AdmissionFamilyResult{Name: fam.Name, Requests: len(reqs)}
+
+		refRun, err := sequentialRun(w, h, true, reqs, nil)
+		if err != nil {
+			return nil, fmt.Errorf("admission %s reference: %w", fam.Name, err)
+		}
+		latencies := make([]time.Duration, 0, len(reqs))
+		seqRun, err := sequentialRun(w, h, false, reqs, &latencies)
+		if err != nil {
+			return nil, fmt.Errorf("admission %s sequential: %w", fam.Name, err)
+		}
+		fr.Admitted, fr.Rejected = seqRun.admitted, seqRun.rejected
+		fr.RefSecs, fr.SeqSecs = refRun.secs, seqRun.secs
+		if refRun.secs > 0 {
+			fr.RefDecisionsPerSec = float64(len(reqs)) / refRun.secs
+		}
+		if seqRun.secs > 0 {
+			fr.SeqDecisionsPerSec = float64(len(reqs)) / seqRun.secs
+			fr.Speedup = refRun.secs / seqRun.secs
+		}
+		fr.P99AdmitMicros = p99Micros(latencies)
+		check(fam.Name+"_saturates", fr.Admitted > 0 && fr.Rejected > 0,
+			"admitted %d rejected %d of %d (identity checks need both outcomes)",
+			fr.Admitted, fr.Rejected, len(reqs))
+		// The reference controller is the oracle: the incremental path
+		// must reproduce its decisions, ledger, and audit log exactly.
+		if ok, why := sameRun(refRun, seqRun); ok {
+			check(fam.Name+"_ref_identity", true, "incremental path matches the reference oracle")
+		} else {
+			check(fam.Name+"_ref_identity", false, "%s", why)
+		}
+
+		for _, wk := range workers {
+			bRun, replans, err := batchRun(w, h, wk, reqs)
+			if err != nil {
+				return nil, fmt.Errorf("admission %s batch x%d: %w", fam.Name, wk, err)
+			}
+			row := AdmissionBatchRow{Workers: wk, Secs: bRun.secs, Replans: replans}
+			if bRun.secs > 0 {
+				row.DecisionsPerSec = float64(len(reqs)) / bRun.secs
+			}
+			ok, why := sameRun(seqRun, bRun)
+			row.Identical = ok
+			if ok {
+				check(fmt.Sprintf("%s_batch_identity_x%d", fam.Name, wk), true,
+					"%d replans", replans)
+			} else {
+				check(fmt.Sprintf("%s_batch_identity_x%d", fam.Name, wk), false, "%s", why)
+			}
+			fr.Batch = append(fr.Batch, row)
+		}
+
+		// Churn: tear down every third admitted channel on the live
+		// sequential controller, re-admit the same requests, and verify
+		// the ledger survives. Re-admission must succeed — the final set
+		// is a subset of what the controller already proved feasible.
+		var victims []int
+		for i, ch := range seqRun.chans {
+			if ch != nil && len(victims)*3 <= i {
+				victims = append(victims, i)
+			}
+		}
+		churnErr := error(nil)
+		start := time.Now()
+		for _, i := range victims {
+			if err := seqRun.ctl.Teardown(seqRun.chans[i]); err != nil {
+				churnErr = fmt.Errorf("teardown request %d: %w", i, err)
+				break
+			}
+		}
+		if churnErr == nil {
+			for _, i := range victims {
+				r := reqs[i]
+				ch, err := seqRun.ctl.Admit(r.Src, r.Dsts, r.Spec)
+				if err != nil {
+					churnErr = fmt.Errorf("re-admit request %d: %w", i, err)
+					break
+				}
+				seqRun.chans[i] = ch
+			}
+		}
+		churnSecs := time.Since(start).Seconds()
+		if churnErr == nil {
+			churnErr = seqRun.ctl.VerifyLedger()
+		}
+		fr.ChurnOps = 2 * len(victims)
+		if churnSecs > 0 {
+			fr.ChurnOpsPerSec = float64(fr.ChurnOps) / churnSecs
+		}
+		check(fam.Name+"_churn_ledger", churnErr == nil,
+			"%d teardown/re-admit ops: %v", fr.ChurnOps, churnErr)
+
+		res.Families = append(res.Families, fr)
+	}
+	return res, nil
+}
+
+// Table renders the per-family throughput summary.
+func (r *AdmissionResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Admission campaign: %dx%d mesh, %d requests (GOMAXPROCS=%d, NumCPU=%d)",
+			r.W, r.H, r.Requests, r.GOMAXPROCS, r.NumCPU),
+		Header: []string{"family", "admitted", "ref_dec/s", "inc_dec/s", "speedup",
+			"p99_us"},
+	}
+	for _, wk := range r.WorkerSet {
+		t.Header = append(t.Header, fmt.Sprintf("batch_x%d/s", wk))
+	}
+	t.Header = append(t.Header, "replans", "identical", "churn_ops/s")
+	for _, f := range r.Families {
+		row := []string{
+			f.Name, di(f.Admitted),
+			fmt.Sprintf("%.0f", f.RefDecisionsPerSec),
+			fmt.Sprintf("%.0f", f.SeqDecisionsPerSec),
+			fmt.Sprintf("%.1fx", f.Speedup),
+			f2(f.P99AdmitMicros),
+		}
+		var replans int64
+		identical := true
+		for _, b := range f.Batch {
+			row = append(row, fmt.Sprintf("%.0f", b.DecisionsPerSec))
+			replans += b.Replans
+			identical = identical && b.Identical
+		}
+		row = append(row, d(replans), fmt.Sprintf("%v", identical),
+			fmt.Sprintf("%.0f", f.ChurnOpsPerSec))
+		t.AddRow(row...)
+	}
+	for _, c := range r.Checks {
+		if !c.OK {
+			t.AddNote("FAILED %s: %s", c.Name, c.Detail)
+		}
+	}
+	return t
+}
+
+// AdmissionBaselineRow mirrors one archived campaign row (the shape
+// rtbench writes to BENCH_admission.json).
+type AdmissionBaselineRow struct {
+	Family          string  `json:"family"`
+	Requests        int     `json:"requests"`
+	Admitted        int     `json:"admitted"`
+	RefDecPerSec    float64 `json:"ref_decisions_per_sec"`
+	SeqDecPerSec    float64 `json:"seq_decisions_per_sec"`
+	Speedup         float64 `json:"speedup_vs_reference"`
+	P99AdmitMicros  float64 `json:"p99_admit_micros"`
+	BestBatchPerSec float64 `json:"best_batch_decisions_per_sec"`
+}
+
+// AdmissionBaseline is an archived admission campaign result.
+type AdmissionBaseline struct {
+	Mesh       string                 `json:"mesh"`
+	Requests   int                    `json:"requests"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"num_cpu"`
+	Rows       []AdmissionBaselineRow `json:"rows"`
+}
+
+// BaselineRows converts a fresh result into the archived row shape.
+func (r *AdmissionResult) BaselineRows() []AdmissionBaselineRow {
+	rows := make([]AdmissionBaselineRow, 0, len(r.Families))
+	for _, f := range r.Families {
+		row := AdmissionBaselineRow{
+			Family: f.Name, Requests: f.Requests, Admitted: f.Admitted,
+			RefDecPerSec: f.RefDecisionsPerSec, SeqDecPerSec: f.SeqDecisionsPerSec,
+			Speedup: f.Speedup, P99AdmitMicros: f.P99AdmitMicros,
+		}
+		for _, b := range f.Batch {
+			if b.DecisionsPerSec > row.BestBatchPerSec {
+				row.BestBatchPerSec = b.DecisionsPerSec
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// LoadAdmissionBaseline reads an archived BENCH_admission.json.
+func LoadAdmissionBaseline(path string) (*AdmissionBaseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("admission baseline: %w", err)
+	}
+	var b AdmissionBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("admission baseline %s: %w", path, err)
+	}
+	if len(b.Rows) == 0 {
+		return nil, fmt.Errorf("admission baseline %s: no rows", path)
+	}
+	return &b, nil
+}
+
+// AdmissionDelta compares one family against its baseline counterpart.
+// SpeedupRatio is cur/base (machine-rate independent: both runs measure
+// reference and incremental on their own hardware); AdmittedDrift is
+// cur−base, which must be zero when mesh and request count match.
+type AdmissionDelta struct {
+	Family        string
+	SameShape     bool // mesh and request count match the baseline
+	BaseSpeedup   float64
+	CurSpeedup    float64
+	SpeedupRatio  float64
+	BaseAdmitted  int
+	CurAdmitted   int
+	AdmittedDrift int
+	BaseP99Micros float64
+	CurP99Micros  float64
+}
+
+// Diff matches the campaign's families against the baseline by name.
+func (r *AdmissionResult) Diff(base *AdmissionBaseline) []AdmissionDelta {
+	idx := make(map[string]AdmissionBaselineRow, len(base.Rows))
+	for _, row := range base.Rows {
+		idx[row.Family] = row
+	}
+	sameShape := base.Mesh == fmt.Sprintf("%dx%d", r.W, r.H) && base.Requests == r.Requests
+	var out []AdmissionDelta
+	for _, f := range r.Families {
+		b, ok := idx[f.Name]
+		if !ok {
+			continue
+		}
+		d := AdmissionDelta{
+			Family: f.Name, SameShape: sameShape && b.Requests == f.Requests,
+			BaseSpeedup: b.Speedup, CurSpeedup: f.Speedup,
+			BaseAdmitted: b.Admitted, CurAdmitted: f.Admitted,
+			AdmittedDrift: f.Admitted - b.Admitted,
+			BaseP99Micros: b.P99AdmitMicros, CurP99Micros: f.P99AdmitMicros,
+		}
+		if b.Speedup > 0 {
+			d.SpeedupRatio = f.Speedup / b.Speedup
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// AdmissionDeltaTable renders the baseline comparison.
+func AdmissionDeltaTable(deltas []AdmissionDelta, baselinePath string) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Admission campaign vs baseline %s", baselinePath),
+		Header: []string{"family", "speedup", "base", "ratio", "admitted", "base", "p99_us", "base"},
+	}
+	for _, d := range deltas {
+		t.AddRow(
+			d.Family,
+			fmt.Sprintf("%.1fx", d.CurSpeedup),
+			fmt.Sprintf("%.1fx", d.BaseSpeedup),
+			f2(d.SpeedupRatio),
+			di(d.CurAdmitted), di(d.BaseAdmitted),
+			f2(d.CurP99Micros), f2(d.BaseP99Micros),
+		)
+	}
+	return t
+}
+
+// CheckAdmissionRegression fails on the first family whose speedup fell
+// more than maxRegress below the baseline, or — when the mesh and
+// request count match the archive — whose admitted count drifted at all
+// (the decision sequence is deterministic, so any drift is a behavior
+// change, not noise).
+func CheckAdmissionRegression(deltas []AdmissionDelta, maxRegress float64) error {
+	for _, d := range deltas {
+		if d.SameShape && d.AdmittedDrift != 0 {
+			return fmt.Errorf("%s: admitted %d, baseline %d — deterministic decision sequence drifted",
+				d.Family, d.CurAdmitted, d.BaseAdmitted)
+		}
+		if maxRegress > 0 && d.BaseSpeedup > 0 && d.SpeedupRatio < 1-maxRegress {
+			return fmt.Errorf("%s: speedup %.1fx is %.0f%% below baseline %.1fx",
+				d.Family, d.CurSpeedup, (1-d.SpeedupRatio)*100, d.BaseSpeedup)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// profFamily selects the traffic family by ADMISSION_PROFILE (an index
+// into DefaultCapacityFamilies; any non-integer means 0).
+func profFamily() CapacityFamily {
+	fams := DefaultCapacityFamilies()
+	i, err := strconv.Atoi(os.Getenv("ADMISSION_PROFILE"))
+	if err != nil || i < 0 || i >= len(fams) {
+		i = 0
+	}
+	return fams[i]
+}
+
+// TestAdmissionProfileSeq is a profiling harness, not a correctness
+// test: it runs only the sequential incremental leg of the admission
+// campaign so a -cpuprofile isolates that phase. Gated behind an env
+// var so normal test runs skip it.
+func TestAdmissionProfileSeq(t *testing.T) {
+	if os.Getenv("ADMISSION_PROFILE") == "" {
+		t.Skip("set ADMISSION_PROFILE=1 to run the profiling harness")
+	}
+	reqs := admissionRequests(profFamily(), 16, 16, 30000)
+	run, err := sequentialRun(16, 16, false, reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("admitted=%d rejected=%d secs=%.3f", run.admitted, run.rejected, run.secs)
+}
+
+// TestAdmissionProfileRef is the reference-path twin.
+func TestAdmissionProfileRef(t *testing.T) {
+	if os.Getenv("ADMISSION_PROFILE") == "" {
+		t.Skip("set ADMISSION_PROFILE=1 to run the profiling harness")
+	}
+	reqs := admissionRequests(profFamily(), 16, 16, 30000)
+	run, err := sequentialRun(16, 16, true, reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("admitted=%d rejected=%d secs=%.3f", run.admitted, run.rejected, run.secs)
+}

@@ -6,6 +6,7 @@ package mesh
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/router"
 	"repro/internal/sim"
@@ -16,7 +17,18 @@ type Coord struct {
 	X, Y int
 }
 
-func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+// String renders "(x,y)". Built with strconv rather than fmt: the
+// admission audit trail renders coordinates on every decision, and this
+// sits on that hot path.
+func (c Coord) String() string {
+	b := make([]byte, 0, 8)
+	b = append(b, '(')
+	b = strconv.AppendInt(b, int64(c.X), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Y), 10)
+	b = append(b, ')')
+	return string(b)
+}
 
 // Add returns c displaced by one hop through the given output port.
 func (c Coord) Add(port int) Coord {

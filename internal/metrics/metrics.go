@@ -319,6 +319,13 @@ type Registry struct {
 	// method is the standard provider.
 	capacity func() *CapacitySnapshot
 
+	// admission, when set, supplies control-plane decision counters
+	// (see SetAdmissionSource); the admission controller's Stats method
+	// is the standard provider. Kept separate from the capacity ledger
+	// because rejected admissions increment these counters while the
+	// sealed ledger must stay byte-identical across refusals.
+	admission func() *AdmissionStats
+
 	// Cycles, if set by the harness, records the measured cycle span
 	// for rate normalization in reports.
 	Cycles atomic.Int64
@@ -522,6 +529,29 @@ func (g *Registry) SetCapacitySource(fn func() *CapacitySnapshot) {
 	g.mu.Unlock()
 }
 
+// AdmissionStats counts control-plane decisions since the controller was
+// created. Unlike the sealed capacity ledger these counters move on
+// rejected requests too, so they live in their own export section.
+type AdmissionStats struct {
+	Admits        int64 `json:"admits"`
+	Rejects       int64 `json:"rejects"`
+	Teardowns     int64 `json:"teardowns"`
+	Restores      int64 `json:"restores"`
+	Reroutes      int64 `json:"reroutes"`
+	BatchRequests int64 `json:"batch_requests"`
+	BatchChunks   int64 `json:"batch_chunks"`
+	BatchReplans  int64 `json:"batch_replans"`
+}
+
+// SetAdmissionSource installs the function Snapshot calls to collect
+// admission decision counters (nil detaches). The source must tolerate
+// concurrent calls; returning nil omits the section.
+func (g *Registry) SetAdmissionSource(fn func() *AdmissionStats) {
+	g.mu.Lock()
+	g.admission = fn
+	g.mu.Unlock()
+}
+
 // RouterSnapshot is a point-in-time copy of one router's counters in
 // export-friendly form.
 type RouterSnapshot struct {
@@ -561,6 +591,7 @@ type Snapshot struct {
 	Blame     []BlameSnapshot    `json:"blame,omitempty"`
 	Forensics *ForensicsSnapshot `json:"forensics,omitempty"`
 	Capacity  *CapacitySnapshot  `json:"capacity,omitempty"`
+	Admission *AdmissionStats    `json:"admission,omitempty"`
 }
 
 func (m *RouterMetrics) snapshot() RouterSnapshot {
@@ -679,6 +710,9 @@ func (g *Registry) Snapshot() Snapshot {
 	}
 	if g.capacity != nil {
 		snap.Capacity = g.capacity()
+	}
+	if g.admission != nil {
+		snap.Admission = g.admission()
 	}
 	return snap
 }
@@ -870,6 +904,19 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 			func(n NodeCapacity) int { return n.ConnsUsed })
 		nodeGauge("rt_capacity_node_conns_limit", "Connection-table size at the node.",
 			func(n NodeCapacity) int { return n.ConnsLimit })
+	}
+	if as := snap.Admission; as != nil {
+		admCounter := func(metric, help string, v int64) {
+			p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", metric, help, metric, metric, v)
+		}
+		admCounter("rt_admission_admits_total", "Admission requests granted.", as.Admits)
+		admCounter("rt_admission_rejects_total", "Admission requests refused.", as.Rejects)
+		admCounter("rt_admission_teardowns_total", "Channels torn down.", as.Teardowns)
+		admCounter("rt_admission_restores_total", "Channels restored after refused reroutes.", as.Restores)
+		admCounter("rt_admission_reroutes_total", "Reroute attempts.", as.Reroutes)
+		admCounter("rt_admission_batch_requests_total", "Requests processed through AdmitBatch.", as.BatchRequests)
+		admCounter("rt_admission_batch_chunks_total", "Speculative evaluation chunks dispatched by AdmitBatch.", as.BatchChunks)
+		admCounter("rt_admission_batch_replans_total", "Batched requests re-planned serially after a footprint conflict.", as.BatchReplans)
 	}
 	return err
 }

@@ -135,6 +135,27 @@ func (l *AuditLog) Dump(w io.Writer) error {
 	return nil
 }
 
+// DumpHash returns an FNV-1a digest over the merged log's rendered
+// lines — a cheap fingerprint for the byte-identity gates, which compare
+// whole 100k-decision logs across worker counts without holding two
+// multi-megabyte dumps.
+func (l *AuditLog) DumpHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, r := range l.Merged() {
+		for _, b := range []byte(r.String()) {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		h ^= uint64('\n')
+		h *= prime64
+	}
+	return h
+}
+
 // Reset discards all records and restarts the sequence numbering.
 func (l *AuditLog) Reset() {
 	l.shards = make(map[int]*auditShard)
