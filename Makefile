@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test fmt capacity admission bench benchall trace
+.PHONY: check build vet test fmt capacity admission layout bench benchall trace
 
-# check is the tier-1 gate: vet, build, race tests, formatting, and the
-# capacity gate.
-check: vet build test fmt capacity
+# check is the tier-1 gate: vet, build, race tests, formatting, the
+# capacity gate, and the layout-synthesis gate.
+check: vet build test fmt capacity layout
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,19 @@ capacity:
 ADMIT_JSON ?= BENCH_admission.json
 admission:
 	$(GO) run ./cmd/rtbench -exp admission -requests 100000 -min-admit-speedup 5 -benchjson $(ADMIT_JSON)
+
+# layout runs the channel-layout synthesis campaign on an 8×8 mesh:
+# per family, the greedy planner versus the route-and-split search over
+# identical request sequences. It exits nonzero if the synthesizer ever
+# admits fewer channels than greedy, if it fails to strictly beat
+# greedy on the hotspot family (transpose fully admits at this size, so
+# strictness there is enforced by CI's 16×16 run), if either ledger
+# breaks conservation, or if the Reference-mode shadow controller
+# refuses — or re-seals differently — any synthesized layout. Results
+# land in $(LAYOUT_JSON).
+LAYOUT_JSON ?= BENCH_layout.json
+layout:
+	$(GO) run ./cmd/rtbench -exp layout -mesh 8 -strict-layout hotspot -benchjson $(LAYOUT_JSON)
 
 # bench runs the simulator-speed micro-benchmarks (router tick hot
 # paths, cycle rate sequential vs parallel, scheduler selection, sort

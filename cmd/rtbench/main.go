@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	rtbench                 # run everything
-//	rtbench -exp fig7       # one experiment
-//	rtbench -exp e1 -chart  # include ASCII charts where available
+//	rtbench                   # run everything
+//	rtbench -exp fig7         # one experiment
+//	rtbench -exp fig7 -chart  # include ASCII charts where available
 //
 // Experiments: e1, fig6, fig7, chip, horizon, compare, vct, multicast,
 // admit, all; plus cyclerate and sweep, which benchmark the simulator
@@ -14,10 +14,15 @@
 // against an archived sweep), forensics, which gates the slack
 // attribution engine on a scenario (-scenario), capacity, which
 // probes each scenario family's max admissible channel count and gates
-// the reservation ledger's conservation and audit byte-identity, and
+// the reservation ledger's conservation and audit byte-identity
+// (-baseline/-max-regress against an archived BENCH_capacity.json),
 // admission, the mass-admission campaign (-requests, -workers,
 // -min-admit-speedup, -min-admit-rate, -benchjson, and
-// -baseline/-max-regress against an archived BENCH_admission.json).
+// -baseline/-max-regress against an archived BENCH_admission.json),
+// and layout, the channel-layout synthesis campaign (-requests,
+// -strict-layout, -benchjson, -baseline/-max-regress against an
+// archived BENCH_layout.json) pitting the slack-aware route-and-split
+// search against the greedy planner on identical request sequences.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -40,29 +46,49 @@ import (
 	"repro/internal/sim"
 )
 
+// The flag set is registered at package level so the consumption
+// tables below (globalFlags/expFlags) can be checked against it in
+// tests: every registered flag must be consumed somewhere, and every
+// table entry must name a real flag.
+var (
+	exp             = flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|faults|ring|sharing|cyclerate|sweep|forensics|capacity|admission|layout|all)")
+	seed            = flag.Int64("seed", 1, "seed for the faults campaign's fault placement")
+	cycles          = flag.Int64("cycles", 0, "override simulated cycles where applicable (0 = experiment default)")
+	chart           = flag.Bool("chart", false, "render ASCII charts where available")
+	workers         = flag.Int("workers", 0, "parallel kernel workers for cyclerate, or the single worker count for sweep (0 = GOMAXPROCS for cyclerate, default worker set for sweep)")
+	benchJSON       = flag.String("benchjson", "", "write the cyclerate/sweep result as JSON to this file (e.g. BENCH_router.json)")
+	meshList        = flag.String("mesh", "", "comma-separated square mesh edges for the sweep (default 8,16,32); the first entry sizes the -exp capacity/layout mesh (default 8)")
+	minSpeedup      = flag.Float64("min-speedup", 0, "fail the sweep if any parallel row is slower than this fraction of sequential (0 = don't enforce)")
+	baseline        = flag.String("baseline", "", "archived benchmark JSON (BENCH_router/admission/capacity/layout.json) to diff the fresh run against")
+	maxRegress      = flag.Float64("max-regress", 0, "with -baseline: fail if any row's speedup drops (or allocs/cycle grows, or an admitted-count ratio shrinks) more than this fraction vs the baseline (0 = report only)")
+	scenarioPath    = flag.String("scenario", "scenarios/faulty.json", "scenario file for -exp forensics and the audit-identity leg of -exp capacity")
+	requests        = flag.Int("requests", 100000, "request count per family for -exp admission (and -exp layout, default 3·nodes there when unset)")
+	strictLayout    = flag.String("strict-layout", "", "comma-separated families whose synthesized run must admit strictly more than greedy in -exp layout (e.g. hotspot,transpose)")
+	minAdmitSpeedup = flag.Float64("min-admit-speedup", 0, "fail -exp admission if any family's incremental-vs-reference sequential speedup (timed in-run, serial vs serial) is below this (0 = don't enforce)")
+	minAdmitRate    = flag.Float64("min-admit-rate", 0, "fail -exp admission if the best AdmitBatch decisions/sec is below this floor; loudly skipped on a single-CPU runner (0 = don't enforce)")
+	epoch           = flag.Int("epoch", 1, "synchronization epoch for cyclerate/sweep/forensics: amortize the parallel kernel's barrier over this many cycles (links deepen to match; 1 = per-cycle barriers)")
+	cpuProfile      = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile      = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	metricsOut      = flag.String("metrics", "", "write aggregate telemetry across all runs to this file (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
+	listen          = flag.String("listen", "", "serve live telemetry over HTTP at this address while experiments run (e.g. :8080)")
+	traceOut        = flag.String("trace-out", "", "write the merged event timeline across all runs to this file (.json = Chrome trace-event JSON for Perfetto, .jsonl = JSON lines, otherwise the human-readable dump)")
+	traceBuf        = flag.Int("trace-buf", obs.DefaultShardCap, "per-node event buffer capacity for -trace-out (oldest events evict first)")
+)
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1|fig6|fig7|chip|horizon|compare|approx|vct|multicast|admit|load|skew|failover|faults|ring|sharing|cyclerate|sweep|forensics|capacity|admission|all)")
-	seed := flag.Int64("seed", 1, "seed for the faults campaign's fault placement")
-	cycles := flag.Int64("cycles", 0, "override simulated cycles where applicable (0 = experiment default)")
-	chart := flag.Bool("chart", false, "render ASCII charts where available")
-	workers := flag.Int("workers", 0, "parallel kernel workers for cyclerate, or the single worker count for sweep (0 = GOMAXPROCS for cyclerate, default worker set for sweep)")
-	benchJSON := flag.String("benchjson", "", "write the cyclerate/sweep result as JSON to this file (e.g. BENCH_router.json)")
-	meshList := flag.String("mesh", "", "comma-separated square mesh edges for the sweep (default 8,16,32); the first entry sizes the -exp capacity mesh (default 8)")
-	minSpeedup := flag.Float64("min-speedup", 0, "fail the sweep if any parallel row is slower than this fraction of sequential (0 = don't enforce)")
-	baseline := flag.String("baseline", "", "archived sweep JSON (BENCH_router.json) to diff the fresh sweep against")
-	maxRegress := flag.Float64("max-regress", 0, "with -baseline: fail if any row's speedup drops (or allocs/cycle grows) more than this fraction vs the baseline (0 = report only)")
-	scenarioPath := flag.String("scenario", "scenarios/faulty.json", "scenario file for -exp forensics and the audit-identity leg of -exp capacity")
-	requests := flag.Int("requests", 100000, "request count per family for -exp admission")
-	minAdmitSpeedup := flag.Float64("min-admit-speedup", 0, "fail -exp admission if any family's incremental-vs-reference sequential speedup (timed in-run, serial vs serial) is below this (0 = don't enforce)")
-	minAdmitRate := flag.Float64("min-admit-rate", 0, "fail -exp admission if the best AdmitBatch decisions/sec is below this floor; loudly skipped on a single-CPU runner (0 = don't enforce)")
-	epoch := flag.Int("epoch", 1, "synchronization epoch for cyclerate/sweep/forensics: amortize the parallel kernel's barrier over this many cycles (links deepen to match; 1 = per-cycle barriers)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
-	metricsOut := flag.String("metrics", "", "write aggregate telemetry across all runs to this file (.prom/.txt = Prometheus text, otherwise JSON; - = stdout)")
-	listen := flag.String("listen", "", "serve live telemetry over HTTP at this address while experiments run (e.g. :8080)")
-	traceOut := flag.String("trace-out", "", "write the merged event timeline across all runs to this file (.json = Chrome trace-event JSON for Perfetto, .jsonl = JSON lines, otherwise the human-readable dump)")
-	traceBuf := flag.Int("trace-buf", obs.DefaultShardCap, "per-node event buffer capacity for -trace-out (oldest events evict first)")
 	flag.Parse()
+
+	// Every explicitly set flag must be consumed by the selected
+	// experiment (or apply globally): a flag the experiment silently
+	// ignores — say -baseline on an experiment with no baseline diff —
+	// reads as a gate that ran when it never did.
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if unknown := unconsumedFlags(*exp, setFlags); len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "rtbench: -exp %s does not consume -%s (see -h for which experiments honor which flags)\n",
+			*exp, strings.Join(unknown, ", -"))
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -144,10 +170,21 @@ func main() {
 			return runSweep(*cycles, *workers, *epoch, *meshList, *benchJSON, *minSpeedup, *baseline, *maxRegress)
 		},
 		"forensics": func() error { return runForensics(*scenarioPath, *cycles, *epoch) },
-		"capacity":  func() error { return runCapacity(*meshList, *scenarioPath, *cycles) },
+		"capacity": func() error {
+			return runCapacity(*meshList, *scenarioPath, *cycles, *benchJSON, *baseline, *maxRegress)
+		},
 		"admission": func() error {
 			return runAdmissionCampaign(*meshList, *requests, *benchJSON,
 				*minAdmitSpeedup, *minAdmitRate, *baseline, *maxRegress)
+		},
+		"layout": func() error {
+			// The admission campaign's 100k default would swamp the layout
+			// search; unset, the campaign sizes itself to the mesh.
+			reqs := *requests
+			if !setFlags["requests"] {
+				reqs = 0
+			}
+			return runLayout(*meshList, reqs, *benchJSON, *baseline, *maxRegress, *strictLayout)
 		},
 	}
 	// cyclerate, sweep, forensics, capacity and admission probe the
@@ -178,6 +215,64 @@ func main() {
 	dumpTelemetry(reg, *metricsOut)
 	dumpTrace(col, slo, *traceOut)
 	finishProfiles()
+}
+
+// expFlags names, per experiment, the flags that experiment actually
+// consumes; globalFlags apply regardless of the experiment. Anything
+// else explicitly set on the command line is a mistake and rtbench says
+// so instead of silently ignoring it.
+var (
+	globalFlags = []string{"exp", "cpuprofile", "memprofile", "metrics", "listen", "trace-out", "trace-buf"}
+	expFlags    = map[string][]string{
+		"e1":        {},
+		"fig6":      {},
+		"fig7":      {"cycles", "chart"},
+		"chip":      {},
+		"horizon":   {"cycles"},
+		"compare":   {"cycles"},
+		"approx":    {"cycles"},
+		"vct":       {"cycles"},
+		"multicast": {},
+		"admit":     {},
+		"load":      {"cycles"},
+		"skew":      {"cycles"},
+		"failover":  {},
+		"faults":    {"seed"},
+		"ring":      {"cycles"},
+		"sharing":   {"cycles"},
+		"cyclerate": {"cycles", "workers", "epoch", "benchjson"},
+		"sweep":     {"cycles", "workers", "epoch", "mesh", "benchjson", "min-speedup", "baseline", "max-regress"},
+		"forensics": {"scenario", "cycles", "epoch"},
+		"capacity":  {"mesh", "scenario", "cycles", "benchjson", "baseline", "max-regress"},
+		"admission": {"mesh", "requests", "benchjson", "min-admit-speedup", "min-admit-rate", "baseline", "max-regress"},
+		"layout":    {"mesh", "requests", "benchjson", "baseline", "max-regress", "strict-layout"},
+		"all":       {"seed", "cycles", "chart"},
+	}
+)
+
+// unconsumedFlags returns the explicitly set flags the selected
+// experiment does not consume, sorted. An unknown experiment name
+// returns nothing — the runner lookup reports that with its own error.
+func unconsumedFlags(exp string, set map[string]bool) []string {
+	consumed, ok := expFlags[exp]
+	if !ok {
+		return nil
+	}
+	allowed := make(map[string]bool, len(globalFlags)+len(consumed))
+	for _, f := range globalFlags {
+		allowed[f] = true
+	}
+	for _, f := range consumed {
+		allowed[f] = true
+	}
+	var out []string
+	for f := range set {
+		if !allowed[f] {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // profStop holds the -cpuprofile/-memprofile finalizers;
@@ -484,21 +579,32 @@ func runForensics(scenarioPath string, cycles int64, epoch int) error {
 	return nil
 }
 
+// meshEdge parses the first entry of -mesh as the square mesh edge,
+// falling back to def when the flag is empty.
+func meshEdge(meshList string, def int) (int, error) {
+	if meshList == "" {
+		return def, nil
+	}
+	first := strings.TrimSpace(strings.Split(meshList, ",")[0])
+	e, err := strconv.Atoi(first)
+	if err != nil || e < 2 {
+		return 0, fmt.Errorf("bad -mesh entry %q", first)
+	}
+	return e, nil
+}
+
 // runCapacity runs the capacity-probe campaign: per scenario family it
 // binary-searches the max admissible channel count on a square mesh,
 // prints the saturation table, utilization heatmaps, and per-link
 // headroom tables, then runs the audit byte-identity gate on the
 // scenario. Any conservation violation or unexplained rejection fails
-// the run — the CI capacity gate.
-func runCapacity(meshList, scenarioPath string, cycles int64) error {
-	edge := 8
-	if meshList != "" {
-		first := strings.TrimSpace(strings.Split(meshList, ",")[0])
-		e, err := strconv.Atoi(first)
-		if err != nil || e < 2 {
-			return fmt.Errorf("bad -mesh entry %q", first)
-		}
-		edge = e
+// the run — the CI capacity gate. A baseline file adds a per-family
+// diff against an archived campaign with the same delta-table and
+// nonzero-exit contract as sweep and admission.
+func runCapacity(meshList, scenarioPath string, cycles int64, benchJSON, baseline string, maxRegress float64) error {
+	edge, err := meshEdge(meshList, 8)
+	if err != nil {
+		return err
 	}
 	res, err := experiments.RunCapacity(edge, edge, nil)
 	if err != nil {
@@ -523,7 +629,120 @@ func runCapacity(meshList, scenarioPath string, cycles int64) error {
 	if !aud.Identical {
 		return fmt.Errorf("audit log diverged across worker counts on %s", scenarioPath)
 	}
-	return nil
+	var regress error
+	if baseline != "" {
+		base, err := experiments.LoadCapacityBaseline(baseline)
+		if err != nil {
+			return err
+		}
+		deltas := res.Diff(base)
+		if len(deltas) == 0 {
+			return fmt.Errorf("baseline %s shares no families with this campaign", baseline)
+		}
+		experiments.CapacityDeltaTable(deltas, baseline).Fprint(os.Stdout)
+		regress = experiments.CheckCapacityRegression(deltas, maxRegress)
+	}
+	if benchJSON == "" {
+		return regress
+	}
+	f, err := os.Create(benchJSON)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{
+		"benchmark": "capacity_probe",
+		"mesh":      fmt.Sprintf("%dx%d", res.W, res.H),
+		"rows":      res.BaselineRows(),
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark result written to %s\n", benchJSON)
+	return regress
+}
+
+// runLayout runs the channel-layout synthesis campaign: per request
+// family, the greedy baseline (default Admit) versus the synthesizer's
+// route-and-split search over the identical request sequence, with
+// binding-resource tables, rejection/utilization heatmaps, Reference-
+// mode shadow re-validation of every synthesized layout, and the usual
+// baseline-diff contract. strict names families (comma-separated) whose
+// synthesized run must admit strictly more than greedy — the CI
+// acceptance gate.
+func runLayout(meshList string, requests int, benchJSON, baseline string, maxRegress float64, strict string) error {
+	edge, err := meshEdge(meshList, 8)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunLayout(edge, edge, requests, nil)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	for i := range res.Families {
+		f := &res.Families[i]
+		fmt.Printf("\n%s greedy rejection heatmap (%dx%d, digit = rejections bound at router, . = none):\n%s",
+			f.Name, res.W, res.H, f.GreedyRejectHeat)
+		fmt.Printf("%s synthesized utilization heatmap (digit = floor(10*max link util at node), . = idle):\n%s",
+			f.Name, f.SynthHeat)
+		f.BindingTable().Fprint(os.Stdout)
+	}
+	if !res.OK() {
+		for _, c := range res.Checks {
+			if !c.OK {
+				fmt.Fprintf(os.Stderr, "rtbench: layout check %s failed: %s\n", c.Name, c.Detail)
+			}
+		}
+		return fmt.Errorf("layout gate failed on the %dx%d mesh", edge, edge)
+	}
+	var strictErr error
+	for _, fam := range strings.Split(strict, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			continue
+		}
+		if !res.StrictlyBeatsGreedy(fam) {
+			strictErr = fmt.Errorf("layout synthesis did not strictly beat greedy on the %s family (%dx%d)", fam, edge, edge)
+			fmt.Fprintln(os.Stderr, "rtbench:", strictErr)
+		}
+	}
+	var regress error
+	if baseline != "" {
+		base, err := experiments.LoadLayoutBaseline(baseline)
+		if err != nil {
+			return err
+		}
+		deltas := res.Diff(base)
+		if len(deltas) == 0 {
+			return fmt.Errorf("baseline %s shares no families with this campaign", baseline)
+		}
+		experiments.LayoutDeltaTable(deltas, baseline).Fprint(os.Stdout)
+		regress = experiments.CheckLayoutRegression(deltas, maxRegress)
+	}
+	if benchJSON != "" {
+		f, err := os.Create(benchJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"benchmark": "layout_synthesis",
+			"mesh":      fmt.Sprintf("%dx%d", res.W, res.H),
+			"requests":  res.Requests,
+			"rows":      res.BaselineRows(),
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("benchmark result written to %s\n", benchJSON)
+	}
+	if strictErr != nil {
+		return strictErr
+	}
+	return regress
 }
 
 // runSweep runs the full scaling matrix (meshes × worker counts). A

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
 
 // TestRunnersSmoke executes every experiment runner with reduced cycle
 // budgets, so CLI wiring cannot rot silently. Output goes to the test
@@ -30,5 +34,72 @@ func TestRunnersSmoke(t *testing.T) {
 				t.Fatalf("%s: %v", name, err)
 			}
 		})
+	}
+}
+
+// TestUnconsumedFlags pins the flag-consumption contract: a flag the
+// selected experiment ignores is an explicit error, not a silent no-op.
+func TestUnconsumedFlags(t *testing.T) {
+	cases := []struct {
+		exp  string
+		set  []string
+		want []string
+	}{
+		// A gate flag on an experiment with no baseline diff used to be
+		// silently ignored — the bug this contract exists to kill.
+		{"forensics", []string{"exp", "scenario", "baseline", "max-regress"}, []string{"baseline", "max-regress"}},
+		{"capacity", []string{"exp", "mesh", "baseline", "max-regress", "benchjson"}, nil},
+		{"layout", []string{"exp", "mesh", "strict-layout", "requests"}, nil},
+		{"layout", []string{"exp", "workers"}, []string{"workers"}},
+		{"e1", []string{"exp", "chart"}, []string{"chart"}},
+		{"fig7", []string{"exp", "chart", "cycles"}, nil},
+		// Global flags are consumed everywhere.
+		{"e1", []string{"exp", "cpuprofile", "trace-out"}, nil},
+		// Unknown experiments are the runner lookup's problem, not ours.
+		{"nonesuch", []string{"exp", "workers"}, nil},
+	}
+	for _, tc := range cases {
+		set := make(map[string]bool, len(tc.set))
+		for _, f := range tc.set {
+			set[f] = true
+		}
+		got := unconsumedFlags(tc.exp, set)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("unconsumedFlags(%q, %v) = %v, want %v", tc.exp, tc.set, got, tc.want)
+		}
+	}
+}
+
+// TestExpFlagsCoverAllFlags checks the consumption table stays in sync
+// with the flag set: every name in expFlags and globalFlags must be a
+// registered flag (catching renames), and every registered flag must be
+// consumed by at least one experiment or globally (catching new flags
+// added without a consumption entry).
+func TestExpFlagsCoverAllFlags(t *testing.T) {
+	registered := make(map[string]bool)
+	flag.VisitAll(func(f *flag.Flag) { registered[f.Name] = true })
+	// The test binary's own flags (test.*) are not rtbench's.
+	consumed := make(map[string]bool)
+	for _, f := range globalFlags {
+		if !registered[f] {
+			t.Errorf("globalFlags names unregistered flag %q", f)
+		}
+		consumed[f] = true
+	}
+	for exp, fs := range expFlags {
+		for _, f := range fs {
+			if !registered[f] {
+				t.Errorf("expFlags[%q] names unregistered flag %q", exp, f)
+			}
+			consumed[f] = true
+		}
+	}
+	for name := range registered {
+		if len(name) > 5 && name[:5] == "test." {
+			continue
+		}
+		if !consumed[name] {
+			t.Errorf("flag -%s is consumed by no experiment and is not global", name)
+		}
 	}
 }

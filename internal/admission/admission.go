@@ -126,6 +126,11 @@ type Controller struct {
 // runs, so no synchronization is needed; pass nil to detach.
 func (c *Controller) AttachAudit(log *obs.AuditLog) { c.audit = log }
 
+// ConfigView returns the controller's configuration (a copy). Layout
+// synthesis reads SourceWindow and Horizon to keep its repaired delay
+// splits inside the rollover window without a rejected probe per step.
+func (c *Controller) ConfigView() Config { return c.cfg }
+
 // portInject is the pseudo-port of a node's time-constrained injection
 // link: one byte per cycle shared by every channel sourced there, EDF-
 // ordered by the source regulator, and therefore subject to the same
@@ -255,7 +260,15 @@ type Channel struct {
 	Spec    rtc.Spec
 	SrcConn uint8   // connection id to stamp on injected packets
 	DstConn []uint8 // delivery id at each destination, parallel to Dsts
-	LocalD  int64   // uniform per-router delay bound d
+	// LocalD is the uniform per-router delay bound d chosen by the
+	// default planner. Zero when DSplit is set: a layout-admitted channel
+	// has no single shared d.
+	LocalD int64
+	// DSplit is the explicit per-hop delay split d_j of a channel
+	// admitted through AdmitLayout, source router first; nil for
+	// channels admitted through the default planner (uniform LocalD at
+	// every hop).
+	DSplit []int64
 
 	// Margin is the admission-time EDF headroom in slots: the minimum
 	// t−dbf(t) over every link the schedulability test checked with this
@@ -273,6 +286,12 @@ type hopRef struct {
 	outConn uint8
 	mask    sched.PortMask
 	buffers int
+	// d is the per-router delay bound reserved at this hop — LocalD for
+	// default-planned channels, DSplit[j] for layout-admitted ones. It is
+	// the deadline of this hop's link tasks and the value programmed into
+	// the router's connection table, so teardown/restore and the ledger
+	// verifier reconstruct reservations from it verbatim.
+	d int64
 }
 
 // treeNode is one router in the multicast route tree.
@@ -385,16 +404,34 @@ func (c *Controller) recordAdmit(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spe
 			rec.Binding = rej.BindingResource()
 			rec.Test = rej.FailingTest()
 			rec.Margin = rej.FailMargin()
+			rec.Router = rej.Router()
 		}
 	} else {
 		rec.Outcome = "admitted"
 		rec.Channel = ch.ID
 		rec.Route = ch.Route()
 		rec.LocalD = ch.LocalD
+		rec.DSplit = dsplitString(ch.DSplit)
 		rec.Hops = ch.Hops()
 		rec.Margin = float64(ch.Margin)
 	}
 	c.audit.Record(c.net.Shard(src), rec)
+}
+
+// dsplitString renders a per-hop delay split for audit records, e.g.
+// "5+7+5"; empty for default-planned channels.
+func dsplitString(ds []int64) string {
+	if len(ds) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, 4*len(ds))
+	for i, d := range ds {
+		if i > 0 {
+			b = append(b, '+')
+		}
+		b = strconv.AppendInt(b, d, 10)
+	}
+	return string(b)
 }
 
 // rejKey names one memoizable unicast rejection: the request plus the
@@ -551,13 +588,17 @@ func (c *Controller) routeFor(src, dst mesh.Coord, order routeOrder) []int {
 // plan actually lands, so a plan computed speculatively (before earlier
 // batched requests settled) commits with the right id.
 type admitPlan struct {
-	src     mesh.Coord
-	dsts    []mesh.Coord
-	spec    rtc.Spec
-	d       int64
-	margin  int64
-	task    task
-	hops    []planHop
+	src    mesh.Coord
+	dsts   []mesh.Coord
+	spec   rtc.Spec
+	d      int64
+	margin int64
+	task   task
+	hops   []planHop
+	// dsplit is the explicit per-hop split of a layout plan (nil for the
+	// default planners, whose hops all share d). commitPlan copies it
+	// onto the channel so audits and the ledger can tell the two apart.
+	dsplit  []int64
 	srcIn   uint8
 	dstConn []uint8
 }
@@ -567,6 +608,9 @@ type planHop struct {
 	mask    sched.PortMask
 	in, out uint8
 	buffers int
+	// d is this hop's delay bound (see hopRef.d). The default planners
+	// set every hop to the plan's uniform d; planLayout sets DSplit[j].
+	d int64
 }
 
 // planVia runs admission phase 1 along one routing order.
@@ -620,7 +664,7 @@ func (c *Controller) planVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, o
 			key := linkKey{n.coord, p}
 			rep := c.linkCheckIn(key, newTask, sc)
 			if !rep.feasible {
-				return nil, overloadError(c.linkName(key), "", rep, false)
+				return nil, overloadError(c.linkName(key), c.nodeName(n.coord), rep, false)
 			}
 			if rep.headroom < margin {
 				margin = rep.headroom
@@ -644,7 +688,7 @@ func (c *Controller) planVia(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec, o
 	p.hops = make([]planHop, len(nodes))
 	for i, n := range nodes {
 		p.hops[i] = planHop{node: n.coord, mask: n.mask,
-			in: ids[n.coord].in, out: ids[n.coord].out, buffers: buffers[n.coord]}
+			in: ids[n.coord].in, out: ids[n.coord].out, buffers: buffers[n.coord], d: d}
 	}
 	p.srcIn = ids[src].in
 	p.dstConn = make([]uint8, len(dsts))
@@ -704,7 +748,7 @@ func (c *Controller) planUnicast(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spe
 		rep := c.linkCheckIn(key, newTask, sc)
 		if !rep.feasible {
 			sc.hops = hops
-			return nil, overloadError(c.linkName(key), "", rep, false)
+			return nil, overloadError(c.linkName(key), c.nodeName(at), rep, false)
 		}
 		if rep.headroom < margin {
 			margin = rep.headroom
@@ -719,7 +763,7 @@ func (c *Controller) planUnicast(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spe
 			sc.hops = hops
 			return nil, err
 		}
-		hops = append(hops, planHop{node: at, mask: mask, buffers: need})
+		hops = append(hops, planHop{node: at, mask: mask, buffers: need, d: d})
 		if port != router.PortLocal {
 			at = at.Add(port)
 		}
@@ -790,13 +834,14 @@ func (c *Controller) commitPlan(p *admitPlan) (*Channel, error) {
 		Dsts:   append([]mesh.Coord(nil), p.dsts...),
 		Spec:   p.spec,
 		LocalD: p.d,
+		DSplit: append([]int64(nil), p.dsplit...),
 		Margin: p.margin,
 	}
 	c.seq++
 	newTask := p.task
 	newTask.chanID = ch.ID
 	for _, h := range p.hops {
-		if err := c.net.Router(h.node).SetConnection(h.in, h.out, uint8(p.d), h.mask); err != nil {
+		if err := c.net.Router(h.node).SetConnection(h.in, h.out, uint8(h.d), h.mask); err != nil {
 			// A control write failed mid-commit; unwind the hops already
 			// programmed so a refused admission leaves no debris.
 			c.unwindCommit(ch)
@@ -808,19 +853,25 @@ func (c *Controller) commitPlan(p *admitPlan) (*Channel, error) {
 			ns.usedIDs[h.out] = true
 		}
 		ns.total += h.buffers
+		hopTask := newTask
+		hopTask.D = h.d
 		for pt := 0; pt < router.NumPorts; pt++ {
 			if h.mask.Has(pt) {
 				ns.portBuffers[pt] += h.buffers
 				ls := c.link(linkKey{h.node, pt})
-				ls.tasks = append(ls.tasks, newTask)
-				c.noteAdd(ls, newTask)
+				ls.tasks = append(ls.tasks, hopTask)
+				c.noteAdd(ls, hopTask)
 			}
 		}
-		ch.hops = append(ch.hops, hopRef{node: h.node, inConn: h.in, outConn: h.out, mask: h.mask, buffers: h.buffers})
+		ch.hops = append(ch.hops, hopRef{node: h.node, inConn: h.in, outConn: h.out, mask: h.mask, buffers: h.buffers, d: h.d})
 	}
+	// The injection pseudo-link's deadline is the source router's delay
+	// bound — hops[0] is always the source (depth 0 sorts first).
+	injTask := newTask
+	injTask.D = p.hops[0].d
 	inj := c.link(linkKey{p.src, portInject})
-	inj.tasks = append(inj.tasks, newTask)
-	c.noteAdd(inj, newTask)
+	inj.tasks = append(inj.tasks, injTask)
+	c.noteAdd(inj, injTask)
 	ch.SrcConn = p.srcIn
 	ch.DstConn = append([]uint8(nil), p.dstConn...)
 	c.chans[ch.ID] = ch
@@ -941,9 +992,9 @@ func (c *Controller) restore(ch *Channel) error {
 	if _, ok := c.chans[ch.ID]; ok {
 		return fmt.Errorf("admission: channel %d already active", ch.ID)
 	}
-	newTask := task{C: ch.Spec.MessageSlots(), T: ch.Spec.Imin, D: ch.LocalD, chanID: ch.ID}
+	newTask := task{C: ch.Spec.MessageSlots(), T: ch.Spec.Imin, chanID: ch.ID}
 	for _, h := range ch.hops {
-		if err := c.net.Router(h.node).SetConnection(h.inConn, h.outConn, uint8(ch.LocalD), h.mask); err != nil {
+		if err := c.net.Router(h.node).SetConnection(h.inConn, h.outConn, uint8(h.d), h.mask); err != nil {
 			return fmt.Errorf("admission: restoring channel %d at %s: %w", ch.ID, h.node, err)
 		}
 		ns := c.node(h.node)
@@ -952,25 +1003,30 @@ func (c *Controller) restore(ch *Channel) error {
 			ns.usedIDs[h.outConn] = true
 		}
 		ns.total += h.buffers
+		hopTask := newTask
+		hopTask.D = h.d
 		for p := 0; p < router.NumPorts; p++ {
 			if h.mask.Has(p) {
 				ns.portBuffers[p] += h.buffers
 				ls := c.link(linkKey{h.node, p})
-				ls.tasks = append(ls.tasks, newTask)
-				c.noteAdd(ls, newTask)
+				ls.tasks = append(ls.tasks, hopTask)
+				c.noteAdd(ls, hopTask)
 			}
 		}
 	}
+	injTask := newTask
+	injTask.D = ch.hops[0].d
 	inj := c.link(linkKey{ch.Src, portInject})
-	inj.tasks = append(inj.tasks, newTask)
-	c.noteAdd(inj, newTask)
+	inj.tasks = append(inj.tasks, injTask)
+	c.noteAdd(inj, injTask)
 	c.chans[ch.ID] = ch
 	c.stats.restores.Add(1)
 	if c.audit != nil {
 		c.audit.Record(c.net.Shard(ch.Src), obs.AuditRecord{
 			Op: "restore", Outcome: "restored", Channel: ch.ID,
 			Src: ch.Src.String(), Dst: dstString(ch.Dsts), Spec: specString(ch.Spec),
-			Route: ch.Route(), LocalD: ch.LocalD, Hops: ch.Hops(),
+			Route: ch.Route(), LocalD: ch.LocalD, DSplit: dsplitString(ch.DSplit),
+			Hops:   ch.Hops(),
 			Margin: float64(ch.Margin),
 		})
 	}
@@ -1210,6 +1266,12 @@ func reverse(port int) int {
 // under single-dimension-order routing, the Manhattan distance to the
 // farthest destination plus the source router itself.
 func (ch *Channel) Hops() int {
+	// A layout-admitted channel's route is explicit and need not be
+	// Manhattan-minimal; count its actual hop records (one per traversed
+	// router, delivery included).
+	if len(ch.DSplit) > 0 {
+		return len(ch.hops)
+	}
 	max := 0
 	for _, d := range ch.Dsts {
 		h := abs(d.X-ch.Src.X) + abs(d.Y-ch.Src.Y) + 1
@@ -1228,10 +1290,29 @@ func abs(v int) int {
 }
 
 // Bound returns the analytic end-to-end delay bound actually reserved:
-// LocalD slots at each traversed router along the deepest branch. It is
-// at most the requested Spec.D (decomposition rounds down).
+// LocalD slots at each traversed router along the deepest branch, or the
+// sum of the explicit per-hop split for a layout-admitted channel. It is
+// at most the requested Spec.D (decomposition rounds down; layout
+// validation enforces Σd_j ≤ D).
 func (ch *Channel) Bound() int64 {
+	if len(ch.DSplit) > 0 {
+		var sum int64
+		for _, d := range ch.DSplit {
+			sum += d
+		}
+		return sum
+	}
 	return ch.LocalD * int64(ch.Hops())
+}
+
+// SourceD returns the source router's delay bound — the deadline the
+// source regulator paces injections against: DSplit[0] for a
+// layout-admitted channel, LocalD otherwise.
+func (ch *Channel) SourceD() int64 {
+	if len(ch.DSplit) > 0 {
+		return ch.DSplit[0]
+	}
+	return ch.LocalD
 }
 
 // HopID identifies one router traversal of an admitted channel: the
@@ -1297,7 +1378,11 @@ func (ch *Channel) Uses(node mesh.Coord, port int) bool {
 // into account. On success the old channel is invalid and the returned
 // one carries fresh connection ids; the caller must re-bind its source
 // regulator. On failure the old channel's reservations are restored
-// verbatim, so a refused reroute leaves the channel exactly as it was.
+// verbatim — per-hop delay split included, so a refused reroute of a
+// layout-admitted channel leaves it exactly as it was. A successful
+// reroute of a layout channel falls back to the default planner (uniform
+// split); re-synthesizing a layout after a failure is the optimizer's
+// job, not the control plane's.
 func (c *Controller) Reroute(ch *Channel) (*Channel, error) {
 	nch, err := c.reroute(ch)
 	c.stats.reroutes.Add(1)
@@ -1313,12 +1398,14 @@ func (c *Controller) Reroute(ch *Channel) (*Channel, error) {
 				rec.Binding = rej.BindingResource()
 				rec.Test = rej.FailingTest()
 				rec.Margin = rej.FailMargin()
+				rec.Router = rej.Router()
 			}
 		} else {
 			rec.Outcome = "rerouted"
 			rec.Channel = nch.ID
 			rec.Route = nch.Route()
 			rec.LocalD = nch.LocalD
+			rec.DSplit = dsplitString(nch.DSplit)
 			rec.Hops = nch.Hops()
 			rec.Margin = float64(nch.Margin)
 		}

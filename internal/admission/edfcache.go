@@ -1,5 +1,7 @@
 package admission
 
+import "repro/internal/mesh"
+
 // Incremental EDF analysis. edfAnalyze re-enumerates every step point of
 // every committed task on every check, which makes admission cost grow
 // superlinearly with admitted channels. The edfCache keeps, per link, the
@@ -36,6 +38,8 @@ type evalScratch struct {
 	// hops is the unicast planner's hop buffer; plans only copy it out
 	// once a route passes every check.
 	hops []planHop
+	// coords is the layout planner's visited-router buffer (loop check).
+	coords []mesh.Coord
 	// tailT/tailP extend the cache's points/prefix past its coverage for
 	// one failReport call: merged committed step points in (cover,
 	// tailHi] with the running demand at each. tailBase carries the

@@ -25,6 +25,11 @@ type Rejection interface {
 	// limit the request landed, in the test's own unit (utilization
 	// fraction, demand slots, buffer slots). Always ≤ 0 on a rejection.
 	FailMargin() float64
+	// Router names the router that refused the channel — for a link
+	// overload the router owning the binding link (the source router for
+	// an injection-port failure), for a buffer or identifier exhaustion
+	// the node itself. Never empty on a controller-produced rejection.
+	Router() string
 }
 
 // Explain extracts the typed rejection from an admission error chain.
@@ -55,9 +60,12 @@ func Explain(err error) (Rejection, bool) {
 // (the losing half of an XY/YX fallback pair) are never rendered at all.
 type ErrLinkOverload struct {
 	// link is the rendered name of the directed link that refused the
-	// channel (the controller caches these); node the source router's,
-	// set only when inject marks the injection pseudo-port (message
-	// wording differs).
+	// channel (the controller caches these); node the name of the router
+	// owning it — the source router when inject marks the injection
+	// pseudo-port (message wording differs), the upstream router of the
+	// failing mesh link otherwise. Every controller rejection populates
+	// node; only the inject wording renders it, so legacy message bytes
+	// are unchanged and the router name travels in Router() instead.
 	link   string
 	node   string
 	inject bool
@@ -131,6 +139,9 @@ func (e *ErrLinkOverload) FailingTest() string { return e.Test }
 // FailMargin implements Rejection.
 func (e *ErrLinkOverload) FailMargin() float64 { return e.Margin }
 
+// Router implements Rejection: the router owning the refusing link.
+func (e *ErrLinkOverload) Router() string { return e.node }
+
 // ErrBufferExhausted reports a failed packet-memory reservation at one
 // router: the channel's buffer bound does not fit the shared pool (port
 // negative) or a port's partition. Like ErrLinkOverload, the strings
@@ -183,6 +194,9 @@ func (e *ErrBufferExhausted) FailMargin() float64 {
 	return float64(e.Limit - e.Used - e.Need)
 }
 
+// Router implements Rejection: the router whose packet memory ran out.
+func (e *ErrBufferExhausted) Router() string { return e.node }
+
 // ErrIDExhausted reports connection-identifier exhaustion during id
 // assignment along the route tree.
 type ErrIDExhausted struct {
@@ -208,10 +222,14 @@ func (e *ErrIDExhausted) FailingTest() string { return "conn_ids" }
 // holds was needed.
 func (e *ErrIDExhausted) FailMargin() float64 { return -1 }
 
+// Router implements Rejection: the router with no free identifier.
+func (e *ErrIDExhausted) Router() string { return e.Node }
+
 // overloadError builds the typed link rejection for one analysis
-// report; inject selects the injection-port message wording (node is
-// only consulted then). The legacy message renders byte-identically,
-// just lazily.
+// report; inject selects the injection-port message wording. node is
+// always required — Router() and audit refusal records surface it even
+// when the forward-link wording doesn't render it — and the legacy
+// message renders byte-identically, just lazily.
 func overloadError(link, node string, rep edfReport, inject bool) *ErrLinkOverload {
 	return &ErrLinkOverload{
 		link: link, node: node, inject: inject, Test: rep.test, At: rep.at,

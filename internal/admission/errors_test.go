@@ -3,10 +3,13 @@ package admission
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/router"
+	"repro/internal/rtc"
 )
 
 // TestRejectionMessageFormats pins the hand-rolled strconv rendering in
@@ -68,6 +71,65 @@ func TestRejectionMessageFormats(t *testing.T) {
 			node, router.PortName(p), used, need, limit); part.Error() != want {
 			t.Fatalf("partition rendering drifted:\n got %q\nwant %q", part.Error(), want)
 		}
+	}
+}
+
+// TestForwardLinkRejectionNamesRouter drives a rejection that binds on
+// a forward link at an intermediate router — not the injection port —
+// and checks the typed explanation names that router, the audit record
+// carries it, and the legacy message prefix is byte-identical to what
+// the format pin above expects. Forward-link overloads used to leave
+// the router name empty, so Explain and the audit refusal trail could
+// not say WHERE a multi-hop request died.
+func TestForwardLinkRejectionNamesRouter(t *testing.T) {
+	c, err := New(newNet(t, 3, 1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := obs.NewAuditLog()
+	c.AttachAudit(log)
+
+	// Alternate sources (0,0) and (1,0), both to (2,0): the shared
+	// forward link (1,0)→+x carries every channel while each injection
+	// port carries only half, so the first refusal binds mid-route.
+	spec := rtc.Spec{Imin: 4, Smax: 18, D: 24}
+	srcs := []mesh.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	dst := mesh.Coord{X: 2, Y: 0}
+	var rejErr error
+	for i := 0; i < 300; i++ {
+		if _, aerr := c.Admit(srcs[i%2], []mesh.Coord{dst}, spec); aerr != nil {
+			rejErr = aerr
+			break
+		}
+	}
+	if rejErr == nil {
+		t.Fatal("forward link never saturated")
+	}
+	rej, ok := Explain(rejErr)
+	if !ok {
+		t.Fatalf("rejection %v carries no typed explanation", rejErr)
+	}
+	if got := rej.BindingResource(); got != "(1,0)→+x" {
+		t.Fatalf("BindingResource = %q, want the shared forward link (1,0)→+x", got)
+	}
+	if got := rej.Router(); got != "(1,0)" {
+		t.Errorf("Router = %q, want (1,0) — forward-link rejections must name the refusing router", got)
+	}
+	wantPrefix := "admission: link (1,0)→+x fails the schedulability test"
+	if !strings.HasPrefix(rejErr.Error(), wantPrefix) {
+		t.Errorf("legacy message prefix drifted:\n got %q\nwant prefix %q", rejErr.Error(), wantPrefix)
+	}
+
+	recs := log.Merged()
+	last := recs[len(recs)-1]
+	if last.Outcome != "rejected" {
+		t.Fatalf("last audit record outcome = %q, want rejected", last.Outcome)
+	}
+	if last.Router != "(1,0)" {
+		t.Errorf("audit record Router = %q, want (1,0)", last.Router)
+	}
+	if line := last.String(); !strings.Contains(line, " router=(1,0)") {
+		t.Errorf("audit line %q missing router=(1,0)", line)
 	}
 }
 

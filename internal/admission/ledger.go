@@ -138,7 +138,10 @@ func (c *Controller) VerifyLedger() error {
 		if id != ch.ID {
 			return fmt.Errorf("admission: ledger: channel %d keyed as %d", ch.ID, id)
 		}
-		tk := task{C: ch.Spec.MessageSlots(), T: ch.Spec.Imin, D: ch.LocalD, chanID: ch.ID}
+		// Per-hop deadlines: each hop's link tasks carry that hop's d
+		// (uniform LocalD for default channels, DSplit[j] for layout
+		// ones); the injection pseudo-link carries the source hop's.
+		tk := task{C: ch.Spec.MessageSlots(), T: ch.Spec.Imin, D: ch.hops[0].d, chanID: ch.ID}
 		reserve(linkKey{ch.Src, portInject}, tk)
 		for _, h := range ch.hops {
 			n := getNode(h.node)
@@ -147,6 +150,7 @@ func (c *Controller) VerifyLedger() error {
 			if h.mask.Has(router.PortLocal) {
 				n.ids[h.outConn] = true
 			}
+			tk.D = h.d
 			for p := 0; p < router.NumPorts; p++ {
 				if !h.mask.Has(p) {
 					continue

@@ -362,7 +362,7 @@ func (s *System) OpenChannel(src mesh.Coord, dsts []mesh.Coord, spec rtc.Spec) (
 	if err != nil {
 		return nil, err
 	}
-	paced, err := s.pcrs[src].Channel(ac.SrcConn, spec, ac.LocalD)
+	paced, err := s.pcrs[src].Channel(ac.SrcConn, spec, ac.SourceD())
 	if err != nil {
 		// Admission succeeded but the regulator rejected the spec: roll
 		// back so resources are not leaked.
@@ -460,7 +460,7 @@ func (c *Channel) Reroute() error {
 	if err != nil {
 		return err
 	}
-	paced, err := c.sys.pcrs[nadm.Src].Channel(nadm.SrcConn, nadm.Spec, nadm.LocalD)
+	paced, err := c.sys.pcrs[nadm.Src].Channel(nadm.SrcConn, nadm.Spec, nadm.SourceD())
 	if err != nil {
 		_ = c.sys.Adm.Teardown(nadm)
 		return err

@@ -1,0 +1,220 @@
+package layout
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/mesh"
+	"repro/internal/obs"
+	"repro/internal/router"
+	"repro/internal/rtc"
+)
+
+func newPair(t *testing.T, w, h int, reference bool) (*mesh.Network, *admission.Controller) {
+	t.Helper()
+	net, err := mesh.New(w, h, router.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := admission.DefaultConfig()
+	cfg.Reference = reference
+	ctl, err := admission.New(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, ctl
+}
+
+// uniformRequests is a deterministic stride pattern past saturation.
+func uniformRequests(w, h, n int) []Request {
+	reqs := make([]Request, n)
+	nodes := w * h
+	for i := range reqs {
+		s := (i*7 + 3) % nodes
+		d := (i*13 + 5) % nodes
+		if d == s {
+			d = (d + 1) % nodes
+		}
+		reqs[i] = Request{
+			Src:  mesh.Coord{X: s % w, Y: s / w},
+			Dst:  mesh.Coord{X: d % w, Y: d / w},
+			Spec: rtc.Spec{Imin: 16, Smax: 18, D: 64},
+		}
+	}
+	return reqs
+}
+
+// TestSynthesizerInertness is the differential guarantee the PR rides
+// on: with the optimizer unused, the default Admit path's observable
+// bytes — sealed ledger, audit dump hash, and every rejection string —
+// are identical whether or not layout probes ever ran against the
+// controller. PlanLayout is a read-only what-if; if it ever perturbs
+// admission state, this test catches the drift byte-for-byte.
+func TestSynthesizerInertness(t *testing.T) {
+	w, h := 6, 6
+	_, plain := newPair(t, w, h, false)
+	_, probed := newPair(t, w, h, false)
+	plainLog, probedLog := obs.NewAuditLog(), obs.NewAuditLog()
+	plain.AttachAudit(plainLog)
+	probed.AttachAudit(probedLog)
+
+	reqs := uniformRequests(w, h, 3*w*h)
+	rng := rand.New(rand.NewSource(3))
+	for i, r := range reqs {
+		// Interleave read-only layout probes on the probed controller:
+		// valid ones, invalid ones, and ones that are refused on
+		// resources. None may leave a trace.
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			route := mesh.XYRoute(r.Src, r.Dst)
+			if rng.Intn(2) == 0 {
+				route = mesh.YXRoute(r.Src, r.Dst)
+			}
+			split := make([]int64, len(route))
+			per := r.Spec.D / int64(len(route))
+			for j := range split {
+				split[j] = per - int64(rng.Intn(3)) // sometimes below service time
+			}
+			probed.PlanLayout(admission.PlanSpec{
+				Src: r.Src, Dst: r.Dst, Spec: r.Spec, Route: route, DSplit: split,
+			})
+		}
+		_, perr := plain.Admit(r.Src, []mesh.Coord{r.Dst}, r.Spec)
+		_, qerr := probed.Admit(r.Src, []mesh.Coord{r.Dst}, r.Spec)
+		if (perr == nil) != (qerr == nil) {
+			t.Fatalf("request %d: verdicts diverge after layout probes: plain=%v probed=%v", i, perr, qerr)
+		}
+		if perr != nil && perr.Error() != qerr.Error() {
+			t.Fatalf("request %d: rejection bytes diverge after layout probes:\n plain %q\nprobed %q", i, perr, qerr)
+		}
+	}
+	plainSeal, err := json.Marshal(plain.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probedSeal, err := json.Marshal(probed.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plainSeal, probedSeal) {
+		t.Fatal("sealed ledgers diverge: layout probes perturbed default admission state")
+	}
+	if plainLog.DumpHash() != probedLog.DumpHash() {
+		t.Fatal("audit logs diverge: layout probes left records on the default path")
+	}
+	if err := probed.VerifyLedger(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSynthesizedPlansReferenceAgreement is the fuzz leg: every layout
+// the synthesizer settles on is re-admitted, in commit order, by a
+// from-scratch Reference-mode controller, which must agree on channel
+// identity, reservation totals, and the final sealed ledger bytes.
+func TestSynthesizedPlansReferenceAgreement(t *testing.T) {
+	w, h := 6, 6
+	net, ctl := newPair(t, w, h, false)
+	res := Synthesize(net, ctl, uniformRequests(w, h, 3*w*h), Options{})
+	if len(res.Admitted) == 0 {
+		t.Fatal("synthesizer admitted nothing")
+	}
+	_, shadow := newPair(t, w, h, true)
+	for _, adm := range res.Admitted {
+		sch, err := shadow.AdmitLayout(adm.Plan)
+		if err != nil {
+			t.Fatalf("reference controller refused synthesized layout for request %d: %v", adm.Request, err)
+		}
+		if sch.ID != adm.Channel.ID || sch.Margin != adm.Channel.Margin ||
+			sch.SrcConn != adm.Channel.SrcConn || sch.Bound() != adm.Channel.Bound() {
+			t.Fatalf("request %d: reference channel diverges: got id=%d margin=%d conn=%d bound=%d, want id=%d margin=%d conn=%d bound=%d",
+				adm.Request, sch.ID, sch.Margin, sch.SrcConn, sch.Bound(),
+				adm.Channel.ID, adm.Channel.Margin, adm.Channel.SrcConn, adm.Channel.Bound())
+		}
+	}
+	ctlSeal, err := json.Marshal(ctl.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowSeal, err := json.Marshal(shadow.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ctlSeal, shadowSeal) {
+		t.Fatal("sealed ledgers diverge between synthesizer run and reference replay")
+	}
+	if err := shadow.VerifyLedger(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSynthesizeAtLeastGreedy checks the structural guarantee that the
+// search's first candidates are the greedy planner's own layouts: on
+// any request sequence the synthesizer admits at least as many channels
+// as the default path.
+func TestSynthesizeAtLeastGreedy(t *testing.T) {
+	w, h := 6, 6
+	reqs := uniformRequests(w, h, 3*w*h)
+
+	_, greedy := newPair(t, w, h, false)
+	admitted := 0
+	for _, r := range reqs {
+		if _, err := greedy.Admit(r.Src, []mesh.Coord{r.Dst}, r.Spec); err == nil {
+			admitted++
+		}
+	}
+	net, ctl := newPair(t, w, h, false)
+	res := Synthesize(net, ctl, reqs, Options{})
+	if len(res.Admitted) < admitted {
+		t.Fatalf("synthesizer admitted %d < greedy %d", len(res.Admitted), admitted)
+	}
+	if got := len(res.Admitted) + len(res.Rejected); got != len(reqs) {
+		t.Fatalf("admitted %d + rejected %d != %d requests", len(res.Admitted), len(res.Rejected), len(reqs))
+	}
+}
+
+// TestCandidateRoutes checks the route generator's invariants: XY
+// first, then YX, then staircases; every candidate is Manhattan-minimal
+// and ends with local delivery at the destination.
+func TestCandidateRoutes(t *testing.T) {
+	src, dst := mesh.Coord{X: 1, Y: 1}, mesh.Coord{X: 4, Y: 3}
+	routes := candidateRoutes(src, dst, DefaultMaxRoutes)
+	if len(routes) < 2 {
+		t.Fatalf("got %d candidates, want at least XY and YX", len(routes))
+	}
+	manhattan := 3 + 2 + 1 // dx + dy + local
+	seen := make(map[string]bool)
+	for i, route := range routes {
+		if len(route) != manhattan {
+			t.Errorf("candidate %d has %d hops, want %d (Manhattan-minimal)", i, len(route), manhattan)
+		}
+		at := src
+		for j, port := range route {
+			if j == len(route)-1 {
+				if port != router.PortLocal {
+					t.Errorf("candidate %d does not end with local delivery", i)
+				}
+				break
+			}
+			at = at.Add(port)
+		}
+		if at != dst {
+			t.Errorf("candidate %d ends at %s, want %s", i, at, dst)
+		}
+		key := ""
+		for _, p := range route {
+			key += router.PortName(p) + ","
+		}
+		if seen[key] {
+			t.Errorf("candidate %d duplicates an earlier route", i)
+		}
+		seen[key] = true
+	}
+
+	// Single-dimension pairs have exactly one minimal route.
+	routes = candidateRoutes(mesh.Coord{X: 0, Y: 2}, mesh.Coord{X: 3, Y: 2}, DefaultMaxRoutes)
+	if len(routes) != 1 {
+		t.Errorf("aligned pair produced %d candidates, want 1", len(routes))
+	}
+}

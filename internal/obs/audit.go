@@ -30,17 +30,21 @@ type AuditRecord struct {
 	// Src and Dst are the endpoints; Spec the rendered traffic contract.
 	Src, Dst, Spec string
 	// Route is the hop-by-hop route with output ports; LocalD the
-	// uniform per-hop delay split d_j; Hops the tree size.
+	// uniform per-hop delay split d_j; Hops the tree size. DSplit is
+	// the rendered non-uniform split ("5+7+5") for layout-admitted
+	// channels and replaces LocalD in the rendered line when set.
 	Route  string
 	LocalD int64
+	DSplit string
 	Hops   int
 	// Margin is the admission margin in slots (min EDF headroom across
 	// every link the test checked, candidate included) for successful
 	// decisions, or the signed failure margin for refusals.
 	Margin float64
 	// Binding names the resource that refused the channel and Test the
-	// failed admission test; Err carries the rejection message.
-	Binding, Test, Err string
+	// failed admission test; Router the router that refused it (always
+	// set on controller refusals); Err carries the rejection message.
+	Binding, Test, Router, Err string
 }
 
 // String renders the record as one fixed-format line. The format is
@@ -58,11 +62,18 @@ func (r AuditRecord) String() string {
 		b.WriteString(r.Spec)
 	}
 	if r.Route != "" {
-		fmt.Fprintf(&b, " d=%d hops=%d route=%s", r.LocalD, r.Hops, r.Route)
+		if r.DSplit != "" {
+			fmt.Fprintf(&b, " d=[%s] hops=%d route=%s", r.DSplit, r.Hops, r.Route)
+		} else {
+			fmt.Fprintf(&b, " d=%d hops=%d route=%s", r.LocalD, r.Hops, r.Route)
+		}
 	}
 	fmt.Fprintf(&b, " margin=%+g", r.Margin)
 	if r.Binding != "" {
 		fmt.Fprintf(&b, " binding=%s test=%s", r.Binding, r.Test)
+		if r.Router != "" {
+			fmt.Fprintf(&b, " router=%s", r.Router)
+		}
 	}
 	if r.Err != "" {
 		fmt.Fprintf(&b, " err=%q", r.Err)
